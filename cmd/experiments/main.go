@@ -1,0 +1,94 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -table1            # Table I
+//	experiments -fig10             # Figure 10 instruction mix
+//	experiments -fig11             # Figure 11 outcome rates
+//	experiments -fig12             # Figure 12 detector study
+//	experiments -ablations         # DESIGN.md ablations
+//	experiments -all               # everything
+//	experiments -all -full         # paper-scale counts (108,000 experiments)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/isa"
+	"vulfi/internal/report"
+)
+
+func main() {
+	var (
+		table1    = flag.Bool("table1", false, "regenerate Table I")
+		fig10     = flag.Bool("fig10", false, "regenerate Figure 10")
+		fig11     = flag.Bool("fig11", false, "regenerate Figure 11")
+		fig12     = flag.Bool("fig12", false, "regenerate Figure 12")
+		ablations = flag.Bool("ablations", false, "run the design ablations")
+		ext       = flag.Bool("extensions", false, "run the beyond-the-paper studies")
+		all       = flag.Bool("all", false, "regenerate everything")
+		full      = flag.Bool("full", false, "paper-scale experiment counts")
+		seed      = flag.Int64("seed", 20160516, "study seed")
+		workers   = flag.Int("workers", 0, "experiment parallelism (0 = NumCPU)")
+		benchList = flag.String("benchmarks", "", "comma-separated benchmark filter")
+		isaName   = flag.String("isa", "", "restrict to one ISA (AVX or SSE)")
+		large     = flag.Bool("large", false, "use large inputs")
+	)
+	flag.Parse()
+
+	opts := report.Defaults()
+	if *full {
+		opts = report.Full()
+	}
+	opts.Seed = *seed
+	opts.Workers = *workers
+	if *large {
+		opts.Scale = benchmarks.ScaleLarge
+	}
+	if *benchList != "" {
+		opts.Benchmarks = strings.Split(*benchList, ",")
+	}
+	if *isaName != "" {
+		a := isa.ByName(strings.ToUpper(*isaName))
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "unknown ISA %q\n", *isaName)
+			os.Exit(2)
+		}
+		opts.ISAs = []*isa.ISA{a}
+	}
+
+	if !(*table1 || *fig10 || *fig11 || *fig12 || *ablations || *ext || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	type section struct {
+		on  bool
+		fn  func() error
+		tag string
+	}
+	sections := []section{
+		{*all || *table1, func() error { return report.Table1(os.Stdout, opts) }, "table1"},
+		{*all || *fig10, func() error { return report.Fig10(os.Stdout, opts) }, "fig10"},
+		{*all || *fig11, func() error { return report.Fig11(os.Stdout, opts) }, "fig11"},
+		{*all || *fig12, func() error { return report.Fig12(os.Stdout, opts) }, "fig12"},
+		{*all || *ablations, func() error { return report.Ablations(os.Stdout, opts) }, "ablations"},
+		{*all || *ext, func() error { return report.Extension(os.Stdout, opts) }, "extensions"},
+	}
+	for _, s := range sections {
+		if !s.on {
+			continue
+		}
+		start := time.Now()
+		if err := s.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.tag, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s done in %v]\n\n", s.tag, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,159 @@
+// Command vspcc is the VSPC compiler driver: it compiles a .vspc source
+// file (or a named built-in benchmark) to vector IR and prints the IR,
+// the foreach CFG summary, or the fault-site census.
+//
+//	vspcc -isa AVX kernel.vspc            # print lowered IR
+//	vspcc -benchmark Blackscholes -sites  # fault-site census
+//	vspcc -benchmark Stencil -detectors   # IR with detector blocks
+//	vspcc -benchmark VectorCopy -instrument control  # instrumented IR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/codegen"
+	"vulfi/internal/core"
+	"vulfi/internal/detect"
+	"vulfi/internal/ir"
+	"vulfi/internal/isa"
+	"vulfi/internal/lang"
+	"vulfi/internal/passes"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("benchmark", "", "compile a built-in benchmark instead of a file")
+		isaName    = flag.String("isa", "AVX", "target ISA: AVX or SSE")
+		sites      = flag.Bool("sites", false, "print the fault-site census instead of IR")
+		fnFilter   = flag.String("func", "", "restrict site enumeration to one function")
+		detectors  = flag.Bool("detectors", false, "insert the foreach-invariant detector blocks")
+		broadcast  = flag.Bool("broadcast-detector", false, "insert the uniform-broadcast checker")
+		instrument = flag.String("instrument", "", "instrument the given category (pure-data, control, address)")
+		cfg        = flag.Bool("cfg", false, "print the CFG block summary")
+		dot        = flag.String("dot", "", "emit the named function's CFG as Graphviz DOT")
+		format     = flag.Bool("fmt", false, "pretty-print the parsed source and exit")
+	)
+	flag.Parse()
+
+	target := isa.ByName(strings.ToUpper(*isaName))
+	if target == nil {
+		fmt.Fprintf(os.Stderr, "unknown ISA %q\n", *isaName)
+		os.Exit(2)
+	}
+
+	var src, name string
+	switch {
+	case *benchName != "":
+		b := benchmarks.ByName(*benchName)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *benchName)
+			os.Exit(2)
+		}
+		src, name = b.Source, b.Name
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src, name = string(data), flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: vspcc [-benchmark NAME | file.vspc] [flags]")
+		os.Exit(2)
+	}
+
+	if *format {
+		parsed, err := lang.Parse(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(lang.Format(parsed))
+		return
+	}
+
+	res, err := codegen.CompileSource(src, target, name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	pm := &passes.Manager{Verify: true}
+	if *detectors {
+		pm.Add(&detect.ForeachInvariantPass{})
+	}
+	if *broadcast {
+		pm.Add(&detect.UniformBroadcastPass{})
+	}
+	if *instrument != "" {
+		var cat passes.Category
+		switch strings.ToLower(*instrument) {
+		case "pure-data", "puredata", "data":
+			cat = passes.PureData
+		case "control", "ctrl":
+			cat = passes.Control
+		case "address", "addr":
+			cat = passes.Address
+		default:
+			fmt.Fprintf(os.Stderr, "unknown category %q\n", *instrument)
+			os.Exit(2)
+		}
+		pm.Add(&core.InstrumentPass{Category: cat})
+	}
+	if err := pm.Run(res.Module); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *dot != "":
+		f := res.Module.Func(*dot)
+		if f == nil {
+			fmt.Fprintf(os.Stderr, "no function %q\n", *dot)
+			os.Exit(1)
+		}
+		if err := passes.WriteDOT(os.Stdout, f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *sites:
+		var funcs []*ir.Func
+		if *fnFilter != "" {
+			f := res.Module.Func(*fnFilter)
+			if f == nil || f.IsDecl {
+				fmt.Fprintf(os.Stderr, "no function definition %q\n", *fnFilter)
+				os.Exit(1)
+			}
+			funcs = []*ir.Func{f}
+		}
+		all := core.EnumerateSites(res.Module, funcs)
+		fmt.Printf("%d instruction-level fault sites (gang size %d, %s)\n",
+			len(all), res.VL, target.Name)
+		for _, row := range core.Census(all) {
+			fmt.Printf("  %-10s %4d sites (%4d scalar, %4d vector; %.1f%% vector)\n",
+				row.Category, row.Total(), row.ScalarSites, row.VectorSites,
+				100*row.VectorFraction())
+		}
+	case *cfg:
+		for _, f := range res.Module.Funcs {
+			if f.IsDecl {
+				continue
+			}
+			fmt.Printf("@%s:\n", f.Nam)
+			for _, b := range f.Blocks {
+				var succ []string
+				for _, s := range b.Succs() {
+					succ = append(succ, s.Nam)
+				}
+				fmt.Printf("  %-40s %3d instrs -> %s\n",
+					b.Nam, len(b.Instrs), strings.Join(succ, ", "))
+			}
+		}
+	default:
+		fmt.Print(res.Module)
+	}
+}

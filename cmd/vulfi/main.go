@@ -1,0 +1,123 @@
+// Command vulfi runs a fault-injection campaign for one benchmark:
+//
+//	vulfi -benchmark Blackscholes -isa AVX -category control \
+//	      -experiments 100 -campaigns 20 -detectors
+//
+// It prints per-campaign and aggregate SDC/Benign/Crash rates with the
+// paper's 95%-confidence margin of error, and a sample of injection
+// records in verbose mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/campaign"
+	"vulfi/internal/isa"
+	"vulfi/internal/passes"
+)
+
+func main() {
+	var (
+		benchName = flag.String("benchmark", "VectorCopy", "benchmark name (see -list)")
+		isaName   = flag.String("isa", "AVX", "target ISA: AVX or SSE")
+		catName   = flag.String("category", "pure-data", "fault-site category: pure-data, control, address")
+		exps      = flag.Int("experiments", 100, "experiments per campaign")
+		camps     = flag.Int("campaigns", 20, "number of campaigns")
+		seed      = flag.Int64("seed", 1, "study seed")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
+		detectors = flag.Bool("detectors", false, "insert the foreach-invariant detectors")
+		broadcast = flag.Bool("broadcast-detector", false, "also insert the uniform-broadcast checker")
+		large     = flag.Bool("large", false, "use large inputs")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		verbose   = flag.Bool("v", false, "print per-campaign rows and sample injections")
+		jsonOut   = flag.Bool("json", false, "emit the study as JSON instead of text")
+		csvOut    = flag.Bool("csv", false, "emit the study as a CSV row (with header)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range benchmarks.All() {
+			fmt.Printf("%-18s %-7s entry=%s  %s\n", b.Name, b.Suite, b.Entry, b.InputDesc)
+		}
+		return
+	}
+
+	b := benchmarks.ByName(*benchName)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *benchName)
+		os.Exit(2)
+	}
+	target := isa.ByName(strings.ToUpper(*isaName))
+	if target == nil {
+		fmt.Fprintf(os.Stderr, "unknown ISA %q\n", *isaName)
+		os.Exit(2)
+	}
+	var cat passes.Category
+	switch strings.ToLower(*catName) {
+	case "pure-data", "puredata", "data":
+		cat = passes.PureData
+	case "control", "ctrl":
+		cat = passes.Control
+	case "address", "addr":
+		cat = passes.Address
+	default:
+		fmt.Fprintf(os.Stderr, "unknown category %q\n", *catName)
+		os.Exit(2)
+	}
+	scale := benchmarks.ScaleDefault
+	if *large {
+		scale = benchmarks.ScaleLarge
+	}
+
+	cfg := campaign.Config{
+		Benchmark: b, ISA: target, Category: cat, Scale: scale,
+		Experiments: *exps, Campaigns: *camps, Seed: *seed, Workers: *workers,
+		Detectors: *detectors, BroadcastDetector: *broadcast,
+	}
+	if !*jsonOut && !*csvOut {
+		fmt.Printf("VULFI study: %s  (%d campaigns x %d experiments)\n",
+			cfg, *camps, *exps)
+	}
+
+	sr, err := campaign.RunStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *jsonOut:
+		if err := sr.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case *csvOut:
+		if err := campaign.WriteCSVHeader(os.Stdout); err == nil {
+			err = sr.WriteCSVRow(os.Stdout)
+		}
+		return
+	}
+
+	if *verbose {
+		for i, c := range sr.Campaigns {
+			fmt.Printf("  campaign %2d: SDC %5.1f%%  Benign %5.1f%%  Crash %5.1f%%  detected %d\n",
+				i+1, 100*c.SDCRate(), 100*c.BenignRate(), 100*c.CrashRate(), c.Detected)
+		}
+	}
+	t := sr.Totals
+	fmt.Printf("static sites: %d (%d lane sites)\n", sr.StaticSites, sr.LaneSites)
+	fmt.Printf("mean golden dynamic instructions: %.0f\n", sr.MeanGoldenDynInstrs)
+	fmt.Printf("SDC    %6.2f%%  (±%.2f%% at 95%%, near-normal=%v)\n",
+		100*sr.MeanSDC, 100*sr.MarginOfError, sr.NearNormal)
+	fmt.Printf("Benign %6.2f%%\n", 100*t.BenignRate())
+	fmt.Printf("Crash  %6.2f%%  (%d hangs)\n", 100*t.CrashRate(), t.Hang)
+	if *detectors {
+		fmt.Printf("detector fired in %d experiments; SDC detection rate %.2f%%\n",
+			t.Detected, 100*t.SDCDetectionRate())
+	}
+}

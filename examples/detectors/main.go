@@ -1,0 +1,52 @@
+// Detectors example: synthesize the paper's §III-A foreach-invariant
+// detector (and the §III-B uniform-broadcast checker) for the vector-copy
+// kernel, then demonstrate a control fault being caught on loop exit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/campaign"
+	"vulfi/internal/isa"
+	"vulfi/internal/passes"
+)
+
+func main() {
+	// Run the §IV-E style detector study on vector copy, per category.
+	for _, cat := range passes.AllCategories {
+		sr, err := campaign.RunStudy(campaign.Config{
+			Benchmark:   benchmarks.VectorCopy,
+			ISA:         isa.AVX,
+			Category:    cat,
+			Scale:       benchmarks.ScaleDefault,
+			Experiments: 200,
+			Campaigns:   1,
+			Seed:        99,
+			Detectors:   true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := sr.Totals
+		fmt.Printf("%-10s SDC %5.1f%%  Crash %5.1f%%  detector fired %3d times, SDC detection rate %5.1f%%\n",
+			cat, 100*t.SDCRate(), 100*t.CrashRate(), t.Detected,
+			100*t.SDCDetectionRate())
+	}
+
+	// The paper's hypothesis (§IV-E): the loop invariants depend on the
+	// IR-level loop iterator, so pure-data faults can never trip them.
+	fmt.Println("\nexpected: pure-data row never fires the detector;")
+	fmt.Println("control faults produce the highest SDC and detection rates.")
+
+	// Overhead of the detector block, measured the paper's way (§IV-E):
+	// instrumented binary with vs without the detector block.
+	oh, err := campaign.MeasureOverhead(benchmarks.VectorCopy, isa.AVX,
+		benchmarks.ScaleDefault, passes.Control, false, 7, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndetector overhead: %.2f%% dynamic instructions, %.2f%% wall clock (paper: ~8%%)\n",
+		100*oh.DynOverhead(), 100*oh.WallOverhead())
+}

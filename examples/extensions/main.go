@@ -1,0 +1,21 @@
+// Extensions example: the studies that go beyond the paper's evaluation —
+// the §III-B uniform-broadcast detector (the paper's future work) and the
+// AVX512 target demonstrating the "multiple vector formats" claim.
+package main
+
+import (
+	"log"
+	"os"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/report"
+)
+
+func main() {
+	o := report.Defaults()
+	o.MicroExperiments = 200
+	o.Scale = benchmarks.ScaleDefault
+	if err := report.Extension(os.Stdout, o); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Quickstart: compile a VSPC kernel, enumerate its fault sites, inject a
+// single bit flip into one dynamic site, and classify the outcome — the
+// whole VULFI workflow in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vulfi/internal/codegen"
+	"vulfi/internal/core"
+	"vulfi/internal/exec"
+	"vulfi/internal/interp"
+	"vulfi/internal/isa"
+)
+
+const kernel = `
+export void saxpy(uniform float a, uniform float x[], uniform float y[],
+		uniform int n) {
+	foreach (i = 0 ... n) {
+		y[i] = a * x[i] + y[i];
+	}
+}
+`
+
+func main() {
+	// 1. Compile for AVX (gang of 8 32-bit lanes).
+	res, err := codegen.CompileSource(kernel, isa.AVX, "quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Lowered IR (foreach full body + masked partial body) ===")
+	fmt.Println(res.Module.Func("saxpy"))
+
+	// 2. Enumerate and classify fault sites (pure-data / control / address).
+	sites := core.EnumerateSites(res.Module, nil)
+	fmt.Printf("=== %d fault sites ===\n", len(sites))
+	for _, row := range core.Census(sites) {
+		fmt.Printf("  %-10s %3d sites (%.0f%% vector instructions)\n",
+			row.Category, row.Total(), 100*row.VectorFraction())
+	}
+
+	// 3. Instrument every site: each lane of each vector L-value becomes
+	// an injectFault* call site.
+	inst, err := core.Instrument(res.Module, sites)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninstrumented %d lane sites\n", len(inst.LaneSites))
+
+	run := func(plan *core.Plan) ([]float32, *interp.Trap) {
+		x, err := exec.NewInstance(res, interp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		core.AttachRuntime(x.It, plan)
+		xs := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+		ys := make([]float32, len(xs))
+		for i := range ys {
+			ys[i] = 0.5
+		}
+		ax, _ := x.AllocF32(xs)
+		ay, _ := x.AllocF32(ys)
+		if _, tr := x.CallExport("saxpy", exec.F32Arg(2),
+			exec.PtrArgF32(ax), exec.PtrArgF32(ay),
+			exec.I32Arg(int64(len(xs)))); tr != nil {
+			return nil, tr
+		}
+		out, _ := x.ReadF32(ay, len(xs))
+		return out, nil
+	}
+
+	// 4. Golden run: count the dynamic fault sites.
+	golden := &core.Plan{Mode: core.CountOnly}
+	want, tr := run(golden)
+	if tr != nil {
+		log.Fatalf("golden run trapped: %v", tr)
+	}
+	fmt.Printf("golden output: %v\n", want)
+	fmt.Printf("dynamic fault sites N = %d\n\n", golden.DynSites)
+
+	// 5. Faulty runs: flip one bit at a few different dynamic sites.
+	for _, target := range []uint64{1, golden.DynSites / 2, golden.DynSites} {
+		plan := &core.Plan{Mode: core.InjectOnce, TargetDyn: target, BitSeed: 30}
+		got, tr := run(plan)
+		switch {
+		case tr != nil:
+			fmt.Printf("site %3d: CRASH (%v)\n", target, tr)
+		case !equal(want, got):
+			fmt.Printf("site %3d: SDC    (injected %s) -> %v\n",
+				target, plan.Record, got)
+		default:
+			fmt.Printf("site %3d: BENIGN (injected %s)\n", target, plan.Record)
+		}
+	}
+}
+
+func equal(a, b []float32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

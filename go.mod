@@ -1,0 +1,3 @@
+module vulfi
+
+go 1.22

@@ -1,0 +1,124 @@
+package benchmarks
+
+import (
+	"math/rand"
+	"testing"
+
+	"vulfi/internal/codegen"
+	"vulfi/internal/exec"
+	"vulfi/internal/interp"
+	"vulfi/internal/isa"
+)
+
+// TestAllBenchmarksCompileAndRun compiles every benchmark for both ISAs
+// and executes a clean run on a test-scale input.
+func TestAllBenchmarksCompileAndRun(t *testing.T) {
+	for _, b := range All() {
+		for _, target := range isa.All {
+			t.Run(b.Name+"/"+target.Name, func(t *testing.T) {
+				res, err := codegen.CompileSource(b.Source, target, b.Name)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				x, err := exec.NewInstance(res, interp.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(42))
+				spec, err := b.Setup(x, rng, ScaleTest)
+				if err != nil {
+					t.Fatalf("setup: %v", err)
+				}
+				if _, tr := x.CallExport(b.Entry, spec.Args...); tr != nil {
+					t.Fatalf("run (%s): %v", spec.Label, tr)
+				}
+				if x.It.DynInstrs == 0 {
+					t.Fatal("no instructions executed")
+				}
+				if x.It.DynVector == 0 {
+					t.Errorf("%s executed no vector instructions", b.Name)
+				}
+				for _, rg := range spec.Outputs {
+					if _, err := x.ReadRaw(rg.Addr, rg.Size); err != nil {
+						t.Fatalf("reading output region: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBenchmarkDeterminism checks that the same seed yields bit-identical
+// outputs across two fresh instances (the property the golden/faulty
+// experiment pairing depends on).
+func TestBenchmarkDeterminism(t *testing.T) {
+	for _, b := range All() {
+		t.Run(b.Name, func(t *testing.T) {
+			res, err := codegen.CompileSource(b.Source, isa.AVX, b.Name)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			var snaps [2][]byte
+			for round := 0; round < 2; round++ {
+				x, err := exec.NewInstance(res, interp.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec, err := b.Setup(x, rand.New(rand.NewSource(7)), ScaleTest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, tr := x.CallExport(b.Entry, spec.Args...); tr != nil {
+					t.Fatalf("run: %v", tr)
+				}
+				var all []byte
+				for _, rg := range spec.Outputs {
+					bts, err := x.ReadRaw(rg.Addr, rg.Size)
+					if err != nil {
+						t.Fatal(err)
+					}
+					all = append(all, bts...)
+				}
+				all = append(all, x.It.Output.Bytes()...)
+				snaps[round] = all
+			}
+			if string(snaps[0]) != string(snaps[1]) {
+				t.Fatal("outputs differ across identical runs")
+			}
+		})
+	}
+}
+
+// TestSortingSorts validates the sorting kernel end to end.
+func TestSortingSorts(t *testing.T) {
+	res, err := codegen.CompileSource(Sorting.Source, isa.AVX, "sorting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := exec.NewInstance(res, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []int32{9, -3, 5, 0, 22, -7, 5, 1, 13, 2, -1, 4, 8, 3, 17, -20}
+	addr, err := x.AllocI32(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outAddr, err := x.AllocI32(make([]int32, len(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, tr := x.CallExport("sortphases", exec.PtrArgI32(addr),
+		exec.PtrArgI32(outAddr), exec.I32Arg(int64(len(in)))); tr != nil {
+		t.Fatalf("run: %v", tr)
+	}
+	got, err := x.ReadI32(outAddr, len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("not sorted at %d: %v", i, got)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package benchmarks
+
+import (
+	"math/rand"
+
+	"vulfi/internal/exec"
+)
+
+// Extra benchmarks beyond the paper's Table I set, used by the extension
+// studies (they are not part of Study()).
+
+const mandelbrotSrc = `
+// Mandelbrot escape-time iteration: the canonical SPMD divergence kernel,
+// whose inner varying while runs as a mask loop — the workload for the
+// mask-monotonicity detector extension.
+export void mandelbrot(uniform float x0, uniform float y0,
+		uniform float dx, uniform float dy,
+		uniform int w, uniform int h, uniform int maxIters,
+		uniform int out[]) {
+	for (uniform int row = 0; row < h; row++) {
+		uniform float cy = y0 + (float)row * dy;
+		foreach (i = 0 ... w) {
+			varying float cx = x0 + (float)i * dx;
+			varying float zx = 0.0;
+			varying float zy = 0.0;
+			varying int iters = 0;
+			while (zx * zx + zy * zy < 4.0 && iters < maxIters) {
+				varying float nzx = zx * zx - zy * zy + cx;
+				zy = 2.0 * zx * zy + cy;
+				zx = nzx;
+				iters = iters + 1;
+			}
+			out[row * w + i] = iters;
+		}
+	}
+}
+`
+
+// Mandelbrot is the extension benchmark exercising varying-while mask
+// loops (divergent per-lane iteration counts).
+var Mandelbrot = &Benchmark{
+	Name:      "Mandelbrot",
+	Suite:     "Extra",
+	Entry:     "mandelbrot",
+	Source:    mandelbrotSrc,
+	InputDesc: "image: {16x12, 24x16}, maxIters {24, 48}",
+	Setup: func(x *exec.Instance, rng *rand.Rand, scale Scale) (*RunSpec, error) {
+		type cfg struct{ w, h, iters int }
+		var cfgs []cfg
+		switch scale {
+		case ScaleTest:
+			cfgs = []cfg{{10, 6, 12}}
+		case ScaleLarge:
+			cfgs = []cfg{{64, 48, 64}}
+		default:
+			cfgs = []cfg{{16, 12, 24}, {24, 16, 48}}
+		}
+		c := cfgs[rng.Intn(len(cfgs))]
+		outAddr, out, err := allocI32(x, make([]int32, c.w*c.h))
+		if err != nil {
+			return nil, err
+		}
+		return (&RunSpec{
+			Outputs: []Region{f32Region(outAddr, c.w*c.h)},
+			Label:   label("%dx%d iters=%d", c.w, c.h, c.iters),
+		}).withArgs(
+			exec.F32Arg(-2.1), exec.F32Arg(-1.2),
+			exec.F32Arg(3.0/float64(c.w)), exec.F32Arg(2.4/float64(c.h)),
+			exec.I32Arg(int64(c.w)), exec.I32Arg(int64(c.h)),
+			exec.I32Arg(int64(c.iters)), out), nil
+	},
+}

@@ -1,0 +1,315 @@
+package benchmarks
+
+import (
+	"math/rand"
+
+	"vulfi/internal/exec"
+)
+
+// The four benchmarks drawn from the ISPC compiler's example suite.
+
+const blackscholesSrc = `
+// Black-Scholes European option pricing (ISPC example): cumulative normal
+// distribution via the Abramowitz-Stegun polynomial, call/put selection
+// under a varying branch.
+float cndf(varying float x) {
+	varying float sign = 1.0;
+	varying float ax = x;
+	if (ax < 0.0) {
+		ax = -ax;
+		sign = -1.0;
+	}
+	varying float k = 1.0 / (1.0 + 0.2316419 * ax);
+	varying float poly = k * (0.319381530 + k * (-0.356563782 +
+		k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+	varying float cnd = 1.0 - 0.39894228 * exp(-0.5 * ax * ax) * poly;
+	varying float result = cnd;
+	if (sign < 0.0) {
+		result = 1.0 - cnd;
+	}
+	return result;
+}
+
+export void blackscholes(uniform float sptprice[], uniform float strike[],
+		uniform float rate[], uniform float volatility[], uniform float otime[],
+		uniform int otype[], uniform float prices[], uniform int n) {
+	foreach (i = 0 ... n) {
+		varying float S = sptprice[i];
+		varying float X = strike[i];
+		varying float r = rate[i];
+		varying float v = volatility[i];
+		varying float T = otime[i];
+		varying float sqrtT = sqrt(T);
+		varying float d1 = (log(S / X) + (r + 0.5 * v * v) * T) / (v * sqrtT);
+		varying float d2 = d1 - v * sqrtT;
+		varying float nd1 = cndf(d1);
+		varying float nd2 = cndf(d2);
+		varying float futureValue = X * exp(-r * T);
+		varying float price = S * nd1 - futureValue * nd2;
+		if (otype[i] == 1) {
+			price = futureValue * (1.0 - nd2) - S * (1.0 - nd1);
+		}
+		prices[i] = price;
+	}
+}
+`
+
+// Blackscholes is the ISPC Black-Scholes option-pricing benchmark.
+var Blackscholes = &Benchmark{
+	Name:      "Blackscholes",
+	Suite:     "ISPC",
+	Entry:     "blackscholes",
+	Source:    blackscholesSrc,
+	InputDesc: "options: sim small/medium/large (scaled)",
+	Setup: func(x *exec.Instance, rng *rand.Rand, scale Scale) (*RunSpec, error) {
+		var sizes []int
+		switch scale {
+		case ScaleTest:
+			sizes = []int{13}
+		case ScaleLarge:
+			sizes = []int{512, 1024}
+		default:
+			sizes = []int{48, 96, 192}
+		}
+		n := pick(rng, sizes)
+		_, sp, err := allocF32(x, randF32s(rng, n, 10, 150))
+		if err != nil {
+			return nil, err
+		}
+		_, st, err := allocF32(x, randF32s(rng, n, 10, 150))
+		if err != nil {
+			return nil, err
+		}
+		_, ra, err := allocF32(x, randF32s(rng, n, 0.01, 0.1))
+		if err != nil {
+			return nil, err
+		}
+		_, vo, err := allocF32(x, randF32s(rng, n, 0.1, 0.6))
+		if err != nil {
+			return nil, err
+		}
+		_, ot, err := allocF32(x, randF32s(rng, n, 0.2, 2))
+		if err != nil {
+			return nil, err
+		}
+		_, ty, err := allocI32(x, randI32s(rng, n, 0, 2))
+		if err != nil {
+			return nil, err
+		}
+		prAddr, pr, err := allocF32(x, make([]float32, n))
+		if err != nil {
+			return nil, err
+		}
+		return (&RunSpec{
+			Outputs: []Region{f32Region(prAddr, n)},
+			Label:   label("n=%d", n),
+		}).withArgs(sp, st, ra, vo, ot, ty, pr, exec.I32Arg(int64(n))), nil
+	},
+}
+
+const sortingSrc = `
+// Odd-even transposition sort (vectorized compare-exchange over strided
+// pairs; gathers and scatters dominate, making it address-site heavy),
+// followed by the output-writing pass of the ISPC sorting example (a
+// unit-stride copy whose values are pure data).
+export void sortphases(uniform int a[], uniform int out[], uniform int n) {
+	for (uniform int p = 0; p < n; p++) {
+		uniform int off = p % 2;
+		uniform int m = (n - off) / 2;
+		foreach (i = 0 ... m) {
+			varying int j = 2 * i + off;
+			varying int lo = a[j];
+			varying int hi = a[j + 1];
+			if (lo > hi) {
+				a[j] = hi;
+				a[j + 1] = lo;
+			}
+		}
+	}
+	foreach (q = 0 ... n) {
+		out[q] = a[q];
+	}
+}
+`
+
+// Sorting is the ISPC sorting benchmark (odd-even transposition).
+var Sorting = &Benchmark{
+	Name:      "Sorting",
+	Suite:     "ISPC",
+	Entry:     "sortphases",
+	Source:    sortingSrc,
+	InputDesc: "1D array length: [32, 96] (paper: [1000, 100000])",
+	Setup: func(x *exec.Instance, rng *rand.Rand, scale Scale) (*RunSpec, error) {
+		var sizes []int
+		switch scale {
+		case ScaleTest:
+			sizes = []int{16}
+		case ScaleLarge:
+			sizes = []int{256, 512}
+		default:
+			sizes = []int{32, 64, 96}
+		}
+		n := pick(rng, sizes)
+		addr, a, err := allocI32(x, randI32s(rng, n, -10000, 10000))
+		if err != nil {
+			return nil, err
+		}
+		outAddr, out, err := allocI32(x, make([]int32, n))
+		if err != nil {
+			return nil, err
+		}
+		return (&RunSpec{
+			Outputs: []Region{f32Region(addr, n), f32Region(outAddr, n)},
+			Label:   label("n=%d", n),
+		}).withArgs(a, out, exec.I32Arg(int64(n))), nil
+	},
+}
+
+const stencilSrc = `
+// 2D 5-point stencil sweep with double buffering (ISPC stencil example,
+// reduced from 3D to 2D).
+export void stencil2d(uniform float a[], uniform float b[], uniform int w,
+		uniform int h, uniform int iters) {
+	for (uniform int t = 0; t < iters; t++) {
+		for (uniform int y = 1; y < h - 1; y++) {
+			uniform int row = y * w;
+			foreach (i = 1 ... w - 1) {
+				b[row + i] = 0.2 * (a[row + i] + a[row + i - 1] + a[row + i + 1]
+					+ a[row + i - w] + a[row + i + w]);
+			}
+		}
+		for (uniform int y2 = 1; y2 < h - 1; y2++) {
+			uniform int row2 = y2 * w;
+			foreach (j = 1 ... w - 1) {
+				a[row2 + j] = b[row2 + j];
+			}
+		}
+	}
+}
+`
+
+// Stencil is the ISPC stencil benchmark (2D 5-point sweep).
+var Stencil = &Benchmark{
+	Name:      "Stencil",
+	Suite:     "ISPC",
+	Entry:     "stencil2d",
+	Source:    stencilSrc,
+	InputDesc: "2D array dimension: 12x12 - 20x20 (paper: 16x16 - 64x64)",
+	Setup: func(x *exec.Instance, rng *rand.Rand, scale Scale) (*RunSpec, error) {
+		var dims []int
+		iters := 2
+		switch scale {
+		case ScaleTest:
+			dims = []int{10}
+			iters = 1
+		case ScaleLarge:
+			dims = []int{32, 64}
+		default:
+			dims = []int{12, 16, 20}
+		}
+		d := pick(rng, dims)
+		n := d * d
+		aAddr, a, err := allocF32(x, randF32s(rng, n, 0, 1))
+		if err != nil {
+			return nil, err
+		}
+		_, b, err := allocF32(x, make([]float32, n))
+		if err != nil {
+			return nil, err
+		}
+		return (&RunSpec{
+			Outputs: []Region{f32Region(aAddr, n)},
+			Label:   label("%dx%d iters=%d", d, d, iters),
+		}).withArgs(a, b, exec.I32Arg(int64(d)), exec.I32Arg(int64(d)),
+			exec.I32Arg(int64(iters))), nil
+	},
+}
+
+const raytracingSrc = `
+// Sphere ray tracer: one ray per pixel, uniform loop over the sphere
+// list, varying hit updates; depth buffer output (reduced from the ISPC
+// rt example's BVH to a sphere list).
+export void raytrace(uniform float cx[], uniform float cy[], uniform float cz[],
+		uniform float cr[], uniform int ns, uniform float img[],
+		uniform int w, uniform int h) {
+	for (uniform int y = 0; y < h; y++) {
+		uniform int row = y * w;
+		foreach (i = 0 ... w) {
+			varying float px = ((float)i + 0.5) / (float)w - 0.5;
+			varying float py = ((float)y + 0.5) / (float)h - 0.5;
+			varying float pz = 1.0;
+			varying float invLen = rsqrt(px * px + py * py + pz * pz);
+			varying float dx = px * invLen;
+			varying float dy = py * invLen;
+			varying float dz = pz * invLen;
+			varying float tmin = 1000000.0;
+			for (uniform int s = 0; s < ns; s++) {
+				varying float ox = 0.0 - cx[s];
+				varying float oy = 0.0 - cy[s];
+				varying float oz = 0.0 - cz[s];
+				varying float bq = ox * dx + oy * dy + oz * dz;
+				varying float cq = ox * ox + oy * oy + oz * oz - cr[s] * cr[s];
+				varying float disc = bq * bq - cq;
+				if (disc > 0.0) {
+					varying float t0 = -bq - sqrt(disc);
+					if (t0 > 0.001 && t0 < tmin) {
+						tmin = t0;
+					}
+				}
+			}
+			varying float shade = 0.0;
+			if (tmin < 1000000.0) {
+				shade = 1.0 / (1.0 + tmin);
+			}
+			img[row + i] = shade;
+		}
+	}
+}
+`
+
+// Raytracing is the sphere ray-tracing benchmark.
+var Raytracing = &Benchmark{
+	Name:      "Raytracing",
+	Suite:     "ISPC",
+	Entry:     "raytrace",
+	Source:    raytracingSrc,
+	InputDesc: "camera input: 3 synthetic scenes (paper: Sponza/Teapot/Cornell)",
+	Setup: func(x *exec.Instance, rng *rand.Rand, scale Scale) (*RunSpec, error) {
+		type scene struct{ w, h, ns int }
+		var scenes []scene
+		switch scale {
+		case ScaleTest:
+			scenes = []scene{{10, 6, 3}}
+		case ScaleLarge:
+			scenes = []scene{{64, 48, 16}, {80, 60, 24}}
+		default:
+			scenes = []scene{{16, 12, 6}, {20, 14, 8}, {24, 16, 10}}
+		}
+		sc := scenes[rng.Intn(len(scenes))]
+		_, cx, err := allocF32(x, randF32s(rng, sc.ns, -0.5, 0.5))
+		if err != nil {
+			return nil, err
+		}
+		_, cy, err := allocF32(x, randF32s(rng, sc.ns, -0.5, 0.5))
+		if err != nil {
+			return nil, err
+		}
+		_, cz, err := allocF32(x, randF32s(rng, sc.ns, 2, 6))
+		if err != nil {
+			return nil, err
+		}
+		_, cr, err := allocF32(x, randF32s(rng, sc.ns, 0.2, 0.9))
+		if err != nil {
+			return nil, err
+		}
+		imgAddr, img, err := allocF32(x, make([]float32, sc.w*sc.h))
+		if err != nil {
+			return nil, err
+		}
+		return (&RunSpec{
+			Outputs: []Region{f32Region(imgAddr, sc.w*sc.h)},
+			Label:   label("%dx%d ns=%d", sc.w, sc.h, sc.ns),
+		}).withArgs(cx, cy, cz, cr, exec.I32Arg(int64(sc.ns)), img,
+			exec.I32Arg(int64(sc.w)), exec.I32Arg(int64(sc.h))), nil
+	},
+}

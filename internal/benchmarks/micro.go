@@ -1,0 +1,133 @@
+package benchmarks
+
+import (
+	"math/rand"
+
+	"vulfi/internal/exec"
+)
+
+// The three §IV-E micro-benchmarks used for the detector study (Fig 12).
+
+const vectorCopySrc = `
+// vector copy: the paper's Figure 6 kernel.
+export void vcopy_ispc(uniform int a1[], uniform int a2[], uniform int n) {
+	foreach (i = 0 ... n) {
+		a2[i] = a1[i];
+	}
+	return;
+}
+`
+
+// VectorCopy is the vcopy_ispc micro-benchmark (Figure 6).
+var VectorCopy = &Benchmark{
+	Name:      "VectorCopy",
+	Suite:     "Micro",
+	Entry:     "vcopy_ispc",
+	Source:    vectorCopySrc,
+	InputDesc: "1D array length: [64, 256]",
+	Setup: func(x *exec.Instance, rng *rand.Rand, scale Scale) (*RunSpec, error) {
+		n := pick(rng, microSizes(scale))
+		in := randI32s(rng, n, -1000, 1000)
+		_, a1, err := allocI32(x, in)
+		if err != nil {
+			return nil, err
+		}
+		outAddr, a2, err := allocI32(x, make([]int32, n))
+		if err != nil {
+			return nil, err
+		}
+		return (&RunSpec{
+			Outputs: []Region{f32Region(outAddr, n)},
+			Label:   label("n=%d", n),
+		}).withArgs(a1, a2, exec.I32Arg(int64(n))), nil
+	},
+}
+
+const dotProductSrc = `
+// dot product micro-benchmark: per-lane accumulation + reduction.
+export void dotprod(uniform float a[], uniform float b[], uniform float out[],
+		uniform int n) {
+	varying float partial = 0.0;
+	foreach (i = 0 ... n) {
+		partial += a[i] * b[i];
+	}
+	uniform float total = reduce_add(partial);
+	out[0] = total;
+}
+`
+
+// DotProduct is the dot-product micro-benchmark.
+var DotProduct = &Benchmark{
+	Name:      "DotProduct",
+	Suite:     "Micro",
+	Entry:     "dotprod",
+	Source:    dotProductSrc,
+	InputDesc: "1D array length: [64, 256]",
+	Setup: func(x *exec.Instance, rng *rand.Rand, scale Scale) (*RunSpec, error) {
+		n := pick(rng, microSizes(scale))
+		_, a, err := allocF32(x, randF32s(rng, n, -2, 2))
+		if err != nil {
+			return nil, err
+		}
+		_, b, err := allocF32(x, randF32s(rng, n, -2, 2))
+		if err != nil {
+			return nil, err
+		}
+		outAddr, out, err := allocF32(x, make([]float32, 1))
+		if err != nil {
+			return nil, err
+		}
+		return (&RunSpec{
+			Outputs: []Region{f32Region(outAddr, 1)},
+			Label:   label("n=%d", n),
+		}).withArgs(a, b, out, exec.I32Arg(int64(n))), nil
+	},
+}
+
+const vectorSumSrc = `
+// vector sum micro-benchmark.
+export void vsum(uniform float a[], uniform float out[], uniform int n) {
+	varying float partial = 0.0;
+	foreach (i = 0 ... n) {
+		partial += a[i];
+	}
+	out[0] = reduce_add(partial);
+}
+`
+
+// VectorSum is the vector-sum micro-benchmark.
+var VectorSum = &Benchmark{
+	Name:      "VectorSum",
+	Suite:     "Micro",
+	Entry:     "vsum",
+	Source:    vectorSumSrc,
+	InputDesc: "1D array length: [64, 256]",
+	Setup: func(x *exec.Instance, rng *rand.Rand, scale Scale) (*RunSpec, error) {
+		n := pick(rng, microSizes(scale))
+		_, a, err := allocF32(x, randF32s(rng, n, -10, 10))
+		if err != nil {
+			return nil, err
+		}
+		outAddr, out, err := allocF32(x, make([]float32, 1))
+		if err != nil {
+			return nil, err
+		}
+		return (&RunSpec{
+			Outputs: []Region{f32Region(outAddr, 1)},
+			Label:   label("n=%d", n),
+		}).withArgs(a, out, exec.I32Arg(int64(n))), nil
+	},
+}
+
+func microSizes(scale Scale) []int {
+	switch scale {
+	case ScaleTest:
+		// Both sizes carry a gang remainder, so the masked partial body
+		// always executes at test scale.
+		return []int{13, 19}
+	case ScaleLarge:
+		return []int{256, 1024}
+	default:
+		return []int{64, 100, 256}
+	}
+}

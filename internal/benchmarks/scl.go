@@ -1,0 +1,250 @@
+package benchmarks
+
+import (
+	"math/rand"
+
+	"vulfi/internal/exec"
+)
+
+// The three benchmarks implementing SCL (Burkardt's scientific computing
+// library) kernels, per the paper our own vectorized implementations.
+
+const chebyshevSrc = `
+// Chebyshev series evaluation via the three-term recurrence
+// T_{k+1}(x) = 2 x T_k(x) - T_{k-1}(x).
+export void chebeval(uniform float coef[], uniform int degree,
+		uniform float xs[], uniform float out[], uniform int n) {
+	foreach (i = 0 ... n) {
+		varying float xv = xs[i];
+		varying float tprev = 1.0;
+		varying float tcur = xv;
+		varying float s = coef[0] + coef[1] * xv;
+		for (uniform int k = 2; k <= degree; k++) {
+			varying float tn = 2.0 * xv * tcur - tprev;
+			s += coef[k] * tn;
+			tprev = tcur;
+			tcur = tn;
+		}
+		out[i] = s;
+	}
+}
+`
+
+// Chebyshev is the SCL Chebyshev-evaluation benchmark.
+var Chebyshev = &Benchmark{
+	Name:      "Chebyshev",
+	Suite:     "SCL",
+	Entry:     "chebeval",
+	Source:    chebyshevSrc,
+	InputDesc: "degree: [8, 64] (paper: [1, 256])",
+	Setup: func(x *exec.Instance, rng *rand.Rand, scale Scale) (*RunSpec, error) {
+		var degrees []int
+		n := 40
+		switch scale {
+		case ScaleTest:
+			degrees = []int{6}
+			n = 13
+		case ScaleLarge:
+			degrees = []int{128, 256}
+			n = 256
+		default:
+			degrees = []int{8, 24, 64}
+		}
+		deg := pick(rng, degrees)
+		_, coef, err := allocF32(x, randF32s(rng, deg+1, -1, 1))
+		if err != nil {
+			return nil, err
+		}
+		_, xs, err := allocF32(x, randF32s(rng, n, -1, 1))
+		if err != nil {
+			return nil, err
+		}
+		outAddr, out, err := allocF32(x, make([]float32, n))
+		if err != nil {
+			return nil, err
+		}
+		return (&RunSpec{
+			Outputs: []Region{f32Region(outAddr, n)},
+			Label:   label("degree=%d n=%d", deg, n),
+		}).withArgs(coef, exec.I32Arg(int64(deg)), xs, out,
+			exec.I32Arg(int64(n))), nil
+	},
+}
+
+const jacobiSrc = `
+// Jacobi iteration for the 2D Poisson problem with double buffering.
+export void jacobi2d(uniform float u[], uniform float tmp[], uniform float f[],
+		uniform int w, uniform int h, uniform int iters) {
+	for (uniform int t = 0; t < iters; t++) {
+		for (uniform int y = 1; y < h - 1; y++) {
+			uniform int row = y * w;
+			foreach (i = 1 ... w - 1) {
+				tmp[row + i] = 0.25 * (u[row + i - 1] + u[row + i + 1]
+					+ u[row + i - w] + u[row + i + w] + f[row + i]);
+			}
+		}
+		for (uniform int y2 = 1; y2 < h - 1; y2++) {
+			uniform int row2 = y2 * w;
+			foreach (j = 1 ... w - 1) {
+				u[row2 + j] = tmp[row2 + j];
+			}
+		}
+	}
+}
+`
+
+// Jacobi is the SCL Jacobi iterative-solver benchmark.
+var Jacobi = &Benchmark{
+	Name:      "Jacobi",
+	Suite:     "SCL",
+	Entry:     "jacobi2d",
+	Source:    jacobiSrc,
+	InputDesc: "2D array dimension: 12x12 - 20x20 (paper: 32x32 - 192x192)",
+	Setup: func(x *exec.Instance, rng *rand.Rand, scale Scale) (*RunSpec, error) {
+		var dims []int
+		iters := 3
+		switch scale {
+		case ScaleTest:
+			dims = []int{10}
+			iters = 1
+		case ScaleLarge:
+			dims = []int{48, 96}
+		default:
+			dims = []int{12, 16, 20}
+		}
+		d := pick(rng, dims)
+		n := d * d
+		uAddr, u, err := allocF32(x, randF32s(rng, n, 0, 1))
+		if err != nil {
+			return nil, err
+		}
+		_, tmp, err := allocF32(x, make([]float32, n))
+		if err != nil {
+			return nil, err
+		}
+		_, f, err := allocF32(x, randF32s(rng, n, -0.5, 0.5))
+		if err != nil {
+			return nil, err
+		}
+		return (&RunSpec{
+			Outputs: []Region{f32Region(uAddr, n)},
+			Label:   label("%dx%d iters=%d", d, d, iters),
+		}).withArgs(u, tmp, f, exec.I32Arg(int64(d)), exec.I32Arg(int64(d)),
+			exec.I32Arg(int64(iters))), nil
+	},
+}
+
+const cgSrc = `
+// Conjugate gradient on the implicit 2D 5-point Laplacian: interior-only
+// matvec, dot products via per-lane accumulation + reduction.
+export void cgsolve(uniform float b[], uniform float xv[], uniform float r[],
+		uniform float p[], uniform float ap[], uniform int w, uniform int h,
+		uniform int iters) {
+	uniform int n = w * h;
+	foreach (i = 0 ... n) {
+		r[i] = b[i];
+		p[i] = b[i];
+		xv[i] = 0.0;
+		ap[i] = 0.0;
+	}
+	varying float acc0 = 0.0;
+	foreach (i2 = 0 ... n) {
+		acc0 += r[i2] * r[i2];
+	}
+	uniform float rsold = reduce_add(acc0);
+	for (uniform int it = 0; it < iters; it++) {
+		for (uniform int y = 1; y < h - 1; y++) {
+			uniform int row = y * w;
+			foreach (i3 = 1 ... w - 1) {
+				ap[row + i3] = 4.0 * p[row + i3] - p[row + i3 - 1]
+					- p[row + i3 + 1] - p[row + i3 - w] - p[row + i3 + w];
+			}
+		}
+		varying float acc1 = 0.0;
+		for (uniform int y2 = 1; y2 < h - 1; y2++) {
+			uniform int row2 = y2 * w;
+			foreach (i4 = 1 ... w - 1) {
+				acc1 += p[row2 + i4] * ap[row2 + i4];
+			}
+		}
+		uniform float pap = reduce_add(acc1);
+		uniform float alpha = rsold / (pap + 0.000001);
+		for (uniform int y3 = 1; y3 < h - 1; y3++) {
+			uniform int row3 = y3 * w;
+			foreach (i5 = 1 ... w - 1) {
+				xv[row3 + i5] += alpha * p[row3 + i5];
+				r[row3 + i5] -= alpha * ap[row3 + i5];
+			}
+		}
+		varying float acc2 = 0.0;
+		for (uniform int y4 = 1; y4 < h - 1; y4++) {
+			uniform int row4 = y4 * w;
+			foreach (i6 = 1 ... w - 1) {
+				acc2 += r[row4 + i6] * r[row4 + i6];
+			}
+		}
+		uniform float rsnew = reduce_add(acc2);
+		uniform float beta = rsnew / (rsold + 0.000001);
+		for (uniform int y5 = 1; y5 < h - 1; y5++) {
+			uniform int row5 = y5 * w;
+			foreach (i7 = 1 ... w - 1) {
+				p[row5 + i7] = r[row5 + i7] + beta * p[row5 + i7];
+			}
+		}
+		rsold = rsnew;
+	}
+}
+`
+
+// ConjugateGradient is the SCL conjugate-gradient benchmark.
+var ConjugateGradient = &Benchmark{
+	Name:      "ConjugateGradient",
+	Suite:     "SCL",
+	Entry:     "cgsolve",
+	Source:    cgSrc,
+	InputDesc: "2D array dimension: 10x10 - 16x16 (paper: 32x32 - 256x256)",
+	Setup: func(x *exec.Instance, rng *rand.Rand, scale Scale) (*RunSpec, error) {
+		var dims []int
+		iters := 6
+		switch scale {
+		case ScaleTest:
+			dims = []int{10}
+			iters = 2
+		case ScaleLarge:
+			dims = []int{32, 64}
+		default:
+			dims = []int{10, 12, 16}
+		}
+		d := pick(rng, dims)
+		n := d * d
+		_, b, err := allocF32(x, randF32s(rng, n, -1, 1))
+		if err != nil {
+			return nil, err
+		}
+		xAddr, xv, err := allocF32(x, make([]float32, n))
+		if err != nil {
+			return nil, err
+		}
+		_, r, err := allocF32(x, make([]float32, n))
+		if err != nil {
+			return nil, err
+		}
+		_, p, err := allocF32(x, make([]float32, n))
+		if err != nil {
+			return nil, err
+		}
+		_, ap, err := allocF32(x, make([]float32, n))
+		if err != nil {
+			return nil, err
+		}
+		// The solver's observable result is the solution to (reported)
+		// tolerance; tiny transient perturbations below it are absorbed.
+		out := f32Region(xAddr, n)
+		out.Quantize = 1e-3
+		return (&RunSpec{
+			Outputs: []Region{out},
+			Label:   label("%dx%d iters=%d", d, d, iters),
+		}).withArgs(b, xv, r, p, ap, exec.I32Arg(int64(d)), exec.I32Arg(int64(d)),
+			exec.I32Arg(int64(iters))), nil
+	},
+}

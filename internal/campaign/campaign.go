@@ -1,0 +1,261 @@
+// Package campaign implements the paper's fault-injection methodology
+// (§IV-B, §IV-D): paired golden/faulty executions under the single-bit-
+// flip fault model, SDC/Benign/Crash outcome classification, campaigns of
+// independent experiments, and statistically qualified studies (95%
+// confidence, ±3% margin of error) run on a worker pool.
+package campaign
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/codegen"
+	"vulfi/internal/core"
+	"vulfi/internal/detect"
+	"vulfi/internal/exec"
+	"vulfi/internal/interp"
+	"vulfi/internal/isa"
+	"vulfi/internal/passes"
+)
+
+// Outcome classifies one fault-injection experiment (§IV-B).
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeBenign: no difference between golden and faulty executions.
+	OutcomeBenign Outcome = iota
+	// OutcomeSDC: silent data corruption — outputs differ.
+	OutcomeSDC
+	// OutcomeCrash: the faulty run trapped (or hung past its budget).
+	OutcomeCrash
+)
+
+var outcomeNames = map[Outcome]string{
+	OutcomeBenign: "Benign", OutcomeSDC: "SDC", OutcomeCrash: "Crash",
+}
+
+// String returns the paper's outcome name.
+func (o Outcome) String() string { return outcomeNames[o] }
+
+// Config describes one study cell: a benchmark × ISA × site category.
+type Config struct {
+	Benchmark *benchmarks.Benchmark
+	ISA       *isa.ISA
+	Category  passes.Category
+	Scale     benchmarks.Scale
+	// Experiments per campaign (paper: 100).
+	Experiments int
+	// Campaigns to run (paper: 20).
+	Campaigns int
+	// Seed makes the whole study deterministic.
+	Seed int64
+	// Workers bounds experiment parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Detectors inserts the §III detectors before instrumentation.
+	Detectors bool
+	// DetectorEveryIteration moves the foreach check into the latch
+	// (ablation; default is the paper's exit-only placement).
+	DetectorEveryIteration bool
+	// BroadcastDetector additionally inserts the §III-B checker.
+	BroadcastDetector bool
+	// MaskLoopDetector additionally inserts the mask-monotonicity
+	// checker on varying-while loops (extension).
+	MaskLoopDetector bool
+	// WholeRegisterSites treats a vector L-value as a single fault site
+	// instead of Vl lane sites (ablation of the paper's per-lane model).
+	WholeRegisterSites bool
+	// MaskOblivious counts masked-off lanes as live fault sites
+	// (ablation of the paper's mask-aware accounting).
+	MaskOblivious bool
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s/%s/%s", c.Benchmark.Name, c.ISA.Name, c.Category)
+}
+
+// ExperimentResult is the outcome of one golden/faulty pair.
+type ExperimentResult struct {
+	Outcome  Outcome
+	Detected bool
+	// Hang marks budget-exceeded faulty runs (reported under Crash).
+	Hang bool
+	Trap *interp.Trap
+	// Record is the performed injection (zero if the target site was
+	// never reached dynamically).
+	Record core.InjectionRecord
+	// DynSites is N, the dynamic fault-site count of the golden run.
+	DynSites uint64
+	// GoldenDynInstrs is the golden run's dynamic instruction count.
+	GoldenDynInstrs uint64
+	InputLabel      string
+}
+
+// Prepared is a compiled, instrumented study cell ready to run
+// experiments. The module is immutable after preparation, so experiments
+// can run concurrently.
+type Prepared struct {
+	Cfg   Config
+	Res   *codegen.Result
+	Inst  *core.Instrumentation
+	Sites []*core.Site
+}
+
+// Prepare compiles the benchmark for the configured ISA, synthesizes
+// detectors when requested, and instruments the selected site category.
+func Prepare(cfg Config) (*Prepared, error) {
+	res, err := codegen.Compile(mustProgram(cfg.Benchmark), cfg.ISA,
+		cfg.Benchmark.Name)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", cfg.Benchmark.Name, err)
+	}
+	pm := &passes.Manager{Verify: true}
+	if cfg.Detectors {
+		pm.Add(&detect.ForeachInvariantPass{
+			EveryIteration: cfg.DetectorEveryIteration,
+		})
+		if cfg.BroadcastDetector {
+			pm.Add(&detect.UniformBroadcastPass{})
+		}
+		if cfg.MaskLoopDetector {
+			pm.Add(&detect.MaskMonotonicityPass{})
+		}
+	}
+	inst := &core.Instrumentation{}
+	ip := &core.InstrumentPass{Category: cfg.Category, Out: inst}
+	ip.WholeRegister = cfg.WholeRegisterSites
+	ip.MaskOblivious = cfg.MaskOblivious
+	pm.Add(ip)
+	if err := pm.Run(res.Module); err != nil {
+		return nil, err
+	}
+	return &Prepared{Cfg: cfg, Res: res, Inst: inst, Sites: inst.Sites}, nil
+}
+
+// mustProgram memoizes parsing+checking per benchmark source.
+func mustProgram(b *benchmarks.Benchmark) *langProgram {
+	return compileProgram(b)
+}
+
+// newInstance builds an interpreter instance with the ISA intrinsics, the
+// detector runtime and an injection plan attached.
+func (p *Prepared) newInstance(plan *core.Plan, budget uint64) (*exec.Instance, error) {
+	x, err := exec.NewInstance(p.Res, interp.Options{Budget: budget})
+	if err != nil {
+		return nil, err
+	}
+	core.AttachRuntime(x.It, plan)
+	detect.AttachRuntime(x.It)
+	return x, nil
+}
+
+// observe runs the entry function and extracts the comparable output:
+// the declared output regions plus the program output stream.
+func (p *Prepared) observe(x *exec.Instance, spec *benchmarks.RunSpec) ([]byte, *interp.Trap) {
+	if _, tr := x.CallExport(p.Cfg.Benchmark.Entry, spec.Args...); tr != nil {
+		return nil, tr
+	}
+	var buf bytes.Buffer
+	for _, rg := range spec.Outputs {
+		b, err := x.ReadRaw(rg.Addr, rg.Size)
+		if err != nil {
+			return nil, &interp.Trap{Kind: interp.TrapHalt, Msg: err.Error()}
+		}
+		if rg.Quantize > 0 {
+			b = quantizeF32(b, rg.Quantize)
+		}
+		buf.Write(b)
+	}
+	buf.Write(x.It.Output.Bytes())
+	return buf.Bytes(), nil
+}
+
+// quantizeF32 rounds each float32 cell of b to the given step, modeling
+// limited-precision program output. NaNs canonicalize to one pattern.
+func quantizeF32(b []byte, step float32) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	for i := 0; i+4 <= len(out); i += 4 {
+		v := math.Float32frombits(binary.LittleEndian.Uint32(out[i:]))
+		var q float32
+		switch {
+		case v != v: // NaN
+			q = float32(math.NaN())
+		default:
+			q = float32(math.Round(float64(v/step))) * step
+		}
+		binary.LittleEndian.PutUint32(out[i:], math.Float32bits(q))
+	}
+	return out
+}
+
+// RunExperiment performs one paired experiment (§IV-B execution
+// strategy): a golden counting run that records the output and the
+// dynamic fault-site count N, then a faulty run with one bit flipped at a
+// uniformly chosen dynamic site.
+func (p *Prepared) RunExperiment(seed int64) (*ExperimentResult, error) {
+	// Golden run.
+	goldenPlan := &core.Plan{Mode: core.CountOnly}
+	xg, err := p.newInstance(goldenPlan, 0)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := p.Cfg.Benchmark.Setup(xg, rand.New(rand.NewSource(seed)), p.Cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	goldenOut, tr := p.observe(xg, spec)
+	if tr != nil {
+		return nil, fmt.Errorf("golden run trapped (%s, input %s): %w",
+			p.Cfg, spec.Label, tr)
+	}
+	res := &ExperimentResult{
+		DynSites:        goldenPlan.DynSites,
+		GoldenDynInstrs: xg.It.DynInstrs,
+		InputLabel:      spec.Label,
+	}
+	if goldenPlan.DynSites == 0 {
+		// No dynamic site in this category was ever reached: nothing to
+		// corrupt; the experiment is vacuously benign.
+		res.Outcome = OutcomeBenign
+		return res, nil
+	}
+
+	// Fault selection: uniform over the N dynamic sites (§II-B), then a
+	// uniform bit position within the chosen site's width.
+	frng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+	faultPlan := &core.Plan{
+		Mode:      core.InjectOnce,
+		TargetDyn: 1 + uint64(frng.Int63n(int64(goldenPlan.DynSites))),
+		BitSeed:   uint64(frng.Int63()),
+	}
+
+	// Faulty run: same input (same setup seed), bounded by a hang budget.
+	budget := xg.It.DynInstrs*3 + 100_000
+	xf, err := p.newInstance(faultPlan, budget)
+	if err != nil {
+		return nil, err
+	}
+	spec2, err := p.Cfg.Benchmark.Setup(xf, rand.New(rand.NewSource(seed)), p.Cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	faultyOut, ftr := p.observe(xf, spec2)
+	res.Detected = len(xf.It.Detections) > 0
+	res.Record = faultPlan.Record
+	switch {
+	case ftr != nil:
+		res.Outcome = OutcomeCrash
+		res.Trap = ftr
+		res.Hang = ftr.Kind == interp.TrapBudget
+	case !bytes.Equal(goldenOut, faultyOut):
+		res.Outcome = OutcomeSDC
+	default:
+		res.Outcome = OutcomeBenign
+	}
+	return res, nil
+}

@@ -1,0 +1,119 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// studyJSON is the serialized form of a StudyResult.
+type studyJSON struct {
+	Benchmark   string  `json:"benchmark"`
+	ISA         string  `json:"isa"`
+	Category    string  `json:"category"`
+	Experiments int     `json:"experiments_per_campaign"`
+	Campaigns   int     `json:"campaigns"`
+	Seed        int64   `json:"seed"`
+	Detectors   bool    `json:"detectors"`
+	StaticSites int     `json:"static_sites"`
+	LaneSites   int     `json:"lane_sites"`
+	MeanDyn     float64 `json:"mean_golden_dyn_instrs"`
+
+	SDC         int `json:"sdc"`
+	Benign      int `json:"benign"`
+	Crash       int `json:"crash"`
+	Hang        int `json:"hang"`
+	Detected    int `json:"detected"`
+	SDCDetected int `json:"sdc_detected"`
+	NoSites     int `json:"no_sites"`
+
+	MeanSDC       float64   `json:"mean_sdc_rate"`
+	MarginOfError float64   `json:"margin_of_error_95"`
+	NearNormal    bool      `json:"near_normal"`
+	CampaignSDC   []float64 `json:"campaign_sdc_rates"`
+}
+
+func (sr *StudyResult) toJSON() studyJSON {
+	return studyJSON{
+		Benchmark:   sr.Cfg.Benchmark.Name,
+		ISA:         sr.Cfg.ISA.Name,
+		Category:    sr.Cfg.Category.String(),
+		Experiments: sr.Cfg.Experiments,
+		Campaigns:   sr.Cfg.Campaigns,
+		Seed:        sr.Cfg.Seed,
+		Detectors:   sr.Cfg.Detectors,
+		StaticSites: sr.StaticSites,
+		LaneSites:   sr.LaneSites,
+		MeanDyn:     sr.MeanGoldenDynInstrs,
+		SDC:         sr.Totals.SDC,
+		Benign:      sr.Totals.Benign,
+		Crash:       sr.Totals.Crash,
+		Hang:        sr.Totals.Hang,
+		Detected:    sr.Totals.Detected,
+		SDCDetected: sr.Totals.SDCDetected,
+		NoSites:     sr.Totals.NoSites,
+		MeanSDC:     sr.MeanSDC, MarginOfError: finiteOr(sr.MarginOfError, -1),
+		NearNormal: sr.NearNormal, CampaignSDC: sr.SDCRates,
+	}
+}
+
+// finiteOr replaces non-finite values (e.g. the +Inf margin of a
+// single-campaign study) with a sentinel JSON can carry.
+func finiteOr(v, sentinel float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return sentinel
+	}
+	return v
+}
+
+// WriteJSON serializes the study (one indented JSON object).
+func (sr *StudyResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sr.toJSON())
+}
+
+// CSVHeader is the column list WriteCSVRow emits, suitable for
+// aggregating many study cells into one table.
+var CSVHeader = []string{
+	"benchmark", "isa", "category", "campaigns", "experiments",
+	"static_sites", "lane_sites", "sdc", "benign", "crash", "hang",
+	"detected", "sdc_detected", "sdc_rate", "benign_rate", "crash_rate",
+	"sdc_detection_rate", "margin_of_error_95", "near_normal",
+	"mean_golden_dyn_instrs",
+}
+
+// WriteCSVHeader emits the header row.
+func WriteCSVHeader(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVRow appends this study as one CSV row.
+func (sr *StudyResult) WriteCSVRow(w io.Writer) error {
+	t := sr.Totals
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	row := []string{
+		sr.Cfg.Benchmark.Name, sr.Cfg.ISA.Name, sr.Cfg.Category.String(),
+		strconv.Itoa(sr.Cfg.Campaigns), strconv.Itoa(sr.Cfg.Experiments),
+		strconv.Itoa(sr.StaticSites), strconv.Itoa(sr.LaneSites),
+		strconv.Itoa(t.SDC), strconv.Itoa(t.Benign), strconv.Itoa(t.Crash),
+		strconv.Itoa(t.Hang), strconv.Itoa(t.Detected), strconv.Itoa(t.SDCDetected),
+		f(t.SDCRate()), f(t.BenignRate()), f(t.CrashRate()),
+		f(t.SDCDetectionRate()), f(finiteOr(sr.MarginOfError, -1)),
+		fmt.Sprint(sr.NearNormal), f(sr.MeanGoldenDynInstrs),
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(row); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,73 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/passes"
+)
+
+func runTinyStudy(t *testing.T) *StudyResult {
+	t.Helper()
+	sr, err := RunStudy(smallCfg(benchmarks.VectorCopy, passes.Control))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+func TestWriteJSON(t *testing.T) {
+	sr := runTinyStudy(t)
+	var buf bytes.Buffer
+	if err := sr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["benchmark"] != "VectorCopy" || decoded["isa"] != "AVX" {
+		t.Fatalf("identity fields wrong: %v", decoded)
+	}
+	if decoded["category"] != "control" {
+		t.Fatalf("category = %v", decoded["category"])
+	}
+	rates, ok := decoded["campaign_sdc_rates"].([]any)
+	if !ok || len(rates) != 2 {
+		t.Fatalf("campaign rates wrong: %v", decoded["campaign_sdc_rates"])
+	}
+	sdc := decoded["sdc"].(float64)
+	benign := decoded["benign"].(float64)
+	crash := decoded["crash"].(float64)
+	if int(sdc+benign+crash) != sr.Totals.Experiments {
+		t.Fatal("serialized outcomes do not partition")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	sr := runTinyStudy(t)
+	var buf bytes.Buffer
+	if err := WriteCSVHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.WriteCSVRow(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if len(recs[0]) != len(CSVHeader) || len(recs[1]) != len(CSVHeader) {
+		t.Fatal("column count mismatch")
+	}
+	if recs[1][0] != "VectorCopy" || recs[1][2] != "control" {
+		t.Fatalf("row identity wrong: %v", recs[1])
+	}
+}

@@ -1,0 +1,117 @@
+package campaign
+
+import (
+	"testing"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/isa"
+	"vulfi/internal/passes"
+)
+
+// The tests in this file turn the paper's qualitative §IV claims into
+// executable assertions at reduced experiment counts. They use fixed
+// seeds and generous margins so they are deterministic and robust, while
+// still failing if a code change inverts one of the reproduced shapes.
+
+func shapeStudy(t *testing.T, b *benchmarks.Benchmark, cat passes.Category,
+	detectors bool) *StudyResult {
+	t.Helper()
+	sr, err := RunStudy(Config{
+		Benchmark: b, ISA: isa.AVX, Category: cat,
+		Scale: benchmarks.ScaleDefault, Experiments: 60, Campaigns: 1,
+		Seed: 20160516, Detectors: detectors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// §IV-D: "the address fault site category results in the most number of
+// program crashes."
+func TestShapeAddressCrashesMost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign shape test")
+	}
+	b := benchmarks.Blackscholes
+	crash := map[passes.Category]float64{}
+	for _, cat := range passes.AllCategories {
+		crash[cat] = shapeStudy(t, b, cat, false).Totals.CrashRate()
+	}
+	if crash[passes.Address] <= crash[passes.PureData] ||
+		crash[passes.Address] <= crash[passes.Control] {
+		t.Fatalf("address faults should crash most: %v", crash)
+	}
+}
+
+// §IV-D: Swaptions is among the most resilient benchmarks; Stencil among
+// the most SDC-prone (pure-data category, where the site populations are
+// dominated by the kernels' data flow).
+func TestShapeSwaptionsMostResilient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign shape test")
+	}
+	sw := shapeStudy(t, benchmarks.Swaptions, passes.PureData, false)
+	st := shapeStudy(t, benchmarks.Stencil, passes.PureData, false)
+	if sw.Totals.SDCRate() >= st.Totals.SDCRate() {
+		t.Fatalf("swaptions (%.2f) should have lower pure-data SDC than stencil (%.2f)",
+			sw.Totals.SDCRate(), st.Totals.SDCRate())
+	}
+}
+
+// §IV-E: "no SDCs are detected when pure-data sites are targeted" —
+// across all three micro-benchmarks.
+func TestShapePureDataNeverDetected(t *testing.T) {
+	for _, b := range benchmarks.Micro() {
+		sr := shapeStudy(t, b, passes.PureData, true)
+		if sr.Totals.Detected != 0 {
+			t.Fatalf("%s: pure-data faults fired the detector %d times",
+				b.Name, sr.Totals.Detected)
+		}
+	}
+}
+
+// §IV-E: control faults lead to the highest SDC rates among the
+// detector-relevant categories, and a substantial share of control SDCs
+// is detected by the foreach invariants.
+func TestShapeControlDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign shape test")
+	}
+	b := benchmarks.VectorCopy
+	ctrl := shapeStudy(t, b, passes.Control, true)
+	addr := shapeStudy(t, b, passes.Address, true)
+	if ctrl.Totals.SDCRate() <= addr.Totals.SDCRate() {
+		t.Fatalf("control SDC (%.2f) should exceed address SDC (%.2f)",
+			ctrl.Totals.SDCRate(), addr.Totals.SDCRate())
+	}
+	if ctrl.Totals.SDCDetectionRate() < 0.15 {
+		t.Fatalf("control SDC detection rate too low: %.2f",
+			ctrl.Totals.SDCDetectionRate())
+	}
+}
+
+// §II: the mask-aware injector must see strictly fewer dynamic sites
+// than a mask-oblivious one when the partial body executes.
+func TestShapeMaskAwareness(t *testing.T) {
+	dyn := func(obl bool) uint64 {
+		p, err := Prepare(Config{
+			Benchmark: benchmarks.VectorCopy, ISA: isa.AVX,
+			Category: passes.PureData, Scale: benchmarks.ScaleTest,
+			Seed: 7, MaskOblivious: obl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := p.RunExperiment(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.DynSites
+	}
+	aware, oblivious := dyn(false), dyn(true)
+	if aware >= oblivious {
+		t.Fatalf("mask-aware N=%d should be below mask-oblivious N=%d",
+			aware, oblivious)
+	}
+}

@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func f32bytes(vs ...float32) []byte {
+	out := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+func f32sOf(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+func TestQuantizeF32(t *testing.T) {
+	in := f32bytes(0.12345, -0.9999, 1.00004, 0)
+	got := f32sOf(quantizeF32(in, 1e-3))
+	want := []float32{0.123, -1.0, 1.0, 0}
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-6 {
+			t.Errorf("quantized[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuantizeCanonicalizesNaN(t *testing.T) {
+	a := quantizeF32(f32bytes(float32(math.NaN())), 1e-3)
+	nanBits := math.Float32bits(float32(math.NaN())) | 1 // a different NaN payload
+	raw := make([]byte, 4)
+	binary.LittleEndian.PutUint32(raw, nanBits)
+	b := quantizeF32(raw, 1e-3)
+	if string(a) != string(b) {
+		t.Error("NaN payloads not canonicalized")
+	}
+}
+
+// Property: quantization is idempotent and values within step/2 of a grid
+// point map to that point.
+func TestQuantizeIdempotentProperty(t *testing.T) {
+	prop := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+		if math.Abs(float64(v)) > 1e6 {
+			return true // avoid float32 grid aliasing at huge magnitudes
+		}
+		once := quantizeF32(f32bytes(v), 1e-3)
+		twice := quantizeF32(once, 1e-3)
+		return string(once) == string(twice)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutcomeAccounting(t *testing.T) {
+	var c CampaignResult
+	c.add(&ExperimentResult{Outcome: OutcomeSDC, Detected: true, DynSites: 5})
+	c.add(&ExperimentResult{Outcome: OutcomeSDC, DynSites: 5})
+	c.add(&ExperimentResult{Outcome: OutcomeBenign, DynSites: 5})
+	c.add(&ExperimentResult{Outcome: OutcomeCrash, Hang: true, DynSites: 5})
+	c.add(&ExperimentResult{Outcome: OutcomeBenign, DynSites: 0})
+
+	if c.Experiments != 5 || c.SDC != 2 || c.Benign != 2 || c.Crash != 1 {
+		t.Fatalf("counts wrong: %+v", c)
+	}
+	if c.Hang != 1 || c.Detected != 1 || c.SDCDetected != 1 || c.NoSites != 1 {
+		t.Fatalf("aux counts wrong: %+v", c)
+	}
+	if c.SDCRate() != 0.4 || c.CrashRate() != 0.2 {
+		t.Fatalf("rates wrong: %v %v", c.SDCRate(), c.CrashRate())
+	}
+	if c.SDCDetectionRate() != 0.5 {
+		t.Fatalf("detection rate = %v", c.SDCDetectionRate())
+	}
+
+	var m CampaignResult
+	m.merge(c)
+	m.merge(c)
+	if m.Experiments != 10 || m.SDC != 4 {
+		t.Fatalf("merge wrong: %+v", m)
+	}
+}
+
+func TestOutcomeNames(t *testing.T) {
+	if OutcomeSDC.String() != "SDC" || OutcomeBenign.String() != "Benign" ||
+		OutcomeCrash.String() != "Crash" {
+		t.Error("outcome names wrong")
+	}
+}

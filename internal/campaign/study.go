@@ -1,0 +1,179 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vulfi/internal/stats"
+)
+
+// CampaignResult aggregates one campaign of experiments (paper: 100).
+type CampaignResult struct {
+	Experiments int
+	SDC         int
+	Benign      int
+	Crash       int
+	// Hang is the budget-exceeded subset of Crash.
+	Hang int
+	// Detected counts experiments where a synthesized detector fired.
+	Detected int
+	// SDCDetected counts SDC experiments flagged by a detector (the
+	// Figure 12 "SDC detection" numerator).
+	SDCDetected int
+	// NoSites counts vacuous experiments (no dynamic site in category).
+	NoSites int
+}
+
+func (c *CampaignResult) add(r *ExperimentResult) {
+	c.Experiments++
+	switch r.Outcome {
+	case OutcomeSDC:
+		c.SDC++
+		if r.Detected {
+			c.SDCDetected++
+		}
+	case OutcomeBenign:
+		c.Benign++
+	case OutcomeCrash:
+		c.Crash++
+		if r.Hang {
+			c.Hang++
+		}
+	}
+	if r.Detected {
+		c.Detected++
+	}
+	if r.DynSites == 0 {
+		c.NoSites++
+	}
+}
+
+func (c *CampaignResult) merge(o CampaignResult) {
+	c.Experiments += o.Experiments
+	c.SDC += o.SDC
+	c.Benign += o.Benign
+	c.Crash += o.Crash
+	c.Hang += o.Hang
+	c.Detected += o.Detected
+	c.SDCDetected += o.SDCDetected
+	c.NoSites += o.NoSites
+}
+
+func rate(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// SDCRate returns the campaign's SDC fraction.
+func (c *CampaignResult) SDCRate() float64 { return rate(c.SDC, c.Experiments) }
+
+// BenignRate returns the campaign's benign fraction.
+func (c *CampaignResult) BenignRate() float64 { return rate(c.Benign, c.Experiments) }
+
+// CrashRate returns the campaign's crash fraction.
+func (c *CampaignResult) CrashRate() float64 { return rate(c.Crash, c.Experiments) }
+
+// SDCDetectionRate returns the fraction of SDCs flagged by detectors.
+func (c *CampaignResult) SDCDetectionRate() float64 { return rate(c.SDCDetected, c.SDC) }
+
+// StudyResult is a fully qualified study: all campaigns of one cell plus
+// the paper's statistical summary.
+type StudyResult struct {
+	Cfg       Config
+	Campaigns []CampaignResult
+	Totals    CampaignResult
+
+	// SDCRates are the per-campaign SDC rates (the random sample whose
+	// distribution the paper qualifies).
+	SDCRates []float64
+	// MeanSDC and MarginOfError are the 95%-confidence summary.
+	MeanSDC       float64
+	MarginOfError float64
+	// NearNormal reports the paper's normality criterion on the sample.
+	NearNormal bool
+
+	// StaticSites / LaneSites describe the instrumented module.
+	StaticSites int
+	LaneSites   int
+	// MeanGoldenDynInstrs is the average golden-run dynamic instruction
+	// count (Table I's per-benchmark figure).
+	MeanGoldenDynInstrs float64
+}
+
+// RunStudy prepares the cell and runs Campaigns × Experiments paired
+// experiments on a worker pool, grouping results into campaigns.
+func RunStudy(cfg Config) (*StudyResult, error) {
+	if cfg.Experiments <= 0 {
+		cfg.Experiments = 100
+	}
+	if cfg.Campaigns <= 0 {
+		cfg.Campaigns = 20
+	}
+	p, err := Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunStudy()
+}
+
+// RunStudy runs the configured number of campaigns on a prepared cell.
+func (p *Prepared) RunStudy() (*StudyResult, error) {
+	cfg := p.Cfg
+	total := cfg.Campaigns * cfg.Experiments
+	results := make([]*ExperimentResult, total)
+	errs := make([]error, total)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				seed := cfg.Seed + int64(i)*0x9E3779B9 + 1
+				results[i], errs[i] = p.RunExperiment(seed)
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment %d: %w", i, err)
+		}
+	}
+
+	sr := &StudyResult{
+		Cfg:         cfg,
+		StaticSites: len(p.Inst.Sites),
+		LaneSites:   len(p.Inst.LaneSites),
+	}
+	var dynSum float64
+	for c := 0; c < cfg.Campaigns; c++ {
+		var cr CampaignResult
+		for e := 0; e < cfg.Experiments; e++ {
+			r := results[c*cfg.Experiments+e]
+			cr.add(r)
+			dynSum += float64(r.GoldenDynInstrs)
+		}
+		sr.Campaigns = append(sr.Campaigns, cr)
+		sr.Totals.merge(cr)
+		sr.SDCRates = append(sr.SDCRates, cr.SDCRate())
+	}
+	sr.MeanSDC = stats.Mean(sr.SDCRates)
+	sr.MarginOfError = stats.MarginOfError95(sr.SDCRates)
+	sr.NearNormal = stats.NearNormal(sr.SDCRates)
+	sr.MeanGoldenDynInstrs = dynSum / float64(total)
+	return sr, nil
+}

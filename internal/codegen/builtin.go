@@ -1,0 +1,210 @@
+package codegen
+
+import (
+	"vulfi/internal/ir"
+	"vulfi/internal/lang"
+)
+
+var math1Names = map[string]string{
+	"sqrt": "sqrt", "rsqrt": "rsqrt", "rcp": "rcp", "sin": "sin",
+	"cos": "cos", "tan": "tan", "exp": "exp", "log": "log",
+	"floor": "floor", "ceil": "ceil", "round": "round",
+}
+
+var math2Names = map[string]string{
+	"pow": "pow", "atan2": "atan2",
+}
+
+// builtinCall lowers the VSPC builtins. Math functions become llvm.*
+// intrinsic calls; min/max/abs/clamp become compare+select sequences
+// (giving the fault injector realistic data/control sites); reductions
+// become extractelement chains.
+func (cg *fnGen) builtinCall(x *lang.CallExpr) ir.Value {
+	resT := cg.mg.prog.Types[x]
+	conv := func(i int, to lang.VType) ir.Value {
+		return cg.convert(cg.expr(x.Args[i]), cg.mg.prog.Types[x.Args[i]], to, "")
+	}
+
+	if op, ok := math1Names[x.Name]; ok {
+		v := conv(0, resT)
+		fn := cg.mg.intr.MathUnary(op, cg.mg.irType(resT))
+		return cg.bu.Call(fn, x.Name, v)
+	}
+	if op, ok := math2Names[x.Name]; ok {
+		a := conv(0, resT)
+		b := conv(1, resT)
+		fn := cg.mg.intr.MathBinary(op, cg.mg.irType(resT))
+		return cg.bu.Call(fn, x.Name, a, b)
+	}
+
+	switch x.Name {
+	case "min", "max":
+		a := conv(0, resT)
+		b := conv(1, resT)
+		var cmp *ir.Instr
+		if resT.IsFloatBase() {
+			p := ir.FloatOLT
+			if x.Name == "max" {
+				p = ir.FloatOGT
+			}
+			cmp = cg.bu.FCmp(p, a, b, "")
+		} else {
+			p := ir.IntSLT
+			if x.Name == "max" {
+				p = ir.IntSGT
+			}
+			cmp = cg.bu.ICmp(p, a, b, "")
+		}
+		return cg.bu.Select(cmp, a, b, x.Name)
+	case "clamp":
+		v := conv(0, resT)
+		lo := conv(1, resT)
+		hi := conv(2, resT)
+		var cl, ch *ir.Instr
+		if resT.IsFloatBase() {
+			cl = cg.bu.FCmp(ir.FloatOLT, v, lo, "")
+			v2 := cg.bu.Select(cl, lo, v, "")
+			ch = cg.bu.FCmp(ir.FloatOGT, v2, hi, "")
+			return cg.bu.Select(ch, hi, v2, "clamp")
+		}
+		cl = cg.bu.ICmp(ir.IntSLT, v, lo, "")
+		v2 := cg.bu.Select(cl, lo, v, "")
+		ch = cg.bu.ICmp(ir.IntSGT, v2, hi, "")
+		return cg.bu.Select(ch, hi, v2, "clamp")
+	case "abs":
+		v := conv(0, resT)
+		if resT.IsFloatBase() {
+			fn := cg.mg.intr.MathUnary("fabs", cg.mg.irType(resT))
+			return cg.bu.Call(fn, "abs", v)
+		}
+		st := scalarType(resT.Base)
+		zero := ir.Value(ir.ConstInt(st, 0))
+		if !resT.Uniform {
+			zero = ir.ConstSplat(cg.mg.vl, zero.(*ir.Const))
+		}
+		neg := cg.bu.ICmp(ir.IntSLT, v, zero, "")
+		nv := cg.bu.Sub(zero, v, "")
+		return cg.bu.Select(neg, nv, v, "abs")
+	case "select":
+		condT := lang.VType{Base: lang.TBool, Uniform: resT.Uniform}
+		c := conv(0, condT)
+		a := conv(1, resT)
+		b := conv(2, resT)
+		return cg.bu.Select(c, a, b, "sel")
+	case "reduce_add", "reduce_min", "reduce_max":
+		return cg.reduce(x)
+	case "programIndex":
+		return cg.iota()
+	case "programCount":
+		return ir.ConstInt(ir.I32, int64(cg.mg.vl))
+	case "print":
+		v := cg.expr(x.Args[0])
+		at := cg.mg.prog.Types[x.Args[0]]
+		// Print bools as i32 0/1.
+		if at.Base == lang.TBool {
+			v = cg.convertBool(v, at)
+			at = lang.VType{Base: lang.TInt, Uniform: at.Uniform}
+		}
+		fn := cg.mg.outDecl(v.Type())
+		cg.bu.Call(fn, "", v)
+		return nil
+	}
+	panic("codegen: unhandled builtin " + x.Name)
+}
+
+// convertBool widens an i1 value to i32 for printing.
+func (cg *fnGen) convertBool(v ir.Value, t lang.VType) ir.Value {
+	to := ir.I32
+	var tt *ir.Type = to
+	if !t.Uniform {
+		tt = ir.Vec(to, cg.mg.vl)
+	}
+	return cg.bu.Cast(ir.OpZExt, v, tt, "")
+}
+
+// reduce lowers reduce_add/min/max over a varying value to an
+// extractelement chain.
+func (cg *fnGen) reduce(x *lang.CallExpr) ir.Value {
+	resT := cg.mg.prog.Types[x] // uniform base
+	argT := lang.VType{Base: resT.Base, Uniform: false}
+	v := cg.convert(cg.expr(x.Args[0]), cg.mg.prog.Types[x.Args[0]], argT, "")
+	isFloat := resT.IsFloatBase()
+
+	acc := ir.Value(cg.bu.ExtractElement(v, ir.ConstInt(ir.I32, 0), "red0"))
+	for i := 1; i < cg.mg.vl; i++ {
+		e := cg.bu.ExtractElement(v, ir.ConstInt(ir.I32, int64(i)), "")
+		switch x.Name {
+		case "reduce_add":
+			if isFloat {
+				acc = cg.bu.FAdd(acc, e, "")
+			} else {
+				acc = cg.bu.Add(acc, e, "")
+			}
+		case "reduce_min":
+			var c *ir.Instr
+			if isFloat {
+				c = cg.bu.FCmp(ir.FloatOLT, acc, e, "")
+			} else {
+				c = cg.bu.ICmp(ir.IntSLT, acc, e, "")
+			}
+			acc = cg.bu.Select(c, acc, e, "")
+		case "reduce_max":
+			var c *ir.Instr
+			if isFloat {
+				c = cg.bu.FCmp(ir.FloatOGT, acc, e, "")
+			} else {
+				c = cg.bu.ICmp(ir.IntSGT, acc, e, "")
+			}
+			acc = cg.bu.Select(c, acc, e, "")
+		}
+	}
+	return acc
+}
+
+// outDecl declares (once) the typed output runtime function for ty.
+func (mg *moduleGen) outDecl(ty *ir.Type) *ir.Func {
+	name := "vulfi.out." + typeSuffix(ty)
+	if f := mg.mod.Func(name); f != nil {
+		return f
+	}
+	f := ir.NewDecl(name, ir.Void, ty)
+	mg.mod.AddFunc(f)
+	return f
+}
+
+func typeSuffix(ty *ir.Type) string {
+	s := ty.Scalar()
+	var base string
+	switch s {
+	case ir.F32:
+		base = "f32"
+	case ir.F64:
+		base = "f64"
+	case ir.I32:
+		base = "i32"
+	case ir.I64:
+		base = "i64"
+	case ir.I1:
+		base = "i1"
+	default:
+		base = "x"
+	}
+	if ty.IsVector() {
+		return "v" + itoa(ty.Len) + base
+	}
+	return base
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,266 @@
+// Package codegen lowers checked VSPC programs to vector IR, reproducing
+// the structure of ISPC's code generator that the paper's detectors are
+// synthesized from:
+//
+//   - foreach loops lower to the Figure 7 CFG: an "allocas" entry block
+//     computing nextras = (end-start) % Vl and aligned_end = end - nextras,
+//     a foreach_full_body loop stepping new_counter by Vl with unmasked
+//     vector memory operations, and a partial_inner_only block handling
+//     the n % Vl remainder iterations under a lane mask via masked
+//     intrinsics (Figure 5);
+//   - uniform values broadcast to vector registers with the Figure 9
+//     insertelement + shufflevector pattern;
+//   - varying if/while lower to execution-mask predication (select +
+//     masked stores) and mask loops, as SPMD-on-SIMD compilers do.
+//
+// Every function takes a trailing <Vl x i1> execution-mask parameter;
+// export functions (application entry points) assume an all-on entry mask
+// and use unmasked vector operations where the mask is statically all-on.
+package codegen
+
+import (
+	"fmt"
+
+	"vulfi/internal/ir"
+	"vulfi/internal/isa"
+	"vulfi/internal/lang"
+	"vulfi/internal/passes"
+)
+
+// ForeachInfo records the IR artifacts of one lowered foreach loop. The
+// detect package rediscovers these structurally; tests cross-check
+// against this metadata.
+type ForeachInfo struct {
+	Func       *ir.Func
+	FullBody   *ir.Block
+	FullExit   *ir.Block // single-pred exit block of the full-body loop
+	NewCounter *ir.Instr
+	AlignedEnd ir.Value
+	VL         int
+}
+
+// Result is a compiled module plus its metadata.
+type Result struct {
+	Module   *ir.Module
+	ISA      *isa.ISA
+	VL       int
+	Exports  []string
+	Foreachs []*ForeachInfo
+}
+
+// MaskParamName is the name of the implicit trailing execution-mask
+// parameter added to every VSPC function.
+const MaskParamName = "__mask"
+
+// Compile lowers a checked program for the given ISA.
+func Compile(prog *lang.Program, target *isa.ISA, moduleName string) (*Result, error) {
+	mg := &moduleGen{
+		prog: prog,
+		isa:  target,
+		vl:   target.Lanes(ir.I32), // gang size: 32-bit lanes per register
+		mod:  ir.NewModule(moduleName),
+		fns:  map[string]*ir.Func{},
+	}
+	mg.intr = &isa.Intrinsics{ISA: target, Mod: mg.mod}
+	res := &Result{Module: mg.mod, ISA: target, VL: mg.vl}
+
+	// Declare all function signatures first (forward calls).
+	for _, fd := range prog.File.Funcs {
+		fi := prog.Funcs[fd.Name]
+		f := mg.declareFunc(fi)
+		mg.mod.AddFunc(f)
+		mg.fns[fd.Name] = f
+		if fd.Export {
+			res.Exports = append(res.Exports, fd.Name)
+		}
+	}
+	for _, fd := range prog.File.Funcs {
+		fi := prog.Funcs[fd.Name]
+		if err := mg.genFunc(fi); err != nil {
+			return nil, err
+		}
+	}
+	res.Foreachs = mg.foreachs
+	// Match the paper's post-O3 IR: fold constant arithmetic (so e.g.
+	// `span = sub %n, 0` becomes `%n` and the entry block computes the
+	// Figure 7 `%nextras = srem i32 %n, 8` verbatim), then remove dead
+	// values — a dead value would absorb injections benignly and bias
+	// every fault-injection rate.
+	fold := &passes.ConstFold{}
+	if err := fold.Run(mg.mod); err != nil {
+		return nil, err
+	}
+	dce := &passes.DeadCodeElim{}
+	if err := dce.Run(mg.mod); err != nil {
+		return nil, err
+	}
+	if err := mg.mod.Verify(); err != nil {
+		return nil, fmt.Errorf("codegen produced invalid IR: %w", err)
+	}
+	return res, nil
+}
+
+// CompileSource parses, checks and compiles src.
+func CompileSource(src string, target *isa.ISA, moduleName string) (*Result, error) {
+	prog, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog, target, moduleName)
+}
+
+type moduleGen struct {
+	prog     *lang.Program
+	isa      *isa.ISA
+	vl       int
+	mod      *ir.Module
+	intr     *isa.Intrinsics
+	fns      map[string]*ir.Func
+	foreachs []*ForeachInfo
+}
+
+// scalarType maps a VSPC base type to its scalar IR type.
+func scalarType(b lang.BaseType) *ir.Type {
+	switch b {
+	case lang.TBool:
+		return ir.I1
+	case lang.TInt:
+		return ir.I32
+	case lang.TInt64:
+		return ir.I64
+	case lang.TFloat:
+		return ir.F32
+	case lang.TDouble:
+		return ir.F64
+	case lang.TVoid:
+		return ir.Void
+	}
+	panic("codegen: unmapped base type")
+}
+
+// irType maps a VSPC type to its IR type at gang size vl.
+func (mg *moduleGen) irType(t lang.VType) *ir.Type {
+	if t.Array {
+		return ir.Ptr(scalarType(t.Base))
+	}
+	st := scalarType(t.Base)
+	if t.Uniform || st.IsVoid() {
+		return st
+	}
+	return ir.Vec(st, mg.vl)
+}
+
+// maskType is the execution-mask IR type (<Vl x i1>).
+func (mg *moduleGen) maskType() *ir.Type { return ir.Vec(ir.I1, mg.vl) }
+
+func (mg *moduleGen) declareFunc(fi *lang.FuncInfo) *ir.Func {
+	var ptys []*ir.Type
+	var pnames []string
+	for _, p := range fi.Params {
+		ptys = append(ptys, mg.irType(p.Type))
+		pnames = append(pnames, p.Name)
+	}
+	ptys = append(ptys, mg.maskType())
+	pnames = append(pnames, MaskParamName)
+	return ir.NewFunc(fi.Name, mg.irType(fi.Ret), ptys, pnames)
+}
+
+// genFunc generates the body of one function.
+func (mg *moduleGen) genFunc(fi *lang.FuncInfo) error {
+	f := mg.fns[fi.Name]
+	cg := &fnGen{
+		mg:  mg,
+		fi:  fi,
+		f:   f,
+		env: map[*lang.Symbol]ir.Value{},
+	}
+	// Entry block named after the paper's Figure 7.
+	entry := f.NewBlock("allocas")
+	cg.bu = ir.NewBuilder(entry)
+
+	for i, p := range fi.Params {
+		cg.env[p] = f.Params[i]
+	}
+	if fi.Decl.Export {
+		// Application entry: all-on mask, statically known.
+		cg.mask = ir.ConstSplat(mg.vl, ir.ConstBool(true))
+		cg.allOn = true
+	} else {
+		cg.mask = f.Params[len(f.Params)-1]
+		cg.allOn = false
+	}
+
+	cg.stmt(fi.Decl.Body)
+
+	// Default return on fallthrough.
+	if !cg.done {
+		rt := f.RetType()
+		if rt.IsVoid() {
+			cg.bu.Ret(nil)
+		} else {
+			cg.bu.Ret(ir.ConstZero(rt))
+		}
+	}
+	return nil
+}
+
+// fnGen is the per-function code generator state.
+type fnGen struct {
+	mg  *moduleGen
+	fi  *lang.FuncInfo
+	f   *ir.Func
+	bu  *ir.Builder
+	env map[*lang.Symbol]ir.Value
+
+	// mask is the current execution mask (<Vl x i1>); allOn records that
+	// it is statically all-true (export entry + no varying control).
+	mask  ir.Value
+	allOn bool
+
+	// done marks the current path as terminated (after return).
+	done bool
+
+	// foreach is the innermost foreach lowering context (nil outside).
+	foreach *foreachCtx
+
+	blockSeq map[string]int
+}
+
+type foreachCtx struct {
+	sym *lang.Symbol
+	// scalarBase is the scalar counter for the current body instance:
+	// the loop counter in the full body, aligned_end in the partial body.
+	scalarBase ir.Value
+}
+
+// newBlock creates a block named base; repeats of the same base get a
+// numeric suffix, so the first foreach in a function carries exactly the
+// paper's Figure 7 block names.
+func (cg *fnGen) newBlock(base string) *ir.Block {
+	if cg.blockSeq == nil {
+		cg.blockSeq = map[string]int{}
+	}
+	cg.blockSeq[base]++
+	if n := cg.blockSeq[base]; n > 1 {
+		return cg.f.NewBlock(fmt.Sprintf("%s.%d", base, n))
+	}
+	return cg.f.NewBlock(base)
+}
+
+// iota returns the constant <0, 1, ..., Vl-1>.
+func (cg *fnGen) iota() *ir.Const {
+	lanes := make([]uint64, cg.mg.vl)
+	for i := range lanes {
+		lanes[i] = uint64(i)
+	}
+	return ir.ConstVec(ir.Vec(ir.I32, cg.mg.vl), lanes)
+}
+
+// snapshotEnv copies the current symbol environment.
+func (cg *fnGen) snapshotEnv() map[*lang.Symbol]ir.Value {
+	out := make(map[*lang.Symbol]ir.Value, len(cg.env))
+	for k, v := range cg.env {
+		out[k] = v
+	}
+	return out
+}

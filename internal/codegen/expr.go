@@ -1,0 +1,197 @@
+package codegen
+
+import (
+	"fmt"
+
+	"vulfi/internal/ir"
+	"vulfi/internal/lang"
+)
+
+// expr lowers an expression; the result has the checked type of e
+// (scalar IR type for uniform, <Vl x T> for varying).
+func (cg *fnGen) expr(e lang.Expr) ir.Value {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return ir.ConstInt(ir.I32, x.V)
+	case *lang.FloatLit:
+		return ir.ConstFloat(ir.F32, x.V)
+	case *lang.BoolLit:
+		return ir.ConstBool(x.V)
+	case *lang.Ident:
+		sym := cg.mg.prog.Refs[x]
+		v, ok := cg.env[sym]
+		if !ok {
+			panic(fmt.Sprintf("codegen: no value for symbol %q", sym.Name))
+		}
+		return v
+	case *lang.IndexExpr:
+		return cg.loadIndex(x)
+	case *lang.UnExpr:
+		return cg.unExpr(x)
+	case *lang.BinExpr:
+		return cg.binExpr(x)
+	case *lang.CastExpr:
+		v := cg.expr(x.X)
+		return cg.convert(v, cg.mg.prog.Types[x.X], cg.mg.prog.Types[x], "")
+	case *lang.CallExpr:
+		return cg.callExpr(x)
+	}
+	panic(fmt.Sprintf("codegen: unhandled expression %T", e))
+}
+
+func (cg *fnGen) unExpr(x *lang.UnExpr) ir.Value {
+	t := cg.mg.prog.Types[x]
+	v := cg.expr(x.X)
+	switch x.Op {
+	case lang.Minus:
+		if t.IsFloatBase() {
+			zero := ir.ConstFloat(scalarType(t.Base), 0)
+			var z ir.Value = zero
+			if !t.Uniform {
+				z = ir.ConstSplat(cg.mg.vl, zero)
+			}
+			return cg.bu.FSub(z, v, "neg")
+		}
+		zero := ir.ConstInt(scalarType(t.Base), 0)
+		var z ir.Value = zero
+		if !t.Uniform {
+			z = ir.ConstSplat(cg.mg.vl, zero)
+		}
+		return cg.bu.Sub(z, v, "neg")
+	case lang.Not:
+		tru := ir.ConstBool(true)
+		var one ir.Value = tru
+		if !t.Uniform {
+			one = ir.ConstSplat(cg.mg.vl, tru)
+		}
+		return cg.bu.Xor(v, one, "not")
+	}
+	panic("codegen: unhandled unary op")
+}
+
+func (cg *fnGen) binExpr(x *lang.BinExpr) ir.Value {
+	lt := cg.mg.prog.Types[x.X]
+	rt := cg.mg.prog.Types[x.Y]
+	resT := cg.mg.prog.Types[x]
+
+	// Operand promotion type: the result type for arithmetic, the common
+	// numeric type (with joined uniformity) for comparisons.
+	opT := resT
+	if resT.Base == lang.TBool && lt.Base != lang.TBool {
+		opT = lang.VType{Base: commonBase(lt.Base, rt.Base),
+			Uniform: lt.Uniform && rt.Uniform}
+	}
+
+	l := cg.convert(cg.expr(x.X), lt, opT, "")
+	r := cg.convert(cg.expr(x.Y), rt, opT, "")
+
+	isFloat := opT.IsFloatBase()
+	switch x.Op {
+	case lang.Plus:
+		if isFloat {
+			return cg.bu.FAdd(l, r, "")
+		}
+		return cg.bu.Add(l, r, "")
+	case lang.Minus:
+		if isFloat {
+			return cg.bu.FSub(l, r, "")
+		}
+		return cg.bu.Sub(l, r, "")
+	case lang.Star:
+		if isFloat {
+			return cg.bu.FMul(l, r, "")
+		}
+		return cg.bu.Mul(l, r, "")
+	case lang.Slash:
+		if isFloat {
+			return cg.bu.FDiv(l, r, "")
+		}
+		return cg.bu.SDiv(l, r, "")
+	case lang.Percent:
+		return cg.bu.SRem(l, r, "")
+	case lang.Amp:
+		return cg.bu.And(l, r, "")
+	case lang.Pipe:
+		return cg.bu.Or(l, r, "")
+	case lang.Caret:
+		return cg.bu.Xor(l, r, "")
+	case lang.Shl:
+		return cg.bu.Shl(l, r, "")
+	case lang.Shr:
+		return cg.bu.AShr(l, r, "")
+	case lang.AndAnd:
+		return cg.bu.And(l, r, "")
+	case lang.OrOr:
+		return cg.bu.Or(l, r, "")
+	case lang.EqEq, lang.NotEq, lang.Lt, lang.Le, lang.Gt, lang.Ge:
+		if isFloat {
+			return cg.bu.FCmp(floatPred(x.Op), l, r, "")
+		}
+		return cg.bu.ICmp(intPred(x.Op), l, r, "")
+	}
+	panic("codegen: unhandled binary op " + x.Op.String())
+}
+
+func commonBase(a, b lang.BaseType) lang.BaseType {
+	order := map[lang.BaseType]int{
+		lang.TBool: 0, lang.TInt: 1, lang.TInt64: 2,
+		lang.TFloat: 3, lang.TDouble: 4,
+	}
+	if order[a] >= order[b] {
+		return a
+	}
+	return b
+}
+
+func intPred(op lang.Kind) ir.Pred {
+	switch op {
+	case lang.EqEq:
+		return ir.IntEQ
+	case lang.NotEq:
+		return ir.IntNE
+	case lang.Lt:
+		return ir.IntSLT
+	case lang.Le:
+		return ir.IntSLE
+	case lang.Gt:
+		return ir.IntSGT
+	case lang.Ge:
+		return ir.IntSGE
+	}
+	panic("codegen: not a comparison")
+}
+
+func floatPred(op lang.Kind) ir.Pred {
+	switch op {
+	case lang.EqEq:
+		return ir.FloatOEQ
+	case lang.NotEq:
+		return ir.FloatUNE
+	case lang.Lt:
+		return ir.FloatOLT
+	case lang.Le:
+		return ir.FloatOLE
+	case lang.Gt:
+		return ir.FloatOGT
+	case lang.Ge:
+		return ir.FloatOGE
+	}
+	panic("codegen: not a comparison")
+}
+
+// callExpr lowers builtin and user-function calls. User calls pass the
+// current execution mask as the implicit trailing argument.
+func (cg *fnGen) callExpr(x *lang.CallExpr) ir.Value {
+	if lang.IsBuiltin(x.Name) {
+		return cg.builtinCall(x)
+	}
+	fi := cg.mg.prog.Funcs[x.Name]
+	callee := cg.mg.fns[x.Name]
+	args := make([]ir.Value, 0, len(x.Args)+1)
+	for i, a := range x.Args {
+		av := cg.expr(a)
+		args = append(args, cg.convert(av, cg.mg.prog.Types[a], fi.Params[i].Type, ""))
+	}
+	args = append(args, cg.mask)
+	return cg.bu.Call(callee, x.Name+"_ret", args...)
+}

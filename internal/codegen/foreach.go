@@ -1,0 +1,126 @@
+package codegen
+
+import (
+	"vulfi/internal/ir"
+	"vulfi/internal/lang"
+)
+
+// foreachStmt lowers foreach (v = start ... end) body to the paper's
+// Figure 7 CFG. The first {n - (n % Vl)} iterations run in
+// foreach_full_body with all Vl lanes on (unmasked vector operations);
+// the remaining n % Vl iterations run once in partial_inner_only under a
+// lane mask. nextras and aligned_end are named after the paper so the
+// detector-synthesis pass (and readers) can key off them.
+func (cg *fnGen) foreachStmt(st *lang.ForeachStmt) {
+	indSym := cg.mg.prog.ForeachSyms[st]
+	vl := cg.mg.vl
+	vlC := ir.ConstInt(ir.I32, int64(vl))
+
+	start := cg.convert(cg.expr(st.Start), cg.mg.prog.Types[st.Start],
+		lang.VType{Base: lang.TInt, Uniform: true}, "start")
+	end := cg.convert(cg.expr(st.End), cg.mg.prog.Types[st.End],
+		lang.VType{Base: lang.TInt, Uniform: true}, "end")
+
+	span := cg.bu.Sub(end, start, "span")
+	nextras := cg.bu.SRem(span, vlC, "nextras")
+	alignedEnd := cg.bu.Sub(end, nextras, "aligned_end")
+
+	syms := cg.assignedSymbols(st.Body)
+
+	preB := cg.bu.Block()
+	lrph := cg.newBlock("foreach_full_body.lr.ph")
+	fullB := cg.newBlock("foreach_full_body")
+	fullExit := cg.newBlock("foreach_full_body.exit")
+	partialOuter := cg.newBlock("partial_inner_all_outer")
+	partialInner := cg.newBlock("partial_inner_only")
+	reset := cg.newBlock("foreach_reset")
+
+	fullCond := cg.bu.ICmp(ir.IntSLT, start, alignedEnd, "full.cond")
+	cg.bu.CondBr(fullCond, lrph, partialOuter)
+	preEnv := cg.snapshotEnv()
+
+	cg.bu.SetBlock(lrph)
+	cg.bu.Br(fullB)
+
+	// Full body: all lanes on.
+	cg.bu.SetBlock(fullB)
+	counter := cg.bu.Phi(ir.I32, "counter")
+	ir.AddIncoming(counter, start, lrph)
+	fullPhis := make([]*ir.Instr, len(syms))
+	for i, sym := range syms {
+		phi := cg.bu.Phi(cg.env[sym].Type(), sym.Name+".fe")
+		ir.AddIncoming(phi, preEnv[sym], lrph)
+		cg.env[sym] = phi
+		fullPhis[i] = phi
+	}
+	counterVec := cg.bu.Broadcast(counter, vl, "counter")
+	indFull := cg.bu.Add(counterVec, cg.iota(), st.Var)
+	cg.env[indSym] = indFull
+
+	oldMask, oldAllOn, oldForeach := cg.mask, cg.allOn, cg.foreach
+	cg.mask = ir.ConstSplat(vl, ir.ConstBool(true))
+	cg.allOn = true
+	cg.foreach = &foreachCtx{sym: indSym, scalarBase: counter}
+	cg.stmt(st.Body)
+
+	newCounter := cg.bu.Add(counter, vlC, "new_counter")
+	exitCond := cg.bu.ICmp(ir.IntSLT, newCounter, alignedEnd, "exitcond")
+	latch := cg.bu.Block()
+	cg.bu.CondBr(exitCond, fullB, fullExit)
+	ir.AddIncoming(counter, newCounter, latch)
+	fullEndEnv := cg.snapshotEnv()
+	for i, sym := range syms {
+		ir.AddIncoming(fullPhis[i], fullEndEnv[sym], latch)
+	}
+
+	// Loop exit: the spot where the §III-A invariant detector block goes.
+	cg.bu.SetBlock(fullExit)
+	cg.bu.Br(partialOuter)
+
+	cg.mg.foreachs = append(cg.mg.foreachs, &ForeachInfo{
+		Func: cg.f, FullBody: fullB, FullExit: fullExit,
+		NewCounter: newCounter, AlignedEnd: alignedEnd, VL: vl,
+	})
+
+	// Merge point before the partial iterations.
+	cg.bu.SetBlock(partialOuter)
+	for _, sym := range syms {
+		// Loop-carried phi values must come from the *loop header* phi
+		// (the value after the final iteration), not the latch-recomputed
+		// value: at the exit edge the latch value was computed but the
+		// escaping value is the one the body finished with.
+		phi := cg.bu.Phi(cg.env[sym].Type(), sym.Name+".po")
+		ir.AddIncoming(phi, preEnv[sym], preB)
+		ir.AddIncoming(phi, fullEndEnv[sym], fullExit)
+		cg.env[sym] = phi
+	}
+	hasExtras := cg.bu.ICmp(ir.IntNE, nextras, ir.ConstInt(ir.I32, 0), "has_extras")
+	cg.bu.CondBr(hasExtras, partialInner, reset)
+	outerEnv := cg.snapshotEnv()
+
+	// Partial body: lanes [aligned_end, end) on.
+	cg.bu.SetBlock(partialInner)
+	aeVec := cg.bu.Broadcast(alignedEnd, vl, "aligned_end")
+	indPartial := cg.bu.Add(aeVec, cg.iota(), st.Var+".partial")
+	endVec := cg.bu.Broadcast(end, vl, "end")
+	partialMask := cg.bu.ICmp(ir.IntSLT, indPartial, endVec, "partialmask")
+	cg.env[indSym] = indPartial
+	cg.mask = partialMask
+	cg.allOn = false
+	cg.foreach = &foreachCtx{sym: indSym, scalarBase: alignedEnd}
+	cg.stmt(st.Body)
+	partialEnd := cg.bu.Block()
+	cg.bu.Br(reset)
+	partialEnv := cg.snapshotEnv()
+
+	// Reset: rejoin uniform control flow.
+	cg.bu.SetBlock(reset)
+	for _, sym := range syms {
+		phi := cg.bu.Phi(outerEnv[sym].Type(), sym.Name+".reset")
+		ir.AddIncoming(phi, outerEnv[sym], partialOuter)
+		ir.AddIncoming(phi, partialEnv[sym], partialEnd)
+		cg.env[sym] = phi
+	}
+	delete(cg.env, indSym)
+	cg.mask, cg.allOn, cg.foreach = oldMask, oldAllOn, oldForeach
+}

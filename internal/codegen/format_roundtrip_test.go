@@ -1,0 +1,37 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/codegen"
+	"vulfi/internal/isa"
+	"vulfi/internal/lang"
+)
+
+// TestFormatRoundtripCompilesIdentically is the strongest formatter
+// property: formatting a benchmark source and compiling the result must
+// produce bit-identical IR (same structure, same value names), for every
+// benchmark in the suite.
+func TestFormatRoundtripCompilesIdentically(t *testing.T) {
+	for _, b := range benchmarks.All() {
+		t.Run(b.Name, func(t *testing.T) {
+			orig, err := codegen.CompileSource(b.Source, isa.AVX, b.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := lang.Parse(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			formatted := lang.Format(parsed)
+			re, err := codegen.CompileSource(formatted, isa.AVX, b.Name)
+			if err != nil {
+				t.Fatalf("formatted source does not compile: %v\n%s", err, formatted)
+			}
+			if orig.Module.String() != re.Module.String() {
+				t.Errorf("formatted source compiles differently for %s", b.Name)
+			}
+		})
+	}
+}

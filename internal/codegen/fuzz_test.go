@@ -1,0 +1,188 @@
+package codegen_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vulfi/internal/codegen"
+	"vulfi/internal/exec"
+	"vulfi/internal/interp"
+	"vulfi/internal/isa"
+)
+
+// Differential testing of the whole compile+execute pipeline: random
+// expression kernels are generated together with a float32 Go reference
+// evaluator; results must match bit-for-bit (the chosen operator set is
+// exactly rounded in float32, so there is no tolerance).
+
+type genExpr struct {
+	src  string
+	eval func(v, u float32, i int32) float32
+}
+
+func genExprTree(r *rand.Rand, depth int) genExpr {
+	leaf := func() genExpr {
+		switch r.Intn(4) {
+		case 0:
+			c := float32(r.Intn(17)-8) / 2 // exact halves
+			return genExpr{fmt.Sprintf("%g", c),
+				func(v, u float32, i int32) float32 { return c }}
+		case 1:
+			return genExpr{"v", func(v, u float32, i int32) float32 { return v }}
+		case 2:
+			return genExpr{"u", func(v, u float32, i int32) float32 { return u }}
+		default:
+			return genExpr{"(float)i",
+				func(v, u float32, i int32) float32 { return float32(i) }}
+		}
+	}
+	if depth <= 0 {
+		return leaf()
+	}
+	a := genExprTree(r, depth-1)
+	b := genExprTree(r, depth-1)
+	switch r.Intn(7) {
+	case 0:
+		return genExpr{"(" + a.src + " + " + b.src + ")",
+			func(v, u float32, i int32) float32 { return a.eval(v, u, i) + b.eval(v, u, i) }}
+	case 1:
+		return genExpr{"(" + a.src + " - " + b.src + ")",
+			func(v, u float32, i int32) float32 { return a.eval(v, u, i) - b.eval(v, u, i) }}
+	case 2:
+		return genExpr{"(" + a.src + " * " + b.src + ")",
+			func(v, u float32, i int32) float32 { return a.eval(v, u, i) * b.eval(v, u, i) }}
+	case 3:
+		return genExpr{"min(" + a.src + ", " + b.src + ")",
+			func(v, u float32, i int32) float32 {
+				x, y := a.eval(v, u, i), b.eval(v, u, i)
+				if x < y { // matches fcmp olt + select
+					return x
+				}
+				return y
+			}}
+	case 4:
+		return genExpr{"max(" + a.src + ", " + b.src + ")",
+			func(v, u float32, i int32) float32 {
+				x, y := a.eval(v, u, i), b.eval(v, u, i)
+				if x > y {
+					return x
+				}
+				return y
+			}}
+	case 5:
+		return genExpr{"abs(" + a.src + ")",
+			func(v, u float32, i int32) float32 {
+				x := a.eval(v, u, i)
+				if x < 0 {
+					return -x
+				}
+				return x
+			}}
+	default:
+		c := genExprTree(r, depth-1)
+		return genExpr{"select(" + a.src + " > " + b.src + ", " + c.src + ", v)",
+			func(v, u float32, i int32) float32 {
+				if a.eval(v, u, i) > b.eval(v, u, i) {
+					return c.eval(v, u, i)
+				}
+				return v
+			}}
+	}
+}
+
+func TestDifferentialRandomKernels(t *testing.T) {
+	r := rand.New(rand.NewSource(20160516))
+	for trial := 0; trial < 60; trial++ {
+		e := genExprTree(r, 2+r.Intn(3))
+		src := fmt.Sprintf(`
+export void k(uniform float a[], uniform int n, uniform float u) {
+	foreach (i = 0 ... n) {
+		varying float v = a[i];
+		a[i] = %s;
+	}
+}
+`, e.src)
+		target := isa.All[trial%2]
+		res, err := codegen.CompileSource(src, target, "fuzz")
+		if err != nil {
+			t.Fatalf("trial %d: compile %q: %v", trial, e.src, err)
+		}
+		x, err := exec.NewInstance(res, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 13
+		in := make([]float32, n)
+		for i := range in {
+			in[i] = float32(r.Intn(41)-20) / 4
+		}
+		u := float32(r.Intn(21)-10) / 2
+		a, _ := x.AllocF32(in)
+		if _, tr := x.CallExport("k", exec.PtrArgF32(a), exec.I32Arg(int64(n)),
+			exec.F32Arg(float64(u))); tr != nil {
+			t.Fatalf("trial %d (%s): run %q: %v", trial, target, e.src, tr)
+		}
+		got, _ := x.ReadF32(a, n)
+		for i := 0; i < n; i++ {
+			want := e.eval(in[i], u, int32(i))
+			if got[i] != want {
+				t.Fatalf("trial %d (%s): expr %q: a[%d]=%v want %v (v=%v u=%v)",
+					trial, target, e.src, i, got[i], want, in[i], u)
+			}
+		}
+	}
+}
+
+// TestDifferentialIntKernels does the same for exact int32 arithmetic
+// with varying ifs (predication paths).
+func TestDifferentialIntKernels(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		// Random coefficients for a branchy integer kernel.
+		c1 := int32(r.Intn(9) - 4)
+		c2 := int32(r.Intn(9) - 4)
+		c3 := int32(r.Intn(100) - 50)
+		src := fmt.Sprintf(`
+export void k(uniform int a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		varying int v = a[i];
+		if (v > %d) {
+			v = v * %d + i;
+		} else {
+			v = v - %d * i;
+		}
+		a[i] = v;
+	}
+}
+`, c3, c1, c2)
+		res, err := codegen.CompileSource(src, isa.AVX, "fuzzint")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x, _ := exec.NewInstance(res, interp.Options{})
+		n := 21
+		in := make([]int32, n)
+		for i := range in {
+			in[i] = int32(r.Intn(301) - 150)
+		}
+		a, _ := x.AllocI32(in)
+		if _, tr := x.CallExport("k", exec.PtrArgI32(a), exec.I32Arg(int64(n))); tr != nil {
+			t.Fatalf("trial %d: %v", trial, tr)
+		}
+		got, _ := x.ReadI32(a, n)
+		for i := 0; i < n; i++ {
+			v := in[i]
+			var want int32
+			if v > c3 {
+				want = v*c1 + int32(i)
+			} else {
+				want = v - c2*int32(i)
+			}
+			if got[i] != want {
+				t.Fatalf("trial %d: a[%d]=%d want %d (v=%d c1=%d c2=%d c3=%d)",
+					trial, i, got[i], want, v, c1, c2, c3)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package codegen_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vulfi/internal/codegen"
+	"vulfi/internal/detect"
+	"vulfi/internal/isa"
+	"vulfi/internal/passes"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden IR files")
+
+// TestGoldenVCopyIR pins the complete lowered IR of the paper's Figure 6
+// kernel (with the Figure 7 detector block inserted) against a golden
+// file. Any unintended change to the foreach lowering — block structure,
+// value naming, masked intrinsic selection — shows up as a readable diff.
+func TestGoldenVCopyIR(t *testing.T) {
+	for _, target := range isa.All {
+		t.Run(target.Name, func(t *testing.T) {
+			res, err := codegen.CompileSource(vcopySrc, target, "vcopy")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := &detect.ForeachInvariantPass{}
+			pm := &passes.Manager{Verify: true}
+			pm.Add(p)
+			if err := pm.Run(res.Module); err != nil {
+				t.Fatal(err)
+			}
+			got := res.Module.String()
+			path := filepath.Join("testdata", "vcopy_"+target.Name+".ll")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("lowered IR drifted from golden file %s.\n--- got\n%s",
+					path, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package codegen_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vulfi/internal/codegen"
+	"vulfi/internal/core"
+	"vulfi/internal/isa"
+)
+
+// TestExampleKernelsCompile keeps the shipped .vspc sample kernels
+// building (and instrumentable) on every ISA.
+func TestExampleKernelsCompile(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "kernels")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("kernels directory: %v", err)
+	}
+	var found int
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".vspc" {
+			continue
+		}
+		found++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range isa.Extended {
+			t.Run(e.Name()+"/"+target.Name, func(t *testing.T) {
+				res, err := codegen.CompileSource(string(src), target, e.Name())
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				sites := core.EnumerateSites(res.Module, nil)
+				if len(sites) == 0 {
+					t.Fatal("no fault sites")
+				}
+				if _, err := core.Instrument(res.Module, sites); err != nil {
+					t.Fatalf("instrument: %v", err)
+				}
+				if err := res.Module.Verify(); err != nil {
+					t.Fatalf("invalid after instrumentation: %v", err)
+				}
+			})
+		}
+	}
+	if found < 3 {
+		t.Fatalf("expected at least 3 sample kernels, found %d", found)
+	}
+}

@@ -1,0 +1,457 @@
+package codegen_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vulfi/internal/exec"
+	"vulfi/internal/interp"
+	"vulfi/internal/isa"
+)
+
+type interp32 = interp.Value
+
+// runF32Kernel compiles src, fills one input array, runs entry and
+// returns the transformed array.
+func runF32Kernel(t *testing.T, src, entry string, in []float32,
+	extra ...interp32) []float32 {
+	t.Helper()
+	res := compileT(t, src, isa.AVX)
+	x := instT(t, res)
+	a, err := x.AllocF32(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []interp32{exec.PtrArgF32(a), exec.I32Arg(int64(len(in)))}
+	args = append(args, extra...)
+	if _, tr := x.CallExport(entry, args...); tr != nil {
+		t.Fatalf("run: %v", tr)
+	}
+	out, err := x.ReadF32(a, len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBuiltinsElementwise(t *testing.T) {
+	src := `
+export void mix(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		varying float v = a[i];
+		varying float lo = min(v, 0.5);
+		varying float hi = max(v, -0.5);
+		varying float cl = clamp(v, -1.0, 1.0);
+		varying float ab = abs(v);
+		varying float se = select(v > 0.0, 1.0, -1.0);
+		a[i] = lo + hi + cl + ab + se;
+	}
+}
+`
+	in := []float32{-2, -0.25, 0.25, 2, 0.75, -0.75, 3, -3, 0.1}
+	got := runF32Kernel(t, src, "mix", in)
+	for i, v := range in {
+		lo := float32(math.Min(float64(v), 0.5))
+		hi := float32(math.Max(float64(v), -0.5))
+		cl := float32(math.Max(-1, math.Min(1, float64(v))))
+		ab := float32(math.Abs(float64(v)))
+		se := float32(-1)
+		if v > 0 {
+			se = 1
+		}
+		want := lo + hi + cl + ab + se
+		if got[i] != want {
+			t.Fatalf("a[%d] = %v, want %v (v=%v)", i, got[i], want, v)
+		}
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	src := `
+export void m(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		varying float v = a[i];
+		a[i] = pow(v, 2.0) + atan2(v, 1.0) + floor(v) + ceil(v);
+	}
+}
+`
+	in := []float32{0.5, 1.5, 2.25}
+	got := runF32Kernel(t, src, "m", in)
+	for i, v := range in {
+		wd := math.Pow(float64(float32(v)), 2) // computed per-lane in f32 steps
+		want := float32(wd) + float32(math.Atan2(float64(v), 1)) +
+			float32(math.Floor(float64(v))) + float32(math.Ceil(float64(v)))
+		if math.Abs(float64(got[i]-want)) > 1e-5 {
+			t.Fatalf("a[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestReduceMinMax(t *testing.T) {
+	src := `
+export void reds(uniform float a[], uniform float out[], uniform int n) {
+	varying float mn = 1000000.0;
+	varying float mx = -1000000.0;
+	varying float sum = 0.0;
+	foreach (i = 0 ... n) {
+		varying float v = a[i];
+		mn = min(mn, v);
+		mx = max(mx, v);
+		sum += v;
+	}
+	out[0] = reduce_min(mn);
+	out[1] = reduce_max(mx);
+	out[2] = reduce_add(sum);
+}
+`
+	res := compileT(t, src, isa.AVX)
+	x := instT(t, res)
+	in := []float32{3, -7, 12, 0.5, 9, -2, 4, 4, 11, -1, 6}
+	a, _ := x.AllocF32(in)
+	outAddr, _ := x.AllocF32(make([]float32, 3))
+	if _, tr := x.CallExport("reds", exec.PtrArgF32(a), exec.PtrArgF32(outAddr),
+		exec.I32Arg(int64(len(in)))); tr != nil {
+		t.Fatalf("run: %v", tr)
+	}
+	got, _ := x.ReadF32(outAddr, 3)
+	var mn, mx, sum float32 = in[0], in[0], 0
+	for _, v := range in {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		sum += v
+	}
+	if got[0] != mn || got[1] != mx {
+		t.Fatalf("min/max = %v/%v, want %v/%v", got[0], got[1], mn, mx)
+	}
+	// Sum order differs (per-lane then reduce); allow small tolerance.
+	if math.Abs(float64(got[2]-sum)) > 1e-3 {
+		t.Fatalf("sum = %v, want %v", got[2], sum)
+	}
+}
+
+func TestProgramIndexAndCount(t *testing.T) {
+	src := `
+export void idx(uniform int a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		a[i] = programCount() * 100 + i;
+	}
+}
+`
+	for _, target := range isa.All {
+		res := compileT(t, src, target)
+		x := instT(t, res)
+		n := 10
+		a, _ := x.AllocI32(make([]int32, n))
+		if _, tr := x.CallExport("idx", exec.PtrArgI32(a),
+			exec.I32Arg(int64(n))); tr != nil {
+			t.Fatalf("run: %v", tr)
+		}
+		got, _ := x.ReadI32(a, n)
+		vl := int32(res.VL)
+		for i := 0; i < n; i++ {
+			want := vl*100 + int32(i)
+			if got[i] != want {
+				t.Fatalf("%s: a[%d] = %d, want %d", target, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	src := `
+export void p(uniform int n) {
+	print(n);
+	print(n * 2);
+	print(1.5);
+}
+`
+	res := compileT(t, src, isa.AVX)
+	x := instT(t, res)
+	if _, tr := x.CallExport("p", exec.I32Arg(21)); tr != nil {
+		t.Fatalf("run: %v", tr)
+	}
+	want := "21\n42\n1.5\n"
+	if got := x.It.Output.String(); got != want {
+		t.Fatalf("output = %q, want %q", got, want)
+	}
+}
+
+func TestInt64AndDouble(t *testing.T) {
+	src := `
+export void wide(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		varying int64 big = (int64)a[i] * 1000000000 + 7;
+		varying double d = (double)a[i] * 0.0000001;
+		a[i] = (float)(big % 1000) + (float)(d * 10000000.0);
+	}
+}
+`
+	in := []float32{1, 2, 3, 5, 8, 13, 21, 34, 55}
+	got := runF32Kernel(t, src, "wide", in)
+	for i, v := range in {
+		big := int64(v)*1000000000 + 7
+		d := float64(v) * 0.0000001
+		want := float32(big%1000) + float32(d*10000000.0)
+		if math.Abs(float64(got[i]-want)) > 1e-3 {
+			t.Fatalf("a[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestCompoundAssignOnArrays(t *testing.T) {
+	src := `
+export void comp(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		a[i] += 1.0;
+		a[i] *= 2.0;
+		a[i] -= 0.5;
+		a[i] /= 4.0;
+	}
+}
+`
+	in := []float32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got := runF32Kernel(t, src, "comp", in)
+	for i, v := range in {
+		want := ((v+1)*2 - 0.5) / 4
+		if got[i] != want {
+			t.Fatalf("a[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestLocalArrayScratch(t *testing.T) {
+	src := `
+export void hist(uniform int a[], uniform int out[], uniform int n) {
+	uniform int counts[4];
+	for (uniform int k = 0; k < 4; k++) {
+		counts[k] = 0;
+	}
+	for (uniform int j = 0; j < n; j++) {
+		uniform int b = a[j] % 4;
+		counts[b] = counts[b] + 1;
+	}
+	for (uniform int k2 = 0; k2 < 4; k2++) {
+		out[k2] = counts[k2];
+	}
+}
+`
+	res := compileT(t, src, isa.AVX)
+	x := instT(t, res)
+	in := []int32{0, 1, 2, 3, 0, 1, 2, 0, 1, 0}
+	a, _ := x.AllocI32(in)
+	out, _ := x.AllocI32(make([]int32, 4))
+	if _, tr := x.CallExport("hist", exec.PtrArgI32(a), exec.PtrArgI32(out),
+		exec.I32Arg(int64(len(in)))); tr != nil {
+		t.Fatalf("run: %v", tr)
+	}
+	got, _ := x.ReadI32(out, 4)
+	want := []int32{4, 3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCalleeStoresRespectPartialMask: a helper function that stores must
+// honor the caller's partial foreach mask through the implicit mask
+// parameter — otherwise the array tail would be clobbered.
+func TestCalleeStoresRespectPartialMask(t *testing.T) {
+	src := `
+void writer(uniform float out[], varying int idx, varying float v) {
+	out[idx] = v;
+}
+
+export void run(uniform float a[], uniform float b[], uniform int n) {
+	foreach (i = 0 ... n) {
+		writer(b, i, a[i] * 10.0);
+	}
+}
+`
+	res := compileT(t, src, isa.AVX)
+	x := instT(t, res)
+	n := 11 // 8 full + 3 partial lanes on AVX
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = float32(i)
+	}
+	a, _ := x.AllocF32(in)
+	// b has extra sentinel cells past n that must stay untouched.
+	bv := make([]float32, n+5)
+	for i := range bv {
+		bv[i] = -99
+	}
+	b, _ := x.AllocF32(bv)
+	if _, tr := x.CallExport("run", exec.PtrArgF32(a), exec.PtrArgF32(b),
+		exec.I32Arg(int64(n))); tr != nil {
+		t.Fatalf("run: %v", tr)
+	}
+	got, _ := x.ReadF32(b, n+5)
+	for i := 0; i < n; i++ {
+		if got[i] != float32(i)*10 {
+			t.Fatalf("b[%d] = %v, want %v", i, got[i], float32(i)*10)
+		}
+	}
+	for i := n; i < n+5; i++ {
+		if got[i] != -99 {
+			t.Fatalf("sentinel b[%d] clobbered: %v (callee ignored partial mask)",
+				i, got[i])
+		}
+	}
+}
+
+func TestForeachEdgeCases(t *testing.T) {
+	src := `
+export void fill(uniform int a[], uniform int lo, uniform int hi) {
+	foreach (i = lo ... hi) {
+		a[i] = i * 10;
+	}
+}
+`
+	for _, target := range isa.All {
+		res := compileT(t, src, target)
+		cases := []struct{ lo, hi int }{
+			{0, 0},  // empty
+			{0, 3},  // partial only
+			{0, 8},  // exactly one full gang (AVX)
+			{3, 17}, // non-zero start, full+partial
+			{5, 6},  // single element
+		}
+		for _, c := range cases {
+			x := instT(t, res)
+			buf := make([]int32, 32)
+			for i := range buf {
+				buf[i] = -1
+			}
+			a, _ := x.AllocI32(buf)
+			if _, tr := x.CallExport("fill", exec.PtrArgI32(a),
+				exec.I32Arg(int64(c.lo)), exec.I32Arg(int64(c.hi))); tr != nil {
+				t.Fatalf("%s lo=%d hi=%d: %v", target, c.lo, c.hi, tr)
+			}
+			got, _ := x.ReadI32(a, 32)
+			for i := 0; i < 32; i++ {
+				want := int32(-1)
+				if i >= c.lo && i < c.hi {
+					want = int32(i) * 10
+				}
+				if got[i] != want {
+					t.Fatalf("%s lo=%d hi=%d: a[%d] = %d, want %d",
+						target, c.lo, c.hi, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestUniformIfWithReturns(t *testing.T) {
+	src := `
+export uniform int sign(uniform int x) {
+	if (x > 0) {
+		return 1;
+	} else {
+		if (x < 0) {
+			return -1;
+		}
+	}
+	return 0;
+}
+`
+	res := compileT(t, src, isa.SSE)
+	x := instT(t, res)
+	for _, c := range []struct{ in, want int64 }{{5, 1}, {-5, -1}, {0, 0}} {
+		got, tr := x.CallExport("sign", exec.I32Arg(c.in))
+		if tr != nil {
+			t.Fatalf("run: %v", tr)
+		}
+		if got.Int() != c.want {
+			t.Fatalf("sign(%d) = %d, want %d", c.in, got.Int(), c.want)
+		}
+	}
+}
+
+func TestNestedVaryingControl(t *testing.T) {
+	src := `
+export void classify(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		varying float v = a[i];
+		if (v > 0.0) {
+			if (v > 10.0) {
+				v = 100.0;
+			} else {
+				v = 1.0;
+			}
+		} else {
+			while (v < -1.0) {
+				v = v / 2.0;
+			}
+		}
+		a[i] = v;
+	}
+}
+`
+	in := []float32{5, 20, -8, 0, 15, -0.5, 3, -32, 11}
+	got := runF32Kernel(t, src, "classify", in)
+	ref := func(v float32) float32 {
+		if v > 0 {
+			if v > 10 {
+				return 100
+			}
+			return 1
+		}
+		for v < -1 {
+			v /= 2
+		}
+		return v
+	}
+	for i, v := range in {
+		if got[i] != ref(v) {
+			t.Fatalf("a[%d] = %v, want %v (v=%v)", i, got[i], ref(v), v)
+		}
+	}
+}
+
+func TestSSEUsesPseudoMaskedOps(t *testing.T) {
+	res := compileT(t, vcopySrc, isa.SSE)
+	text := res.Module.Func("vcopy").String()
+	if !strings.Contains(text, "llvm.vulfi.sse.maskload.d") {
+		t.Errorf("SSE should lower masked loads to the per-lane pseudo-intrinsic:\n%s", text)
+	}
+	if res.VL != 4 {
+		t.Errorf("SSE gang = %d, want 4", res.VL)
+	}
+}
+
+// TestAVX512Gang16 runs vcopy at the extension ISA's gang size of 16.
+func TestAVX512Gang16(t *testing.T) {
+	res := compileT(t, vcopySrc, isa.AVX512)
+	if res.VL != 16 {
+		t.Fatalf("AVX512 gang = %d, want 16", res.VL)
+	}
+	x := instT(t, res)
+	n := 37 // 32 full + 5 partial lanes
+	in := make([]int32, n)
+	for i := range in {
+		in[i] = int32(i * 3)
+	}
+	a1, _ := x.AllocI32(in)
+	a2, _ := x.AllocI32(make([]int32, n))
+	if _, tr := x.CallExport("vcopy", exec.PtrArgI32(a1), exec.PtrArgI32(a2),
+		exec.I32Arg(int64(n))); tr != nil {
+		t.Fatalf("run: %v", tr)
+	}
+	got, _ := x.ReadI32(a2, n)
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("a2[%d] = %d, want %d", i, got[i], in[i])
+		}
+	}
+	text := res.Module.Func("vcopy").String()
+	if !strings.Contains(text, "llvm.x86.avx512.maskload.d.512") {
+		t.Errorf("AVX512 masked intrinsics missing:\n%s", text)
+	}
+}

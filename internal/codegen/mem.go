@@ -1,0 +1,142 @@
+package codegen
+
+import (
+	"vulfi/internal/ir"
+	"vulfi/internal/lang"
+)
+
+// Array access lowering. Three index shapes:
+//
+//   - uniform index: scalar getelementptr + scalar load/store;
+//   - unit-stride varying index (the foreach induction variable plus a
+//     uniform offset): a contiguous vector load/store — unmasked in the
+//     foreach full body, via the ISA's masked intrinsics elsewhere
+//     (this is what produces the paper's Figure 5 code);
+//   - general varying index: masked gather/scatter.
+
+type idxKind int
+
+const (
+	idxUniform idxKind = iota
+	idxUnit
+	idxGeneral
+)
+
+// isUnitStride reports whether e is the innermost foreach induction
+// variable plus/minus a uniform int offset (pure analysis, emits nothing).
+func (cg *fnGen) isUnitStride(e lang.Expr) bool {
+	if cg.foreach == nil {
+		return false
+	}
+	switch x := e.(type) {
+	case *lang.Ident:
+		return cg.mg.prog.Refs[x] == cg.foreach.sym
+	case *lang.BinExpr:
+		lu := cg.mg.prog.Types[x.X].Uniform
+		ru := cg.mg.prog.Types[x.Y].Uniform
+		switch x.Op {
+		case lang.Plus:
+			return (cg.isUnitStride(x.X) && ru) || (lu && cg.isUnitStride(x.Y))
+		case lang.Minus:
+			return cg.isUnitStride(x.X) && ru
+		}
+	}
+	return false
+}
+
+// unitScalarIndex emits the scalar i32 index for a unit-stride access:
+// the foreach scalar base (counter / aligned_end) combined with the
+// uniform offset parts of e.
+func (cg *fnGen) unitScalarIndex(e lang.Expr) ir.Value {
+	switch x := e.(type) {
+	case *lang.Ident:
+		return cg.foreach.scalarBase
+	case *lang.BinExpr:
+		uniformI32 := func(sub lang.Expr) ir.Value {
+			v := cg.expr(sub)
+			return cg.convert(v, cg.mg.prog.Types[sub],
+				lang.VType{Base: lang.TInt, Uniform: true}, "")
+		}
+		switch x.Op {
+		case lang.Plus:
+			if cg.isUnitStride(x.X) {
+				return cg.bu.Add(cg.unitScalarIndex(x.X), uniformI32(x.Y), "")
+			}
+			return cg.bu.Add(uniformI32(x.X), cg.unitScalarIndex(x.Y), "")
+		case lang.Minus:
+			return cg.bu.Sub(cg.unitScalarIndex(x.X), uniformI32(x.Y), "")
+		}
+	}
+	panic("codegen: unitScalarIndex on non-unit expression")
+}
+
+func (cg *fnGen) indexKind(idx lang.Expr) idxKind {
+	if cg.mg.prog.Types[idx].Uniform {
+		return idxUniform
+	}
+	if cg.isUnitStride(idx) {
+		return idxUnit
+	}
+	return idxGeneral
+}
+
+// generalIndexVec emits the <Vl x i32> index vector for a gather/scatter.
+func (cg *fnGen) generalIndexVec(idx lang.Expr) ir.Value {
+	v := cg.expr(idx)
+	return cg.convert(v, cg.mg.prog.Types[idx],
+		lang.VType{Base: lang.TInt, Uniform: false}, "gidx")
+}
+
+// loadIndex lowers a[idx] reads.
+func (cg *fnGen) loadIndex(x *lang.IndexExpr) ir.Value {
+	arrSym := cg.mg.prog.Refs[x.Array]
+	base := cg.env[arrSym]
+	elem := scalarType(arrSym.Type.Base)
+	switch cg.indexKind(x.Index) {
+	case idxUniform:
+		iv := cg.expr(x.Index) // scalar int (i32 or i64)
+		p := cg.bu.GEP(base, iv, x.Array.Name+"_ld_addr")
+		return cg.bu.Load(p, "")
+	case idxUnit:
+		iv := cg.unitScalarIndex(x.Index)
+		p := cg.bu.GEP(base, iv, x.Array.Name+"_ld_addr")
+		if cg.allOn {
+			vp := cg.bu.Cast(ir.OpBitcast, p, ir.Ptr(ir.Vec(elem, cg.mg.vl)), "")
+			return cg.bu.Load(vp, "")
+		}
+		return cg.bu.Call(cg.mg.intr.MaskLoad(elem, cg.mg.vl), "",
+			p, cg.maskFor(elem))
+	default:
+		iv := cg.generalIndexVec(x.Index)
+		return cg.bu.Call(cg.mg.intr.Gather(elem, cg.mg.vl), "",
+			base, iv, cg.maskFor(elem))
+	}
+}
+
+// storeIndex lowers a[idx] = val. val already has the checked element
+// type at the index's uniformity (lt).
+func (cg *fnGen) storeIndex(x *lang.IndexExpr, val ir.Value, lt lang.VType) {
+	arrSym := cg.mg.prog.Refs[x.Array]
+	base := cg.env[arrSym]
+	elem := scalarType(arrSym.Type.Base)
+	switch cg.indexKind(x.Index) {
+	case idxUniform:
+		iv := cg.expr(x.Index)
+		p := cg.bu.GEP(base, iv, x.Array.Name+"_str_addr")
+		cg.bu.Store(val, p)
+	case idxUnit:
+		iv := cg.unitScalarIndex(x.Index)
+		p := cg.bu.GEP(base, iv, x.Array.Name+"_str_addr")
+		if cg.allOn {
+			vp := cg.bu.Cast(ir.OpBitcast, p, ir.Ptr(ir.Vec(elem, cg.mg.vl)), "")
+			cg.bu.Store(val, vp)
+			return
+		}
+		cg.bu.Call(cg.mg.intr.MaskStore(elem, cg.mg.vl), "",
+			p, cg.maskFor(elem), val)
+	default:
+		iv := cg.generalIndexVec(x.Index)
+		cg.bu.Call(cg.mg.intr.Scatter(elem, cg.mg.vl), "",
+			base, iv, cg.maskFor(elem), val)
+	}
+}

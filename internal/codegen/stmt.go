@@ -1,0 +1,376 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"vulfi/internal/ir"
+	"vulfi/internal/lang"
+)
+
+func (cg *fnGen) stmt(s lang.Stmt) {
+	if cg.done {
+		return
+	}
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		for _, sub := range st.Stmts {
+			cg.stmt(sub)
+		}
+	case *lang.DeclStmt:
+		cg.declStmt(st)
+	case *lang.AssignStmt:
+		cg.assignStmt(st)
+	case *lang.IncDecStmt:
+		cg.incDecStmt(st)
+	case *lang.IfStmt:
+		cg.ifStmt(st)
+	case *lang.WhileStmt:
+		cg.whileStmt(st)
+	case *lang.ForStmt:
+		cg.forStmt(st)
+	case *lang.ForeachStmt:
+		cg.foreachStmt(st)
+	case *lang.ReturnStmt:
+		cg.returnStmt(st)
+	case *lang.ExprStmt:
+		cg.expr(st.X)
+	default:
+		panic(fmt.Sprintf("codegen: unhandled statement %T", s))
+	}
+}
+
+func (cg *fnGen) declStmt(st *lang.DeclStmt) {
+	sym := cg.mg.prog.DeclSyms[st]
+	if sym.Type.Array {
+		elem := scalarType(sym.Type.Base)
+		cg.env[sym] = cg.bu.Alloca(elem, int(sym.ArrayLen), sym.Name)
+		return
+	}
+	ty := cg.mg.irType(sym.Type)
+	if st.Init == nil {
+		cg.env[sym] = ir.ConstZero(ty)
+		return
+	}
+	v := cg.expr(st.Init)
+	cg.env[sym] = cg.convert(v, cg.mg.prog.Types[st.Init], sym.Type, sym.Name)
+}
+
+func (cg *fnGen) assignStmt(st *lang.AssignStmt) {
+	lt := cg.lhsType(st.LHS)
+	newVal := cg.rhsValue(st.Op, st.LHS, st.RHS, lt)
+	cg.storeTo(st.LHS, newVal, lt)
+}
+
+func (cg *fnGen) lhsType(lhs lang.Expr) lang.VType {
+	if id, ok := lhs.(*lang.Ident); ok {
+		return cg.mg.prog.Refs[id].Type
+	}
+	return cg.mg.prog.Types[lhs]
+}
+
+// storeTo writes newVal (already of type lt) to an assignable location.
+func (cg *fnGen) storeTo(lhs lang.Expr, newVal ir.Value, lt lang.VType) {
+	switch l := lhs.(type) {
+	case *lang.Ident:
+		sym := cg.mg.prog.Refs[l]
+		if sym.Type.Uniform {
+			cg.env[sym] = newVal // sema guarantees uniform control flow
+		} else {
+			cg.env[sym] = cg.maskedMerge(cg.env[sym], newVal, sym.Name)
+		}
+	case *lang.IndexExpr:
+		cg.storeIndex(l, newVal, lt)
+	default:
+		panic("codegen: bad assign target")
+	}
+}
+
+// rhsValue computes the value to store for "lhs op= rhs", converted to lt.
+func (cg *fnGen) rhsValue(op lang.Kind, lhs, rhs lang.Expr, lt lang.VType) ir.Value {
+	r := cg.convert(cg.expr(rhs), cg.mg.prog.Types[rhs], lt, "")
+	if op == lang.Assign {
+		return r
+	}
+	l := cg.convert(cg.expr(lhs), cg.mg.prog.Types[lhs], lt, "")
+	var iop, fop ir.Op
+	switch op {
+	case lang.PlusAssign:
+		iop, fop = ir.OpAdd, ir.OpFAdd
+	case lang.MinusAssign:
+		iop, fop = ir.OpSub, ir.OpFSub
+	case lang.StarAssign:
+		iop, fop = ir.OpMul, ir.OpFMul
+	case lang.SlashAssign:
+		iop, fop = ir.OpSDiv, ir.OpFDiv
+	default:
+		panic("codegen: bad compound assignment")
+	}
+	if lt.IsFloatBase() {
+		return cg.bu.Bin(fop, l, r, "")
+	}
+	return cg.bu.Bin(iop, l, r, "")
+}
+
+func (cg *fnGen) incDecStmt(st *lang.IncDecStmt) {
+	lt := cg.lhsType(st.LHS)
+	l := cg.expr(st.LHS)
+	var one ir.Value
+	if lt.IsFloatBase() {
+		one = ir.ConstFloat(scalarType(lt.Base), 1)
+	} else {
+		one = ir.ConstInt(scalarType(lt.Base), 1)
+	}
+	if !lt.Uniform {
+		one = ir.ConstSplat(cg.mg.vl, one.(*ir.Const))
+	}
+	var newVal ir.Value
+	switch {
+	case st.Op == lang.PlusPlus && lt.IsFloatBase():
+		newVal = cg.bu.FAdd(l, one, "")
+	case st.Op == lang.PlusPlus:
+		newVal = cg.bu.Add(l, one, "")
+	case lt.IsFloatBase():
+		newVal = cg.bu.FSub(l, one, "")
+	default:
+		newVal = cg.bu.Sub(l, one, "")
+	}
+	cg.storeTo(st.LHS, newVal, lt)
+}
+
+func (cg *fnGen) returnStmt(st *lang.ReturnStmt) {
+	if st.Val == nil {
+		cg.bu.Ret(nil)
+	} else {
+		v := cg.convert(cg.expr(st.Val), cg.mg.prog.Types[st.Val], cg.fi.Ret, "retval")
+		cg.bu.Ret(v)
+	}
+	cg.done = true
+}
+
+func (cg *fnGen) ifStmt(st *lang.IfStmt) {
+	condT := cg.mg.prog.Types[st.Cond]
+	if condT.Uniform {
+		cg.uniformIf(st)
+	} else {
+		cg.varyingIf(st)
+	}
+}
+
+// uniformIf lowers a real branch with SSA joins.
+func (cg *fnGen) uniformIf(st *lang.IfStmt) {
+	cond := cg.expr(st.Cond)
+	branchB := cg.bu.Block()
+	thenB := cg.newBlock("if.then")
+	joinB := cg.newBlock("if.end")
+	elseB := joinB
+	if st.Else != nil {
+		elseB = cg.newBlock("if.else")
+	}
+	cg.bu.CondBr(cond, thenB, elseB)
+	preEnv := cg.snapshotEnv()
+
+	cg.bu.SetBlock(thenB)
+	cg.stmt(st.Then)
+	thenEnv, thenEnd, thenDone := cg.snapshotEnv(), cg.bu.Block(), cg.done
+	if !thenDone {
+		cg.bu.Br(joinB)
+	}
+
+	elseEnv, elseEnd := preEnv, cg.bu.Block()
+	elseDone := false
+	if st.Else != nil {
+		cg.done = false
+		cg.env = cloneEnv(preEnv)
+		cg.bu.SetBlock(elseB)
+		cg.stmt(st.Else)
+		elseEnv, elseEnd, elseDone = cg.snapshotEnv(), cg.bu.Block(), cg.done
+		if !elseDone {
+			cg.bu.Br(joinB)
+		}
+	} else {
+		// Fall-through edge from the branch point.
+		elseEnd = branchB
+	}
+
+	cg.bu.SetBlock(joinB)
+	switch {
+	case thenDone && elseDone:
+		cg.bu.Unreachable()
+		cg.done = true
+		return
+	case thenDone:
+		cg.env = cloneEnv(elseEnv)
+	case elseDone:
+		cg.env = cloneEnv(thenEnv)
+	default:
+		cg.env = mergeEnvs(cg.bu, thenEnv, thenEnd, elseEnv, elseEnd)
+	}
+	cg.done = false
+}
+
+func cloneEnv(e map[*lang.Symbol]ir.Value) map[*lang.Symbol]ir.Value {
+	out := make(map[*lang.Symbol]ir.Value, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeEnvs creates phis in the current (join) block for symbols whose
+// values differ between the two incoming paths. Symbols are processed in
+// sorted-name order so generated IR is deterministic.
+func mergeEnvs(bu *ir.Builder, aEnv map[*lang.Symbol]ir.Value, aEnd *ir.Block,
+	bEnv map[*lang.Symbol]ir.Value, bEnd *ir.Block) map[*lang.Symbol]ir.Value {
+	out := make(map[*lang.Symbol]ir.Value, len(aEnv))
+	var differ []*lang.Symbol
+	for sym, av := range aEnv {
+		bv, ok := bEnv[sym]
+		if !ok || av == bv {
+			out[sym] = av
+			continue
+		}
+		differ = append(differ, sym)
+	}
+	sort.Slice(differ, func(i, j int) bool { return differ[i].Name < differ[j].Name })
+	for _, sym := range differ {
+		phi := bu.Phi(aEnv[sym].Type(), sym.Name+".merge")
+		ir.AddIncoming(phi, aEnv[sym], aEnd)
+		ir.AddIncoming(phi, bEnv[sym], bEnd)
+		out[sym] = phi
+	}
+	return out
+}
+
+// varyingIf lowers to mask predication: both branches execute under
+// refined masks; assignments blend lane-wise.
+func (cg *fnGen) varyingIf(st *lang.IfStmt) {
+	cond := cg.expr(st.Cond) // <Vl x i1>
+	oldMask, oldAllOn := cg.mask, cg.allOn
+
+	thenMask := cond
+	if !oldAllOn {
+		thenMask = cg.bu.And(oldMask, cond, "mask.then")
+	}
+	cg.mask, cg.allOn = thenMask, false
+	cg.stmt(st.Then)
+
+	if st.Else != nil {
+		notCond := cg.bu.Xor(cond, ir.ConstSplat(cg.mg.vl, ir.ConstBool(true)), "notcond")
+		elseMask := ir.Value(notCond)
+		if !oldAllOn {
+			elseMask = cg.bu.And(oldMask, notCond, "mask.else")
+		}
+		cg.mask, cg.allOn = elseMask, false
+		cg.stmt(st.Else)
+	}
+	cg.mask, cg.allOn = oldMask, oldAllOn
+}
+
+func (cg *fnGen) whileStmt(st *lang.WhileStmt) {
+	condT := cg.mg.prog.Types[st.Cond]
+	if condT.Uniform {
+		cg.uniformLoop(st.Cond, st.Body, nil)
+	} else {
+		cg.varyingWhile(st)
+	}
+}
+
+func (cg *fnGen) forStmt(st *lang.ForStmt) {
+	if st.Init != nil {
+		cg.stmt(st.Init)
+	}
+	cg.uniformLoop(st.Cond, st.Body, st.Post)
+}
+
+// uniformLoop lowers while/for with a uniform condition to a real loop
+// with loop-carried phis for every symbol the body (or post) assigns.
+func (cg *fnGen) uniformLoop(cond lang.Expr, body, post lang.Stmt) {
+	var scan []lang.Stmt
+	scan = append(scan, body)
+	if post != nil {
+		scan = append(scan, post)
+	}
+	syms := cg.assignedSymbols(&lang.BlockStmt{Stmts: scan})
+
+	preB := cg.bu.Block()
+	headerB := cg.newBlock("loop.cond")
+	bodyB := cg.newBlock("loop.body")
+	exitB := cg.newBlock("loop.end")
+	cg.bu.Br(headerB)
+
+	cg.bu.SetBlock(headerB)
+	phis := make([]*ir.Instr, len(syms))
+	for i, sym := range syms {
+		phi := cg.bu.Phi(cg.env[sym].Type(), sym.Name+".loop")
+		ir.AddIncoming(phi, cg.env[sym], preB)
+		cg.env[sym] = phi
+		phis[i] = phi
+	}
+	var condV ir.Value = ir.ConstBool(true)
+	if cond != nil {
+		condV = cg.expr(cond)
+	}
+	cg.bu.CondBr(condV, bodyB, exitB)
+	headerEnv := cg.snapshotEnv()
+
+	cg.bu.SetBlock(bodyB)
+	cg.stmt(body)
+	if post != nil && !cg.done {
+		cg.stmt(post)
+	}
+	if !cg.done {
+		latch := cg.bu.Block()
+		cg.bu.Br(headerB)
+		for i, sym := range syms {
+			ir.AddIncoming(phis[i], cg.env[sym], latch)
+		}
+	}
+	cg.done = false
+	cg.bu.SetBlock(exitB)
+	cg.env = headerEnv
+}
+
+// varyingWhile lowers a varying-condition while to a mask loop: iterate
+// until no lane remains active, blending assignments under the live mask.
+func (cg *fnGen) varyingWhile(st *lang.WhileStmt) {
+	syms := cg.assignedSymbols(st.Body)
+	oldMask, oldAllOn := cg.mask, cg.allOn
+
+	preB := cg.bu.Block()
+	headerB := cg.newBlock("vwhile.cond")
+	bodyB := cg.newBlock("vwhile.body")
+	exitB := cg.newBlock("vwhile.end")
+	cg.bu.Br(headerB)
+
+	cg.bu.SetBlock(headerB)
+	maskPhi := cg.bu.Phi(cg.mg.maskType(), "loopmask")
+	ir.AddIncoming(maskPhi, oldMask, preB)
+	phis := make([]*ir.Instr, len(syms))
+	for i, sym := range syms {
+		phi := cg.bu.Phi(cg.env[sym].Type(), sym.Name+".vloop")
+		ir.AddIncoming(phi, cg.env[sym], preB)
+		cg.env[sym] = phi
+		phis[i] = phi
+	}
+	cg.mask, cg.allOn = maskPhi, false
+	condV := cg.expr(st.Cond)
+	live := cg.bu.And(maskPhi, condV, "livemask")
+	any := cg.anyLaneOn(live)
+	cg.bu.CondBr(any, bodyB, exitB)
+	headerEnv := cg.snapshotEnv()
+
+	cg.bu.SetBlock(bodyB)
+	cg.mask, cg.allOn = live, false
+	cg.stmt(st.Body)
+	latch := cg.bu.Block()
+	cg.bu.Br(headerB)
+	ir.AddIncoming(maskPhi, live, latch)
+	for i, sym := range syms {
+		ir.AddIncoming(phis[i], cg.env[sym], latch)
+	}
+
+	cg.bu.SetBlock(exitB)
+	cg.env = headerEnv
+	cg.mask, cg.allOn = oldMask, oldAllOn
+}

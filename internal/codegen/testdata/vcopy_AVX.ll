@@ -1,0 +1,56 @@
+; module vcopy
+define void @vcopy(i32* %a1, i32* %a2, i32 %n, <8 x i1> %__mask) {
+allocas:
+  %nextras = srem i32 %n, 8
+  %aligned_end = sub i32 %n, %nextras
+  %full.cond = icmp slt i32 0, %aligned_end
+  br i1 %full.cond, label %foreach_full_body.lr.ph, label %partial_inner_all_outer
+
+foreach_full_body.lr.ph:
+  br label %foreach_full_body
+
+foreach_full_body:
+  %counter = phi i32 [ 0, %foreach_full_body.lr.ph ], [ %new_counter, %foreach_full_body ]
+  %a1_ld_addr = getelementptr i32* %a1, i32 %counter
+  %t1 = bitcast i32* %a1_ld_addr to <8 x i32>*
+  %t2 = load <8 x i32>* %t1
+  %a2_str_addr = getelementptr i32* %a2, i32 %counter
+  %t3 = bitcast i32* %a2_str_addr to <8 x i32>*
+  store <8 x i32> %t2, <8 x i32>* %t3
+  %new_counter = add i32 %counter, 8
+  %exitcond = icmp slt i32 %new_counter, %aligned_end
+  br i1 %exitcond, label %foreach_full_body, label %foreach_fullbody_check_invariants
+
+foreach_fullbody_check_invariants:
+  call void @checkInvariantsForeachFullBody(i32 %new_counter, i32 %aligned_end, i32 0, i32 8)
+  br label %partial_inner_all_outer
+
+partial_inner_all_outer:
+  %has_extras = icmp ne i32 %nextras, 0
+  br i1 %has_extras, label %partial_inner_only, label %foreach_reset
+
+partial_inner_only:
+  %aligned_end_broadcast_init = insertelement <8 x i32> undef, i32 %aligned_end, i32 0
+  %aligned_end_broadcast = shufflevector <8 x i32> %aligned_end_broadcast_init, <8 x i32> undef, <8 x i32> <i32 0, i32 0, i32 0, i32 0, i32 0, i32 0, i32 0, i32 0>
+  %i.partial = add <8 x i32> %aligned_end_broadcast, <i32 0, i32 1, i32 2, i32 3, i32 4, i32 5, i32 6, i32 7>
+  %end_broadcast_init = insertelement <8 x i32> undef, i32 %n, i32 0
+  %end_broadcast = shufflevector <8 x i32> %end_broadcast_init, <8 x i32> undef, <8 x i32> <i32 0, i32 0, i32 0, i32 0, i32 0, i32 0, i32 0, i32 0>
+  %partialmask = icmp slt <8 x i32> %i.partial, %end_broadcast
+  %a1_ld_addr.2 = getelementptr i32* %a1, i32 %aligned_end
+  %floatmask = sext <8 x i1> %partialmask to <8 x i32>
+  %t4 = call <8 x i32> @llvm.x86.avx2.maskload.d.256(i32* %a1_ld_addr.2, <8 x i32> %floatmask)
+  %a2_str_addr.2 = getelementptr i32* %a2, i32 %aligned_end
+  %floatmask.2 = sext <8 x i1> %partialmask to <8 x i32>
+  call void @llvm.x86.avx2.maskstore.d.256(i32* %a2_str_addr.2, <8 x i32> %floatmask.2, <8 x i32> %t4)
+  br label %foreach_reset
+
+foreach_reset:
+  ret void
+}
+
+declare <8 x i32> @llvm.x86.avx2.maskload.d.256(i32* %arg0, <8 x i32> %arg1)
+
+declare void @llvm.x86.avx2.maskstore.d.256(i32* %arg0, <8 x i32> %arg1, <8 x i32> %arg2)
+
+declare void @checkInvariantsForeachFullBody(i32 %arg0, i32 %arg1, i32 %arg2, i32 %arg3)
+

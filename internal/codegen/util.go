@@ -1,0 +1,137 @@
+package codegen
+
+import (
+	"vulfi/internal/ir"
+	"vulfi/internal/lang"
+)
+
+// convert adapts v (of checked type from) to checked type to: base-type
+// conversion in scalar/vector form, then a uniform→varying broadcast with
+// the Figure 9 insertelement+shufflevector pattern when needed.
+func (cg *fnGen) convert(v ir.Value, from, to lang.VType, name string) ir.Value {
+	if from.Array {
+		return v // array values are pointers; sema guarantees base match
+	}
+	v = cg.convertBase(v, from.Base, to.Base, name)
+	if from.Uniform && !to.Uniform {
+		v = cg.bu.Broadcast(v, cg.mg.vl, name)
+	}
+	return v
+}
+
+// convertBase converts between base types at v's current shape.
+func (cg *fnGen) convertBase(v ir.Value, from, to lang.BaseType, name string) ir.Value {
+	if from == to {
+		return v
+	}
+	fs, ts := scalarType(from), scalarType(to)
+	tt := ts
+	if v.Type().IsVector() {
+		tt = ir.Vec(ts, v.Type().Len)
+	}
+	switch {
+	case fs.IsInt() && ts.IsInt():
+		if fs.Bits < ts.Bits {
+			return cg.bu.Cast(ir.OpSExt, v, tt, name)
+		}
+		return cg.bu.Cast(ir.OpTrunc, v, tt, name)
+	case fs.IsInt() && ts.IsFloat():
+		return cg.bu.Cast(ir.OpSIToFP, v, tt, name)
+	case fs.IsFloat() && ts.IsInt():
+		return cg.bu.Cast(ir.OpFPToSI, v, tt, name)
+	case fs.IsFloat() && ts.IsFloat():
+		if fs.Bits < ts.Bits {
+			return cg.bu.Cast(ir.OpFPExt, v, tt, name)
+		}
+		return cg.bu.Cast(ir.OpFPTrunc, v, tt, name)
+	}
+	panic("codegen: unsupported base conversion " + fs.String() + " -> " + ts.String())
+}
+
+// maskFor widens the current <Vl x i1> mask to the integer mask vector an
+// ISA masked intrinsic expects for elements of the given width (AVX
+// convention: lane active iff high bit set; sign-extension produces
+// 0 / all-ones lanes). The value is named after Figure 5's %floatmask.
+func (cg *fnGen) maskFor(elem *ir.Type) ir.Value {
+	var mi *ir.Type
+	if elem.ScalarBits() == 64 {
+		mi = ir.I64
+	} else {
+		mi = ir.I32
+	}
+	return cg.bu.Cast(ir.OpSExt, cg.mask, ir.Vec(mi, cg.mg.vl), "floatmask")
+}
+
+// anyLaneOn emits the "any lane active" test: sext mask, movmsk, != 0.
+func (cg *fnGen) anyLaneOn(mask ir.Value) ir.Value {
+	im := cg.bu.Cast(ir.OpSExt, mask, ir.Vec(ir.I32, cg.mg.vl), "maskint")
+	mv := cg.bu.Call(cg.mg.intr.MovMsk(cg.mg.vl), "movmsk", im)
+	return cg.bu.ICmp(ir.IntNE, mv, ir.ConstInt(ir.I32, 0), "anylanes")
+}
+
+// maskedMerge folds newVal into a varying local's environment slot under
+// the current mask: a plain overwrite when the mask is statically all-on,
+// otherwise a lane select.
+func (cg *fnGen) maskedMerge(old, newVal ir.Value, name string) ir.Value {
+	if cg.allOn {
+		return newVal
+	}
+	return cg.bu.Select(cg.mask, newVal, old, name)
+}
+
+// assignedSymbols walks a statement and collects symbols (declared outside
+// of it) that it assigns; used to place loop-carried phis.
+func (cg *fnGen) assignedSymbols(s lang.Stmt) []*lang.Symbol {
+	seen := map[*lang.Symbol]bool{}
+	var order []*lang.Symbol
+	add := func(sym *lang.Symbol) {
+		if sym != nil && !seen[sym] {
+			seen[sym] = true
+			order = append(order, sym)
+		}
+	}
+	var walkStmt func(lang.Stmt)
+	walkStmt = func(s lang.Stmt) {
+		switch st := s.(type) {
+		case *lang.BlockStmt:
+			for _, sub := range st.Stmts {
+				walkStmt(sub)
+			}
+		case *lang.AssignStmt:
+			if id, ok := st.LHS.(*lang.Ident); ok {
+				add(cg.mg.prog.Refs[id])
+			}
+		case *lang.IncDecStmt:
+			if id, ok := st.LHS.(*lang.Ident); ok {
+				add(cg.mg.prog.Refs[id])
+			}
+		case *lang.IfStmt:
+			walkStmt(st.Then)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *lang.WhileStmt:
+			walkStmt(st.Body)
+		case *lang.ForStmt:
+			if st.Init != nil {
+				walkStmt(st.Init)
+			}
+			if st.Post != nil {
+				walkStmt(st.Post)
+			}
+			walkStmt(st.Body)
+		case *lang.ForeachStmt:
+			walkStmt(st.Body)
+		}
+	}
+	walkStmt(s)
+	// Keep only symbols visible in the current environment (declared
+	// outside the walked statement).
+	var out []*lang.Symbol
+	for _, sym := range order {
+		if _, ok := cg.env[sym]; ok {
+			out = append(out, sym)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"vulfi/internal/ir"
+	"vulfi/internal/passes"
+)
+
+// LaneSite is one runtime fault site: a (site, lane) pair. The runtime
+// site ID indexes this table.
+type LaneSite struct {
+	ID   int
+	Site *Site
+	Lane int
+}
+
+// Instrumentation is the result of instrumenting a module: the lane-site
+// table whose IDs the inserted injectFault* calls carry.
+type Instrumentation struct {
+	Sites     []*Site
+	LaneSites []LaneSite
+	Category  passes.Category
+	// WholeRegister is the ablation mode treating a vector L-value as a
+	// single fault site instead of Vl lane sites.
+	WholeRegister bool
+	// MaskOblivious is the ablation mode that ignores execution masks
+	// when counting dynamic sites (every lane is always live).
+	MaskOblivious bool
+}
+
+// InstrumentPass wraps instrumentation as a module pass.
+type InstrumentPass struct {
+	Category passes.Category
+	// WholeRegister / MaskOblivious select the DESIGN.md ablation modes.
+	WholeRegister bool
+	MaskOblivious bool
+	// Out receives the instrumentation table after Run.
+	Out *Instrumentation
+}
+
+// Name implements passes.Pass.
+func (p *InstrumentPass) Name() string {
+	return "vulfi-instrument-" + p.Category.String()
+}
+
+// Run implements passes.Pass.
+func (p *InstrumentPass) Run(m *ir.Module) error {
+	sites := SelectSites(EnumerateSites(m, nil), p.Category)
+	inst := &Instrumentation{
+		Sites:         sites,
+		WholeRegister: p.WholeRegister,
+		MaskOblivious: p.MaskOblivious,
+	}
+	if err := inst.run(m); err != nil {
+		return err
+	}
+	inst.Category = p.Category
+	if p.Out != nil {
+		*p.Out = *inst
+	}
+	return nil
+}
+
+// Instrument rewrites the module so every lane of every selected site
+// flows through a runtime injectFault* call, following the paper's
+// Figure 4 workflow: clone the value, extract each scalar element,
+// pass it (with its execution-mask element) to the runtime API, insert
+// the result back, and redirect all users to the instrumented clone.
+func Instrument(m *ir.Module, sites []*Site) (*Instrumentation, error) {
+	inst := &Instrumentation{Sites: sites}
+	if err := inst.run(m); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+func (inst *Instrumentation) run(m *ir.Module) error {
+	for _, s := range inst.Sites {
+		if err := inst.instrumentSite(m, s); err != nil {
+			return fmt.Errorf("site %d (%s): %w", s.ID, s.Instr, err)
+		}
+	}
+	return nil
+}
+
+func (inst *Instrumentation) newLaneSite(s *Site, lane int) *ir.Const {
+	id := len(inst.LaneSites)
+	inst.LaneSites = append(inst.LaneSites, LaneSite{ID: id, Site: s, Lane: lane})
+	return ir.ConstInt(ir.I32, int64(id))
+}
+
+func (inst *Instrumentation) instrumentSite(m *ir.Module, s *Site) error {
+	v := s.Value()
+	ty := v.Type()
+
+	// Pick the insertion position: before the store for stored-value
+	// targets; otherwise right after the defining instruction (after the
+	// phi section when the L-value is a phi).
+	var bu *ir.Builder
+	if s.ValueOperand >= 0 {
+		bu = ir.NewBuilderBefore(s.Instr)
+	} else if s.Instr.Op == ir.OpPhi {
+		blk := s.Instr.Parent
+		ph := blk.Phis()
+		lastPhi := ph[len(ph)-1]
+		bu = ir.NewBuilderAfter(lastPhi)
+	} else {
+		bu = ir.NewBuilderAfter(s.Instr)
+	}
+
+	var maskVal ir.Value
+	if s.MaskOperand >= 0 {
+		maskVal = s.Instr.Operand(s.MaskOperand)
+	}
+
+	created := map[*ir.Instr]bool{}
+	track := func(in *ir.Instr) *ir.Instr {
+		created[in] = true
+		return in
+	}
+
+	var result ir.Value
+	if !ty.IsVector() || inst.WholeRegister {
+		// Scalar site — or the whole-register ablation, where the entire
+		// vector register is a single fault site.
+		fn := injectDecl(m, ty)
+		call := track(bu.Call(fn, fmt.Sprintf("inj_s%d", s.ID),
+			v, ir.ConstInt(ir.I32, 1), inst.newLaneSite(s, 0)))
+		result = call
+	} else {
+		cur := v
+		for lane := 0; lane < ty.Len; lane++ {
+			laneC := ir.ConstInt(ir.I32, int64(lane))
+			ext := track(bu.ExtractElement(cur, laneC, fmt.Sprintf("ext%d", lane)))
+			var active ir.Value = ir.ConstInt(ir.I32, 1)
+			if maskVal != nil && !inst.MaskOblivious {
+				extm := track(bu.ExtractElement(maskVal, laneC,
+					fmt.Sprintf("extmask%d", lane)))
+				neg := track(bu.ICmp(ir.IntSLT, extm,
+					ir.ConstInt(maskVal.Type().Elem, 0), fmt.Sprintf("actcmp%d", lane)))
+				active = track(bu.Cast(ir.OpZExt, neg, ir.I32,
+					fmt.Sprintf("act%d", lane)))
+			}
+			fn := injectDecl(m, ty.Elem)
+			inj := track(bu.Call(fn, fmt.Sprintf("inj%d", lane),
+				ext, active, inst.newLaneSite(s, lane)))
+			cur = track(bu.InsertElement(cur, inj, laneC, fmt.Sprintf("ins%d", lane)))
+		}
+		result = cur
+	}
+
+	// Redirect users to the instrumented clone (skipping the
+	// instrumentation chain itself).
+	if s.ValueOperand >= 0 {
+		s.Instr.SetOperand(s.ValueOperand, result)
+	} else {
+		s.Instr.ReplaceUsesExcept(result, created)
+	}
+	return nil
+}
+
+// injectDecl returns (declaring on first use) the runtime injection API
+// function for scalar type ty: T injectFault<Ty>(T value, i32 active,
+// i32 siteID). Names follow the paper's Figure 5.
+func injectDecl(m *ir.Module, ty *ir.Type) *ir.Func {
+	name := injectName(ty)
+	if f := m.Func(name); f != nil {
+		return f
+	}
+	f := ir.NewDecl(name, ty, ty, ir.I32, ir.I32)
+	m.AddFunc(f)
+	return f
+}
+
+func injectName(ty *ir.Type) string {
+	switch ty {
+	case ir.F32:
+		return "injectFaultFloatTy"
+	case ir.F64:
+		return "injectFaultDoubleTy"
+	case ir.I32:
+		return "injectFaultIntTy"
+	case ir.I64:
+		return "injectFaultLongTy"
+	case ir.I16:
+		return "injectFaultShortTy"
+	case ir.I8:
+		return "injectFaultCharTy"
+	case ir.I1:
+		return "injectFaultBoolTy"
+	}
+	if ty.IsPointer() {
+		return "injectFaultPtrTy." + ty.Elem.String()
+	}
+	if ty.IsVector() {
+		// Whole-register ablation mode.
+		return fmt.Sprintf("injectFaultVecTy.v%d%s", ty.Len, ty.Elem)
+	}
+	panic("core: no injection runtime for type " + ty.String())
+}

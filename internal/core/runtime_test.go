@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vulfi/internal/interp"
+	"vulfi/internal/ir"
+)
+
+func TestPlanCounting(t *testing.T) {
+	p := &Plan{Mode: CountOnly}
+	v := interp.FloatValue(ir.F32, 1.5)
+	for i := 0; i < 5; i++ {
+		out := p.handle(v, 1, int64(i))
+		if out.Bits[0] != v.Bits[0] {
+			t.Fatal("CountOnly must not modify values")
+		}
+	}
+	if p.DynSites != 5 {
+		t.Fatalf("DynSites = %d, want 5", p.DynSites)
+	}
+	// Inactive lanes are not counted.
+	p.handle(v, 0, 9)
+	if p.DynSites != 5 {
+		t.Fatal("inactive lane counted")
+	}
+}
+
+func TestPlanInjectsExactlyOnce(t *testing.T) {
+	p := &Plan{Mode: InjectOnce, TargetDyn: 3, BitSeed: 7}
+	v := interp.IntValue(ir.I32, 100)
+	var changed int
+	for i := 0; i < 10; i++ {
+		out := p.handle(v, 1, int64(i))
+		if out.Bits[0] != v.Bits[0] {
+			changed++
+			if p.DynSites != 3 {
+				t.Fatalf("flip happened at dynamic site %d, want 3", p.DynSites)
+			}
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("flipped %d times, want exactly 1", changed)
+	}
+	if !p.Injected || p.Record.Bit != 7 || p.Record.Width != 32 {
+		t.Fatalf("record wrong: %+v", p.Record)
+	}
+	if p.Record.Before == p.Record.After {
+		t.Fatal("record shows no change")
+	}
+}
+
+func TestPlanBitWithinWidth(t *testing.T) {
+	// BitSeed larger than the width must still land inside the value.
+	p := &Plan{Mode: InjectOnce, TargetDyn: 1, BitSeed: 1000003}
+	v := interp.IntValue(ir.I8, 1)
+	out := p.handle(v, 1, 0)
+	if p.Record.Bit < 0 || p.Record.Bit >= 8 {
+		t.Fatalf("bit %d outside i8", p.Record.Bit)
+	}
+	if out.Bits[0]&^0xFF != 0 {
+		t.Fatal("flip escaped the i8 width")
+	}
+}
+
+// Property: an injection flips exactly one bit of the value.
+func TestPlanSingleBitProperty(t *testing.T) {
+	prop := func(val uint32, seed uint32) bool {
+		p := &Plan{Mode: InjectOnce, TargetDyn: 1, BitSeed: uint64(seed)}
+		v := interp.Scalar(ir.I32, uint64(val))
+		out := p.handle(v, 1, 0)
+		diff := out.Bits[0] ^ v.Bits[0]
+		// Exactly one bit set in the diff, inside the width.
+		return diff != 0 && diff&(diff-1) == 0 && diff <= 1<<31
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanMaskedLaneSkipsInjection(t *testing.T) {
+	p := &Plan{Mode: InjectOnce, TargetDyn: 1, BitSeed: 3}
+	v := interp.FloatValue(ir.F32, 2)
+	out := p.handle(v, 0, 0) // inactive: not a site, no flip
+	if out.Bits[0] != v.Bits[0] || p.Injected {
+		t.Fatal("inactive lane was injected")
+	}
+	out = p.handle(v, 1, 1) // first live site gets the flip
+	if out.Bits[0] == v.Bits[0] || !p.Injected {
+		t.Fatal("first live site not injected")
+	}
+}
+
+func TestAttachRuntimeRegistersAllInjectDecls(t *testing.T) {
+	m := ir.NewModule("t")
+	m.AddFunc(ir.NewDecl("injectFaultFloatTy", ir.F32, ir.F32, ir.I32, ir.I32))
+	m.AddFunc(ir.NewDecl("injectFaultIntTy", ir.I32, ir.I32, ir.I32, ir.I32))
+	f := ir.NewFunc("f", ir.F32, []*ir.Type{ir.F32}, []string{"x"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	r := bu.Call(m.Func("injectFaultFloatTy"), "r",
+		f.Params[0], ir.ConstInt(ir.I32, 1), ir.ConstInt(ir.I32, 0))
+	bu.Ret(r)
+	it, err := interp.New(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{Mode: InjectOnce, TargetDyn: 1, BitSeed: 31}
+	AttachRuntime(it, plan)
+	got, tr := it.Run("f", interp.FloatValue(ir.F32, 1))
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	if got.Float() != -1 { // bit 31 of f32(1.0) is the sign
+		t.Fatalf("injected value = %v, want -1", got.Float())
+	}
+}

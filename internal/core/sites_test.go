@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"vulfi/internal/codegen"
+	"vulfi/internal/ir"
+	"vulfi/internal/isa"
+	"vulfi/internal/passes"
+)
+
+const vcopySrc = `
+export void vcopy(uniform int a1[], uniform int a2[], uniform int n) {
+	foreach (i = 0 ... n) {
+		a2[i] = a1[i];
+	}
+}
+`
+
+func compileVCopy(t *testing.T) *codegen.Result {
+	t.Helper()
+	res, err := codegen.CompileSource(vcopySrc, isa.AVX, "vcopy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEnumerateSitesBasics(t *testing.T) {
+	res := compileVCopy(t)
+	sites := EnumerateSites(res.Module, nil)
+	if len(sites) == 0 {
+		t.Fatal("no sites found")
+	}
+	// IDs are dense and in enumeration order.
+	for i, s := range sites {
+		if s.ID != i {
+			t.Fatalf("site %d has ID %d", i, s.ID)
+		}
+	}
+	// The unmasked full-body vector store contributes an operand-target
+	// site; the masked partial store contributes a masked one.
+	var plainStoreSites, maskedValueSites, maskedLValueSites int
+	for _, s := range sites {
+		switch {
+		case s.Instr.Op == ir.OpStore && s.ValueOperand == 0:
+			plainStoreSites++
+		case s.ValueOperand >= 0 && s.MaskOperand >= 0:
+			maskedValueSites++
+		case s.ValueOperand < 0 && s.MaskOperand >= 0:
+			maskedLValueSites++
+		}
+	}
+	if plainStoreSites == 0 {
+		t.Error("missing plain store value-operand site")
+	}
+	if maskedValueSites == 0 {
+		t.Error("missing masked store value-operand site")
+	}
+	if maskedLValueSites == 0 {
+		t.Error("missing masked load L-value site")
+	}
+}
+
+func TestSiteLanes(t *testing.T) {
+	res := compileVCopy(t)
+	for _, s := range EnumerateSites(res.Module, nil) {
+		ty := s.Value().Type()
+		if ty.IsVector() && s.Lanes() != 8 {
+			t.Fatalf("vector site lanes = %d, want 8 (AVX)", s.Lanes())
+		}
+		if !ty.IsVector() && s.Lanes() != 1 {
+			t.Fatalf("scalar site lanes = %d", s.Lanes())
+		}
+	}
+}
+
+func TestRuntimeCallsAreNotSites(t *testing.T) {
+	res := compileVCopy(t)
+	sites := EnumerateSites(res.Module, nil)
+	inst, err := Instrument(res.Module, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = inst
+	// Re-enumerating after instrumentation must not pick up the inject
+	// calls themselves (but will see the new extract/insert plumbing).
+	for _, s := range EnumerateSites(res.Module, nil) {
+		if s.Instr.Op == ir.OpCall && s.Instr.Callee != nil {
+			name := s.Instr.Callee.Nam
+			if len(name) >= 11 && name[:11] == "injectFault" {
+				t.Fatalf("inject call enumerated as site: %s", name)
+			}
+		}
+	}
+}
+
+func TestSelectSitesPartition(t *testing.T) {
+	res := compileVCopy(t)
+	sites := EnumerateSites(res.Module, nil)
+	pure := SelectSites(sites, passes.PureData)
+	ctrl := SelectSites(sites, passes.Control)
+	addr := SelectSites(sites, passes.Address)
+	// Figure 2: pure-data is disjoint from the others; every site is in
+	// at least one category; control and address may overlap.
+	seen := map[*Site]bool{}
+	for _, s := range pure {
+		seen[s] = true
+	}
+	for _, s := range ctrl {
+		if seen[s] {
+			t.Fatal("pure-data site also in control")
+		}
+	}
+	for _, s := range addr {
+		if s.Matches(passes.PureData) {
+			t.Fatal("pure-data site also in address")
+		}
+	}
+	covered := map[*Site]bool{}
+	for _, set := range [][]*Site{pure, ctrl, addr} {
+		for _, s := range set {
+			covered[s] = true
+		}
+	}
+	if len(covered) != len(sites) {
+		t.Fatalf("categories cover %d of %d sites", len(covered), len(sites))
+	}
+}
+
+func TestCensus(t *testing.T) {
+	res := compileVCopy(t)
+	rows := Census(EnumerateSites(res.Module, nil))
+	if len(rows) != 3 {
+		t.Fatal("census must have one row per category")
+	}
+	for _, r := range rows {
+		if r.Total() != r.ScalarSites+r.VectorSites {
+			t.Fatal("census totals inconsistent")
+		}
+		if f := r.VectorFraction(); f < 0 || f > 1 {
+			t.Fatalf("vector fraction out of range: %v", f)
+		}
+	}
+	// vcopy's pure-data sites are all vector (the copied data).
+	if rows[0].Category != passes.PureData || rows[0].VectorFraction() != 1 {
+		t.Errorf("vcopy pure-data should be 100%% vector: %+v", rows[0])
+	}
+	// Address sites (GEP chains) are scalar — the paper's Figure 10
+	// "grain of salt" observation.
+	if rows[2].Category != passes.Address || rows[2].VectorSites != 0 {
+		t.Errorf("vcopy address sites should be scalar: %+v", rows[2])
+	}
+}

@@ -1,0 +1,109 @@
+package detect
+
+import (
+	"fmt"
+
+	"vulfi/internal/interp"
+	"vulfi/internal/ir"
+)
+
+// CheckBroadcastPrefix prefixes the typed broadcast-check runtime API.
+const CheckBroadcastPrefix = "checkUniformBroadcast"
+
+// UniformBroadcastPass implements the §III-B detector the paper sketches
+// as future work: every uniform value broadcast to a vector register via
+// the Figure 9 pattern must have all lanes equal, which an XOR-style lane
+// comparison verifies cheaply. The pass inserts a check immediately after
+// each broadcast; when VULFI instrumentation runs afterwards, the check's
+// operand is redirected to the instrumented clone, so injected lane
+// corruption is visible to the detector.
+type UniformBroadcastPass struct {
+	// Inserted lists the synthesized detectors after Run.
+	Inserted []InsertedDetector
+}
+
+// Name implements passes.Pass.
+func (p *UniformBroadcastPass) Name() string { return "detect-uniform-broadcast" }
+
+// isBroadcast matches the Figure 9 pattern: shufflevector with an
+// all-zero mask whose first operand is insertelement into undef at lane 0.
+func isBroadcast(in *ir.Instr) bool {
+	if in.Op != ir.OpShuffleVector {
+		return false
+	}
+	for _, mi := range in.ShuffleMask {
+		if mi != 0 {
+			return false
+		}
+	}
+	init, ok := in.Operand(0).(*ir.Instr)
+	if !ok || init.Op != ir.OpInsertElement {
+		return false
+	}
+	base, ok := init.Operand(0).(*ir.Const)
+	if !ok || !base.Undef {
+		return false
+	}
+	idx, ok := init.Operand(2).(*ir.Const)
+	return ok && idx.Int() == 0
+}
+
+// Run implements passes.Pass.
+func (p *UniformBroadcastPass) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl {
+			continue
+		}
+		var targets []*ir.Instr
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if isBroadcast(in) {
+					targets = append(targets, in)
+				}
+			}
+		}
+		for _, in := range targets {
+			decl := broadcastDecl(m, in.Ty)
+			bu := ir.NewBuilderAfter(in)
+			bu.Call(decl, "", in)
+			p.Inserted = append(p.Inserted, InsertedDetector{
+				Func: f, Block: in.Parent, Kind: "uniform-broadcast",
+			})
+		}
+	}
+	return nil
+}
+
+func broadcastDecl(m *ir.Module, vec *ir.Type) *ir.Func {
+	name := fmt.Sprintf("%s.v%d%s", CheckBroadcastPrefix, vec.Len, elemSuffix(vec.Elem))
+	if f := m.Func(name); f != nil {
+		return f
+	}
+	f := ir.NewDecl(name, ir.Void, vec)
+	m.AddFunc(f)
+	return f
+}
+
+func elemSuffix(elem *ir.Type) string {
+	switch elem {
+	case ir.F32:
+		return "f32"
+	case ir.F64:
+		return "f64"
+	}
+	return elem.String()
+}
+
+// checkBroadcastImpl verifies all lanes carry identical bit patterns.
+func checkBroadcastImpl(it *interp.Interp, args []interp.Value) (interp.Value, *interp.Trap) {
+	v := args[0]
+	var x uint64
+	for i := 1; i < len(v.Bits); i++ {
+		x |= v.Bits[i] ^ v.Bits[0]
+	}
+	if x != 0 {
+		it.Detections = append(it.Detections, fmt.Sprintf(
+			"uniform broadcast lanes diverge: %s", v))
+	}
+	return interp.Value{}, nil
+}

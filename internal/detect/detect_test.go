@@ -1,0 +1,336 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"vulfi/internal/codegen"
+	"vulfi/internal/exec"
+	"vulfi/internal/interp"
+	"vulfi/internal/ir"
+	"vulfi/internal/isa"
+)
+
+const vcopySrc = `
+export void vcopy(uniform int a1[], uniform int a2[], uniform int n) {
+	foreach (i = 0 ... n) {
+		a2[i] = a1[i];
+	}
+}
+`
+
+func compileVCopy(t *testing.T) *codegen.Result {
+	t.Helper()
+	res, err := codegen.CompileSource(vcopySrc, isa.AVX, "vcopy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestForeachInvariantInsertion(t *testing.T) {
+	res := compileVCopy(t)
+	p := &ForeachInvariantPass{}
+	if err := p.Run(res.Module); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Inserted) != 1 {
+		t.Fatalf("inserted %d detectors, want 1", len(p.Inserted))
+	}
+	if err := res.Module.Verify(); err != nil {
+		t.Fatalf("module invalid after detector insertion: %v", err)
+	}
+	f := res.Module.Func("vcopy")
+	blk := f.BlockByName(CheckBlockName)
+	if blk == nil {
+		t.Fatalf("no %s block (paper Figure 7)", CheckBlockName)
+	}
+	text := f.String()
+	if !strings.Contains(text,
+		"call void @checkInvariantsForeachFullBody(i32 %new_counter, i32 %aligned_end") {
+		t.Errorf("detector call missing or malformed:\n%s", text)
+	}
+	// The detector block sits on the full-body exit edge.
+	if len(blk.Succs()) != 1 || blk.Succs()[0].Nam != "partial_inner_all_outer" {
+		t.Errorf("detector block edges wrong: %v", blk.Succs())
+	}
+}
+
+func TestForeachInvariantEveryIterationPlacement(t *testing.T) {
+	res := compileVCopy(t)
+	p := &ForeachInvariantPass{EveryIteration: true}
+	if err := p.Run(res.Module); err != nil {
+		t.Fatal(err)
+	}
+	f := res.Module.Func("vcopy")
+	// The check call must live in the loop body (the latch), not the exit.
+	latch := f.BlockByName("foreach_full_body")
+	found := false
+	for _, in := range latch.Instrs {
+		if in.Op == ir.OpCall && in.Callee.Nam == CheckInvariantsName {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("every-iteration placement did not put the check in the latch")
+	}
+	if err := res.Module.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectorRuntimeChecks(t *testing.T) {
+	m := ir.NewModule("t")
+	decl := checkDecl(m)
+	f := ir.NewFunc("f", ir.Void, []*ir.Type{ir.I32, ir.I32, ir.I32, ir.I32},
+		[]string{"nc", "ae", "st", "vl"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	bu.Call(decl, "", f.Params[0], f.Params[1], f.Params[2], f.Params[3])
+	bu.Ret(nil)
+
+	run := func(nc, ae, start, vl int64) []string {
+		it, _ := interp.New(m, interp.Options{})
+		AttachRuntime(it)
+		_, tr := it.Run("f", interp.IntValue(ir.I32, nc), interp.IntValue(ir.I32, ae),
+			interp.IntValue(ir.I32, start), interp.IntValue(ir.I32, vl))
+		if tr != nil {
+			t.Fatal(tr)
+		}
+		return it.Detections
+	}
+
+	if d := run(16, 16, 0, 8); len(d) != 0 {
+		t.Fatalf("healthy exit flagged: %v", d)
+	}
+	if d := run(-8, 16, 0, 8); len(d) != 1 || !strings.Contains(d[0], "invariant 1") {
+		t.Fatalf("invariant 1 not caught: %v", d)
+	}
+	if d := run(24, 16, 0, 8); len(d) != 1 || !strings.Contains(d[0], "invariant 2") {
+		t.Fatalf("invariant 2 not caught: %v", d)
+	}
+	if d := run(13, 16, 0, 8); len(d) != 1 || !strings.Contains(d[0], "invariant 3") {
+		t.Fatalf("invariant 3 not caught: %v", d)
+	}
+	// Non-zero start: (nc - start) % vl is the generalized invariant.
+	if d := run(17, 17, 1, 8); len(d) != 0 {
+		t.Fatalf("healthy non-zero-start exit flagged: %v", d)
+	}
+}
+
+// TestForeachDetectorEndToEnd forces a corrupted new_counter through an
+// actual execution and expects the inserted detector to flag it.
+func TestForeachDetectorEndToEnd(t *testing.T) {
+	res := compileVCopy(t)
+	p := &ForeachInvariantPass{}
+	if err := p.Run(res.Module); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the loop bound check by rewriting new_counter's step from
+	// +8 to +7 (simulating a control-site fault with a persistent echo):
+	// the loop then exits with (new_counter - start) % 8 != 0.
+	f := res.Module.Func("vcopy")
+	var newCounter *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Nam == "new_counter" {
+				newCounter = in
+			}
+		}
+	}
+	if newCounter == nil {
+		t.Fatal("no new_counter")
+	}
+	newCounter.SetOperand(1, ir.ConstInt(ir.I32, 7))
+
+	x, err := exec.NewInstance(res, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	AttachRuntime(x.It)
+	a1, _ := x.AllocI32(make([]int32, 64))
+	a2, _ := x.AllocI32(make([]int32, 64))
+	if _, tr := x.CallExport("vcopy", exec.PtrArgI32(a1), exec.PtrArgI32(a2),
+		exec.I32Arg(17)); tr != nil {
+		t.Fatal(tr)
+	}
+	if len(x.It.Detections) == 0 {
+		t.Fatal("corrupted loop step not detected")
+	}
+}
+
+const uniformScaleSrc = `
+export void scale(uniform float a[], uniform int n, uniform float s) {
+	foreach (i = 0 ... n) {
+		a[i] = a[i] * s;
+	}
+}
+`
+
+func TestUniformBroadcastPassFindsFigure9(t *testing.T) {
+	res, err := codegen.CompileSource(uniformScaleSrc, isa.AVX, "scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &UniformBroadcastPass{}
+	if err := p.Run(res.Module); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Inserted) == 0 {
+		t.Fatal("no broadcast detectors inserted")
+	}
+	if err := res.Module.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	text := res.Module.Func("scale").String()
+	if !strings.Contains(text, "call void @checkUniformBroadcast.v8f32") {
+		t.Errorf("broadcast check call missing:\n%s", text)
+	}
+}
+
+func TestBroadcastCheckRuntime(t *testing.T) {
+	m := ir.NewModule("t")
+	vt := ir.Vec(ir.F32, 8)
+	decl := broadcastDecl(m, vt)
+	f := ir.NewFunc("f", ir.Void, []*ir.Type{vt}, []string{"v"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	bu.Call(decl, "", f.Params[0])
+	bu.Ret(nil)
+
+	it, _ := interp.New(m, interp.Options{})
+	AttachRuntime(it)
+	ok := interp.ConstValue(ir.ConstSplat(8, ir.ConstFloat(ir.F32, 3)))
+	if _, tr := it.Run("f", ok); tr != nil {
+		t.Fatal(tr)
+	}
+	if len(it.Detections) != 0 {
+		t.Fatalf("uniform lanes flagged: %v", it.Detections)
+	}
+	bad := ok.Clone()
+	bad.Bits[5] ^= 1 << 20
+	if _, tr := it.Run("f", bad); tr != nil {
+		t.Fatal(tr)
+	}
+	if len(it.Detections) != 1 {
+		t.Fatalf("diverged lane not flagged: %v", it.Detections)
+	}
+}
+
+func TestIsForeachHeader(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"foreach_full_body", true},
+		{"foreach_full_body.2", true},
+		{"foreach_full_body.13", true},
+		{"foreach_full_body.lr.ph", false},
+		{"foreach_full_body.exit", false},
+		{"partial_inner_only", false},
+		{"foreach_full_body.", false},
+	}
+	for _, c := range cases {
+		if got := isForeachHeader(c.name); got != c.want {
+			t.Errorf("isForeachHeader(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestDetectorThenInstrumentOrder: the §III-B checker reads the value the
+// VULFI instrumentation later redirects, so injected lane corruption on a
+// broadcast is visible to the detector (the pass-ordering contract).
+func TestBroadcastDetectorSeesInstrumentedValue(t *testing.T) {
+	res, err := codegen.CompileSource(uniformScaleSrc, isa.AVX, "scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := &UniformBroadcastPass{}
+	if err := bp.Run(res.Module); err != nil {
+		t.Fatal(err)
+	}
+	text := res.Module.Func("scale").String()
+	// The check consumes the broadcast SSA value by name.
+	if !strings.Contains(text, "@checkUniformBroadcast.v8f32(<8 x float> %s_broadcast)") {
+		t.Skipf("broadcast value named differently:\n%s", text)
+	}
+}
+
+const maskLoopSrc = `
+export void halver(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		varying float v = a[i];
+		while (v > 1.0) {
+			v = v / 2.0;
+		}
+		a[i] = v;
+	}
+}
+`
+
+func TestMaskMonotonicityInsertion(t *testing.T) {
+	res, err := codegen.CompileSource(maskLoopSrc, isa.AVX, "halver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &MaskMonotonicityPass{}
+	if err := p.Run(res.Module); err != nil {
+		t.Fatal(err)
+	}
+	// The foreach body instantiates twice (full + partial), so two mask
+	// loops get detectors.
+	if len(p.Inserted) != 2 {
+		t.Fatalf("inserted %d detectors, want 2", len(p.Inserted))
+	}
+	if err := res.Module.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	text := res.Module.Func("halver").String()
+	if !strings.Contains(text, "call void @checkMaskLoopMonotonic.v8i1(<8 x i1> %loopmask, <8 x i1> %livemask)") {
+		t.Errorf("mask monotonicity check missing:\n%s", text)
+	}
+
+	// A healthy run never fires the detector.
+	x, err := exec.NewInstance(res, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	AttachRuntime(x.It)
+	a, _ := x.AllocF32([]float32{8, 0.5, 64, 3, 2, 1, 100, 7, 9, 0.25, 33})
+	if _, tr := x.CallExport("halver", exec.PtrArgF32(a), exec.I32Arg(11)); tr != nil {
+		t.Fatal(tr)
+	}
+	if len(x.It.Detections) != 0 {
+		t.Fatalf("healthy mask loop flagged: %v", x.It.Detections)
+	}
+}
+
+func TestMaskMonotonicityRuntime(t *testing.T) {
+	m := ir.NewModule("t")
+	mt := ir.Vec(ir.I1, 8)
+	decl := maskMonotonicDecl(m, mt)
+	f := ir.NewFunc("f", ir.Void, []*ir.Type{mt, mt}, []string{"loop", "live"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	bu.Call(decl, "", f.Params[0], f.Params[1])
+	bu.Ret(nil)
+
+	run := func(loop, live []uint64) int {
+		it, _ := interp.New(m, interp.Options{})
+		AttachRuntime(it)
+		lv := interp.Value{Ty: mt, Bits: loop}
+		vv := interp.Value{Ty: mt, Bits: live}
+		if _, tr := it.Run("f", lv, vv); tr != nil {
+			t.Fatal(tr)
+		}
+		return len(it.Detections)
+	}
+	// live ⊆ loop: fine.
+	if run([]uint64{1, 1, 1, 0, 0, 0, 0, 0}, []uint64{1, 0, 1, 0, 0, 0, 0, 0}) != 0 {
+		t.Fatal("subset live mask flagged")
+	}
+	// lane 3 live but not in the loop mask: corrupted.
+	if run([]uint64{1, 1, 1, 0, 0, 0, 0, 0}, []uint64{1, 0, 1, 1, 0, 0, 0, 0}) != 1 {
+		t.Fatal("reactivated lane not flagged")
+	}
+}

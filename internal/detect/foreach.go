@@ -1,0 +1,223 @@
+// Package detect synthesizes the paper's compilation-aware error
+// detectors:
+//
+//   - §III-A: foreach loop invariants. The code generator guarantees that
+//     on exit from foreach_full_body the loop counter satisfies
+//     new_counter ≥ start, new_counter ≤ aligned_end and
+//     (new_counter - start) % Vl == 0 (Figure 8; the paper states the
+//     start = 0 case). The pass inserts a
+//     foreach_fullbody_check_invariants block calling the runtime
+//     detector API on the loop-exit edge only, for low overhead.
+//   - §III-B: uniform-broadcast lane equality. Every Figure 9 broadcast
+//     (insertelement into undef + zero-mask shufflevector) must have all
+//     lanes equal; an XOR-style lane comparison checks it. The paper
+//     leaves this detector as future work; it is implemented here.
+//
+// Both detectors are structural: they rediscover the code generator's
+// patterns from the IR by block/value naming and instruction shape, the
+// way the paper's prototype keys off ISPC's documented lowering.
+package detect
+
+import (
+	"fmt"
+	"strings"
+
+	"vulfi/internal/interp"
+	"vulfi/internal/ir"
+)
+
+// CheckInvariantsName is the runtime detector API called on foreach exit.
+const CheckInvariantsName = "checkInvariantsForeachFullBody"
+
+// CheckBlockName is the paper's name for the inserted detector block.
+const CheckBlockName = "foreach_fullbody_check_invariants"
+
+// InsertedDetector describes one synthesized detector site.
+type InsertedDetector struct {
+	Func  *ir.Func
+	Block *ir.Block
+	Kind  string
+}
+
+// ForeachInvariantPass inserts the §III-A invariant checks.
+type ForeachInvariantPass struct {
+	// EveryIteration moves the check into the loop latch (ablation of the
+	// paper's exit-only placement; higher overhead, earlier detection).
+	EveryIteration bool
+	// Inserted lists the synthesized detectors after Run.
+	Inserted []InsertedDetector
+}
+
+// Name implements passes.Pass.
+func (p *ForeachInvariantPass) Name() string { return "detect-foreach-invariants" }
+
+// foreachLoop is the rediscovered structure of one lowered foreach.
+type foreachLoop struct {
+	header     *ir.Block
+	latch      *ir.Block
+	exit       *ir.Block
+	newCounter ir.Value
+	alignedEnd ir.Value
+	start      ir.Value
+	vl         int64
+}
+
+// isForeachHeader matches "foreach_full_body" and "foreach_full_body.N"
+// but not ".lr.ph" / ".exit" satellites.
+func isForeachHeader(name string) bool {
+	if name == "foreach_full_body" {
+		return true
+	}
+	rest, ok := strings.CutPrefix(name, "foreach_full_body.")
+	if !ok || rest == "" {
+		return false
+	}
+	for i := 0; i < len(rest); i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// discoverForeach rediscovers the Figure 7 structure around a header.
+func discoverForeach(f *ir.Func, header *ir.Block) (*foreachLoop, error) {
+	// The latch is the block whose conditional back edge targets the
+	// header; for a straight-line foreach body it is the header itself.
+	var latch *ir.Block
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t != nil && t.Op == ir.OpCondBr && t.Succs[0] == header {
+			latch = b
+			break
+		}
+	}
+	if latch == nil {
+		return nil, fmt.Errorf("no latch found for %s", header.Nam)
+	}
+	condbr := latch.Terminator()
+	exitCond, ok := condbr.Operand(0).(*ir.Instr)
+	if !ok || exitCond.Op != ir.OpICmp {
+		return nil, fmt.Errorf("latch of %s has no icmp exit condition", header.Nam)
+	}
+	lp := &foreachLoop{
+		header:     header,
+		latch:      latch,
+		exit:       condbr.Succs[1],
+		newCounter: exitCond.Operand(0),
+		alignedEnd: exitCond.Operand(1),
+	}
+	nc, ok := lp.newCounter.(*ir.Instr)
+	if !ok || nc.Op != ir.OpAdd {
+		return nil, fmt.Errorf("new_counter of %s is not an add", header.Nam)
+	}
+	step, ok := nc.Operand(1).(*ir.Const)
+	if !ok {
+		return nil, fmt.Errorf("loop step of %s is not constant", header.Nam)
+	}
+	lp.vl = step.Int()
+
+	// The counter phi: its non-latch incoming is the loop start value.
+	counter, ok := nc.Operand(0).(*ir.Instr)
+	if !ok || counter.Op != ir.OpPhi {
+		return nil, fmt.Errorf("counter of %s is not a phi", header.Nam)
+	}
+	for i, pred := range counter.Succs {
+		if pred != latch {
+			lp.start = counter.Operand(i)
+		}
+	}
+	if lp.start == nil {
+		return nil, fmt.Errorf("no start value for %s", header.Nam)
+	}
+	return lp, nil
+}
+
+// Run implements passes.Pass.
+func (p *ForeachInvariantPass) Run(m *ir.Module) error {
+	decl := checkDecl(m)
+	for _, f := range m.Funcs {
+		if f.IsDecl {
+			continue
+		}
+		// Collect headers first; insertion mutates the block list.
+		var headers []*ir.Block
+		for _, b := range f.Blocks {
+			if isForeachHeader(b.Nam) {
+				headers = append(headers, b)
+			}
+		}
+		for _, h := range headers {
+			lp, err := discoverForeach(f, h)
+			if err != nil {
+				return err
+			}
+			target := lp.exit
+			if p.EveryIteration {
+				target = lp.latch
+			}
+			bu := ir.NewBuilderBefore(target.Terminator())
+			bu.Call(decl, "", lp.newCounter, lp.alignedEnd, lp.start,
+				ir.ConstInt(ir.I32, lp.vl))
+			if !p.EveryIteration {
+				target.Nam = uniqueBlockName(f, CheckBlockName)
+			}
+			p.Inserted = append(p.Inserted, InsertedDetector{
+				Func: f, Block: target, Kind: "foreach-invariants",
+			})
+		}
+	}
+	return nil
+}
+
+func uniqueBlockName(f *ir.Func, base string) string {
+	name := base
+	for i := 2; f.BlockByName(name) != nil; i++ {
+		name = fmt.Sprintf("%s.%d", base, i)
+	}
+	return name
+}
+
+func checkDecl(m *ir.Module) *ir.Func {
+	if f := m.Func(CheckInvariantsName); f != nil {
+		return f
+	}
+	f := ir.NewDecl(CheckInvariantsName, ir.Void, ir.I32, ir.I32, ir.I32, ir.I32)
+	m.AddFunc(f)
+	return f
+}
+
+// AttachRuntime registers the detector runtime API implementations:
+// the Figure 8 invariant checks and the broadcast lane-equality check.
+// Violations are recorded on the interpreter's Detections list; execution
+// continues (the detector flags, it does not abort).
+func AttachRuntime(it *interp.Interp) {
+	it.RegisterExtern(CheckInvariantsName,
+		func(it *interp.Interp, args []interp.Value) (interp.Value, *interp.Trap) {
+			nc, ae, start, vl := args[0].Int(), args[1].Int(), args[2].Int(), args[3].Int()
+			switch {
+			case nc < start:
+				it.Detections = append(it.Detections, fmt.Sprintf(
+					"foreach invariant 1 violated: new_counter %d < start %d", nc, start))
+			case nc > ae:
+				it.Detections = append(it.Detections, fmt.Sprintf(
+					"foreach invariant 2 violated: new_counter %d > aligned_end %d", nc, ae))
+			case vl != 0 && (nc-start)%vl != 0:
+				it.Detections = append(it.Detections, fmt.Sprintf(
+					"foreach invariant 3 violated: (new_counter %d - start %d) %% %d != 0",
+					nc, start, vl))
+			}
+			return interp.Value{}, nil
+		})
+	for _, f := range it.Mod.Funcs {
+		if !f.IsDecl {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(f.Nam, CheckBroadcastPrefix):
+			it.RegisterExtern(f.Nam, checkBroadcastImpl)
+		case strings.HasPrefix(f.Nam, CheckMaskMonotonicName):
+			it.RegisterExtern(f.Nam, checkMaskMonotonicImpl)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+
+	"vulfi/internal/interp"
+	"vulfi/internal/ir"
+)
+
+// CheckMaskMonotonicName is the runtime API verifying mask-loop
+// monotonicity.
+const CheckMaskMonotonicName = "checkMaskLoopMonotonic"
+
+// MaskMonotonicityPass synthesizes a third compilation-aware detector in
+// the spirit the paper's conclusion anticipates ("we have barely
+// scratched the possibility-space of exploiting compilation-aware
+// detectors"): the code generator guarantees that in a varying-while
+// mask loop, the live mask only ever *loses* lanes — a lane that exits
+// the loop can never re-activate. A bit flip in the mask-carrying
+// registers breaks that monotonicity, so the pass inserts
+//
+//	call @checkMaskLoopMonotonic(<Vl x i1> loopmask, <Vl x i1> livemask)
+//
+// into each mask-loop header, flagging any lane set in livemask but
+// clear in loopmask (live ⊄ loop ⇒ corrupted mask).
+type MaskMonotonicityPass struct {
+	// Inserted lists the synthesized detectors after Run.
+	Inserted []InsertedDetector
+}
+
+// Name implements passes.Pass.
+func (p *MaskMonotonicityPass) Name() string { return "detect-mask-monotonicity" }
+
+// isMaskLoopHeader matches the code generator's "vwhile.cond" blocks.
+func isMaskLoopHeader(name string) bool {
+	return name == "vwhile.cond" || strings.HasPrefix(name, "vwhile.cond.")
+}
+
+// Run implements passes.Pass.
+func (p *MaskMonotonicityPass) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl {
+			continue
+		}
+		var headers []*ir.Block
+		for _, b := range f.Blocks {
+			if isMaskLoopHeader(b.Nam) {
+				headers = append(headers, b)
+			}
+		}
+		for _, h := range headers {
+			loopMask, liveMask, err := discoverMaskLoop(h)
+			if err != nil {
+				return err
+			}
+			decl := maskMonotonicDecl(m, loopMask.Type())
+			bu := ir.NewBuilderBefore(h.Terminator())
+			bu.Call(decl, "", loopMask, liveMask)
+			p.Inserted = append(p.Inserted, InsertedDetector{
+				Func: f, Block: h, Kind: "mask-monotonicity",
+			})
+		}
+	}
+	return nil
+}
+
+// discoverMaskLoop extracts the loop-mask phi and the live mask from a
+// vwhile header: the header ends in `condbr (any), body, exit` where
+// `any` tests the movmsk of the live mask, and the live mask is the AND
+// of the loop-mask phi with the iteration's condition.
+func discoverMaskLoop(h *ir.Block) (ir.Value, ir.Value, error) {
+	var loopMask *ir.Instr
+	for _, phi := range h.Phis() {
+		t := phi.Type()
+		if t.IsVector() && t.Elem == ir.I1 {
+			loopMask = phi
+			break
+		}
+	}
+	if loopMask == nil {
+		return nil, nil, fmt.Errorf("detect: %s has no mask phi", h.Nam)
+	}
+	var liveMask *ir.Instr
+	for _, in := range h.Instrs {
+		if in.Op == ir.OpAnd && in.Ty.IsVector() && in.Ty.Elem == ir.I1 {
+			liveMask = in
+		}
+	}
+	if liveMask == nil {
+		return nil, nil, fmt.Errorf("detect: %s has no live-mask and", h.Nam)
+	}
+	return loopMask, liveMask, nil
+}
+
+func maskMonotonicDecl(m *ir.Module, maskTy *ir.Type) *ir.Func {
+	name := fmt.Sprintf("%s.v%di1", CheckMaskMonotonicName, maskTy.Len)
+	if f := m.Func(name); f != nil {
+		return f
+	}
+	f := ir.NewDecl(name, ir.Void, maskTy, maskTy)
+	m.AddFunc(f)
+	return f
+}
+
+// checkMaskMonotonicImpl flags lanes live without being in the loop mask.
+func checkMaskMonotonicImpl(it *interp.Interp, args []interp.Value) (interp.Value, *interp.Trap) {
+	loop, live := args[0], args[1]
+	for i := range live.Bits {
+		if live.Bits[i]&1 != 0 && loop.Bits[i]&1 == 0 {
+			it.Detections = append(it.Detections, fmt.Sprintf(
+				"mask loop monotonicity violated: lane %d live outside the loop mask", i))
+			break
+		}
+	}
+	return interp.Value{}, nil
+}

@@ -1,0 +1,132 @@
+// Package exec glues compiled VSPC modules to the interpreter: it creates
+// interpreter instances with the ISA intrinsics bound, marshals Go slices
+// in and out of simulated memory, and calls export functions with the
+// implicit all-on execution mask.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"vulfi/internal/codegen"
+	"vulfi/internal/interp"
+	"vulfi/internal/ir"
+	"vulfi/internal/isa"
+)
+
+// Instance is one executable instantiation of a compiled module.
+type Instance struct {
+	It  *interp.Interp
+	Res *codegen.Result
+}
+
+// NewInstance creates an interpreter for the compiled module with all ISA
+// intrinsics bound.
+func NewInstance(res *codegen.Result, opts interp.Options) (*Instance, error) {
+	it, err := interp.New(res.Module, opts)
+	if err != nil {
+		return nil, err
+	}
+	isa.Bind(it)
+	return &Instance{It: it, Res: res}, nil
+}
+
+// AllocF32 copies data into a fresh memory segment of float32 cells.
+func (x *Instance) AllocF32(data []float32) (uint64, error) {
+	addr, tr := x.It.Mem.Alloc(uint64(4 * len(data)))
+	if tr != nil {
+		return 0, tr
+	}
+	for i, v := range data {
+		fv := interp.FloatValue(ir.F32, float64(v))
+		if tr := x.It.Mem.StoreScalar(ir.F32, addr+uint64(i)*4, fv.Uint()); tr != nil {
+			return 0, tr
+		}
+	}
+	return addr, nil
+}
+
+// AllocI32 copies data into a fresh memory segment of int32 cells.
+func (x *Instance) AllocI32(data []int32) (uint64, error) {
+	addr, tr := x.It.Mem.Alloc(uint64(4 * len(data)))
+	if tr != nil {
+		return 0, tr
+	}
+	for i, v := range data {
+		if tr := x.It.Mem.StoreScalar(ir.I32, addr+uint64(i)*4,
+			uint64(uint32(v))); tr != nil {
+			return 0, tr
+		}
+	}
+	return addr, nil
+}
+
+// ReadF32 copies n float32 cells back out of memory.
+func (x *Instance) ReadF32(addr uint64, n int) ([]float32, error) {
+	out := make([]float32, n)
+	for i := range out {
+		bits, tr := x.It.Mem.LoadScalar(ir.F32, addr+uint64(i)*4)
+		if tr != nil {
+			return nil, tr
+		}
+		out[i] = float32frombits(uint32(bits))
+	}
+	return out, nil
+}
+
+// ReadI32 copies n int32 cells back out of memory.
+func (x *Instance) ReadI32(addr uint64, n int) ([]int32, error) {
+	out := make([]int32, n)
+	for i := range out {
+		bits, tr := x.It.Mem.LoadScalar(ir.I32, addr+uint64(i)*4)
+		if tr != nil {
+			return nil, tr
+		}
+		out[i] = int32(uint32(bits))
+	}
+	return out, nil
+}
+
+// ReadRaw copies size bytes starting at addr (outcome comparison).
+func (x *Instance) ReadRaw(addr, size uint64) ([]byte, error) {
+	b, tr := x.It.Mem.ReadBytes(addr, size)
+	if tr != nil {
+		return nil, tr
+	}
+	return b, nil
+}
+
+// AllOnMask returns the all-lanes-on execution mask value.
+func (x *Instance) AllOnMask() interp.Value {
+	return interp.ConstValue(ir.ConstSplat(x.Res.VL, ir.ConstBool(true)))
+}
+
+// CallExport invokes an export function, appending the implicit all-on
+// execution mask argument.
+func (x *Instance) CallExport(name string, args ...interp.Value) (interp.Value, *interp.Trap) {
+	f := x.Res.Module.Func(name)
+	if f == nil {
+		return interp.Value{}, &interp.Trap{Kind: interp.TrapHalt,
+			Msg: fmt.Sprintf("no export %q", name)}
+	}
+	full := append(append([]interp.Value{}, args...), x.AllOnMask())
+	return x.It.Call(f, full)
+}
+
+// I32Arg builds a scalar i32 argument.
+func I32Arg(v int64) interp.Value { return interp.IntValue(ir.I32, v) }
+
+// F32Arg builds a scalar float argument.
+func F32Arg(v float64) interp.Value { return interp.FloatValue(ir.F32, v) }
+
+// PtrArgF32 builds a float* argument.
+func PtrArgF32(addr uint64) interp.Value {
+	return interp.PtrValue(ir.Ptr(ir.F32), addr)
+}
+
+// PtrArgI32 builds an int* argument.
+func PtrArgI32(addr uint64) interp.Value {
+	return interp.PtrValue(ir.Ptr(ir.I32), addr)
+}
+
+func float32frombits(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"testing"
+
+	"vulfi/internal/codegen"
+	"vulfi/internal/interp"
+	"vulfi/internal/isa"
+)
+
+const incSrc = `
+export void inc(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		a[i] = a[i] + 1.0;
+	}
+}
+`
+
+func TestAllocReadRoundtrip(t *testing.T) {
+	res, err := codegen.CompileSource(incSrc, isa.SSE, "inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewInstance(res, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := []float32{1.5, -2.25, 0, 1e10}
+	fa, err := x.AllocF32(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotF, err := x.ReadF32(fa, len(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs {
+		if gotF[i] != fs[i] {
+			t.Fatalf("f32[%d] = %v, want %v", i, gotF[i], fs[i])
+		}
+	}
+	is := []int32{-1, 0, 1 << 30}
+	ia, err := x.AllocI32(is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotI, err := x.ReadI32(ia, len(is))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range is {
+		if gotI[i] != is[i] {
+			t.Fatalf("i32[%d] = %v, want %v", i, gotI[i], is[i])
+		}
+	}
+	raw, err := x.ReadRaw(ia, 4)
+	if err != nil || raw[0] != 0xFF {
+		t.Fatalf("raw read: %v %v", raw, err)
+	}
+}
+
+func TestCallExportAppendsMask(t *testing.T) {
+	res, err := codegen.CompileSource(incSrc, isa.SSE, "inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewInstance(res, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float32{1, 2, 3, 4, 5}
+	a, _ := x.AllocF32(in)
+	// Only the declared VSPC args; the all-on mask is implicit.
+	if _, tr := x.CallExport("inc", PtrArgF32(a), I32Arg(5)); tr != nil {
+		t.Fatal(tr)
+	}
+	got, _ := x.ReadF32(a, 5)
+	for i := range in {
+		if got[i] != in[i]+1 {
+			t.Fatalf("a[%d] = %v", i, got[i])
+		}
+	}
+	// The mask value itself: all lanes on at SSE gang size 4.
+	m := x.AllOnMask()
+	if m.Lanes() != 4 {
+		t.Fatalf("mask lanes = %d", m.Lanes())
+	}
+	for _, b := range m.Bits {
+		if b != 1 {
+			t.Fatal("mask lane off")
+		}
+	}
+}
+
+func TestCallExportUnknownName(t *testing.T) {
+	res, err := codegen.CompileSource(incSrc, isa.SSE, "inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := NewInstance(res, interp.Options{})
+	if _, tr := x.CallExport("nope"); tr == nil {
+		t.Fatal("unknown export should trap")
+	}
+}

@@ -1,0 +1,124 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RegisterBuiltins installs the language runtime builtins every program
+// can use: the output functions (whose accumulated stream is the
+// program's comparable output) and an abort hook.
+func RegisterBuiltins(it *Interp) {
+	out := func(format string) ExternFn {
+		return func(it *Interp, args []Value) (Value, *Trap) {
+			v := args[0]
+			if v.Ty.Scalar().IsFloat() {
+				for i := range v.Bits {
+					fmt.Fprintf(&it.Output, format, v.LaneFloat(i))
+				}
+			} else {
+				for i := range v.Bits {
+					fmt.Fprintf(&it.Output, format, v.LaneInt(i))
+				}
+			}
+			return Value{}, nil
+		}
+	}
+	it.RegisterExtern("vulfi.out.i32", out("%d\n"))
+	it.RegisterExtern("vulfi.out.i64", out("%d\n"))
+	it.RegisterExtern("vulfi.out.f32", out("%.5g\n"))
+	it.RegisterExtern("vulfi.out.f64", out("%.9g\n"))
+	it.RegisterExtern("vulfi.abort", func(it *Interp, args []Value) (Value, *Trap) {
+		return Value{}, trapf(TrapHalt, "program abort")
+	})
+}
+
+// mathUnary maps intrinsic base names to per-lane float implementations.
+var mathUnary = map[string]func(float64) float64{
+	"sqrt":  math.Sqrt,
+	"sin":   math.Sin,
+	"cos":   math.Cos,
+	"tan":   math.Tan,
+	"exp":   math.Exp,
+	"log":   math.Log,
+	"fabs":  math.Abs,
+	"floor": math.Floor,
+	"ceil":  math.Ceil,
+	"round": math.Round,
+	"rcp":   func(x float64) float64 { return 1 / x },
+	"rsqrt": func(x float64) float64 { return 1 / math.Sqrt(x) },
+}
+
+// mathBinary maps intrinsic base names to per-lane binary implementations.
+var mathBinary = map[string]func(float64, float64) float64{
+	"pow":    math.Pow,
+	"minnum": math.Min,
+	"maxnum": math.Max,
+	"atan2":  math.Atan2,
+}
+
+// intrinsicBase extracts the operation name from an LLVM-style intrinsic
+// name: "llvm.sqrt.v8f32" -> "sqrt".
+func intrinsicBase(name string) string {
+	if !strings.HasPrefix(name, "llvm.") {
+		return ""
+	}
+	rest := name[len("llvm."):]
+	if i := strings.IndexByte(rest, '.'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// genericIntrinsic resolves per-lane math intrinsics by base name,
+// covering every type suffix (.f32, .v4f32, .v8f32, ...), plus the typed
+// vulfi.out.* output family.
+func genericIntrinsic(name string) (ExternFn, bool) {
+	if strings.HasPrefix(name, "vulfi.out.") {
+		return outImpl, true
+	}
+	base := intrinsicBase(name)
+	if fn, ok := mathUnary[base]; ok {
+		return func(it *Interp, args []Value) (Value, *Trap) {
+			return mapLanes1(args[0], fn), nil
+		}, true
+	}
+	if fn, ok := mathBinary[base]; ok {
+		return func(it *Interp, args []Value) (Value, *Trap) {
+			return mapLanes2(args[0], args[1], fn), nil
+		}, true
+	}
+	return nil, false
+}
+
+// outImpl appends each lane of the argument to the program output stream.
+func outImpl(it *Interp, args []Value) (Value, *Trap) {
+	v := args[0]
+	if v.Ty.Scalar().IsFloat() {
+		for i := range v.Bits {
+			fmt.Fprintf(&it.Output, "%.5g\n", v.LaneFloat(i))
+		}
+	} else {
+		for i := range v.Bits {
+			fmt.Fprintf(&it.Output, "%d\n", v.LaneInt(i))
+		}
+	}
+	return Value{}, nil
+}
+
+func mapLanes1(v Value, fn func(float64) float64) Value {
+	out := Zero(v.Ty)
+	for i := range v.Bits {
+		out.SetLaneFloat(i, fn(v.LaneFloat(i)))
+	}
+	return out
+}
+
+func mapLanes2(a, b Value, fn func(float64, float64) float64) Value {
+	out := Zero(a.Ty)
+	for i := range a.Bits {
+		out.SetLaneFloat(i, fn(a.LaneFloat(i), b.LaneFloat(i)))
+	}
+	return out
+}

@@ -1,0 +1,606 @@
+package interp
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"vulfi/internal/ir"
+)
+
+// ExternFn implements an external function (LLVM intrinsic or runtime API
+// call). It receives the interpreter so it can touch memory and counters.
+type ExternFn func(it *Interp, args []Value) (Value, *Trap)
+
+// Options configure an interpreter instance.
+type Options struct {
+	// Budget bounds the number of executed IR instructions; exceeding it
+	// traps with TrapBudget (models a hung faulty run). 0 = 200M.
+	Budget uint64
+	// MemLimit bounds total allocation in bytes. 0 = 1 GiB.
+	MemLimit uint64
+	// MaxDepth bounds call nesting. 0 = 512.
+	MaxDepth int
+}
+
+// Interp executes functions of one module instance.
+type Interp struct {
+	Mod *ir.Module
+	Mem *Memory
+
+	// Output accumulates program output (the vspc print/out builtins);
+	// campaigns compare it between golden and faulty runs.
+	Output bytes.Buffer
+
+	// DynInstrs counts executed IR instructions; DynVector the subset that
+	// are vector instructions (≥1 vector operand).
+	DynInstrs uint64
+	DynVector uint64
+
+	// Detections accumulates messages from synthesized error detectors
+	// (the checkInvariants* runtime API).
+	Detections []string
+
+	externs  map[string]ExternFn
+	budget   uint64
+	maxDepth int
+	depth    int
+	globals  map[*ir.Global]uint64
+	tracer   *Tracer
+}
+
+// New creates an interpreter for mod, allocating storage for its globals.
+func New(mod *ir.Module, opts Options) (*Interp, error) {
+	if opts.Budget == 0 {
+		opts.Budget = 200_000_000
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 512
+	}
+	it := &Interp{
+		Mod:      mod,
+		Mem:      NewMemory(opts.MemLimit),
+		externs:  map[string]ExternFn{},
+		budget:   opts.Budget,
+		maxDepth: opts.MaxDepth,
+		globals:  map[*ir.Global]uint64{},
+	}
+	for _, g := range mod.Globals {
+		addr, tr := it.Mem.Alloc(uint64(g.Elem.ByteSize() * g.Count))
+		if tr != nil {
+			return nil, tr
+		}
+		it.globals[g] = addr
+	}
+	RegisterBuiltins(it)
+	return it, nil
+}
+
+// RegisterExtern installs (or replaces) the implementation of an external
+// function.
+func (it *Interp) RegisterExtern(name string, fn ExternFn) {
+	it.externs[name] = fn
+}
+
+// HasExtern reports whether name has a registered implementation.
+func (it *Interp) HasExtern(name string) bool {
+	_, ok := it.externs[name]
+	return ok
+}
+
+// GlobalAddr returns the base address of a module global.
+func (it *Interp) GlobalAddr(g *ir.Global) uint64 { return it.globals[g] }
+
+// GlobalAddrByName returns the base address of the named global.
+func (it *Interp) GlobalAddrByName(name string) (uint64, bool) {
+	for g, a := range it.globals {
+		if g.Nam == name {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Run executes the named function with args and returns its result.
+func (it *Interp) Run(name string, args ...Value) (Value, *Trap) {
+	f := it.Mod.Func(name)
+	if f == nil {
+		return Value{}, trapf(TrapHalt, "no such function @%s", name)
+	}
+	return it.Call(f, args)
+}
+
+// Call executes f with args.
+func (it *Interp) Call(f *ir.Func, args []Value) (Value, *Trap) {
+	if f.IsDecl {
+		fn, ok := it.externs[f.Nam]
+		if !ok {
+			fn, ok = genericIntrinsic(f.Nam)
+		}
+		if !ok {
+			return Value{}, trapf(TrapHalt, "unresolved external @%s", f.Nam)
+		}
+		return fn(it, args)
+	}
+	if it.depth++; it.depth > it.maxDepth {
+		it.depth--
+		return Value{}, trapf(TrapStack, "call depth %d at @%s", it.depth, f.Nam)
+	}
+	defer func() { it.depth-- }()
+
+	if len(args) != len(f.Params) {
+		return Value{}, trapf(TrapHalt, "@%s: got %d args, want %d",
+			f.Nam, len(args), len(f.Params))
+	}
+	fr := &frame{
+		vals:   make(map[*ir.Instr]Value, 64),
+		params: make([]Value, len(args)),
+	}
+	copy(fr.params, args)
+
+	cur := f.Entry()
+	var prev *ir.Block
+	for {
+		// Evaluate phis as a parallel copy.
+		phis := cur.Phis()
+		if len(phis) > 0 {
+			tmp := make([]Value, len(phis))
+			for i, phi := range phis {
+				v, tr := it.phiIncoming(fr, phi, prev)
+				if tr != nil {
+					return Value{}, tr
+				}
+				tmp[i] = v
+			}
+			for i, phi := range phis {
+				fr.vals[phi] = tmp[i]
+				it.account(phi)
+			}
+			if tr := it.checkBudget(); tr != nil {
+				return Value{}, tr
+			}
+		}
+
+		for _, in := range cur.Instrs[len(phis):] {
+			it.account(in)
+			if it.DynInstrs&1023 == 0 {
+				if tr := it.checkBudget(); tr != nil {
+					return Value{}, tr
+				}
+			}
+			switch in.Op {
+			case ir.OpBr:
+				prev, cur = cur, in.Succs[0]
+				goto nextBlock
+			case ir.OpCondBr:
+				c, tr := it.eval(fr, in.Operand(0))
+				if tr != nil {
+					return Value{}, tr
+				}
+				if c.Bool() {
+					prev, cur = cur, in.Succs[0]
+				} else {
+					prev, cur = cur, in.Succs[1]
+				}
+				goto nextBlock
+			case ir.OpRet:
+				if len(in.Operands()) == 0 {
+					return Value{}, nil
+				}
+				return it.eval(fr, in.Operand(0))
+			case ir.OpUnreachable:
+				return Value{}, trapf(TrapHalt, "reached unreachable in @%s", f.Nam)
+			default:
+				v, tr := it.execInstr(fr, in)
+				if tr != nil {
+					return Value{}, tr
+				}
+				if !in.Ty.IsVoid() {
+					fr.vals[in] = v
+				}
+				if it.tracer != nil {
+					it.trace(in, v)
+				}
+			}
+		}
+		return Value{}, trapf(TrapHalt, "block %s fell through", cur.Nam)
+	nextBlock:
+	}
+}
+
+type frame struct {
+	vals   map[*ir.Instr]Value
+	params []Value
+}
+
+func (it *Interp) account(in *ir.Instr) {
+	it.DynInstrs++
+	if in.IsVectorInstr() {
+		it.DynVector++
+	}
+}
+
+func (it *Interp) checkBudget() *Trap {
+	if it.DynInstrs > it.budget {
+		return trapf(TrapBudget, "executed %d instructions", it.DynInstrs)
+	}
+	return nil
+}
+
+func (it *Interp) phiIncoming(fr *frame, phi *ir.Instr, prev *ir.Block) (Value, *Trap) {
+	for i, b := range phi.Succs {
+		if b == prev {
+			return it.eval(fr, phi.Operand(i))
+		}
+	}
+	return Value{}, trapf(TrapHalt, "phi %%%s: no incoming for block %v", phi.Nam, prev)
+}
+
+// eval resolves an operand to its runtime value.
+func (it *Interp) eval(fr *frame, v ir.Value) (Value, *Trap) {
+	switch x := v.(type) {
+	case *ir.Const:
+		return ConstValue(x), nil
+	case *ir.Param:
+		return fr.params[x.Index], nil
+	case *ir.Instr:
+		val, ok := fr.vals[x]
+		if !ok {
+			return Value{}, trapf(TrapHalt, "use of undefined value %%%s", x.Nam)
+		}
+		return val, nil
+	case *ir.Global:
+		return PtrValue(x.Type(), it.globals[x]), nil
+	}
+	return Value{}, trapf(TrapHalt, "unsupported operand %T", v)
+}
+
+func (it *Interp) evalN(fr *frame, in *ir.Instr) ([]Value, *Trap) {
+	out := make([]Value, in.NumOperands())
+	for i := 0; i < in.NumOperands(); i++ {
+		v, tr := it.eval(fr, in.Operand(i))
+		if tr != nil {
+			return nil, tr
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (it *Interp) execInstr(fr *frame, in *ir.Instr) (Value, *Trap) {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem, ir.OpUDiv,
+		ir.OpURem, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
+		ops, tr := it.evalN(fr, in)
+		if tr != nil {
+			return Value{}, tr
+		}
+		return intBin(in.Op, ops[0], ops[1])
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFRem:
+		ops, tr := it.evalN(fr, in)
+		if tr != nil {
+			return Value{}, tr
+		}
+		return floatBin(in.Op, ops[0], ops[1]), nil
+	case ir.OpICmp, ir.OpFCmp:
+		ops, tr := it.evalN(fr, in)
+		if tr != nil {
+			return Value{}, tr
+		}
+		return compare(in.Op, in.Pred, ops[0], ops[1]), nil
+	case ir.OpSelect:
+		ops, tr := it.evalN(fr, in)
+		if tr != nil {
+			return Value{}, tr
+		}
+		return selectVal(ops[0], ops[1], ops[2]), nil
+	case ir.OpAlloca:
+		addr, tr := it.Mem.Alloc(uint64(in.AllocElem.ByteSize() * in.AllocCount))
+		if tr != nil {
+			return Value{}, tr
+		}
+		return PtrValue(in.Ty, addr), nil
+	case ir.OpLoad:
+		p, tr := it.eval(fr, in.Operand(0))
+		if tr != nil {
+			return Value{}, tr
+		}
+		return it.Mem.Load(in.Ty, p.Uint())
+	case ir.OpStore:
+		ops, tr := it.evalN(fr, in)
+		if tr != nil {
+			return Value{}, tr
+		}
+		return Value{}, it.Mem.Store(ops[0], ops[1].Uint())
+	case ir.OpGEP:
+		ops, tr := it.evalN(fr, in)
+		if tr != nil {
+			return Value{}, tr
+		}
+		elem := in.Ty.Elem
+		addr := ops[0].Uint() + uint64(ops[1].Int())*uint64(elem.ByteSize())
+		return PtrValue(in.Ty, addr), nil
+	case ir.OpExtractElement:
+		ops, tr := it.evalN(fr, in)
+		if tr != nil {
+			return Value{}, tr
+		}
+		idx := int(ops[1].Int())
+		if idx < 0 || idx >= len(ops[0].Bits) {
+			return Value{}, trapf(TrapBadIndex, "extractelement lane %d of %d",
+				idx, len(ops[0].Bits))
+		}
+		return Scalar(in.Ty, ops[0].Bits[idx]), nil
+	case ir.OpInsertElement:
+		ops, tr := it.evalN(fr, in)
+		if tr != nil {
+			return Value{}, tr
+		}
+		idx := int(ops[2].Int())
+		if idx < 0 || idx >= len(ops[0].Bits) {
+			return Value{}, trapf(TrapBadIndex, "insertelement lane %d of %d",
+				idx, len(ops[0].Bits))
+		}
+		out := ops[0].Clone()
+		out.Bits[idx] = ops[1].Bits[0]
+		return out, nil
+	case ir.OpShuffleVector:
+		ops, tr := it.evalN(fr, in)
+		if tr != nil {
+			return Value{}, tr
+		}
+		n := ops[0].Lanes()
+		out := Zero(in.Ty)
+		for i, mi := range in.ShuffleMask {
+			switch {
+			case mi < 0:
+				out.Bits[i] = 0 // undef lane
+			case mi < n:
+				out.Bits[i] = ops[0].Bits[mi]
+			default:
+				out.Bits[i] = ops[1].Bits[mi-n]
+			}
+		}
+		return out, nil
+	case ir.OpPhi:
+		return Value{}, trapf(TrapHalt, "phi executed outside block entry")
+	case ir.OpCall:
+		ops, tr := it.evalN(fr, in)
+		if tr != nil {
+			return Value{}, tr
+		}
+		return it.Call(in.Callee, ops)
+	default:
+		if in.Op.IsCast() {
+			v, tr := it.eval(fr, in.Operand(0))
+			if tr != nil {
+				return Value{}, tr
+			}
+			return castVal(in.Op, v, in.Ty), nil
+		}
+		return Value{}, trapf(TrapHalt, "unimplemented opcode %s", in.Op)
+	}
+}
+
+func intBin(op ir.Op, a, b Value) (Value, *Trap) {
+	out := Zero(a.Ty)
+	bits := a.Ty.ScalarBits()
+	for i := range a.Bits {
+		x, y := a.Bits[i], b.Bits[i]
+		sx, sy := ir.SignExtend(x, bits), ir.SignExtend(y, bits)
+		var r uint64
+		switch op {
+		case ir.OpAdd:
+			r = x + y
+		case ir.OpSub:
+			r = x - y
+		case ir.OpMul:
+			r = x * y
+		case ir.OpSDiv, ir.OpSRem:
+			if sy == 0 {
+				return Value{}, trapf(TrapDivZero, "%s by zero", op)
+			}
+			if sx == minIntFor(bits) && sy == -1 {
+				return Value{}, trapf(TrapDivOverflow, "%d %s -1", sx, op)
+			}
+			if op == ir.OpSDiv {
+				r = uint64(sx / sy)
+			} else {
+				r = uint64(sx % sy)
+			}
+		case ir.OpUDiv, ir.OpURem:
+			if y == 0 {
+				return Value{}, trapf(TrapDivZero, "%s by zero", op)
+			}
+			if op == ir.OpUDiv {
+				r = x / y
+			} else {
+				r = x % y
+			}
+		case ir.OpAnd:
+			r = x & y
+		case ir.OpOr:
+			r = x | y
+		case ir.OpXor:
+			r = x ^ y
+		case ir.OpShl:
+			r = x << (y % uint64(bits))
+		case ir.OpLShr:
+			r = x >> (y % uint64(bits))
+		case ir.OpAShr:
+			r = uint64(sx >> (y % uint64(bits)))
+		}
+		out.Bits[i] = ir.TruncateToWidth(r, bits)
+	}
+	return out, nil
+}
+
+func minIntFor(bits int) int64 {
+	if bits >= 64 {
+		return math.MinInt64
+	}
+	return -(1 << uint(bits-1))
+}
+
+func floatBin(op ir.Op, a, b Value) Value {
+	out := Zero(a.Ty)
+	for i := range a.Bits {
+		x, y := a.LaneFloat(i), b.LaneFloat(i)
+		var r float64
+		switch op {
+		case ir.OpFAdd:
+			r = x + y
+		case ir.OpFSub:
+			r = x - y
+		case ir.OpFMul:
+			r = x * y
+		case ir.OpFDiv:
+			r = x / y // IEEE: ±Inf/NaN, no trap
+		case ir.OpFRem:
+			r = math.Mod(x, y)
+		}
+		if a.Ty.Scalar() == ir.F32 {
+			r = float64(float32(r))
+		}
+		out.SetLaneFloat(i, r)
+	}
+	return out
+}
+
+func compare(op ir.Op, pred ir.Pred, a, b Value) Value {
+	n := a.Lanes()
+	var ty *ir.Type = ir.I1
+	if a.Ty.IsVector() {
+		ty = ir.Vec(ir.I1, n)
+	}
+	out := Zero(ty)
+	bits := a.Ty.ScalarBits()
+	for i := 0; i < n; i++ {
+		var res bool
+		if op == ir.OpICmp {
+			sx, sy := ir.SignExtend(a.Bits[i], bits), ir.SignExtend(b.Bits[i], bits)
+			ux, uy := a.Bits[i], b.Bits[i]
+			switch pred {
+			case ir.IntEQ:
+				res = ux == uy
+			case ir.IntNE:
+				res = ux != uy
+			case ir.IntSLT:
+				res = sx < sy
+			case ir.IntSLE:
+				res = sx <= sy
+			case ir.IntSGT:
+				res = sx > sy
+			case ir.IntSGE:
+				res = sx >= sy
+			case ir.IntULT:
+				res = ux < uy
+			case ir.IntULE:
+				res = ux <= uy
+			case ir.IntUGT:
+				res = ux > uy
+			case ir.IntUGE:
+				res = ux >= uy
+			}
+		} else {
+			x, y := a.LaneFloat(i), b.LaneFloat(i)
+			switch pred {
+			case ir.FloatOEQ:
+				res = x == y
+			case ir.FloatONE:
+				res = x != y && !math.IsNaN(x) && !math.IsNaN(y)
+			case ir.FloatUNE:
+				res = x != y
+			case ir.FloatOLT:
+				res = x < y
+			case ir.FloatOLE:
+				res = x <= y
+			case ir.FloatOGT:
+				res = x > y
+			case ir.FloatOGE:
+				res = x >= y
+			}
+		}
+		if res {
+			out.Bits[i] = 1
+		}
+	}
+	return out
+}
+
+func selectVal(c, t, f Value) Value {
+	if c.Ty == ir.I1 {
+		if c.Bool() {
+			return t.Clone()
+		}
+		return f.Clone()
+	}
+	out := Zero(t.Ty)
+	for i := range out.Bits {
+		if c.Bits[i]&1 != 0 {
+			out.Bits[i] = t.Bits[i]
+		} else {
+			out.Bits[i] = f.Bits[i]
+		}
+	}
+	return out
+}
+
+func castVal(op ir.Op, v Value, to *ir.Type) Value {
+	out := Zero(to)
+	fromS, toS := v.Ty.Scalar(), to.Scalar()
+	for i := range v.Bits {
+		switch op {
+		case ir.OpTrunc:
+			out.Bits[i] = ir.TruncateToWidth(v.Bits[i], toS.Bits)
+		case ir.OpZExt:
+			out.Bits[i] = v.Bits[i]
+		case ir.OpSExt:
+			out.Bits[i] = ir.TruncateToWidth(uint64(ir.SignExtend(v.Bits[i], fromS.Bits)), toS.Bits)
+		case ir.OpFPTrunc:
+			out.Bits[i] = uint64(math.Float32bits(float32(math.Float64frombits(v.Bits[i]))))
+		case ir.OpFPExt:
+			out.Bits[i] = math.Float64bits(float64(math.Float32frombits(uint32(v.Bits[i]))))
+		case ir.OpSIToFP:
+			f := float64(ir.SignExtend(v.Bits[i], fromS.Bits))
+			if toS == ir.F32 {
+				out.Bits[i] = uint64(math.Float32bits(float32(f)))
+			} else {
+				out.Bits[i] = math.Float64bits(f)
+			}
+		case ir.OpFPToSI:
+			var f float64
+			if fromS == ir.F32 {
+				f = float64(math.Float32frombits(uint32(v.Bits[i])))
+			} else {
+				f = math.Float64frombits(v.Bits[i])
+			}
+			out.Bits[i] = ir.TruncateToWidth(uint64(clampToInt(f)), toS.Bits)
+		case ir.OpBitcast, ir.OpPtrToInt, ir.OpIntToPtr:
+			out.Bits[i] = ir.TruncateToWidth(v.Bits[i], toS.ScalarBits())
+		}
+	}
+	return out
+}
+
+// clampToInt converts like x86 cvttss2si: NaN/overflow produce the
+// "integer indefinite" value (min int64) rather than UB.
+func clampToInt(f float64) int64 {
+	if math.IsNaN(f) {
+		return math.MinInt64
+	}
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+// DumpState formats a short execution summary (diagnostics).
+func (it *Interp) DumpState() string {
+	return fmt.Sprintf("dyn=%d vec=%d segments=%d out=%dB detections=%d",
+		it.DynInstrs, it.DynVector, it.Mem.Allocated(), it.Output.Len(),
+		len(it.Detections))
+}

@@ -1,0 +1,143 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vulfi/internal/ir"
+)
+
+func TestMemoryAllocAndRoundtrip(t *testing.T) {
+	m := NewMemory(0)
+	addr, tr := m.Alloc(64)
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	if addr < memBase {
+		t.Fatalf("allocation below memBase: %#x", addr)
+	}
+	if addr%16 != 0 {
+		t.Fatalf("allocation not 16-aligned: %#x", addr)
+	}
+	if tr := m.StoreScalar(ir.I32, addr+4, 0xDEADBEEF); tr != nil {
+		t.Fatal(tr)
+	}
+	v, tr := m.LoadScalar(ir.I32, addr+4)
+	if tr != nil || v != 0xDEADBEEF {
+		t.Fatalf("roundtrip failed: %#x %v", v, tr)
+	}
+}
+
+func TestMemoryTraps(t *testing.T) {
+	m := NewMemory(0)
+	addr, _ := m.Alloc(32)
+
+	// Null page.
+	if _, tr := m.LoadScalar(ir.I32, 0); tr == nil || tr.Kind != TrapNull {
+		t.Errorf("null load trap = %v", tr)
+	}
+	if _, tr := m.LoadScalar(ir.I32, 8); tr == nil || tr.Kind != TrapNull {
+		t.Errorf("near-null load trap = %v", tr)
+	}
+	// Past the end of the segment (guard gap).
+	if _, tr := m.LoadScalar(ir.I32, addr+32); tr == nil || tr.Kind != TrapOOB {
+		t.Errorf("OOB load trap = %v", tr)
+	}
+	// Straddling the end.
+	if _, tr := m.LoadScalar(ir.I64, addr+28); tr == nil || tr.Kind != TrapOOB {
+		t.Errorf("straddling load trap = %v", tr)
+	}
+	// Store traps identically.
+	if tr := m.StoreScalar(ir.I32, addr+32, 1); tr == nil || tr.Kind != TrapOOB {
+		t.Errorf("OOB store trap = %v", tr)
+	}
+	// Unallocated space far away.
+	if _, tr := m.LoadScalar(ir.I32, 1<<40); tr == nil || tr.Kind != TrapOOB {
+		t.Errorf("wild load trap = %v", tr)
+	}
+}
+
+func TestMemoryGuardGapBetweenSegments(t *testing.T) {
+	m := NewMemory(0)
+	a, _ := m.Alloc(16)
+	b, _ := m.Alloc(16)
+	if b <= a+16 {
+		t.Fatalf("segments not separated: %#x %#x", a, b)
+	}
+	// The gap must be unmapped.
+	if _, tr := m.LoadScalar(ir.I8, a+16); tr == nil {
+		t.Error("guard gap readable")
+	}
+}
+
+func TestMemoryArenaLimit(t *testing.T) {
+	m := NewMemory(256)
+	if _, tr := m.Alloc(128); tr != nil {
+		t.Fatal(tr)
+	}
+	if _, tr := m.Alloc(1 << 20); tr == nil || tr.Kind != TrapOOM {
+		t.Errorf("arena limit trap = %v", tr)
+	}
+}
+
+func TestVectorLoadStore(t *testing.T) {
+	m := NewMemory(0)
+	vt := ir.Vec(ir.F32, 8)
+	addr, _ := m.Alloc(32)
+	v := Zero(vt)
+	for i := range v.Bits {
+		v.SetLaneFloat(i, float64(i)+0.5)
+	}
+	if tr := m.Store(v, addr); tr != nil {
+		t.Fatal(tr)
+	}
+	got, tr := m.Load(vt, addr)
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	for i := range got.Bits {
+		if got.LaneFloat(i) != float64(i)+0.5 {
+			t.Fatalf("lane %d = %v", i, got.LaneFloat(i))
+		}
+	}
+	// Scalar view of lane 2 matches the vector layout.
+	s, _ := m.LoadScalar(ir.F32, addr+8)
+	if Scalar(ir.F32, s).Float() != 2.5 {
+		t.Fatal("vector layout not lane-contiguous")
+	}
+}
+
+// Property: scalar store/load roundtrips for every width.
+func TestScalarRoundtripProperty(t *testing.T) {
+	m := NewMemory(0)
+	addr, _ := m.Alloc(64)
+	types := []*ir.Type{ir.I8, ir.I16, ir.I32, ir.I64, ir.F32, ir.F64}
+	prop := func(bits uint64, tySel uint8, off8 uint8) bool {
+		ty := types[int(tySel)%len(types)]
+		off := uint64(off8 % 16)
+		want := ir.TruncateToWidth(bits, ty.ScalarBits())
+		if tr := m.StoreScalar(ty, addr+off, bits); tr != nil {
+			return false
+		}
+		got, tr := m.LoadScalar(ty, addr+off)
+		return tr == nil && got == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	m := NewMemory(0)
+	addr, _ := m.Alloc(16)
+	if tr := m.WriteBytes(addr, []byte{1, 2, 3, 4}); tr != nil {
+		t.Fatal(tr)
+	}
+	got, tr := m.ReadBytes(addr, 4)
+	if tr != nil || got[0] != 1 || got[3] != 4 {
+		t.Fatalf("byte roundtrip: %v %v", got, tr)
+	}
+	if tr := m.WriteBytes(addr+14, []byte{1, 2, 3, 4}); tr == nil {
+		t.Fatal("straddling write should trap")
+	}
+}

@@ -1,0 +1,74 @@
+package interp
+
+import (
+	"testing"
+
+	"vulfi/internal/ir"
+)
+
+// buildSum builds: define i32 @sum(i32* a, i32 n) — a scalar loop summing
+// n array elements.
+func buildSum(m *ir.Module) *ir.Func {
+	f := ir.NewFunc("sum", ir.I32, []*ir.Type{ir.Ptr(ir.I32), ir.I32},
+		[]string{"a", "n"})
+	m.AddFunc(f)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	b := ir.NewBuilder(entry)
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	i := b.Phi(ir.I32, "i")
+	s := b.Phi(ir.I32, "s")
+	cond := b.ICmp(ir.IntSLT, i, f.Params[1], "cond")
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	p := b.GEP(f.Params[0], i, "p")
+	v := b.Load(p, "v")
+	s2 := b.Add(s, v, "s2")
+	i2 := b.Add(i, ir.ConstInt(ir.I32, 1), "i2")
+	b.Br(loop)
+
+	ir.AddIncoming(i, ir.ConstInt(ir.I32, 0), entry)
+	ir.AddIncoming(i, i2, body)
+	ir.AddIncoming(s, ir.ConstInt(ir.I32, 0), entry)
+	ir.AddIncoming(s, s2, body)
+
+	b.SetBlock(exit)
+	b.Ret(s)
+	return f
+}
+
+func TestScalarLoopSum(t *testing.T) {
+	m := ir.NewModule("t")
+	buildSum(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	it, err := New(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, tr := it.Mem.Alloc(10 * 4)
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	want := int64(0)
+	for i := 0; i < 10; i++ {
+		if tr := it.Mem.StoreScalar(ir.I32, addr+uint64(i)*4, uint64(i*i)); tr != nil {
+			t.Fatal(tr)
+		}
+		want += int64(i * i)
+	}
+	got, tr := it.Run("sum", PtrValue(ir.Ptr(ir.I32), addr), IntValue(ir.I32, 10))
+	if tr != nil {
+		t.Fatalf("run: %v", tr)
+	}
+	if got.Int() != want {
+		t.Fatalf("sum = %d, want %d", got.Int(), want)
+	}
+}

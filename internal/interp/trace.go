@@ -1,0 +1,39 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+
+	"vulfi/internal/ir"
+)
+
+// Tracer receives an event per executed instruction (debugging aid; used
+// by cmd/vspcc -trace). Nil disables tracing with zero overhead on the
+// hot path beyond a pointer check.
+type Tracer struct {
+	W io.Writer
+	// Limit stops tracing after this many events (0 = unlimited).
+	Limit uint64
+	seen  uint64
+}
+
+// SetTracer installs a tracer on the interpreter.
+func (it *Interp) SetTracer(tr *Tracer) { it.tracer = tr }
+
+func (it *Interp) trace(in *ir.Instr, result Value) {
+	tr := it.tracer
+	if tr == nil || (tr.Limit > 0 && tr.seen >= tr.Limit) {
+		return
+	}
+	tr.seen++
+	where := "?"
+	if in.Parent != nil {
+		where = in.Parent.Func.Nam + "/" + in.Parent.Nam
+	}
+	if in.Ty != nil && !in.Ty.IsVoid() {
+		fmt.Fprintf(tr.W, "[%8d] %-28s %s = %s\n", it.DynInstrs, where,
+			in.Ident(), result)
+	} else {
+		fmt.Fprintf(tr.W, "[%8d] %-28s %s\n", it.DynInstrs, where, in)
+	}
+}

@@ -1,0 +1,54 @@
+package interp
+
+import "fmt"
+
+// TrapKind classifies simulated hardware/OS traps. Any trap terminates the
+// program; the campaign driver classifies a trapped faulty run as a Crash
+// (the paper's "system failure, program crash, or any other issue that
+// could easily be detected by the end user").
+type TrapKind int
+
+// Trap kinds.
+const (
+	// TrapOOB is an access outside any allocated segment (segfault).
+	TrapOOB TrapKind = iota
+	// TrapNull is a null-pointer dereference.
+	TrapNull
+	// TrapDivZero is integer division/remainder by zero (SIGFPE).
+	TrapDivZero
+	// TrapDivOverflow is INT_MIN / -1 (SIGFPE on x86).
+	TrapDivOverflow
+	// TrapBadIndex is an out-of-range extractelement/insertelement index.
+	TrapBadIndex
+	// TrapBudget means the dynamic-instruction budget was exceeded: the
+	// faulty run hangs. Reported as Crash, tracked separately.
+	TrapBudget
+	// TrapStack is call-stack exhaustion.
+	TrapStack
+	// TrapOOM is arena exhaustion.
+	TrapOOM
+	// TrapHalt is an explicit abort requested by a runtime function.
+	TrapHalt
+)
+
+var trapNames = map[TrapKind]string{
+	TrapOOB: "out-of-bounds access", TrapNull: "null dereference",
+	TrapDivZero: "integer division by zero", TrapDivOverflow: "division overflow",
+	TrapBadIndex: "vector index out of range", TrapBudget: "instruction budget exceeded (hang)",
+	TrapStack: "stack overflow", TrapOOM: "out of memory", TrapHalt: "halted",
+}
+
+// Trap describes a fatal runtime event.
+type Trap struct {
+	Kind TrapKind
+	Msg  string
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	return fmt.Sprintf("trap: %s: %s", trapNames[t.Kind], t.Msg)
+}
+
+func trapf(kind TrapKind, format string, args ...any) *Trap {
+	return &Trap{Kind: kind, Msg: fmt.Sprintf(format, args...)}
+}

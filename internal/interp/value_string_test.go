@@ -1,0 +1,61 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"vulfi/internal/ir"
+)
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{IntValue(ir.I32, -7), "-7"},
+		{FloatValue(ir.F32, 2.5), "2.5"},
+		{PtrValue(ir.Ptr(ir.F32), 0x1000), "0x1000"},
+		{Value{Ty: ir.Vec(ir.I32, 3), Bits: []uint64{1, 2, 3}}, "<1, 2, 3>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTrapError(t *testing.T) {
+	tr := trapf(TrapOOB, "access at %#x", 0x42)
+	msg := tr.Error()
+	if !strings.Contains(msg, "out-of-bounds") || !strings.Contains(msg, "0x42") {
+		t.Errorf("trap message %q", msg)
+	}
+	if trapf(TrapBudget, "x").Error() == trapf(TrapNull, "x").Error() {
+		t.Error("distinct trap kinds print identically")
+	}
+}
+
+func TestDumpState(t *testing.T) {
+	m := ir.NewModule("t")
+	f := ir.NewFunc("f", ir.Void, nil, nil)
+	m.AddFunc(f)
+	ir.NewBuilder(f.NewBlock("entry")).Ret(nil)
+	it, _ := New(m, Options{})
+	if _, tr := it.Run("f"); tr != nil {
+		t.Fatal(tr)
+	}
+	s := it.DumpState()
+	if !strings.Contains(s, "dyn=1") {
+		t.Errorf("DumpState = %q", s)
+	}
+}
+
+func TestConstValueRoundtrip(t *testing.T) {
+	c := ir.ConstVec(ir.Vec(ir.I32, 4), []uint64{9, 8, 7, 6})
+	v := ConstValue(c)
+	// Mutating the runtime value must not corrupt the shared constant.
+	v.Bits[0] = 99
+	if c.Bits[0] != 9 {
+		t.Fatal("ConstValue aliases the constant's payload")
+	}
+}

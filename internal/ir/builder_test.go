@@ -1,0 +1,84 @@
+package ir
+
+import "testing"
+
+func newTestBuilder() (*Func, *Builder) {
+	f := NewFunc("t", Void, []*Type{I32, F32, Ptr(I32), Vec(F32, 4)},
+		[]string{"i", "f", "p", "v"})
+	return f, NewBuilder(f.NewBlock("entry"))
+}
+
+func TestBuilderTypePanics(t *testing.T) {
+	f, bu := newTestBuilder()
+	i, fl, p, v := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+
+	mustPanic(t, func() { bu.Add(i, fl, "") })               // mixed types
+	mustPanic(t, func() { bu.Load(i, "") })                  // non-pointer load
+	mustPanic(t, func() { bu.Store(fl, p) })                 // float into i32*
+	mustPanic(t, func() { bu.GEP(i, i, "") })                // non-pointer base
+	mustPanic(t, func() { bu.GEP(p, fl, "") })               // float index
+	mustPanic(t, func() { bu.ExtractElement(i, i, "") })     // non-vector
+	mustPanic(t, func() { bu.InsertElement(v, i, i, "") })   // wrong elem type
+	mustPanic(t, func() { bu.ShuffleVector(v, i, nil, "") }) // mismatched
+	mustPanic(t, func() { bu.CondBr(i, nil, nil) })          // non-i1 cond
+	mustPanic(t, func() { bu.Cast(OpAdd, i, I64, "") })      // not a cast op
+	mustPanic(t, func() { bu.Select(i, fl, fl, "") })        // arm/cond mix is ok? cond i32
+}
+
+func TestBuilderSelectArmMismatchPanics(t *testing.T) {
+	f, bu := newTestBuilder()
+	cond := bu.ICmp(IntEQ, f.Params[0], f.Params[0], "c")
+	mustPanic(t, func() { bu.Select(cond, f.Params[0], f.Params[1], "") })
+}
+
+func TestBuilderVoidCallHasNoName(t *testing.T) {
+	m := NewModule("t")
+	decl := NewDecl("ext", Void, I32)
+	m.AddFunc(decl)
+	f, bu := newTestBuilder()
+	m.AddFunc(f)
+	call := bu.Call(decl, "ignored", f.Params[0])
+	if call.Nam != "" {
+		t.Fatalf("void call should not get a result name, got %q", call.Nam)
+	}
+}
+
+func TestAddIncomingPanicsOnNonPhi(t *testing.T) {
+	f, bu := newTestBuilder()
+	a := bu.Add(f.Params[0], f.Params[0], "a")
+	mustPanic(t, func() { AddIncoming(a, f.Params[0], f.Entry()) })
+}
+
+func TestModuleDuplicateFunctionPanics(t *testing.T) {
+	m := NewModule("t")
+	m.AddFunc(NewDecl("f", Void))
+	mustPanic(t, func() { m.AddFunc(NewDecl("f", Void)) })
+}
+
+func TestBlockHelpers(t *testing.T) {
+	f, bu := newTestBuilder()
+	entry := f.Entry()
+	next := f.NewBlock("next")
+	bu.Br(next)
+	bu.SetBlock(next)
+	phi := bu.Phi(I32, "p")
+	AddIncoming(phi, ConstInt(I32, 1), entry)
+	bu.Add(phi, phi, "a")
+	bu.Ret(nil)
+
+	if got := entry.Succs(); len(got) != 1 || got[0] != next {
+		t.Fatal("Succs wrong")
+	}
+	if ph := next.Phis(); len(ph) != 1 || ph[0] != phi {
+		t.Fatal("Phis wrong")
+	}
+	if entry.Terminator() == nil || entry.Terminator().Op != OpBr {
+		t.Fatal("Terminator wrong")
+	}
+	if f.BlockByName("next") != next || f.BlockByName("nope") != nil {
+		t.Fatal("BlockByName wrong")
+	}
+	if len(f.Instrs()) != 4 {
+		t.Fatalf("Instrs count = %d", len(f.Instrs()))
+	}
+}

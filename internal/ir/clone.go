@@ -1,0 +1,90 @@
+package ir
+
+// CloneModule deep-copies a module: new functions, blocks and
+// instructions with all internal references (operands, phi incomings,
+// branch targets, callees) remapped into the clone. Declarations are
+// cloned shallowly (they have no bodies). Globals are shared — they
+// describe storage shape, not state.
+//
+// Cloning lets a caller instrument several site categories from one
+// compile, or mutate a module per experiment without recompiling.
+func CloneModule(m *Module) *Module {
+	out := NewModule(m.Name)
+	out.Globals = append(out.Globals, m.Globals...)
+
+	funcMap := map[*Func]*Func{}
+	for _, f := range m.Funcs {
+		nf := &Func{
+			Nam: f.Nam, Sig: f.Sig, IsDecl: f.IsDecl, Intrinsic: f.Intrinsic,
+		}
+		for _, p := range f.Params {
+			nf.Params = append(nf.Params, &Param{Nam: p.Nam, Ty: p.Ty, Index: p.Index})
+		}
+		funcMap[f] = nf
+		out.AddFunc(nf)
+	}
+
+	for _, f := range m.Funcs {
+		if f.IsDecl {
+			continue
+		}
+		cloneFuncBody(f, funcMap[f], funcMap)
+	}
+	return out
+}
+
+// cloneFuncBody copies f's blocks and instructions into nf.
+func cloneFuncBody(f, nf *Func, funcMap map[*Func]*Func) {
+	blockMap := map[*Block]*Block{}
+	for _, b := range f.Blocks {
+		blockMap[b] = nf.NewBlock(b.Nam)
+	}
+	instrMap := map[*Instr]*Instr{}
+
+	// First pass: create instructions without operands.
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op: in.Op, Ty: in.Ty, Nam: in.Nam, Pred: in.Pred,
+				AllocElem: in.AllocElem, AllocCount: in.AllocCount,
+			}
+			if in.ShuffleMask != nil {
+				ni.ShuffleMask = append([]int(nil), in.ShuffleMask...)
+			}
+			if in.Callee != nil {
+				ni.Callee = funcMap[in.Callee]
+			}
+			for _, s := range in.Succs {
+				ni.Succs = append(ni.Succs, blockMap[s])
+			}
+			instrMap[in] = ni
+			nb.Append(ni)
+		}
+	}
+
+	remap := func(v Value) Value {
+		switch x := v.(type) {
+		case *Instr:
+			return instrMap[x]
+		case *Param:
+			return nf.Params[x.Index]
+		case *Func:
+			return funcMap[x]
+		case *Block:
+			return blockMap[x]
+		default:
+			return v // constants and globals are shared
+		}
+	}
+
+	// Second pass: wire operands through the maps (maintains use lists).
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			ni := instrMap[in]
+			for i := 0; i < in.NumOperands(); i++ {
+				ni.AddOperand(remap(in.Operand(i)))
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCloneModulePrintsIdentically(t *testing.T) {
+	m := validFunc() // the counted-loop module from verify_test
+	c := CloneModule(m)
+	if err := c.Verify(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if m.String() != c.String() {
+		t.Fatalf("clone prints differently:\n--- original\n%s\n--- clone\n%s", m, c)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := validFunc()
+	c := CloneModule(m)
+	// Mutating the clone must not touch the original.
+	cf := c.Func("f")
+	var add *Instr
+	for _, in := range cf.Instrs() {
+		if in.Op == OpAdd {
+			add = in
+		}
+	}
+	add.SetOperand(1, ConstInt(I32, 99))
+	if strings.Contains(m.String(), "99") {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+	if !strings.Contains(c.String(), "99") {
+		t.Fatal("clone mutation lost")
+	}
+}
+
+func TestCloneRemapsEverything(t *testing.T) {
+	m := validFunc()
+	c := CloneModule(m)
+	orig := map[*Instr]bool{}
+	for _, f := range m.Funcs {
+		for _, in := range f.Instrs() {
+			orig[in] = true
+		}
+	}
+	for _, f := range c.Funcs {
+		if f.IsDecl {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if orig[in] {
+					t.Fatal("clone shares an instruction with the original")
+				}
+				for i := 0; i < in.NumOperands(); i++ {
+					if op, ok := in.Operand(i).(*Instr); ok && orig[op] {
+						t.Fatalf("clone instruction %s references original operand", in)
+					}
+				}
+				for _, s := range in.Succs {
+					if s.Func != f {
+						t.Fatal("clone branch targets foreign block")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCloneCallsRemapCallee(t *testing.T) {
+	m := NewModule("t")
+	callee := NewFunc("g", I32, []*Type{I32}, []string{"x"})
+	m.AddFunc(callee)
+	gb := NewBuilder(callee.NewBlock("entry"))
+	gb.Ret(callee.Params[0])
+
+	caller := NewFunc("f", I32, []*Type{I32}, []string{"x"})
+	m.AddFunc(caller)
+	fb := NewBuilder(caller.NewBlock("entry"))
+	r := fb.Call(callee, "r", caller.Params[0])
+	fb.Ret(r)
+
+	c := CloneModule(m)
+	var call *Instr
+	for _, in := range c.Func("f").Instrs() {
+		if in.Op == OpCall {
+			call = in
+		}
+	}
+	if call.Callee != c.Func("g") {
+		t.Fatal("clone call still targets the original callee")
+	}
+}

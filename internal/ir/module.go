@@ -1,0 +1,233 @@
+package ir
+
+import "fmt"
+
+// Module is a translation unit: a set of functions and globals.
+type Module struct {
+	Name    string
+	Funcs   []*Func
+	Globals []*Global
+
+	funcByName map[string]*Func
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, funcByName: map[string]*Func{}}
+}
+
+// AddFunc adds f to the module. Function names must be unique.
+func (m *Module) AddFunc(f *Func) {
+	if m.funcByName == nil {
+		m.funcByName = map[string]*Func{}
+	}
+	if _, dup := m.funcByName[f.Nam]; dup {
+		panic("ir: duplicate function " + f.Nam)
+	}
+	f.Module = m
+	m.Funcs = append(m.Funcs, f)
+	m.funcByName[f.Nam] = f
+}
+
+// Func returns the function with the given name, or nil.
+func (m *Module) Func(name string) *Func {
+	return m.funcByName[name]
+}
+
+// AddGlobal registers a global storage object.
+func (m *Module) AddGlobal(g *Global) {
+	m.Globals = append(m.Globals, g)
+}
+
+// Func is a function definition or declaration.
+type Func struct {
+	Nam    string
+	Sig    *Type // FuncKind
+	Params []*Param
+	Blocks []*Block
+	Module *Module
+
+	// IsDecl marks external declarations (intrinsics, runtime API) that
+	// have no body and are dispatched by the interpreter.
+	IsDecl bool
+	// Intrinsic marks LLVM-style intrinsics (name starts with "llvm.").
+	Intrinsic bool
+
+	nameSeq   int
+	nameCount map[string]int
+}
+
+// NewFunc creates a function with fresh parameters named after names.
+func NewFunc(name string, ret *Type, paramTypes []*Type, paramNames []string) *Func {
+	f := &Func{Nam: name, Sig: FuncOf(ret, paramTypes...)}
+	for i, pt := range paramTypes {
+		pn := fmt.Sprintf("arg%d", i)
+		if i < len(paramNames) && paramNames[i] != "" {
+			pn = paramNames[i]
+		}
+		f.Params = append(f.Params, &Param{Nam: pn, Ty: pt, Index: i})
+	}
+	return f
+}
+
+// NewDecl creates an external declaration (no body).
+func NewDecl(name string, ret *Type, paramTypes ...*Type) *Func {
+	f := NewFunc(name, ret, paramTypes, nil)
+	f.IsDecl = true
+	if len(name) > 5 && name[:5] == "llvm." {
+		f.Intrinsic = true
+	}
+	return f
+}
+
+// Type implements Value.
+func (f *Func) Type() *Type { return f.Sig }
+
+// Ident implements Value.
+func (f *Func) Ident() string { return "@" + f.Nam }
+
+// RetType returns the function's return type.
+func (f *Func) RetType() *Type { return f.Sig.Ret }
+
+// Entry returns the entry block (first block), or nil for declarations.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewBlock appends a new basic block with the given name to the function.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{Nam: name, Func: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// BlockByName returns the block with the given name, or nil.
+func (f *Func) BlockByName(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Nam == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// nextName returns a fresh auto-generated value name.
+func (f *Func) nextName(prefix string) string {
+	f.nameSeq++
+	return fmt.Sprintf("%s%d", prefix, f.nameSeq)
+}
+
+// uniqueName reserves hint as a value name: the first use is returned
+// verbatim, repeats get a ".N" suffix.
+func (f *Func) uniqueName(hint string) string {
+	if f.nameCount == nil {
+		f.nameCount = map[string]int{}
+	}
+	f.nameCount[hint]++
+	if n := f.nameCount[hint]; n > 1 {
+		return fmt.Sprintf("%s.%d", hint, n)
+	}
+	return hint
+}
+
+// Instrs returns all instructions of the function in block order.
+func (f *Func) Instrs() []*Instr {
+	var out []*Instr
+	for _, b := range f.Blocks {
+		out = append(out, b.Instrs...)
+	}
+	return out
+}
+
+// Block is a basic block: a straight-line instruction list ending in a
+// terminator.
+type Block struct {
+	Nam    string
+	Instrs []*Instr
+	Func   *Func
+}
+
+// Type implements Value (blocks appear as branch targets).
+func (b *Block) Type() *Type { return Label }
+
+// Ident implements Value.
+func (b *Block) Ident() string { return "%" + b.Nam }
+
+// Append adds an instruction at the end of the block.
+func (b *Block) Append(in *Instr) {
+	in.Parent = b
+	b.Instrs = append(b.Instrs, in)
+}
+
+// InsertBefore inserts in immediately before pos within the block.
+// It panics if pos is not in the block.
+func (b *Block) InsertBefore(in *Instr, pos *Instr) {
+	idx := b.indexOf(pos)
+	in.Parent = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[idx+1:], b.Instrs[idx:])
+	b.Instrs[idx] = in
+}
+
+// InsertAfter inserts in immediately after pos within the block.
+func (b *Block) InsertAfter(in *Instr, pos *Instr) {
+	idx := b.indexOf(pos)
+	in.Parent = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[idx+2:], b.Instrs[idx+1:])
+	b.Instrs[idx+1] = in
+}
+
+// Remove deletes in from the block and drops its operand uses.
+func (b *Block) Remove(in *Instr) {
+	idx := b.indexOf(in)
+	b.Instrs = append(b.Instrs[:idx], b.Instrs[idx+1:]...)
+	in.dropAllOperandUses()
+	in.Parent = nil
+}
+
+func (b *Block) indexOf(in *Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("ir: instruction %%%s not in block %s", in.Nam, b.Nam))
+}
+
+// Terminator returns the block's terminator instruction, or nil if the
+// block is not yet terminated.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Succs
+}
+
+// Phis returns the leading phi instructions of the block.
+func (b *Block) Phis() []*Instr {
+	var out []*Instr
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}

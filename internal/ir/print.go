@@ -1,0 +1,142 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String prints the whole module in LLVM-like textual form.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "@%s = global [%d x %s]\n", g.Nam, g.Count, g.Elem)
+	}
+	if len(m.Globals) > 0 {
+		sb.WriteString("\n")
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// String prints the function in LLVM-like textual form.
+func (f *Func) String() string {
+	var sb strings.Builder
+	kw := "define"
+	if f.IsDecl {
+		kw = "declare"
+	}
+	fmt.Fprintf(&sb, "%s %s @%s(", kw, f.RetType(), f.Nam)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %%%s", p.Ty, p.Nam)
+	}
+	sb.WriteString(")")
+	if f.IsDecl {
+		sb.WriteString("\n")
+		return sb.String()
+	}
+	sb.WriteString(" {\n")
+	for i, b := range f.Blocks {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		fmt.Fprintf(&sb, "%s:\n", b.Nam)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(in.String())
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func typedOperand(v Value) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return v.Type().String() + " " + v.Ident()
+}
+
+// String prints a single instruction in LLVM-like form.
+func (in *Instr) String() string {
+	lhs := ""
+	if in.Ty != nil && !in.Ty.IsVoid() {
+		lhs = "%" + in.Nam + " = "
+	}
+	op := func(i int) Value { return in.ops[i] }
+	switch in.Op {
+	case OpICmp, OpFCmp:
+		return fmt.Sprintf("%s%s %s %s %s, %s", lhs, in.Op, in.Pred,
+			op(0).Type(), op(0).Ident(), op(1).Ident())
+	case OpSelect:
+		return fmt.Sprintf("%sselect %s, %s, %s", lhs,
+			typedOperand(op(0)), typedOperand(op(1)), typedOperand(op(2)))
+	case OpAlloca:
+		return fmt.Sprintf("%salloca %s, i32 %d", lhs, in.AllocElem, in.AllocCount)
+	case OpLoad:
+		return fmt.Sprintf("%sload %s %s", lhs, op(0).Type(), op(0).Ident())
+	case OpStore:
+		return fmt.Sprintf("store %s, %s", typedOperand(op(0)), typedOperand(op(1)))
+	case OpGEP:
+		return fmt.Sprintf("%sgetelementptr %s %s, %s", lhs,
+			op(0).Type(), op(0).Ident(), typedOperand(op(1)))
+	case OpExtractElement:
+		return fmt.Sprintf("%sextractelement %s, %s", lhs,
+			typedOperand(op(0)), typedOperand(op(1)))
+	case OpInsertElement:
+		return fmt.Sprintf("%sinsertelement %s, %s, %s", lhs,
+			typedOperand(op(0)), typedOperand(op(1)), typedOperand(op(2)))
+	case OpShuffleVector:
+		var mask []string
+		for _, mi := range in.ShuffleMask {
+			if mi < 0 {
+				mask = append(mask, "i32 undef")
+			} else {
+				mask = append(mask, fmt.Sprintf("i32 %d", mi))
+			}
+		}
+		return fmt.Sprintf("%sshufflevector %s, %s, <%d x i32> <%s>", lhs,
+			typedOperand(op(0)), typedOperand(op(1)), len(in.ShuffleMask),
+			strings.Join(mask, ", "))
+	case OpPhi:
+		var inc []string
+		for i := range in.ops {
+			inc = append(inc, fmt.Sprintf("[ %s, %%%s ]",
+				in.ops[i].Ident(), in.Succs[i].Nam))
+		}
+		return fmt.Sprintf("%sphi %s %s", lhs, in.Ty, strings.Join(inc, ", "))
+	case OpCall:
+		var args []string
+		for _, a := range in.ops {
+			args = append(args, typedOperand(a))
+		}
+		return fmt.Sprintf("%scall %s @%s(%s)", lhs, in.Callee.RetType(),
+			in.Callee.Nam, strings.Join(args, ", "))
+	case OpBr:
+		return fmt.Sprintf("br label %%%s", in.Succs[0].Nam)
+	case OpCondBr:
+		return fmt.Sprintf("br i1 %s, label %%%s, label %%%s",
+			op(0).Ident(), in.Succs[0].Nam, in.Succs[1].Nam)
+	case OpRet:
+		if len(in.ops) == 0 {
+			return "ret void"
+		}
+		return "ret " + typedOperand(op(0))
+	case OpUnreachable:
+		return "unreachable"
+	default:
+		if in.Op.IsCast() {
+			return fmt.Sprintf("%s%s %s to %s", lhs, in.Op, typedOperand(op(0)), in.Ty)
+		}
+		// Binary ops.
+		return fmt.Sprintf("%s%s %s %s, %s", lhs, in.Op, op(0).Type(),
+			op(0).Ident(), op(1).Ident())
+	}
+}

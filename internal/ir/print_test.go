@@ -1,0 +1,89 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintInstructions(t *testing.T) {
+	f := NewFunc("p", Void, []*Type{Vec(F32, 4), Ptr(F32), I32},
+		[]string{"v", "p", "n"})
+	b := f.NewBlock("entry")
+	bu := NewBuilder(b)
+
+	cases := []struct {
+		in   *Instr
+		want string
+	}{
+		{bu.FAdd(f.Params[0], f.Params[0], "s"),
+			"%s = fadd <4 x float> %v, %v"},
+		{bu.ICmp(IntSLT, f.Params[2], ConstInt(I32, 8), "c"),
+			"%c = icmp slt i32 %n, 8"},
+		{bu.GEP(f.Params[1], f.Params[2], "a"),
+			"%a = getelementptr float* %p, i32 %n"},
+		{bu.Load(f.Params[1], "l"),
+			"%l = load float* %p"},
+		{bu.ExtractElement(f.Params[0], ConstInt(I32, 2), "e"),
+			"%e = extractelement <4 x float> %v, i32 2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+
+	st := bu.Store(ConstFloat(F32, 1), f.Params[1])
+	if got := st.String(); got != "store float 1, float* %p" {
+		t.Errorf("store prints %q", got)
+	}
+	sh := bu.ShuffleVector(f.Params[0], UndefValue(Vec(F32, 4)), []int{0, 0, 0, 0}, "b")
+	if !strings.Contains(sh.String(), "shufflevector <4 x float> %v, <4 x float> undef") {
+		t.Errorf("shuffle prints %q", sh.String())
+	}
+	bu.Ret(nil)
+
+	text := f.String()
+	for _, frag := range []string{
+		"define void @p(<4 x float> %v, float* %p, i32 %n) {",
+		"entry:", "ret void",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("function print missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestPrintModuleAndDecl(t *testing.T) {
+	m := NewModule("pm")
+	m.AddGlobal(&Global{Nam: "buf", Elem: F32, Count: 8})
+	d := NewDecl("llvm.sqrt.v4f32", Vec(F32, 4), Vec(F32, 4))
+	m.AddFunc(d)
+	text := m.String()
+	for _, frag := range []string{
+		"; module pm",
+		"@buf = global [8 x float]",
+		"declare <4 x float> @llvm.sqrt.v4f32(<4 x float> %arg0)",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("module print missing %q:\n%s", frag, text)
+		}
+	}
+	if !d.Intrinsic {
+		t.Error("llvm.* decl not marked intrinsic")
+	}
+}
+
+func TestPrintPhiAndBranches(t *testing.T) {
+	m := validFunc()
+	text := m.String()
+	for _, frag := range []string{
+		"%i = phi i32 [ 0, %entry ], [ %i2, %loop ]",
+		"br i1 %c, label %loop, label %exit",
+		"br label %loop",
+		"ret i32 %i2",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("missing %q in:\n%s", frag, text)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package ir implements a typed, SSA-form intermediate representation
+// modeled on LLVM IR. It provides the structural substrate VULFI operates
+// on: integer/float/pointer/vector types, LLVM-shaped instructions
+// (including getelementptr, extractelement, insertelement, shufflevector
+// and intrinsic calls), an explicit use-def graph, a builder, a verifier
+// and a textual printer.
+//
+// The representation is deliberately close to LLVM 3.2-era IR, which is
+// what the VULFI paper targets: fault-site classification and the
+// instrumentation rewrite depend only on instruction kinds, operand types
+// and use-def edges, all of which are reproduced here.
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// TypeKind discriminates the Type variants.
+type TypeKind int
+
+// Type kinds.
+const (
+	VoidKind TypeKind = iota
+	IntKind
+	FloatKind
+	PointerKind
+	VectorKind
+	FuncKind
+	LabelKind
+)
+
+// Type describes an IR type. Types are immutable and interned: equal types
+// are pointer-identical, so == is a valid equality test.
+type Type struct {
+	Kind     TypeKind
+	Bits     int     // IntKind: 1/8/16/32/64; FloatKind: 32/64
+	Elem     *Type   // PointerKind: pointee; VectorKind: lane type
+	Len      int     // VectorKind: lane count
+	Ret      *Type   // FuncKind
+	Params   []*Type // FuncKind
+	Variadic bool    // FuncKind
+	name     string
+}
+
+// Interned primitive types.
+var (
+	Void  = &Type{Kind: VoidKind, name: "void"}
+	I1    = &Type{Kind: IntKind, Bits: 1, name: "i1"}
+	I8    = &Type{Kind: IntKind, Bits: 8, name: "i8"}
+	I16   = &Type{Kind: IntKind, Bits: 16, name: "i16"}
+	I32   = &Type{Kind: IntKind, Bits: 32, name: "i32"}
+	I64   = &Type{Kind: IntKind, Bits: 64, name: "i64"}
+	F32   = &Type{Kind: FloatKind, Bits: 32, name: "float"}
+	F64   = &Type{Kind: FloatKind, Bits: 64, name: "double"}
+	Label = &Type{Kind: LabelKind, name: "label"}
+)
+
+var (
+	internMu  sync.Mutex
+	ptrCache  = map[*Type]*Type{}
+	vecCache  = map[vecKey]*Type{}
+	funcCache = map[string]*Type{}
+)
+
+type vecKey struct {
+	elem *Type
+	n    int
+}
+
+// Ptr returns the pointer type to elem.
+func Ptr(elem *Type) *Type {
+	internMu.Lock()
+	defer internMu.Unlock()
+	if t, ok := ptrCache[elem]; ok {
+		return t
+	}
+	t := &Type{Kind: PointerKind, Elem: elem, name: elem.String() + "*"}
+	ptrCache[elem] = t
+	return t
+}
+
+// Vec returns the vector type <n x elem>. Lane type must be int, float or
+// pointer; n must be positive.
+func Vec(elem *Type, n int) *Type {
+	if n <= 0 {
+		panic(fmt.Sprintf("ir.Vec: invalid lane count %d", n))
+	}
+	switch elem.Kind {
+	case IntKind, FloatKind, PointerKind:
+	default:
+		panic("ir.Vec: lane type must be int, float or pointer, got " + elem.String())
+	}
+	k := vecKey{elem, n}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if t, ok := vecCache[k]; ok {
+		return t
+	}
+	t := &Type{Kind: VectorKind, Elem: elem, Len: n,
+		name: fmt.Sprintf("<%d x %s>", n, elem.String())}
+	vecCache[k] = t
+	return t
+}
+
+// FuncOf returns the function type ret(params...).
+func FuncOf(ret *Type, params ...*Type) *Type {
+	var sb strings.Builder
+	sb.WriteString(ret.String())
+	sb.WriteString(" (")
+	for i, p := range params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString(")")
+	key := sb.String()
+	internMu.Lock()
+	defer internMu.Unlock()
+	if t, ok := funcCache[key]; ok {
+		return t
+	}
+	t := &Type{Kind: FuncKind, Ret: ret, Params: params, name: key}
+	funcCache[key] = t
+	return t
+}
+
+// String returns the LLVM-style spelling of the type.
+func (t *Type) String() string { return t.name }
+
+// IsInt reports whether t is a (scalar) integer type.
+func (t *Type) IsInt() bool { return t.Kind == IntKind }
+
+// IsFloat reports whether t is a (scalar) floating-point type.
+func (t *Type) IsFloat() bool { return t.Kind == FloatKind }
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool { return t.Kind == PointerKind }
+
+// IsVector reports whether t is a vector type.
+func (t *Type) IsVector() bool { return t.Kind == VectorKind }
+
+// IsVoid reports whether t is void.
+func (t *Type) IsVoid() bool { return t.Kind == VoidKind }
+
+// Scalar returns the lane type for vectors and t itself otherwise.
+func (t *Type) Scalar() *Type {
+	if t.Kind == VectorKind {
+		return t.Elem
+	}
+	return t
+}
+
+// Lanes returns the lane count for vectors and 1 otherwise.
+func (t *Type) Lanes() int {
+	if t.Kind == VectorKind {
+		return t.Len
+	}
+	return 1
+}
+
+// ScalarBits returns the significant bit width of a lane of t. Pointers
+// are 64-bit in this IR's model.
+func (t *Type) ScalarBits() int {
+	s := t.Scalar()
+	switch s.Kind {
+	case IntKind, FloatKind:
+		return s.Bits
+	case PointerKind:
+		return 64
+	}
+	panic("ir: ScalarBits on non-scalar type " + t.String())
+}
+
+// ByteSize returns the in-memory size of a value of type t in bytes.
+// i1 occupies one byte, matching LLVM's memory layout for i1 loads/stores.
+func (t *Type) ByteSize() int {
+	switch t.Kind {
+	case IntKind:
+		if t.Bits == 1 {
+			return 1
+		}
+		return t.Bits / 8
+	case FloatKind:
+		return t.Bits / 8
+	case PointerKind:
+		return 8
+	case VectorKind:
+		return t.Elem.ByteSize() * t.Len
+	}
+	panic("ir: ByteSize of unsized type " + t.String())
+}

@@ -1,0 +1,108 @@
+package ir
+
+import "testing"
+
+func TestTypeInterning(t *testing.T) {
+	if Ptr(F32) != Ptr(F32) {
+		t.Error("pointer types are not interned")
+	}
+	if Vec(I32, 8) != Vec(I32, 8) {
+		t.Error("vector types are not interned")
+	}
+	if Vec(I32, 8) == Vec(I32, 4) {
+		t.Error("distinct lane counts must be distinct types")
+	}
+	if Vec(I32, 8) == Vec(F32, 8) {
+		t.Error("distinct lane types must be distinct types")
+	}
+	if FuncOf(Void, I32, F32) != FuncOf(Void, I32, F32) {
+		t.Error("function types are not interned")
+	}
+	if FuncOf(Void, I32) == FuncOf(I32, I32) {
+		t.Error("return type must distinguish function types")
+	}
+}
+
+func TestTypeSpelling(t *testing.T) {
+	cases := []struct {
+		ty   *Type
+		want string
+	}{
+		{I1, "i1"},
+		{I8, "i8"},
+		{I32, "i32"},
+		{I64, "i64"},
+		{F32, "float"},
+		{F64, "double"},
+		{Void, "void"},
+		{Ptr(F32), "float*"},
+		{Vec(F32, 8), "<8 x float>"},
+		{Vec(I32, 4), "<4 x i32>"},
+		{Ptr(Vec(I32, 8)), "<8 x i32>*"},
+	}
+	for _, c := range cases {
+		if got := c.ty.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := []struct {
+		ty   *Type
+		want int
+	}{
+		{I1, 1}, {I8, 1}, {I16, 2}, {I32, 4}, {I64, 8},
+		{F32, 4}, {F64, 8},
+		{Ptr(I32), 8},
+		{Vec(F32, 8), 32},
+		{Vec(I32, 4), 16},
+		{Vec(F64, 8), 64},
+	}
+	for _, c := range cases {
+		if got := c.ty.ByteSize(); got != c.want {
+			t.Errorf("%s.ByteSize() = %d, want %d", c.ty, got, c.want)
+		}
+	}
+}
+
+func TestScalarAndLanes(t *testing.T) {
+	v := Vec(F32, 8)
+	if v.Scalar() != F32 || v.Lanes() != 8 {
+		t.Errorf("vector Scalar/Lanes wrong: %s %d", v.Scalar(), v.Lanes())
+	}
+	if I32.Scalar() != I32 || I32.Lanes() != 1 {
+		t.Error("scalar Scalar/Lanes wrong")
+	}
+	if Vec(I64, 8).ScalarBits() != 64 || Ptr(I8).ScalarBits() != 64 {
+		t.Error("ScalarBits wrong")
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !I32.IsInt() || I32.IsFloat() || I32.IsVector() || I32.IsPointer() {
+		t.Error("I32 predicates wrong")
+	}
+	if !F64.IsFloat() || F64.IsInt() {
+		t.Error("F64 predicates wrong")
+	}
+	if !Ptr(I8).IsPointer() || !Vec(I8, 16).IsVector() || !Void.IsVoid() {
+		t.Error("ptr/vec/void predicates wrong")
+	}
+}
+
+func TestVecPanicsOnBadInput(t *testing.T) {
+	mustPanic(t, func() { Vec(I32, 0) })
+	mustPanic(t, func() { Vec(Void, 4) })
+	mustPanic(t, func() { Vec(Vec(I32, 2), 4) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}

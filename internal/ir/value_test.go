@@ -1,0 +1,134 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstInt(t *testing.T) {
+	cases := []struct {
+		ty   *Type
+		v    int64
+		want int64
+	}{
+		{I32, 42, 42},
+		{I32, -1, -1},
+		{I32, 1 << 40, 0}, // truncated
+		{I8, 200, -56},    // wraps to signed
+		{I1, 1, 1},
+		{I1, 3, 1},
+		{I64, math.MinInt64, math.MinInt64},
+	}
+	for _, c := range cases {
+		got := ConstInt(c.ty, c.v)
+		if got.Int() != c.want {
+			t.Errorf("ConstInt(%s, %d).Int() = %d, want %d", c.ty, c.v, got.Int(), c.want)
+		}
+	}
+}
+
+func TestConstFloat(t *testing.T) {
+	f := ConstFloat(F32, 1.5)
+	if f.Float() != 1.5 {
+		t.Errorf("F32 roundtrip: %v", f.Float())
+	}
+	d := ConstFloat(F64, math.Pi)
+	if d.Float() != math.Pi {
+		t.Errorf("F64 roundtrip: %v", d.Float())
+	}
+	// F32 rounds to float32 precision.
+	p := ConstFloat(F32, math.Pi)
+	if p.Float() != float64(float32(math.Pi)) {
+		t.Errorf("F32 should round to float32: %v", p.Float())
+	}
+}
+
+func TestConstVecAndSplat(t *testing.T) {
+	v := ConstVec(Vec(I32, 4), []uint64{1, 2, 3, 4})
+	if v.Ty.Len != 4 || v.Bits[2] != 3 {
+		t.Error("ConstVec payload wrong")
+	}
+	s := ConstSplat(8, ConstInt(I32, 7))
+	if s.Ty != Vec(I32, 8) {
+		t.Error("splat type wrong")
+	}
+	for _, b := range s.Bits {
+		if b != 7 {
+			t.Error("splat lanes wrong")
+		}
+	}
+	z := ConstZero(Vec(F32, 8))
+	for _, b := range z.Bits {
+		if b != 0 {
+			t.Error("zero not zero")
+		}
+	}
+}
+
+func TestConstIdent(t *testing.T) {
+	cases := []struct {
+		c    *Const
+		want string
+	}{
+		{ConstInt(I32, -5), "-5"},
+		{ConstBool(true), "true"},
+		{ConstBool(false), "false"},
+		{ConstFloat(F32, 2.5), "2.5"},
+		{ConstZero(Vec(I32, 4)), "zeroinitializer"},
+		{UndefValue(Vec(F32, 4)), "undef"},
+		{ConstVec(Vec(I32, 2), []uint64{1, 2}), "<i32 1, i32 2>"},
+	}
+	for _, c := range cases {
+		if got := c.c.Ident(); got != c.want {
+			t.Errorf("Ident() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: SignExtend(TruncateToWidth(x, w), w) preserves values that fit
+// in w bits and always produces a value congruent to x mod 2^w.
+func TestSignExtendTruncateProperty(t *testing.T) {
+	prop := func(x int64, wSel uint8) bool {
+		widths := []int{1, 8, 16, 32, 64}
+		w := widths[int(wSel)%len(widths)]
+		tr := TruncateToWidth(uint64(x), w)
+		se := SignExtend(tr, w)
+		// Congruence mod 2^w.
+		if TruncateToWidth(uint64(se), w) != tr {
+			return false
+		}
+		// Range of a w-bit signed integer.
+		if w < 64 {
+			lo, hi := -(int64(1) << uint(w-1)), int64(1)<<uint(w-1)-1
+			if se < lo || se > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: values that already fit in w bits are fixed points.
+func TestSignExtendIdentityProperty(t *testing.T) {
+	prop := func(x int32) bool {
+		return SignExtend(TruncateToWidth(uint64(int64(x)), 32), 32) == int64(x)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamAndGlobalValues(t *testing.T) {
+	p := &Param{Nam: "x", Ty: Vec(F32, 8), Index: 1}
+	if p.Type() != Vec(F32, 8) || p.Ident() != "%x" {
+		t.Error("param value interface wrong")
+	}
+	g := &Global{Nam: "buf", Elem: F32, Count: 16}
+	if g.Type() != Ptr(F32) || g.Ident() != "@buf" {
+		t.Error("global value interface wrong")
+	}
+}

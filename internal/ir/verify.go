@@ -1,0 +1,297 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural and type well-formedness of the module:
+// terminated blocks, per-opcode operand typing, phi/predecessor agreement
+// and call-signature agreement. It returns all violations found.
+func (m *Module) Verify() error {
+	var errs []error
+	for _, f := range m.Funcs {
+		if f.IsDecl {
+			continue
+		}
+		if err := f.Verify(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Verify checks a single function definition.
+func (f *Func) Verify() error {
+	var errs []error
+	bad := func(in *Instr, format string, args ...any) {
+		where := fmt.Sprintf("@%s", f.Nam)
+		if in != nil && in.Parent != nil {
+			where = fmt.Sprintf("@%s/%s: %s", f.Nam, in.Parent.Nam, in)
+		}
+		errs = append(errs, fmt.Errorf("%s: %s", where, fmt.Sprintf(format, args...)))
+	}
+
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("@%s: function definition has no blocks", f.Nam)
+	}
+
+	preds := map[*Block][]*Block{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	for _, b := range f.Blocks {
+		if b.Terminator() == nil {
+			bad(nil, "block %s is not terminated", b.Nam)
+			continue
+		}
+		seenNonPhi := false
+		for idx, in := range b.Instrs {
+			if in.Op == OpPhi {
+				if seenNonPhi {
+					bad(in, "phi after non-phi instruction")
+				}
+			} else {
+				seenNonPhi = true
+			}
+			if in.Op.IsTerminator() && idx != len(b.Instrs)-1 {
+				bad(in, "terminator in the middle of block")
+			}
+			for i, opv := range in.ops {
+				if opv == nil {
+					bad(in, "nil operand %d", i)
+				}
+			}
+			verifyInstr(in, preds, bad, f)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func verifyInstr(in *Instr, preds map[*Block][]*Block,
+	bad func(*Instr, string, ...any), f *Func) {
+	op := func(i int) Value { return in.ops[i] }
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpUDiv, OpURem,
+		OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		if len(in.ops) != 2 {
+			bad(in, "binary op needs 2 operands")
+			return
+		}
+		if op(0).Type() != op(1).Type() || op(0).Type() != in.Ty {
+			bad(in, "integer binary type mismatch")
+		}
+		if !in.Ty.Scalar().IsInt() {
+			bad(in, "integer op on non-integer type %s", in.Ty)
+		}
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFRem:
+		if len(in.ops) != 2 {
+			bad(in, "binary op needs 2 operands")
+			return
+		}
+		if op(0).Type() != op(1).Type() || op(0).Type() != in.Ty {
+			bad(in, "float binary type mismatch")
+		}
+		if !in.Ty.Scalar().IsFloat() {
+			bad(in, "float op on non-float type %s", in.Ty)
+		}
+	case OpICmp:
+		if !op(0).Type().Scalar().IsInt() && !op(0).Type().Scalar().IsPointer() {
+			bad(in, "icmp on non-integer %s", op(0).Type())
+		}
+		checkCmp(in, bad)
+	case OpFCmp:
+		if !op(0).Type().Scalar().IsFloat() {
+			bad(in, "fcmp on non-float %s", op(0).Type())
+		}
+		checkCmp(in, bad)
+	case OpSelect:
+		ct := op(0).Type()
+		if ct != I1 && !(ct.IsVector() && ct.Elem == I1 && in.Ty.IsVector() && ct.Len == in.Ty.Len) {
+			bad(in, "select condition type %s invalid for %s", ct, in.Ty)
+		}
+		if op(1).Type() != in.Ty || op(2).Type() != in.Ty {
+			bad(in, "select arm type mismatch")
+		}
+	case OpAlloca:
+		if in.AllocElem == nil || in.AllocCount <= 0 {
+			bad(in, "alloca without element type or count")
+		}
+	case OpLoad:
+		if !op(0).Type().IsPointer() || op(0).Type().Elem != in.Ty {
+			bad(in, "load type mismatch")
+		}
+	case OpStore:
+		if !op(1).Type().IsPointer() || op(1).Type().Elem != op(0).Type() {
+			bad(in, "store type mismatch")
+		}
+	case OpGEP:
+		if !op(0).Type().IsPointer() || in.Ty != op(0).Type() {
+			bad(in, "gep type mismatch")
+		}
+		if !op(1).Type().IsInt() {
+			bad(in, "gep index must be scalar integer")
+		}
+	case OpExtractElement:
+		if !op(0).Type().IsVector() || op(0).Type().Elem != in.Ty {
+			bad(in, "extractelement type mismatch")
+		}
+		if !op(1).Type().IsInt() {
+			bad(in, "extractelement index must be integer")
+		}
+	case OpInsertElement:
+		if !in.Ty.IsVector() || op(0).Type() != in.Ty || op(1).Type() != in.Ty.Elem {
+			bad(in, "insertelement type mismatch")
+		}
+	case OpShuffleVector:
+		vt := op(0).Type()
+		if !vt.IsVector() || op(1).Type() != vt {
+			bad(in, "shufflevector operand mismatch")
+			return
+		}
+		if in.Ty != Vec(vt.Elem, len(in.ShuffleMask)) {
+			bad(in, "shufflevector result type mismatch")
+		}
+		for _, mi := range in.ShuffleMask {
+			if mi >= 2*vt.Len {
+				bad(in, "shuffle mask index %d out of range", mi)
+			}
+		}
+	case OpPhi:
+		if len(in.ops) != len(in.Succs) {
+			bad(in, "phi value/block count mismatch")
+			return
+		}
+		for i := range in.ops {
+			if in.ops[i].Type() != in.Ty {
+				bad(in, "phi incoming %d type mismatch", i)
+			}
+		}
+		want := preds[in.Parent]
+		if len(in.ops) != len(want) {
+			bad(in, "phi has %d incomings, block has %d predecessors",
+				len(in.ops), len(want))
+		} else {
+			for _, p := range want {
+				found := false
+				for _, s := range in.Succs {
+					if s == p {
+						found = true
+						break
+					}
+				}
+				if !found {
+					bad(in, "phi missing incoming for predecessor %s", p.Nam)
+				}
+			}
+		}
+	case OpCall:
+		sig := in.Callee.Sig
+		if !sig.Variadic && len(in.ops) != len(sig.Params) {
+			bad(in, "call arg count %d != %d", len(in.ops), len(sig.Params))
+			return
+		}
+		for i := range sig.Params {
+			if i < len(in.ops) && in.ops[i].Type() != sig.Params[i] {
+				bad(in, "call arg %d type %s != %s", i, in.ops[i].Type(), sig.Params[i])
+			}
+		}
+		if in.Ty != sig.Ret {
+			bad(in, "call result type mismatch")
+		}
+	case OpBr:
+		if len(in.Succs) != 1 {
+			bad(in, "br needs one target")
+		}
+	case OpCondBr:
+		if op(0).Type() != I1 {
+			bad(in, "condbr condition must be i1")
+		}
+		if len(in.Succs) != 2 {
+			bad(in, "condbr needs two targets")
+		}
+	case OpRet:
+		rt := f.RetType()
+		if rt.IsVoid() {
+			if len(in.ops) != 0 {
+				bad(in, "ret with value in void function")
+			}
+		} else if len(in.ops) != 1 || op(0).Type() != rt {
+			bad(in, "ret type mismatch")
+		}
+	case OpUnreachable:
+	default:
+		if in.Op.IsCast() {
+			verifyCast(in, bad)
+			return
+		}
+		bad(in, "unknown opcode")
+	}
+}
+
+func checkCmp(in *Instr, bad func(*Instr, string, ...any)) {
+	op0, op1 := in.ops[0], in.ops[1]
+	if op0.Type() != op1.Type() {
+		bad(in, "cmp operand type mismatch")
+	}
+	want := I1
+	if op0.Type().IsVector() {
+		want = Vec(I1, op0.Type().Len)
+	}
+	if in.Ty != want {
+		bad(in, "cmp result type must be %s", want)
+	}
+	if in.Pred == PredInvalid {
+		bad(in, "cmp without predicate")
+	}
+}
+
+func verifyCast(in *Instr, bad func(*Instr, string, ...any)) {
+	from, to := in.ops[0].Type(), in.Ty
+	if from.Lanes() != to.Lanes() {
+		bad(in, "cast lane count mismatch %s -> %s", from, to)
+		return
+	}
+	fs, ts := from.Scalar(), to.Scalar()
+	switch in.Op {
+	case OpTrunc:
+		if !fs.IsInt() || !ts.IsInt() || fs.Bits <= ts.Bits {
+			bad(in, "invalid trunc %s -> %s", from, to)
+		}
+	case OpZExt, OpSExt:
+		if !fs.IsInt() || !ts.IsInt() || fs.Bits >= ts.Bits {
+			bad(in, "invalid ext %s -> %s", from, to)
+		}
+	case OpFPTrunc:
+		if fs != F64 || ts != F32 {
+			bad(in, "invalid fptrunc %s -> %s", from, to)
+		}
+	case OpFPExt:
+		if fs != F32 || ts != F64 {
+			bad(in, "invalid fpext %s -> %s", from, to)
+		}
+	case OpSIToFP:
+		if !fs.IsInt() || !ts.IsFloat() {
+			bad(in, "invalid sitofp %s -> %s", from, to)
+		}
+	case OpFPToSI:
+		if !fs.IsFloat() || !ts.IsInt() {
+			bad(in, "invalid fptosi %s -> %s", from, to)
+		}
+	case OpBitcast:
+		if fs.ScalarBits() != ts.ScalarBits() {
+			bad(in, "invalid bitcast %s -> %s", from, to)
+		}
+	case OpPtrToInt:
+		if !fs.IsPointer() || !ts.IsInt() {
+			bad(in, "invalid ptrtoint %s -> %s", from, to)
+		}
+	case OpIntToPtr:
+		if !fs.IsInt() || !ts.IsPointer() {
+			bad(in, "invalid inttoptr %s -> %s", from, to)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// validFunc builds a small well-formed function: a counted loop.
+func validFunc() *Module {
+	m := NewModule("valid")
+	f := NewFunc("f", I32, []*Type{I32}, []string{"n"})
+	m.AddFunc(f)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+	bu := NewBuilder(entry)
+	bu.Br(loop)
+	bu.SetBlock(loop)
+	i := bu.Phi(I32, "i")
+	AddIncoming(i, ConstInt(I32, 0), entry)
+	i2 := bu.Add(i, ConstInt(I32, 1), "i2")
+	AddIncoming(i, i2, loop)
+	c := bu.ICmp(IntSLT, i2, f.Params[0], "c")
+	bu.CondBr(c, loop, exit)
+	bu.SetBlock(exit)
+	bu.Ret(i2)
+	return m
+}
+
+func TestVerifyValid(t *testing.T) {
+	if err := validFunc().Verify(); err != nil {
+		t.Fatalf("valid module rejected: %v", err)
+	}
+}
+
+func expectVerifyError(t *testing.T, m *Module, frag string) {
+	t.Helper()
+	err := m.Verify()
+	if err == nil {
+		t.Fatalf("expected verifier error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not mention %q", err, frag)
+	}
+}
+
+func oneBlockFunc(m *Module) (*Func, *Builder) {
+	f := NewFunc("f", Void, []*Type{I32, F32, Ptr(I32)}, []string{"x", "y", "p"})
+	m.AddFunc(f)
+	b := f.NewBlock("entry")
+	return f, NewBuilder(b)
+}
+
+func TestVerifyUnterminatedBlock(t *testing.T) {
+	m := NewModule("t")
+	f, bu := oneBlockFunc(m)
+	bu.Add(f.Params[0], ConstInt(I32, 1), "a")
+	expectVerifyError(t, m, "not terminated")
+}
+
+func TestVerifyBinaryTypeMismatch(t *testing.T) {
+	m := NewModule("t")
+	f, bu := oneBlockFunc(m)
+	// Hand-build a bad add: i32 + float.
+	bad := newInstr(OpAdd, I32, "bad", f.Params[0], f.Params[1])
+	bu.Block().Append(bad)
+	bu.Ret(nil)
+	expectVerifyError(t, m, "type mismatch")
+}
+
+func TestVerifyFloatOpOnInt(t *testing.T) {
+	m := NewModule("t")
+	f, bu := oneBlockFunc(m)
+	bad := newInstr(OpFAdd, I32, "bad", f.Params[0], f.Params[0])
+	bu.Block().Append(bad)
+	bu.Ret(nil)
+	expectVerifyError(t, m, "float op on non-float")
+}
+
+func TestVerifyStoreTypeMismatch(t *testing.T) {
+	m := NewModule("t")
+	f, bu := oneBlockFunc(m)
+	bad := newInstr(OpStore, Void, "", f.Params[1], f.Params[2]) // float into i32*
+	bu.Block().Append(bad)
+	bu.Ret(nil)
+	expectVerifyError(t, m, "store type mismatch")
+}
+
+func TestVerifyLoadTypeMismatch(t *testing.T) {
+	m := NewModule("t")
+	f, bu := oneBlockFunc(m)
+	bad := newInstr(OpLoad, F32, "bad", f.Params[2]) // i32* loaded as float
+	bu.Block().Append(bad)
+	bu.Ret(nil)
+	expectVerifyError(t, m, "load type mismatch")
+}
+
+func TestVerifyCondBrNonBool(t *testing.T) {
+	m := NewModule("t")
+	f, bu := oneBlockFunc(m)
+	other := f.NewBlock("other")
+	bad := newInstr(OpCondBr, Void, "", f.Params[0])
+	bad.Succs = []*Block{other, other}
+	bu.Block().Append(bad)
+	NewBuilder(other).Ret(nil)
+	expectVerifyError(t, m, "condition must be i1")
+}
+
+func TestVerifyPhiPredecessorMismatch(t *testing.T) {
+	m := NewModule("t")
+	f := NewFunc("f", Void, nil, nil)
+	m.AddFunc(f)
+	entry := f.NewBlock("entry")
+	next := f.NewBlock("next")
+	bu := NewBuilder(entry)
+	bu.Br(next)
+	bu.SetBlock(next)
+	phi := bu.Phi(I32, "phi")
+	// Incoming from a block that is not a predecessor.
+	AddIncoming(phi, ConstInt(I32, 0), next)
+	bu.Ret(nil)
+	expectVerifyError(t, m, "phi")
+}
+
+func TestVerifyPhiAfterNonPhi(t *testing.T) {
+	m := NewModule("t")
+	f := NewFunc("f", Void, nil, nil)
+	m.AddFunc(f)
+	entry := f.NewBlock("entry")
+	next := f.NewBlock("next")
+	bu := NewBuilder(entry)
+	bu.Br(next)
+	bu.SetBlock(next)
+	bu.Add(ConstInt(I32, 1), ConstInt(I32, 2), "a")
+	phi := bu.Phi(I32, "phi")
+	AddIncoming(phi, ConstInt(I32, 0), entry)
+	bu.Ret(nil)
+	expectVerifyError(t, m, "phi after non-phi")
+}
+
+func TestVerifyCallArgMismatch(t *testing.T) {
+	m := NewModule("t")
+	callee := NewDecl("g", Void, I32)
+	m.AddFunc(callee)
+	f, bu := oneBlockFunc(m)
+	bad := newInstr(OpCall, Void, "", f.Params[1]) // float arg for i32 param
+	bad.Callee = callee
+	bu.Block().Append(bad)
+	bu.Ret(nil)
+	expectVerifyError(t, m, "call arg")
+}
+
+func TestVerifyRetMismatch(t *testing.T) {
+	m := NewModule("t")
+	f := NewFunc("f", I32, nil, nil)
+	m.AddFunc(f)
+	bu := NewBuilder(f.NewBlock("entry"))
+	bad := newInstr(OpRet, Void, "", ConstFloat(F32, 1))
+	bu.Block().Append(bad)
+	expectVerifyError(t, m, "ret type mismatch")
+}
+
+func TestVerifyTerminatorInMiddle(t *testing.T) {
+	m := NewModule("t")
+	f := NewFunc("f", Void, nil, nil)
+	m.AddFunc(f)
+	b := f.NewBlock("entry")
+	bu := NewBuilder(b)
+	bu.Ret(nil)
+	bu.Ret(nil)
+	expectVerifyError(t, m, "terminator in the middle")
+}
+
+func TestVerifyShuffleMaskRange(t *testing.T) {
+	m := NewModule("t")
+	f := NewFunc("f", Void, []*Type{Vec(I32, 4)}, []string{"v"})
+	m.AddFunc(f)
+	bu := NewBuilder(f.NewBlock("entry"))
+	bad := newInstr(OpShuffleVector, Vec(I32, 4), "bad", f.Params[0], f.Params[0])
+	bad.ShuffleMask = []int{0, 1, 2, 9} // 9 out of range for 2x4 lanes
+	bu.Block().Append(bad)
+	bu.Ret(nil)
+	expectVerifyError(t, m, "out of range")
+}
+
+func TestVerifyCasts(t *testing.T) {
+	m := NewModule("t")
+	f, bu := oneBlockFunc(m)
+	bad := newInstr(OpTrunc, I64, "bad", f.Params[0]) // trunc i32 -> i64
+	bu.Block().Append(bad)
+	bu.Ret(nil)
+	expectVerifyError(t, m, "invalid trunc")
+}
+
+func TestVerifySelectArmMismatch(t *testing.T) {
+	m := NewModule("t")
+	f, bu := oneBlockFunc(m)
+	cond := bu.ICmp(IntEQ, f.Params[0], f.Params[0], "c")
+	bad := newInstr(OpSelect, I32, "bad", cond, f.Params[0], f.Params[1])
+	bu.Block().Append(bad)
+	bu.Ret(nil)
+	expectVerifyError(t, m, "select")
+}

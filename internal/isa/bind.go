@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"strings"
+
+	"vulfi/internal/interp"
+	"vulfi/internal/ir"
+)
+
+// maskActive reports whether a mask lane payload marks the lane active
+// (high bit of the lane's width set).
+func maskActive(bits uint64, width int) bool {
+	return bits&(1<<uint(width-1)) != 0
+}
+
+// Bind registers architectural implementations for every ISA intrinsic
+// declared in the interpreter's module: masked loads/stores, gathers,
+// scatters and movmsk. Inactive lanes perform no memory access, which is
+// what makes the partial foreach body safe at array tails.
+func Bind(it *interp.Interp) {
+	for _, f := range it.Mod.Funcs {
+		if !f.IsDecl {
+			continue
+		}
+		name := f.Nam
+		switch {
+		case strings.Contains(name, ".maskload."):
+			elem := f.RetType().Elem
+			it.RegisterExtern(name, maskLoadImpl(elem, f.RetType()))
+		case strings.Contains(name, ".maskstore."):
+			elem := f.Sig.Params[2].Elem
+			it.RegisterExtern(name, maskStoreImpl(elem))
+		case strings.Contains(name, ".movmsk."):
+			it.RegisterExtern(name, movMskImpl)
+		case strings.Contains(name, ".gather."):
+			elem := f.RetType().Elem
+			it.RegisterExtern(name, gatherImpl(elem, f.RetType()))
+		case strings.Contains(name, ".scatter."):
+			elem := f.Sig.Params[3].Elem
+			it.RegisterExtern(name, scatterImpl(elem))
+		}
+	}
+}
+
+func maskLoadImpl(elem *ir.Type, ret *ir.Type) interp.ExternFn {
+	es := uint64(elem.ByteSize())
+	w := elem.ScalarBits()
+	return func(it *interp.Interp, args []interp.Value) (interp.Value, *interp.Trap) {
+		base, mask := args[0].Uint(), args[1]
+		out := interp.Zero(ret)
+		for i := range mask.Bits {
+			if !maskActive(mask.Bits[i], w) {
+				continue // inactive lanes load zero, no access
+			}
+			v, tr := it.Mem.LoadScalar(elem, base+uint64(i)*es)
+			if tr != nil {
+				return interp.Value{}, tr
+			}
+			out.Bits[i] = v
+		}
+		return out, nil
+	}
+}
+
+func maskStoreImpl(elem *ir.Type) interp.ExternFn {
+	es := uint64(elem.ByteSize())
+	w := elem.ScalarBits()
+	return func(it *interp.Interp, args []interp.Value) (interp.Value, *interp.Trap) {
+		base, mask, val := args[0].Uint(), args[1], args[2]
+		for i := range mask.Bits {
+			if !maskActive(mask.Bits[i], w) {
+				continue
+			}
+			if tr := it.Mem.StoreScalar(elem, base+uint64(i)*es, val.Bits[i]); tr != nil {
+				return interp.Value{}, tr
+			}
+		}
+		return interp.Value{}, nil
+	}
+}
+
+func movMskImpl(it *interp.Interp, args []interp.Value) (interp.Value, *interp.Trap) {
+	mask := args[0]
+	w := mask.Ty.Scalar().Bits
+	var out uint64
+	for i := range mask.Bits {
+		if maskActive(mask.Bits[i], w) {
+			out |= 1 << uint(i)
+		}
+	}
+	return interp.IntValue(ir.I32, int64(out)), nil
+}
+
+func gatherImpl(elem *ir.Type, ret *ir.Type) interp.ExternFn {
+	es := uint64(elem.ByteSize())
+	w := elem.ScalarBits()
+	return func(it *interp.Interp, args []interp.Value) (interp.Value, *interp.Trap) {
+		base, idx, mask := args[0].Uint(), args[1], args[2]
+		out := interp.Zero(ret)
+		for i := range mask.Bits {
+			if !maskActive(mask.Bits[i], w) {
+				continue
+			}
+			addr := base + uint64(idx.LaneInt(i))*es
+			v, tr := it.Mem.LoadScalar(elem, addr)
+			if tr != nil {
+				return interp.Value{}, tr
+			}
+			out.Bits[i] = v
+		}
+		return out, nil
+	}
+}
+
+func scatterImpl(elem *ir.Type) interp.ExternFn {
+	es := uint64(elem.ByteSize())
+	w := elem.ScalarBits()
+	return func(it *interp.Interp, args []interp.Value) (interp.Value, *interp.Trap) {
+		base, idx, mask, val := args[0].Uint(), args[1], args[2], args[3]
+		for i := range mask.Bits {
+			if !maskActive(mask.Bits[i], w) {
+				continue
+			}
+			addr := base + uint64(idx.LaneInt(i))*es
+			if tr := it.Mem.StoreScalar(elem, addr, val.Bits[i]); tr != nil {
+				return interp.Value{}, tr
+			}
+		}
+		return interp.Value{}, nil
+	}
+}

@@ -1,0 +1,154 @@
+package isa
+
+import (
+	"strings"
+
+	"vulfi/internal/ir"
+)
+
+// Intrinsics declares ISA intrinsics inside one module on demand.
+type Intrinsics struct {
+	ISA *ISA
+	Mod *ir.Module
+}
+
+// MaskType returns the execution-mask vector type matching a data element
+// type at the given lane count: an integer vector of the same lane width,
+// where a lane is active iff its high bit is set (AVX convention). The
+// lane count is the gang size, which for 64-bit elements means the
+// operation is double-pumped over two physical registers.
+func (x *Intrinsics) MaskType(elem *ir.Type, lanes int) *ir.Type {
+	w := elem.ScalarBits()
+	var mi *ir.Type
+	switch w {
+	case 32:
+		mi = ir.I32
+	case 64:
+		mi = ir.I64
+	default:
+		panic("isa: unsupported masked element width")
+	}
+	return ir.Vec(mi, lanes)
+}
+
+func (x *Intrinsics) getOrDecl(name string, ret *ir.Type, params ...*ir.Type) *ir.Func {
+	if f := x.Mod.Func(name); f != nil {
+		return f
+	}
+	f := ir.NewDecl(name, ret, params...)
+	x.Mod.AddFunc(f)
+	return f
+}
+
+// MaskLoad returns (declaring if needed) the masked vector load intrinsic
+// for elem at gang size n: (elem* addr, mask) -> <N x elem>. Inactive
+// lanes load zero and perform no memory access.
+func (x *Intrinsics) MaskLoad(elem *ir.Type, n int) *ir.Func {
+	return x.getOrDecl(x.ISA.MaskLoadName(elem),
+		ir.Vec(elem, n), ir.Ptr(elem), x.MaskType(elem, n))
+}
+
+// MaskStore returns the masked vector store intrinsic for elem:
+// (elem* addr, mask, <N x elem> value) -> void.
+func (x *Intrinsics) MaskStore(elem *ir.Type, n int) *ir.Func {
+	return x.getOrDecl(x.ISA.MaskStoreName(elem),
+		ir.Void, ir.Ptr(elem), x.MaskType(elem, n), ir.Vec(elem, n))
+}
+
+// MovMsk returns the mask-extraction intrinsic: (<N x i32> mask) -> i32
+// bitmask of lane high bits.
+func (x *Intrinsics) MovMsk(n int) *ir.Func {
+	return x.getOrDecl(x.ISA.MovMskName(), ir.I32, ir.Vec(ir.I32, n))
+}
+
+// Gather returns the masked gather intrinsic for elem:
+// (elem* base, <N x i32> index, mask) -> <N x elem>.
+func (x *Intrinsics) Gather(elem *ir.Type, n int) *ir.Func {
+	return x.getOrDecl(x.ISA.GatherName(elem),
+		ir.Vec(elem, n), ir.Ptr(elem), ir.Vec(ir.I32, n), x.MaskType(elem, n))
+}
+
+// Scatter returns the masked scatter intrinsic for elem:
+// (elem* base, <N x i32> index, mask, <N x elem> value) -> void.
+func (x *Intrinsics) Scatter(elem *ir.Type, n int) *ir.Func {
+	return x.getOrDecl(x.ISA.ScatterName(elem),
+		ir.Void, ir.Ptr(elem), ir.Vec(ir.I32, n), x.MaskType(elem, n), ir.Vec(elem, n))
+}
+
+// MathUnary returns an llvm.<op>.<type> unary math intrinsic declaration
+// (e.g. llvm.sqrt.v8f32); the interpreter resolves these generically.
+func (x *Intrinsics) MathUnary(op string, ty *ir.Type) *ir.Func {
+	return x.getOrDecl("llvm."+op+"."+typeSuffix(ty), ty, ty)
+}
+
+// MathBinary returns an llvm.<op>.<type> binary math intrinsic.
+func (x *Intrinsics) MathBinary(op string, ty *ir.Type) *ir.Func {
+	return x.getOrDecl("llvm."+op+"."+typeSuffix(ty), ty, ty, ty)
+}
+
+func typeSuffix(ty *ir.Type) string {
+	s := ty.Scalar()
+	var base string
+	switch s {
+	case ir.F32:
+		base = "f32"
+	case ir.F64:
+		base = "f64"
+	case ir.I32:
+		base = "i32"
+	case ir.I64:
+		base = "i64"
+	default:
+		panic("isa: no intrinsic type suffix for " + ty.String())
+	}
+	if ty.IsVector() {
+		return "v" + itoa(ty.Len) + base
+	}
+	return base
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// MaskInfo describes how an intrinsic call interacts with the execution
+// mask: which operand carries the mask and, for store-like operations,
+// which operand carries the stored value (the paper's fault model targets
+// the stored value of a store before the store happens).
+type MaskInfo struct {
+	// MaskOperand is the operand index of the execution mask.
+	MaskOperand int
+	// ValueOperand is the index of the stored-value operand for
+	// store-like intrinsics, or -1 for load-like ones (whose L-value is
+	// the injection target).
+	ValueOperand int
+	// IsStore marks store-like intrinsics.
+	IsStore bool
+}
+
+// MaskedOpInfo reports whether the named intrinsic performs a masked
+// vector operation, and if so how its operands are laid out. This is the
+// inbuilt intrinsic classification list from §II-D of the paper.
+func MaskedOpInfo(name string) (MaskInfo, bool) {
+	switch {
+	case strings.Contains(name, ".maskload."):
+		return MaskInfo{MaskOperand: 1, ValueOperand: -1}, true
+	case strings.Contains(name, ".maskstore."):
+		return MaskInfo{MaskOperand: 1, ValueOperand: 2, IsStore: true}, true
+	case strings.Contains(name, ".gather."):
+		return MaskInfo{MaskOperand: 2, ValueOperand: -1}, true
+	case strings.Contains(name, ".scatter."):
+		return MaskInfo{MaskOperand: 2, ValueOperand: 3, IsStore: true}, true
+	}
+	return MaskInfo{}, false
+}

@@ -1,0 +1,274 @@
+package isa
+
+import (
+	"testing"
+
+	"vulfi/internal/interp"
+	"vulfi/internal/ir"
+)
+
+func TestLanes(t *testing.T) {
+	cases := []struct {
+		isa  *ISA
+		elem *ir.Type
+		want int
+	}{
+		{AVX, ir.F32, 8}, {AVX, ir.I32, 8}, {AVX, ir.F64, 4}, {AVX, ir.I64, 4},
+		{SSE, ir.F32, 4}, {SSE, ir.I32, 4}, {SSE, ir.F64, 2},
+	}
+	for _, c := range cases {
+		if got := c.isa.Lanes(c.elem); got != c.want {
+			t.Errorf("%s.Lanes(%s) = %d, want %d", c.isa, c.elem, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("AVX") != AVX || ByName("SSE") != SSE || ByName("NEON") != nil {
+		t.Error("ByName lookup wrong")
+	}
+}
+
+func TestIntrinsicNames(t *testing.T) {
+	// AVX masked float ops use the genuine x86 names from the paper.
+	if got := AVX.MaskLoadName(ir.F32); got != "llvm.x86.avx.maskload.ps.256" {
+		t.Errorf("AVX f32 maskload = %q", got)
+	}
+	if got := AVX.MaskStoreName(ir.F32); got != "llvm.x86.avx.maskstore.ps.256" {
+		t.Errorf("AVX f32 maskstore = %q", got)
+	}
+	if got := AVX.MaskLoadName(ir.I32); got != "llvm.x86.avx2.maskload.d.256" {
+		t.Errorf("AVX i32 maskload = %q", got)
+	}
+	// SSE has no masked memory ops; the per-lane pseudo-intrinsics stand in.
+	if got := SSE.MaskLoadName(ir.F32); got != "llvm.vulfi.sse.maskload.ps" {
+		t.Errorf("SSE f32 maskload = %q", got)
+	}
+	if AVX.MovMskName() != "llvm.x86.avx.movmsk.ps.256" ||
+		SSE.MovMskName() != "llvm.x86.sse.movmsk.ps" {
+		t.Error("movmsk names wrong")
+	}
+}
+
+func TestMaskedOpInfo(t *testing.T) {
+	mi, ok := MaskedOpInfo("llvm.x86.avx.maskload.ps.256")
+	if !ok || mi.MaskOperand != 1 || mi.IsStore {
+		t.Errorf("maskload info = %+v %v", mi, ok)
+	}
+	mi, ok = MaskedOpInfo("llvm.x86.avx.maskstore.ps.256")
+	if !ok || mi.MaskOperand != 1 || !mi.IsStore || mi.ValueOperand != 2 {
+		t.Errorf("maskstore info = %+v %v", mi, ok)
+	}
+	mi, ok = MaskedOpInfo("llvm.vulfi.avx.gather.d")
+	if !ok || mi.MaskOperand != 2 || mi.IsStore {
+		t.Errorf("gather info = %+v %v", mi, ok)
+	}
+	mi, ok = MaskedOpInfo("llvm.vulfi.avx.scatter.ps")
+	if !ok || !mi.IsStore || mi.ValueOperand != 3 {
+		t.Errorf("scatter info = %+v %v", mi, ok)
+	}
+	if _, ok := MaskedOpInfo("llvm.sqrt.v8f32"); ok {
+		t.Error("sqrt misclassified as masked op")
+	}
+}
+
+// buildMaskedModule declares masked intrinsics and a function exercising
+// a masked load + store pair.
+func buildMaskedModule(t *testing.T) (*ir.Module, *Intrinsics) {
+	t.Helper()
+	m := ir.NewModule("isa")
+	x := &Intrinsics{ISA: AVX, Mod: m}
+	f := ir.NewFunc("f", ir.Vec(ir.F32, 8),
+		[]*ir.Type{ir.Ptr(ir.F32), ir.Ptr(ir.F32), ir.Vec(ir.I32, 8)},
+		[]string{"src", "dst", "mask"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	ld := bu.Call(x.MaskLoad(ir.F32, 8), "ld", f.Params[0], f.Params[2])
+	bu.Call(x.MaskStore(ir.F32, 8), "", f.Params[1], f.Params[2], ld)
+	bu.Ret(ld)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return m, x
+}
+
+func TestMaskedLoadStoreSemantics(t *testing.T) {
+	m, _ := buildMaskedModule(t)
+	it, err := interp.New(m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Bind(it)
+
+	src, _ := it.Mem.Alloc(32)
+	dst, _ := it.Mem.Alloc(32)
+	for i := 0; i < 8; i++ {
+		fv := interp.FloatValue(ir.F32, float64(i+1))
+		it.Mem.StoreScalar(ir.F32, src+uint64(i)*4, fv.Uint())
+		it.Mem.StoreScalar(ir.F32, dst+uint64(i)*4,
+			interp.FloatValue(ir.F32, -1).Uint())
+	}
+	// Activate lanes 0..4 only (high bit convention).
+	mask := interp.Zero(ir.Vec(ir.I32, 8))
+	for i := 0; i < 5; i++ {
+		mask.Bits[i] = 0xFFFFFFFF
+	}
+	got, tr := it.Run("f",
+		interp.PtrValue(ir.Ptr(ir.F32), src),
+		interp.PtrValue(ir.Ptr(ir.F32), dst), mask)
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	for i := 0; i < 8; i++ {
+		want := float64(i + 1)
+		if i >= 5 {
+			want = 0 // inactive lanes load zero
+		}
+		if got.LaneFloat(i) != want {
+			t.Fatalf("loaded lane %d = %v, want %v", i, got.LaneFloat(i), want)
+		}
+		stored, _ := it.Mem.LoadScalar(ir.F32, dst+uint64(i)*4)
+		wantStored := want
+		if i >= 5 {
+			wantStored = -1 // inactive lanes must not be stored
+		}
+		if interp.Scalar(ir.F32, stored).Float() != wantStored {
+			t.Fatalf("stored lane %d = %v, want %v", i,
+				interp.Scalar(ir.F32, stored).Float(), wantStored)
+		}
+	}
+}
+
+// TestMaskedLoadAtArrayTail is the property the partial foreach body
+// depends on: inactive lanes perform no memory access, so a masked load
+// touching the end of an allocation does not fault.
+func TestMaskedLoadAtArrayTail(t *testing.T) {
+	m, _ := buildMaskedModule(t)
+	it, _ := interp.New(m, interp.Options{})
+	Bind(it)
+	src, _ := it.Mem.Alloc(12) // room for exactly 3 floats (16 after alignment)
+	dst, _ := it.Mem.Alloc(32)
+	mask := interp.Zero(ir.Vec(ir.I32, 8))
+	for i := 0; i < 3; i++ {
+		mask.Bits[i] = 0xFFFFFFFF
+	}
+	if _, tr := it.Run("f",
+		interp.PtrValue(ir.Ptr(ir.F32), src),
+		interp.PtrValue(ir.Ptr(ir.F32), dst), mask); tr != nil {
+		t.Fatalf("masked tail access trapped: %v", tr)
+	}
+	// An all-on mask must fault (the load would run off the segment).
+	for i := range mask.Bits {
+		mask.Bits[i] = 0xFFFFFFFF
+	}
+	if _, tr := it.Run("f",
+		interp.PtrValue(ir.Ptr(ir.F32), src),
+		interp.PtrValue(ir.Ptr(ir.F32), dst), mask); tr == nil {
+		t.Fatal("unmasked overrun did not trap")
+	}
+}
+
+func TestMovMsk(t *testing.T) {
+	m := ir.NewModule("mm")
+	x := &Intrinsics{ISA: AVX, Mod: m}
+	f := ir.NewFunc("f", ir.I32, []*ir.Type{ir.Vec(ir.I32, 8)}, []string{"m"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	r := bu.Call(x.MovMsk(8), "r", f.Params[0])
+	bu.Ret(r)
+	it, _ := interp.New(m, interp.Options{})
+	Bind(it)
+	mask := interp.Zero(ir.Vec(ir.I32, 8))
+	mask.Bits[1] = 0x80000000
+	mask.Bits[4] = 0xFFFFFFFF
+	mask.Bits[6] = 0x7FFFFFFF // high bit clear: inactive
+	got, tr := it.Run("f", mask)
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	if got.Int() != (1<<1)|(1<<4) {
+		t.Fatalf("movmsk = %#x", got.Int())
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	m := ir.NewModule("gs")
+	x := &Intrinsics{ISA: AVX, Mod: m}
+	f := ir.NewFunc("f", ir.Vec(ir.I32, 8),
+		[]*ir.Type{ir.Ptr(ir.I32), ir.Vec(ir.I32, 8), ir.Vec(ir.I32, 8)},
+		[]string{"base", "idx", "mask"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	g := bu.Call(x.Gather(ir.I32, 8), "g", f.Params[0], f.Params[1], f.Params[2])
+	doubled := bu.Add(g, g, "d")
+	bu.Call(x.Scatter(ir.I32, 8), "", f.Params[0], f.Params[1], f.Params[2], doubled)
+	bu.Ret(g)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	it, _ := interp.New(m, interp.Options{})
+	Bind(it)
+	base, _ := it.Mem.Alloc(64)
+	for i := 0; i < 16; i++ {
+		it.Mem.StoreScalar(ir.I32, base+uint64(i)*4, uint64(i*10))
+	}
+	idx := interp.Zero(ir.Vec(ir.I32, 8))
+	mask := interp.Zero(ir.Vec(ir.I32, 8))
+	for i := 0; i < 8; i++ {
+		idx.SetLaneInt(i, int64(15-i*2)) // strided, descending
+		mask.Bits[i] = 0xFFFFFFFF
+	}
+	mask.Bits[3] = 0 // one inactive lane
+	got, tr := it.Run("f",
+		interp.PtrValue(ir.Ptr(ir.I32), base), idx, mask)
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	for i := 0; i < 8; i++ {
+		want := int64((15 - i*2) * 10)
+		if i == 3 {
+			want = 0
+		}
+		if got.LaneInt(i) != want {
+			t.Fatalf("gather lane %d = %d, want %d", i, got.LaneInt(i), want)
+		}
+	}
+	// Scatter doubled values back; inactive lane 3's slot is untouched.
+	for i := 0; i < 8; i++ {
+		cell, _ := it.Mem.LoadScalar(ir.I32, base+uint64(15-i*2)*4)
+		want := int64((15 - i*2) * 20)
+		if i == 3 {
+			want = int64((15 - i*2) * 10)
+		}
+		if int64(int32(cell)) != want {
+			t.Fatalf("scatter cell for lane %d = %d, want %d", i, int32(cell), want)
+		}
+	}
+}
+
+func TestMaskTypeWidths(t *testing.T) {
+	m := ir.NewModule("mt")
+	x := &Intrinsics{ISA: AVX, Mod: m}
+	if x.MaskType(ir.F32, 8) != ir.Vec(ir.I32, 8) {
+		t.Error("f32 mask type wrong")
+	}
+	if x.MaskType(ir.F64, 8) != ir.Vec(ir.I64, 8) {
+		t.Error("f64 mask type wrong (double-pumped gang)")
+	}
+}
+
+func TestAVX512Extension(t *testing.T) {
+	if AVX512.Lanes(ir.F32) != 16 || AVX512.Lanes(ir.F64) != 8 {
+		t.Error("AVX512 lane counts wrong")
+	}
+	if ByName("AVX512") != AVX512 {
+		t.Error("ByName should resolve the extension ISA")
+	}
+	if got := AVX512.MaskLoadName(ir.F32); got != "llvm.x86.avx512.maskload.ps.512" {
+		t.Errorf("AVX512 maskload name = %q", got)
+	}
+	// The paper's study set stays AVX+SSE; the extension set adds AVX512.
+	if len(All) != 2 || len(Extended) != 3 {
+		t.Error("ISA sets wrong")
+	}
+}

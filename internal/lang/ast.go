@@ -1,0 +1,240 @@
+package lang
+
+// BaseType enumerates VSPC scalar base types.
+type BaseType int
+
+// Base types.
+const (
+	TVoid BaseType = iota
+	TBool
+	TInt
+	TInt64
+	TFloat
+	TDouble
+)
+
+var baseNames = map[BaseType]string{
+	TVoid: "void", TBool: "bool", TInt: "int", TInt64: "int64",
+	TFloat: "float", TDouble: "double",
+}
+
+// String returns the source spelling of the base type.
+func (b BaseType) String() string { return baseNames[b] }
+
+// Qual is the uniform/varying qualifier.
+type Qual int
+
+// Qualifiers. QualNone means "default": varying for locals (ISPC's
+// default), and is resolved during checking.
+const (
+	QualNone Qual = iota
+	QualUniform
+	QualVarying
+)
+
+// TypeSpec is a syntactic type: qualifier + base + optional array marker.
+type TypeSpec struct {
+	Qual  Qual
+	Base  BaseType
+	Array bool // "T name[]" parameter or "T name[N]" local
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Export bool
+	Name   string
+	Ret    TypeSpec
+	Params []*ParamDecl
+	Body   *BlockStmt
+}
+
+// ParamDecl is one function parameter.
+type ParamDecl struct {
+	Pos  Pos
+	Name string
+	Type TypeSpec
+}
+
+// File is a parsed compilation unit.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	// P returns the node's source position (for diagnostics).
+	P() Pos
+}
+
+// BlockStmt is { stmts... }.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable (scalar or fixed-size array).
+type DeclStmt struct {
+	Pos      Pos
+	Type     TypeSpec
+	Name     string
+	ArrayLen int64 // >0 for local arrays
+	Init     Expr  // nil if none
+}
+
+// AssignStmt is lhs op= rhs. Op is Assign/PlusAssign/... LHS is an Ident
+// or IndexExpr.
+type AssignStmt struct {
+	Pos Pos
+	Op  Kind
+	LHS Expr
+	RHS Expr
+}
+
+// IncDecStmt is lhs++ / lhs--.
+type IncDecStmt struct {
+	Pos Pos
+	Op  Kind // PlusPlus or MinusMinus
+	LHS Expr
+}
+
+// IfStmt is if (cond) then [else els]. A varying condition predicates.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil if none
+}
+
+// WhileStmt is while (cond) body. A varying condition runs a mask loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for with a uniform condition.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // DeclStmt or AssignStmt, may be nil
+	Cond Expr
+	Post Stmt // AssignStmt/IncDecStmt, may be nil
+	Body Stmt
+}
+
+// ForeachStmt is foreach (ident = start ... end) body: the SPMD parallel
+// loop whose lowering carries the paper's invariants.
+type ForeachStmt struct {
+	Pos   Pos
+	Var   string
+	Start Expr
+	End   Expr
+	Body  Stmt
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Pos Pos
+	Val Expr // nil for void
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*BlockStmt) stmtNode()   {}
+func (*DeclStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode()  {}
+func (*IncDecStmt) stmtNode()  {}
+func (*IfStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()   {}
+func (*ForStmt) stmtNode()     {}
+func (*ForeachStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()    {}
+
+// Ident is a variable reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	V   int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	Pos Pos
+	V   float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Pos Pos
+	V   bool
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Pos  Pos
+	Op   Kind
+	X, Y Expr
+}
+
+// UnExpr is unary minus or logical not.
+type UnExpr struct {
+	Pos Pos
+	Op  Kind
+	X   Expr
+}
+
+// CallExpr calls a user function or builtin by name.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// IndexExpr is array[index].
+type IndexExpr struct {
+	Pos   Pos
+	Array *Ident
+	Index Expr
+}
+
+// CastExpr is (type)expr.
+type CastExpr struct {
+	Pos Pos
+	To  TypeSpec
+	X   Expr
+}
+
+func (*Ident) exprNode()     {}
+func (*IntLit) exprNode()    {}
+func (*FloatLit) exprNode()  {}
+func (*BoolLit) exprNode()   {}
+func (*BinExpr) exprNode()   {}
+func (*UnExpr) exprNode()    {}
+func (*CallExpr) exprNode()  {}
+func (*IndexExpr) exprNode() {}
+func (*CastExpr) exprNode()  {}
+
+// P implements Expr.
+func (e *Ident) P() Pos     { return e.Pos }
+func (e *IntLit) P() Pos    { return e.Pos }
+func (e *FloatLit) P() Pos  { return e.Pos }
+func (e *BoolLit) P() Pos   { return e.Pos }
+func (e *BinExpr) P() Pos   { return e.Pos }
+func (e *UnExpr) P() Pos    { return e.Pos }
+func (e *CallExpr) P() Pos  { return e.Pos }
+func (e *IndexExpr) P() Pos { return e.Pos }
+func (e *CastExpr) P() Pos  { return e.Pos }

@@ -1,0 +1,196 @@
+package lang
+
+// builtinClass describes the checking rule for a builtin function.
+type builtinClass int
+
+const (
+	bMath1      builtinClass = iota // f(x float-ish) -> same
+	bMath2                          // f(x, y) -> common float type
+	bMinMax                         // min/max over any numeric pair
+	bClamp                          // clamp(x, lo, hi)
+	bAbs                            // abs over int or float
+	bSelect                         // select(cond, a, b) lane-wise
+	bReduce                         // reduce_*(varying) -> uniform
+	bProgramIdx                     // programIndex() -> varying int
+	bProgramCnt                     // programCount() -> uniform int
+	bPrint                          // print(x) -> void
+)
+
+// Builtins maps VSPC builtin names to their checking class. Codegen has a
+// matching lowering for every entry.
+var Builtins = map[string]builtinClass{
+	"sqrt": bMath1, "rsqrt": bMath1, "rcp": bMath1, "sin": bMath1,
+	"cos": bMath1, "tan": bMath1, "exp": bMath1, "log": bMath1,
+	"floor": bMath1, "ceil": bMath1, "round": bMath1,
+	"pow": bMath2, "atan2": bMath2,
+	"min": bMinMax, "max": bMinMax,
+	"clamp":      bClamp,
+	"abs":        bAbs,
+	"select":     bSelect,
+	"reduce_add": bReduce, "reduce_min": bReduce, "reduce_max": bReduce,
+	"programIndex": bProgramIdx,
+	"programCount": bProgramCnt,
+	"print":        bPrint,
+}
+
+// IsBuiltin reports whether name is a VSPC builtin.
+func IsBuiltin(name string) bool {
+	_, ok := Builtins[name]
+	return ok
+}
+
+func (c *checker) checkCall(x *CallExpr) VType {
+	if cls, ok := Builtins[x.Name]; ok {
+		return c.checkBuiltin(x, cls)
+	}
+	fi, ok := c.prog.Funcs[x.Name]
+	if !ok {
+		c.errorf(x.Pos, "call to undefined function %q", x.Name)
+		for _, a := range x.Args {
+			c.checkExpr(a)
+		}
+		return VType{Base: TInt, Uniform: true}
+	}
+	if len(x.Args) != len(fi.Params) {
+		c.errorf(x.Pos, "call to %q: %d args, want %d",
+			x.Name, len(x.Args), len(fi.Params))
+	}
+	for i, a := range x.Args {
+		at := c.checkExpr(a)
+		if i < len(fi.Params) {
+			c.requireConvertible(a.P(), at, fi.Params[i].Type,
+				"argument "+fi.Params[i].Name)
+		}
+	}
+	return fi.Ret
+}
+
+func (c *checker) argTypes(x *CallExpr) []VType {
+	out := make([]VType, len(x.Args))
+	for i, a := range x.Args {
+		out[i] = c.checkExpr(a)
+	}
+	return out
+}
+
+func (c *checker) wantArgs(x *CallExpr, n int) bool {
+	if len(x.Args) != n {
+		c.errorf(x.Pos, "%s expects %d argument(s), got %d", x.Name, n, len(x.Args))
+		return false
+	}
+	return true
+}
+
+func (c *checker) checkBuiltin(x *CallExpr, cls builtinClass) VType {
+	ats := c.argTypes(x)
+	anyVarying := false
+	for _, t := range ats {
+		if !t.Uniform {
+			anyVarying = true
+		}
+	}
+	uni := !anyVarying
+	switch cls {
+	case bMath1:
+		if !c.wantArgs(x, 1) {
+			return VType{Base: TFloat, Uniform: true}
+		}
+		t := ats[0]
+		if !t.IsNumeric() {
+			c.errorf(x.Pos, "%s requires a numeric argument, got %s", x.Name, t)
+		}
+		base := t.Base
+		if !t.IsFloatBase() {
+			base = TFloat // ints promote to float
+		}
+		return VType{Base: base, Uniform: t.Uniform}
+	case bMath2:
+		if !c.wantArgs(x, 2) {
+			return VType{Base: TFloat, Uniform: true}
+		}
+		base := TFloat
+		for _, t := range ats {
+			if !t.IsNumeric() {
+				c.errorf(x.Pos, "%s requires numeric arguments, got %s", x.Name, t)
+			}
+			if t.Base == TDouble {
+				base = TDouble
+			}
+		}
+		return VType{Base: base, Uniform: uni}
+	case bMinMax:
+		if !c.wantArgs(x, 2) {
+			return VType{Base: TInt, Uniform: true}
+		}
+		for _, t := range ats {
+			if !t.IsNumeric() {
+				c.errorf(x.Pos, "%s requires numeric arguments, got %s", x.Name, t)
+				return VType{Base: TInt, Uniform: uni}
+			}
+		}
+		return VType{Base: commonBase(ats[0].Base, ats[1].Base), Uniform: uni}
+	case bClamp:
+		if !c.wantArgs(x, 3) {
+			return VType{Base: TInt, Uniform: true}
+		}
+		base := TInt
+		for _, t := range ats {
+			if !t.IsNumeric() {
+				c.errorf(x.Pos, "clamp requires numeric arguments, got %s", t)
+				return VType{Base: TInt, Uniform: uni}
+			}
+			base = commonBase(base, t.Base)
+		}
+		return VType{Base: base, Uniform: uni}
+	case bAbs:
+		if !c.wantArgs(x, 1) {
+			return VType{Base: TInt, Uniform: true}
+		}
+		if !ats[0].IsNumeric() {
+			c.errorf(x.Pos, "abs requires a numeric argument, got %s", ats[0])
+		}
+		return ats[0]
+	case bSelect:
+		if !c.wantArgs(x, 3) {
+			return VType{Base: TInt, Uniform: true}
+		}
+		if ats[0].Base != TBool || ats[0].Array {
+			c.errorf(x.Pos, "select condition must be bool, got %s", ats[0])
+		}
+		if !ats[1].IsNumeric() || !ats[2].IsNumeric() {
+			c.errorf(x.Pos, "select arms must be numeric")
+			return VType{Base: TInt, Uniform: uni}
+		}
+		return VType{Base: commonBase(ats[1].Base, ats[2].Base), Uniform: uni}
+	case bReduce:
+		if !c.wantArgs(x, 1) {
+			return VType{Base: TInt, Uniform: true}
+		}
+		t := ats[0]
+		if !t.IsNumeric() {
+			c.errorf(x.Pos, "%s requires a numeric argument, got %s", x.Name, t)
+		}
+		if t.Uniform {
+			c.errorf(x.Pos, "%s requires a varying argument", x.Name)
+		}
+		if c.varyingCtx > 0 {
+			c.errorf(x.Pos, "%s must be used outside varying control flow", x.Name)
+		}
+		return VType{Base: t.Base, Uniform: true}
+	case bProgramIdx:
+		c.wantArgs(x, 0)
+		return VType{Base: TInt, Uniform: false}
+	case bProgramCnt:
+		c.wantArgs(x, 0)
+		return VType{Base: TInt, Uniform: true}
+	case bPrint:
+		if !c.wantArgs(x, 1) {
+			return VType{Base: TVoid, Uniform: true}
+		}
+		if ats[0].Array {
+			c.errorf(x.Pos, "cannot print an array")
+		}
+		return VType{Base: TVoid, Uniform: true}
+	}
+	panic("lang: unhandled builtin class")
+}

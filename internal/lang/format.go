@@ -1,0 +1,214 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format pretty-prints a parsed file back to canonical VSPC source.
+// Format(Parse(src)) is a fixpoint: parsing the output yields an
+// identical AST (tested by the round-trip property test), which makes the
+// formatter usable as a canonicalizer for tooling.
+func Format(f *File) string {
+	var p printer
+	for i, fd := range f.Funcs {
+		if i > 0 {
+			p.line("")
+		}
+		p.funcDecl(fd)
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) line(s string) {
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteByte('\t')
+	}
+	p.sb.WriteString(s)
+	p.sb.WriteByte('\n')
+}
+
+func typeSpecString(ts TypeSpec) string {
+	var parts []string
+	switch ts.Qual {
+	case QualUniform:
+		parts = append(parts, "uniform")
+	case QualVarying:
+		parts = append(parts, "varying")
+	}
+	parts = append(parts, ts.Base.String())
+	return strings.Join(parts, " ")
+}
+
+func (p *printer) funcDecl(fd *FuncDecl) {
+	var hdr strings.Builder
+	if fd.Export {
+		hdr.WriteString("export ")
+	}
+	hdr.WriteString(typeSpecString(fd.Ret))
+	hdr.WriteString(" ")
+	hdr.WriteString(fd.Name)
+	hdr.WriteString("(")
+	for i, pd := range fd.Params {
+		if i > 0 {
+			hdr.WriteString(", ")
+		}
+		hdr.WriteString(typeSpecString(pd.Type))
+		hdr.WriteString(" ")
+		hdr.WriteString(pd.Name)
+		if pd.Type.Array {
+			hdr.WriteString("[]")
+		}
+	}
+	hdr.WriteString(") {")
+	p.line(hdr.String())
+	p.indent++
+	for _, s := range fd.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) blockOrStmt(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		p.indent++
+		for _, sub := range b.Stmts {
+			p.stmt(sub)
+		}
+		p.indent--
+		return
+	}
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, sub := range st.Stmts {
+			p.stmt(sub)
+		}
+		p.indent--
+		p.line("}")
+	case *DeclStmt:
+		p.line(declString(st) + ";")
+	case *AssignStmt:
+		p.line(fmt.Sprintf("%s %s %s;", ExprString(st.LHS), st.Op, ExprString(st.RHS)))
+	case *IncDecStmt:
+		p.line(ExprString(st.LHS) + st.Op.String() + ";")
+	case *IfStmt:
+		p.line("if (" + ExprString(st.Cond) + ") {")
+		p.blockOrStmt(st.Then)
+		if st.Else != nil {
+			p.line("} else {")
+			p.blockOrStmt(st.Else)
+		}
+		p.line("}")
+	case *WhileStmt:
+		p.line("while (" + ExprString(st.Cond) + ") {")
+		p.blockOrStmt(st.Body)
+		p.line("}")
+	case *ForStmt:
+		init, post := "", ""
+		if st.Init != nil {
+			init = simpleStmtString(st.Init)
+		}
+		cond := ""
+		if st.Cond != nil {
+			cond = ExprString(st.Cond)
+		}
+		if st.Post != nil {
+			post = simpleStmtString(st.Post)
+		}
+		p.line(fmt.Sprintf("for (%s; %s; %s) {", init, cond, post))
+		p.blockOrStmt(st.Body)
+		p.line("}")
+	case *ForeachStmt:
+		p.line(fmt.Sprintf("foreach (%s = %s ... %s) {",
+			st.Var, ExprString(st.Start), ExprString(st.End)))
+		p.blockOrStmt(st.Body)
+		p.line("}")
+	case *ReturnStmt:
+		if st.Val == nil {
+			p.line("return;")
+		} else {
+			p.line("return " + ExprString(st.Val) + ";")
+		}
+	case *ExprStmt:
+		p.line(ExprString(st.X) + ";")
+	default:
+		panic(fmt.Sprintf("lang: unformatted statement %T", s))
+	}
+}
+
+func declString(st *DeclStmt) string {
+	out := typeSpecString(st.Type) + " " + st.Name
+	if st.Type.Array {
+		return fmt.Sprintf("%s[%d]", out, st.ArrayLen)
+	}
+	if st.Init != nil {
+		out += " = " + ExprString(st.Init)
+	}
+	return out
+}
+
+func simpleStmtString(s Stmt) string {
+	switch st := s.(type) {
+	case *DeclStmt:
+		return declString(st)
+	case *AssignStmt:
+		return fmt.Sprintf("%s %s %s", ExprString(st.LHS), st.Op, ExprString(st.RHS))
+	case *IncDecStmt:
+		return ExprString(st.LHS) + st.Op.String()
+	case *ExprStmt:
+		return ExprString(st.X)
+	}
+	panic(fmt.Sprintf("lang: not a simple statement: %T", s))
+}
+
+// ExprString renders an expression with explicit parentheses around every
+// binary operation, so precedence is unambiguous and re-parsing
+// reproduces the tree exactly.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return fmt.Sprintf("%d", x.V)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", x.V)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *BoolLit:
+		if x.V {
+			return "true"
+		}
+		return "false"
+	case *BinExpr:
+		return "(" + ExprString(x.X) + " " + x.Op.String() + " " + ExprString(x.Y) + ")"
+	case *UnExpr:
+		return x.Op.String() + ExprString(x.X)
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, ExprString(a))
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *IndexExpr:
+		return x.Array.Name + "[" + ExprString(x.Index) + "]"
+	case *CastExpr:
+		return "(" + typeSpecString(x.To) + ")" + ExprString(x.X)
+	}
+	panic(fmt.Sprintf("lang: unformatted expression %T", e))
+}

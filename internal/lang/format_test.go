@@ -1,0 +1,82 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatFixpoint(t *testing.T) {
+	src := `
+export void f(uniform float a[], uniform int n, uniform float s) {
+	uniform int k = 3;
+	foreach (i = 0 ... n - 1) {
+		varying float v = a[i] * s + (float)i;
+		if (v < 0.0) {
+			v = -v;
+		} else {
+			while (v > 10.0) {
+				v = v / 2.0;
+			}
+		}
+		a[i] = v;
+	}
+	for (uniform int j = 0; j < k; j++) {
+		print(j);
+	}
+	return;
+}`
+	f1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := Format(f1)
+	f2, err := Parse(once)
+	if err != nil {
+		t.Fatalf("formatted source does not parse: %v\n%s", err, once)
+	}
+	twice := Format(f2)
+	if once != twice {
+		t.Fatalf("Format is not a fixpoint:\n--- once\n%s\n--- twice\n%s", once, twice)
+	}
+}
+
+func TestFormatPreservesPrecedence(t *testing.T) {
+	src := `void f() { int x = 1 + 2 * 3 - (4 + 5) * 6; }`
+	f1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f1)
+	// The formatter parenthesizes every binary op; the re-parsed tree
+	// must compute the same constant structure.
+	if !strings.Contains(out, "((1 + (2 * 3)) - ((4 + 5) * 6))") {
+		t.Fatalf("precedence flattened:\n%s", out)
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"a[i + 1]", "a[(i + 1)]"},
+		{"-x", "-x"},
+		{"!b", "!b"},
+		{"sqrt(x)", "sqrt(x)"},
+		{"(float)n", "(float)n"},
+		{"(uniform int)y", "(uniform int)y"},
+		{"1.0", "1.0"},
+		{"1.5e10", "1.5e+10"},
+		{"true", "true"},
+	}
+	for _, c := range cases {
+		f, err := Parse("void f() { x = " + c.src + "; }")
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		as := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+		if got := ExprString(as.RHS); got != c.want {
+			t.Errorf("ExprString(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}

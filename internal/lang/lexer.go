@@ -1,0 +1,277 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lexer tokenizes VSPC source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekByte2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekByte2() == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByte2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return fmt.Errorf("%s: unterminated block comment", start)
+				}
+				if lx.peekByte() == '*' && lx.peekByte2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peekByte()
+
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentCont(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+
+	case isDigit(c), c == '.' && isDigit(lx.peekByte2()):
+		return lx.number(pos)
+	}
+
+	two := func(k Kind) (Token, error) {
+		lx.advance()
+		lx.advance()
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		lx.advance()
+		return Token{Kind: k, Pos: pos}, nil
+	}
+
+	switch c {
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '[':
+		return one(LBracket)
+	case ']':
+		return one(RBracket)
+	case ',':
+		return one(Comma)
+	case ';':
+		return one(Semi)
+	case '+':
+		if lx.peekByte2() == '=' {
+			return two(PlusAssign)
+		}
+		if lx.peekByte2() == '+' {
+			return two(PlusPlus)
+		}
+		return one(Plus)
+	case '-':
+		if lx.peekByte2() == '=' {
+			return two(MinusAssign)
+		}
+		if lx.peekByte2() == '-' {
+			return two(MinusMinus)
+		}
+		return one(Minus)
+	case '*':
+		if lx.peekByte2() == '=' {
+			return two(StarAssign)
+		}
+		return one(Star)
+	case '/':
+		if lx.peekByte2() == '=' {
+			return two(SlashAssign)
+		}
+		return one(Slash)
+	case '%':
+		return one(Percent)
+	case '!':
+		if lx.peekByte2() == '=' {
+			return two(NotEq)
+		}
+		return one(Not)
+	case '<':
+		if lx.peekByte2() == '=' {
+			return two(Le)
+		}
+		if lx.peekByte2() == '<' {
+			return two(Shl)
+		}
+		return one(Lt)
+	case '>':
+		if lx.peekByte2() == '=' {
+			return two(Ge)
+		}
+		if lx.peekByte2() == '>' {
+			return two(Shr)
+		}
+		return one(Gt)
+	case '=':
+		if lx.peekByte2() == '=' {
+			return two(EqEq)
+		}
+		return one(Assign)
+	case '&':
+		if lx.peekByte2() == '&' {
+			return two(AndAnd)
+		}
+		return one(Amp)
+	case '|':
+		if lx.peekByte2() == '|' {
+			return two(OrOr)
+		}
+		return one(Pipe)
+	case '^':
+		return one(Caret)
+	case '.':
+		if lx.peekByte2() == '.' && lx.off+2 < len(lx.src) && lx.src[lx.off+2] == '.' {
+			lx.advance()
+			lx.advance()
+			lx.advance()
+			return Token{Kind: Ellipsis, Pos: pos}, nil
+		}
+	}
+	return Token{}, fmt.Errorf("%s: unexpected character %q", pos, c)
+}
+
+func (lx *Lexer) number(pos Pos) (Token, error) {
+	start := lx.off
+	isFloat := false
+	for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+		lx.advance()
+	}
+	// Fractional part — but not "..." which starts a range.
+	if lx.peekByte() == '.' && lx.peekByte2() != '.' {
+		isFloat = true
+		lx.advance()
+		for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	}
+	if c := lx.peekByte(); c == 'e' || c == 'E' {
+		isFloat = true
+		lx.advance()
+		if c := lx.peekByte(); c == '+' || c == '-' {
+			lx.advance()
+		}
+		for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	}
+	text := lx.src[start:lx.off]
+	if c := lx.peekByte(); c == 'f' || c == 'F' {
+		isFloat = true
+		lx.advance()
+	}
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("%s: bad float literal %q", pos, text)
+		}
+		return Token{Kind: FLOATLIT, Text: text, Pos: pos, Flt: f}, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, fmt.Errorf("%s: bad integer literal %q", pos, text)
+	}
+	return Token{Kind: INTLIT, Text: text, Pos: pos, Int: n}, nil
+}
+
+// LexAll tokenizes the entire input (testing convenience).
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	got := kinds(t, "export void f(uniform int a[]) { a[0] = 1; }")
+	want := []Kind{KwExport, KwVoid, IDENT, LParen, KwUniform, KwInt, IDENT,
+		LBracket, RBracket, RParen, LBrace, IDENT, LBracket, INTLIT, RBracket,
+		Assign, INTLIT, Semi, RBrace, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("token count %d != %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	got := kinds(t, "+ - * / % += -= *= /= ++ -- == != <= >= < > << >> && || & | ^ ! ...")
+	want := []Kind{Plus, Minus, Star, Slash, Percent, PlusAssign, MinusAssign,
+		StarAssign, SlashAssign, PlusPlus, MinusMinus, EqEq, NotEq, Le, Ge,
+		Lt, Gt, Shl, Shr, AndAnd, OrOr, Amp, Pipe, Caret, Not, Ellipsis, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := LexAll("42 3.5 1e3 2.5e-2 7f 0.5f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != INTLIT || toks[0].Int != 42 {
+		t.Errorf("int literal: %+v", toks[0])
+	}
+	for i, want := range []float64{3.5, 1000, 0.025, 7, 0.5} {
+		tk := toks[i+1]
+		if tk.Kind != FLOATLIT || tk.Flt != want {
+			t.Errorf("float literal %d: %+v want %v", i, tk, want)
+		}
+	}
+}
+
+// The foreach range "0 ... n" must not lex "0 ." as a float.
+func TestLexEllipsisAfterInt(t *testing.T) {
+	toks, err := LexAll("0 ... n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != INTLIT || toks[1].Kind != Ellipsis || toks[2].Kind != IDENT {
+		t.Fatalf("ellipsis ambiguity: %+v", toks)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	got := kinds(t, `
+		// line comment
+		int /* block
+		comment */ x;`)
+	want := []Kind{KwInt, IDENT, Semi, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := LexAll("int x = @;"); err == nil {
+		t.Error("unexpected character should error")
+	}
+	if _, err := LexAll("/* unterminated"); err == nil ||
+		!strings.Contains(err.Error(), "unterminated") {
+		t.Errorf("unterminated comment error = %v", err)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("positions wrong: %v %v", toks[0].Pos, toks[1].Pos)
+	}
+}

@@ -1,0 +1,559 @@
+package lang
+
+import "fmt"
+
+// Parser builds an AST from tokens.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a whole VSPC source file.
+func Parse(src string) (*File, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	f := &File{}
+	for p.cur().Kind != EOF {
+		fd, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fd)
+	}
+	return f, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("%s: expected %s, found %s", t.Pos, k, describe(t))
+	}
+	p.next()
+	return t, nil
+}
+
+func describe(t Token) string {
+	if t.Kind == IDENT {
+		return fmt.Sprintf("identifier %q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+func isBaseTypeKind(k Kind) bool {
+	switch k {
+	case KwVoid, KwBool, KwInt, KwInt64, KwFloat, KwDouble:
+		return true
+	}
+	return false
+}
+
+func isTypeStart(k Kind) bool {
+	return isBaseTypeKind(k) || k == KwUniform || k == KwVarying
+}
+
+func baseFromKind(k Kind) BaseType {
+	switch k {
+	case KwVoid:
+		return TVoid
+	case KwBool:
+		return TBool
+	case KwInt:
+		return TInt
+	case KwInt64:
+		return TInt64
+	case KwFloat:
+		return TFloat
+	case KwDouble:
+		return TDouble
+	}
+	panic("lang: not a base type kind")
+}
+
+// typeSpec parses [uniform|varying] basetype.
+func (p *Parser) typeSpec() (TypeSpec, error) {
+	ts := TypeSpec{}
+	switch p.cur().Kind {
+	case KwUniform:
+		ts.Qual = QualUniform
+		p.next()
+	case KwVarying:
+		ts.Qual = QualVarying
+		p.next()
+	}
+	t := p.cur()
+	if !isBaseTypeKind(t.Kind) {
+		return ts, fmt.Errorf("%s: expected type, found %s", t.Pos, describe(t))
+	}
+	p.next()
+	ts.Base = baseFromKind(t.Kind)
+	return ts, nil
+}
+
+func (p *Parser) funcDecl() (*FuncDecl, error) {
+	fd := &FuncDecl{Pos: p.cur().Pos}
+	if p.accept(KwExport) {
+		fd.Export = true
+	}
+	ret, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	fd.Ret = ret
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	fd.Name = name.Text
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	for p.cur().Kind != RParen {
+		if len(fd.Params) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		pd := &ParamDecl{Pos: p.cur().Pos}
+		ts, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		nm, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(LBracket) {
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			ts.Array = true
+		}
+		pd.Name = nm.Text
+		pd.Type = ts
+		fd.Params = append(fd.Params, pd)
+	}
+	p.next() // RParen
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *Parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, fmt.Errorf("%s: unterminated block", lb.Pos)
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // RBrace
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == LBrace:
+		return p.block()
+	case isTypeStart(t.Kind):
+		return p.declStmt(true)
+	case t.Kind == KwIf:
+		return p.ifStmt()
+	case t.Kind == KwWhile:
+		return p.whileStmt()
+	case t.Kind == KwFor:
+		return p.forStmt()
+	case t.Kind == KwForeach:
+		return p.foreachStmt()
+	case t.Kind == KwReturn:
+		p.next()
+		rs := &ReturnStmt{Pos: t.Pos}
+		if p.cur().Kind != Semi {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Val = v
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// declStmt parses "type name [= init];" or "type name[N];".
+func (p *Parser) declStmt(wantSemi bool) (Stmt, error) {
+	pos := p.cur().Pos
+	ts, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	nm, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Pos: pos, Type: ts, Name: nm.Text}
+	if p.accept(LBracket) {
+		sz, err := p.expect(INTLIT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		d.ArrayLen = sz.Int
+		d.Type.Array = true
+	} else if p.accept(Assign) {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if wantSemi {
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// simpleStmt parses assignment, ++/--, or an expression statement
+// (no trailing semicolon).
+func (p *Parser) simpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.cur().Kind; k {
+	case Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign:
+		p.next()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := checkLValue(lhs); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: pos, Op: k, LHS: lhs, RHS: rhs}, nil
+	case PlusPlus, MinusMinus:
+		p.next()
+		if err := checkLValue(lhs); err != nil {
+			return nil, err
+		}
+		return &IncDecStmt{Pos: pos, Op: k, LHS: lhs}, nil
+	}
+	return &ExprStmt{Pos: pos, X: lhs}, nil
+}
+
+func checkLValue(e Expr) error {
+	switch e.(type) {
+	case *Ident, *IndexExpr:
+		return nil
+	}
+	return fmt.Errorf("%s: not an assignable l-value", e.P())
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	pos := p.next().Pos // if
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.accept(KwElse) {
+		els, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	pos := p.next().Pos // while
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	pos := p.next().Pos // for
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{Pos: pos}
+	if p.cur().Kind != Semi {
+		var err error
+		if isTypeStart(p.cur().Kind) {
+			fs.Init, err = p.declStmt(false)
+		} else {
+			fs.Init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != Semi {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = cond
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != RParen {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+func (p *Parser) foreachStmt() (Stmt, error) {
+	pos := p.next().Pos // foreach
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	nm, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Assign); err != nil {
+		return nil, err
+	}
+	start, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Ellipsis); err != nil {
+		return nil, err
+	}
+	end, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ForeachStmt{Pos: pos, Var: nm.Text, Start: start, End: end, Body: body}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	Pipe:   3,
+	Caret:  4,
+	Amp:    5,
+	EqEq:   6, NotEq: 6,
+	Lt: 7, Le: 7, Gt: 7, Ge: 7,
+	Shl: 8, Shr: 8,
+	Plus: 9, Minus: 9,
+	Star: 10, Slash: 10, Percent: 10,
+}
+
+func (p *Parser) expr() (Expr, error) { return p.binExpr(0) }
+
+func (p *Parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := binPrec[op.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Pos: op.Pos, Op: op.Kind, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Minus, Not:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INTLIT:
+		p.next()
+		return &IntLit{Pos: t.Pos, V: t.Int}, nil
+	case FLOATLIT:
+		p.next()
+		return &FloatLit{Pos: t.Pos, V: t.Flt}, nil
+	case KwTrue:
+		p.next()
+		return &BoolLit{Pos: t.Pos, V: true}, nil
+	case KwFalse:
+		p.next()
+		return &BoolLit{Pos: t.Pos, V: false}, nil
+	case LParen:
+		// Cast "(type)expr" vs parenthesized expression.
+		if isTypeStart(p.peek().Kind) {
+			p.next() // (
+			ts, err := p.typeSpec()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Pos: t.Pos, To: ts, X: x}, nil
+		}
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case IDENT:
+		p.next()
+		switch p.cur().Kind {
+		case LParen:
+			p.next()
+			call := &CallExpr{Pos: t.Pos, Name: t.Text}
+			for p.cur().Kind != RParen {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(Comma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // RParen
+			return call, nil
+		case LBracket:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: t.Pos, Array: &Ident{Pos: t.Pos, Name: t.Text}, Index: idx}, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	}
+	return nil, fmt.Errorf("%s: unexpected %s in expression", t.Pos, describe(t))
+}

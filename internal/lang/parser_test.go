@@ -1,0 +1,169 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) *FuncDecl {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs) != 1 {
+		t.Fatalf("expected 1 function, got %d", len(f.Funcs))
+	}
+	return f.Funcs[0]
+}
+
+func TestParseFunctionShape(t *testing.T) {
+	fd := parseOne(t, `
+export void vcopy(uniform int a1[], uniform int a2[], uniform int n) {
+	foreach (i = 0 ... n) {
+		a2[i] = a1[i];
+	}
+	return;
+}`)
+	if !fd.Export || fd.Name != "vcopy" || fd.Ret.Base != TVoid {
+		t.Fatalf("header wrong: %+v", fd)
+	}
+	if len(fd.Params) != 3 || !fd.Params[0].Type.Array || fd.Params[2].Type.Array {
+		t.Fatalf("params wrong: %+v", fd.Params)
+	}
+	if len(fd.Body.Stmts) != 2 {
+		t.Fatalf("body stmts = %d", len(fd.Body.Stmts))
+	}
+	fe, ok := fd.Body.Stmts[0].(*ForeachStmt)
+	if !ok || fe.Var != "i" {
+		t.Fatalf("first stmt not foreach: %T", fd.Body.Stmts[0])
+	}
+	if _, ok := fd.Body.Stmts[1].(*ReturnStmt); !ok {
+		t.Fatal("second stmt not return")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	fd := parseOne(t, `void f() { int x = 1 + 2 * 3 < 4 && true; }`)
+	decl := fd.Body.Stmts[0].(*DeclStmt)
+	// Expect: ((1 + (2*3)) < 4) && true
+	and, ok := decl.Init.(*BinExpr)
+	if !ok || and.Op != AndAnd {
+		t.Fatalf("top not &&: %#v", decl.Init)
+	}
+	lt, ok := and.X.(*BinExpr)
+	if !ok || lt.Op != Lt {
+		t.Fatalf("lhs not <: %#v", and.X)
+	}
+	add, ok := lt.X.(*BinExpr)
+	if !ok || add.Op != Plus {
+		t.Fatalf("lhs of < not +: %#v", lt.X)
+	}
+	mul, ok := add.Y.(*BinExpr)
+	if !ok || mul.Op != Star {
+		t.Fatalf("rhs of + not *: %#v", add.Y)
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	fd := parseOne(t, `void f() { float y = (float)1 + (1 + 2); }`)
+	decl := fd.Body.Stmts[0].(*DeclStmt)
+	add := decl.Init.(*BinExpr)
+	if _, ok := add.X.(*CastExpr); !ok {
+		t.Fatalf("lhs should be a cast: %#v", add.X)
+	}
+	if inner, ok := add.Y.(*BinExpr); !ok || inner.Op != Plus {
+		t.Fatalf("rhs should be parenthesized add: %#v", add.Y)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	fd := parseOne(t, `
+void f(int a[], uniform int n) {
+	for (uniform int i = 0; i < n; i++) {
+		if (a[i] > 0) {
+			a[i] = 0;
+		} else {
+			a[i] += 1;
+		}
+	}
+	while (n > 0) {
+		n = n - 1;
+	}
+}`)
+	fs, ok := fd.Body.Stmts[0].(*ForStmt)
+	if !ok {
+		t.Fatalf("not a for: %T", fd.Body.Stmts[0])
+	}
+	if _, ok := fs.Init.(*DeclStmt); !ok {
+		t.Fatal("for init not a decl")
+	}
+	if _, ok := fs.Post.(*IncDecStmt); !ok {
+		t.Fatal("for post not ++")
+	}
+	body := fs.Body.(*BlockStmt)
+	ifst, ok := body.Stmts[0].(*IfStmt)
+	if !ok || ifst.Else == nil {
+		t.Fatal("if/else not parsed")
+	}
+	if _, ok := fd.Body.Stmts[1].(*WhileStmt); !ok {
+		t.Fatal("while not parsed")
+	}
+}
+
+func TestParseLocalArray(t *testing.T) {
+	fd := parseOne(t, `void f() { uniform float tmp[16]; }`)
+	d := fd.Body.Stmts[0].(*DeclStmt)
+	if d.ArrayLen != 16 || !d.Type.Array {
+		t.Fatalf("local array decl wrong: %+v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"void f( {}", "expected type"},
+		{"void f() { int; }", "expected identifier"},
+		{"void f() { foreach (i = 0 .. n) {} }", "expected"},
+		{"void f() { 1 + 2 = 3; }", "l-value"},
+		{"void f() { if true {} }", "expected ("},
+		{"void f() { return 1 }", "expected ;"},
+		{"void f() {", "unterminated block"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("void f() {\n  int = 3;\n}")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error should carry line 2 position: %v", err)
+	}
+}
+
+func TestParseUnaryAndCalls(t *testing.T) {
+	fd := parseOne(t, `void f() { float x = -sqrt(2.0) * !false; }`)
+	decl := fd.Body.Stmts[0].(*DeclStmt)
+	mul := decl.Init.(*BinExpr)
+	neg, ok := mul.X.(*UnExpr)
+	if !ok || neg.Op != Minus {
+		t.Fatalf("lhs not negation: %#v", mul.X)
+	}
+	call, ok := neg.X.(*CallExpr)
+	if !ok || call.Name != "sqrt" || len(call.Args) != 1 {
+		t.Fatalf("not a sqrt call: %#v", neg.X)
+	}
+	if not, ok := mul.Y.(*UnExpr); !ok || not.Op != Not {
+		t.Fatalf("rhs not !: %#v", mul.Y)
+	}
+}

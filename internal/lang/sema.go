@@ -1,0 +1,536 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VType is a checked VSPC type: base scalar type, uniformity, and whether
+// the value is an array (pointer to uniform storage of Base elements).
+type VType struct {
+	Base    BaseType
+	Uniform bool
+	Array   bool
+}
+
+// String formats the type as source text.
+func (t VType) String() string {
+	q := "varying"
+	if t.Uniform {
+		q = "uniform"
+	}
+	s := q + " " + t.Base.String()
+	if t.Array {
+		s += "[]"
+	}
+	return s
+}
+
+// IsNumeric reports whether the type supports arithmetic.
+func (t VType) IsNumeric() bool {
+	return !t.Array && (t.Base == TInt || t.Base == TInt64 ||
+		t.Base == TFloat || t.Base == TDouble)
+}
+
+// IsIntBase reports whether the base type is an integer.
+func (t VType) IsIntBase() bool { return t.Base == TInt || t.Base == TInt64 }
+
+// IsFloatBase reports whether the base type is floating-point.
+func (t VType) IsFloatBase() bool { return t.Base == TFloat || t.Base == TDouble }
+
+// Symbol is a declared variable or parameter.
+type Symbol struct {
+	Name string
+	Type VType
+	// ParamIndex is the parameter position, or -1 for locals.
+	ParamIndex int
+	// ArrayLen is the cell count for local arrays (0 otherwise).
+	ArrayLen int64
+	// Foreach marks the induction variable of a foreach loop (used by
+	// codegen's affine unit-stride analysis).
+	Foreach bool
+	// DeclDepth is the varying-control-flow nesting depth at the
+	// declaration. A uniform variable may only be assigned at the same
+	// depth it was declared at: a uniform declared inside a foreach body
+	// is lane-uniform there, but one declared outside must not be
+	// modified under varying control.
+	DeclDepth int
+}
+
+// FuncInfo is the checked signature of a function.
+type FuncInfo struct {
+	Decl   *FuncDecl
+	Name   string
+	Ret    VType
+	Params []*Symbol
+}
+
+// Program is a fully checked compilation unit, ready for code generation.
+type Program struct {
+	File  *File
+	Funcs map[string]*FuncInfo
+	// Types records the checked type of every expression.
+	Types map[Expr]VType
+	// Refs resolves identifier references to their symbols.
+	Refs map[*Ident]*Symbol
+	// DeclSyms maps declaration statements to the symbols they create.
+	DeclSyms map[*DeclStmt]*Symbol
+	// ForeachSyms maps foreach statements to their induction symbols.
+	ForeachSyms map[*ForeachStmt]*Symbol
+}
+
+type checker struct {
+	prog   *Program
+	errs   []error
+	scopes []map[string]*Symbol
+	fn     *FuncInfo
+	// varyingCtx is > 0 inside varying control flow (foreach body,
+	// varying if, varying while) where assignments are masked.
+	varyingCtx int
+	// inForeach is > 0 inside a foreach body (foreach cannot nest).
+	inForeach int
+}
+
+// Check type-checks a parsed file.
+func Check(f *File) (*Program, error) {
+	c := &checker{prog: &Program{
+		File:        f,
+		Funcs:       map[string]*FuncInfo{},
+		Types:       map[Expr]VType{},
+		Refs:        map[*Ident]*Symbol{},
+		DeclSyms:    map[*DeclStmt]*Symbol{},
+		ForeachSyms: map[*ForeachStmt]*Symbol{},
+	}}
+	// Collect signatures first (functions may call forward).
+	for _, fd := range f.Funcs {
+		if _, dup := c.prog.Funcs[fd.Name]; dup {
+			c.errorf(fd.Pos, "duplicate function %q", fd.Name)
+			continue
+		}
+		fi := &FuncInfo{Decl: fd, Name: fd.Name}
+		fi.Ret = c.resolveType(fd.Pos, fd.Ret, true)
+		for i, pd := range fd.Params {
+			t := c.resolveType(pd.Pos, pd.Type, false)
+			if t.Array && !t.Uniform {
+				c.errorf(pd.Pos, "array parameter %q must be uniform", pd.Name)
+			}
+			fi.Params = append(fi.Params, &Symbol{
+				Name: pd.Name, Type: t, ParamIndex: i,
+			})
+		}
+		c.prog.Funcs[fd.Name] = fi
+	}
+	for _, fd := range f.Funcs {
+		c.checkFunc(c.prog.Funcs[fd.Name])
+	}
+	if len(c.errs) > 0 {
+		return nil, errors.Join(c.errs...)
+	}
+	return c.prog, nil
+}
+
+// Compile parses and checks src in one step.
+func Compile(src string) (*Program, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Check(f)
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// resolveType converts a TypeSpec to a VType. Default qualifier: uniform
+// for array params and return types, varying otherwise (ISPC's default
+// for locals is varying).
+func (c *checker) resolveType(pos Pos, ts TypeSpec, isRet bool) VType {
+	t := VType{Base: ts.Base, Array: ts.Array}
+	switch ts.Qual {
+	case QualUniform:
+		t.Uniform = true
+	case QualVarying:
+		t.Uniform = false
+		if ts.Array {
+			c.errorf(pos, "varying arrays are not supported")
+		}
+	case QualNone:
+		t.Uniform = ts.Array // arrays default uniform; scalars varying
+	}
+	if ts.Base == TVoid && !isRet {
+		c.errorf(pos, "void is only valid as a return type")
+	}
+	return t
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) define(pos Pos, sym *Symbol) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		c.errorf(pos, "redeclaration of %q", sym.Name)
+	}
+	top[sym.Name] = sym
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fi *FuncInfo) {
+	c.fn = fi
+	c.varyingCtx = 0
+	c.inForeach = 0
+	c.push()
+	for _, p := range fi.Params {
+		c.define(fi.Decl.Pos, p)
+	}
+	c.checkStmt(fi.Decl.Body)
+	c.pop()
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		c.push()
+		for _, sub := range st.Stmts {
+			c.checkStmt(sub)
+		}
+		c.pop()
+	case *DeclStmt:
+		c.checkDecl(st)
+	case *AssignStmt:
+		c.checkAssign(st)
+	case *IncDecStmt:
+		// Desugared view: lhs = lhs ± 1.
+		t := c.checkExpr(st.LHS)
+		if !t.IsNumeric() {
+			c.errorf(st.Pos, "++/-- requires a numeric l-value")
+		}
+		c.checkStoreTarget(st.Pos, st.LHS, t)
+	case *IfStmt:
+		ct := c.checkExpr(st.Cond)
+		if ct.Base != TBool || ct.Array {
+			c.errorf(st.Pos, "if condition must be bool, got %s", ct)
+		}
+		if ct.Uniform {
+			c.checkStmt(st.Then)
+			if st.Else != nil {
+				c.checkStmt(st.Else)
+			}
+		} else {
+			c.varyingCtx++
+			c.checkVaryingBody(st.Pos, st.Then)
+			if st.Else != nil {
+				c.checkVaryingBody(st.Pos, st.Else)
+			}
+			c.varyingCtx--
+		}
+	case *WhileStmt:
+		ct := c.checkExpr(st.Cond)
+		if ct.Base != TBool || ct.Array {
+			c.errorf(st.Pos, "while condition must be bool, got %s", ct)
+		}
+		if ct.Uniform {
+			c.checkStmt(st.Body)
+		} else {
+			c.varyingCtx++
+			c.checkVaryingBody(st.Pos, st.Body)
+			c.varyingCtx--
+		}
+	case *ForStmt:
+		c.push()
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			ct := c.checkExpr(st.Cond)
+			if ct.Base != TBool || !ct.Uniform {
+				c.errorf(st.Pos, "for condition must be uniform bool, got %s", ct)
+			}
+		}
+		if st.Post != nil {
+			c.checkStmt(st.Post)
+		}
+		c.checkStmt(st.Body)
+		c.pop()
+	case *ForeachStmt:
+		if c.inForeach > 0 || c.varyingCtx > 0 {
+			c.errorf(st.Pos, "foreach cannot appear under varying control flow")
+		}
+		for _, e := range []Expr{st.Start, st.End} {
+			t := c.checkExpr(e)
+			if !t.Uniform || t.Base != TInt {
+				c.errorf(e.P(), "foreach bound must be uniform int, got %s", t)
+			}
+		}
+		c.push()
+		ind := &Symbol{
+			Name: st.Var, ParamIndex: -1, Foreach: true,
+			Type: VType{Base: TInt, Uniform: false},
+		}
+		c.define(st.Pos, ind)
+		c.prog.ForeachSyms[st] = ind
+		c.inForeach++
+		c.varyingCtx++
+		c.checkStmt(st.Body)
+		c.varyingCtx--
+		c.inForeach--
+		c.pop()
+	case *ReturnStmt:
+		if c.varyingCtx > 0 {
+			c.errorf(st.Pos, "return under varying control flow is not supported")
+		}
+		if st.Val == nil {
+			if c.fn.Ret.Base != TVoid {
+				c.errorf(st.Pos, "missing return value")
+			}
+			return
+		}
+		if c.fn.Ret.Base == TVoid {
+			c.errorf(st.Pos, "return with value in void function")
+			return
+		}
+		t := c.checkExpr(st.Val)
+		c.requireConvertible(st.Pos, t, c.fn.Ret, "return value")
+	case *ExprStmt:
+		c.checkExpr(st.X)
+	default:
+		panic(fmt.Sprintf("lang: unhandled statement %T", s))
+	}
+}
+
+// checkVaryingBody restricts statements allowed under a varying mask.
+func (c *checker) checkVaryingBody(pos Pos, s Stmt) {
+	c.checkStmt(s)
+}
+
+func (c *checker) checkDecl(st *DeclStmt) {
+	t := c.resolveType(st.Pos, st.Type, false)
+	sym := &Symbol{Name: st.Name, Type: t, ParamIndex: -1, ArrayLen: st.ArrayLen,
+		DeclDepth: c.varyingCtx}
+	if st.Type.Array {
+		if st.ArrayLen <= 0 {
+			c.errorf(st.Pos, "local array %q needs a positive length", st.Name)
+		}
+		if !t.Uniform {
+			c.errorf(st.Pos, "local arrays must be uniform")
+		}
+		if c.varyingCtx > 0 {
+			c.errorf(st.Pos, "local arrays cannot be declared under varying control flow")
+		}
+	}
+	if st.Init != nil {
+		it := c.checkExpr(st.Init)
+		c.requireConvertible(st.Pos, it, t, "initializer of "+st.Name)
+	}
+	if t.Uniform && !t.Array && c.varyingCtx > 0 && st.Init != nil {
+		// Declaring+initializing a uniform under varying control is fine
+		// only if the initializer is uniform (checked above).
+		_ = t
+	}
+	c.define(st.Pos, sym)
+	c.prog.DeclSyms[st] = sym
+}
+
+func (c *checker) checkAssign(st *AssignStmt) {
+	lt := c.checkExpr(st.LHS)
+	rt := c.checkExpr(st.RHS)
+	if st.Op != Assign && !lt.IsNumeric() {
+		c.errorf(st.Pos, "compound assignment requires numeric l-value, got %s", lt)
+	}
+	c.requireConvertible(st.Pos, rt, lt, "assignment")
+	c.checkStoreTarget(st.Pos, st.LHS, lt)
+}
+
+// checkStoreTarget enforces the uniform-store-under-mask rule.
+func (c *checker) checkStoreTarget(pos Pos, lhs Expr, lt VType) {
+	switch l := lhs.(type) {
+	case *Ident:
+		sym := c.prog.Refs[l]
+		if sym == nil {
+			return
+		}
+		if sym.Foreach {
+			c.errorf(pos, "cannot assign to foreach induction variable %q", sym.Name)
+		}
+		if sym.Type.Array {
+			c.errorf(pos, "cannot assign to array %q", sym.Name)
+		}
+		if sym.Type.Uniform && sym.DeclDepth < c.varyingCtx {
+			c.errorf(pos, "cannot assign to uniform %q under varying control flow", sym.Name)
+		}
+	case *IndexExpr:
+		// Storing to a uniform location a[uniform i] under varying control
+		// would race across lanes; require a varying index or uniform ctx.
+		it := c.prog.Types[l.Index]
+		if it.Uniform && c.varyingCtx > 0 {
+			c.errorf(pos, "store to uniform array location under varying control flow")
+		}
+	}
+}
+
+// rank orders base types for implicit conversion.
+func rank(b BaseType) int {
+	switch b {
+	case TBool:
+		return 0
+	case TInt:
+		return 1
+	case TInt64:
+		return 2
+	case TFloat:
+		return 3
+	case TDouble:
+		return 4
+	}
+	return -1
+}
+
+// commonBase returns the promotion of two numeric base types.
+func commonBase(a, b BaseType) BaseType {
+	if rank(a) >= rank(b) {
+		return a
+	}
+	return b
+}
+
+// convertible reports whether a value of type from can be implicitly used
+// where to is expected: numeric widening/narrowing is allowed C-style,
+// uniform broadcasts to varying, varying never converts to uniform.
+func convertible(from, to VType) bool {
+	if from.Array || to.Array {
+		return from.Array && to.Array && from.Base == to.Base
+	}
+	if !from.Uniform && to.Uniform {
+		return false
+	}
+	if from.Base == to.Base {
+		return true
+	}
+	// bool does not implicitly convert to/from numerics.
+	if from.Base == TBool || to.Base == TBool {
+		return false
+	}
+	return true
+}
+
+func (c *checker) requireConvertible(pos Pos, from, to VType, what string) {
+	if !convertible(from, to) {
+		c.errorf(pos, "%s: cannot use %s as %s", what, from, to)
+	}
+}
+
+func (c *checker) setType(e Expr, t VType) VType {
+	c.prog.Types[e] = t
+	return t
+}
+
+func (c *checker) checkExpr(e Expr) VType {
+	switch x := e.(type) {
+	case *IntLit:
+		return c.setType(e, VType{Base: TInt, Uniform: true})
+	case *FloatLit:
+		return c.setType(e, VType{Base: TFloat, Uniform: true})
+	case *BoolLit:
+		return c.setType(e, VType{Base: TBool, Uniform: true})
+	case *Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.errorf(x.Pos, "undefined: %q", x.Name)
+			return c.setType(e, VType{Base: TInt, Uniform: true})
+		}
+		c.prog.Refs[x] = sym
+		return c.setType(e, sym.Type)
+	case *IndexExpr:
+		at := c.checkExpr(x.Array)
+		it := c.checkExpr(x.Index)
+		if !at.Array {
+			c.errorf(x.Pos, "indexing non-array %q", x.Array.Name)
+			return c.setType(e, VType{Base: TInt, Uniform: true})
+		}
+		if !it.IsIntBase() || it.Array {
+			c.errorf(x.Pos, "array index must be an integer, got %s", it)
+		}
+		return c.setType(e, VType{Base: at.Base, Uniform: it.Uniform})
+	case *UnExpr:
+		t := c.checkExpr(x.X)
+		switch x.Op {
+		case Minus:
+			if !t.IsNumeric() {
+				c.errorf(x.Pos, "unary - requires numeric operand, got %s", t)
+			}
+		case Not:
+			if t.Base != TBool || t.Array {
+				c.errorf(x.Pos, "! requires bool operand, got %s", t)
+			}
+		}
+		return c.setType(e, t)
+	case *BinExpr:
+		return c.setType(e, c.checkBin(x))
+	case *CastExpr:
+		t := c.checkExpr(x.X)
+		to := VType{Base: x.To.Base, Uniform: t.Uniform}
+		switch x.To.Qual {
+		case QualUniform:
+			if !t.Uniform {
+				c.errorf(x.Pos, "cannot cast varying to uniform")
+			}
+			to.Uniform = true
+		case QualVarying:
+			to.Uniform = false
+		}
+		if t.Array || x.To.Array {
+			c.errorf(x.Pos, "cannot cast array types")
+		}
+		if to.Base == TVoid || to.Base == TBool || t.Base == TBool {
+			c.errorf(x.Pos, "unsupported cast from %s to %s", t, to)
+		}
+		return c.setType(e, to)
+	case *CallExpr:
+		return c.setType(e, c.checkCall(x))
+	}
+	panic(fmt.Sprintf("lang: unhandled expression %T", e))
+}
+
+func (c *checker) checkBin(x *BinExpr) VType {
+	lt := c.checkExpr(x.X)
+	rt := c.checkExpr(x.Y)
+	uniform := lt.Uniform && rt.Uniform
+	switch x.Op {
+	case AndAnd, OrOr:
+		if lt.Base != TBool || rt.Base != TBool {
+			c.errorf(x.Pos, "logical op requires bool operands, got %s and %s", lt, rt)
+		}
+		return VType{Base: TBool, Uniform: uniform}
+	case EqEq, NotEq, Lt, Le, Gt, Ge:
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			if !(lt.Base == TBool && rt.Base == TBool && (x.Op == EqEq || x.Op == NotEq)) {
+				c.errorf(x.Pos, "comparison requires numeric operands, got %s and %s", lt, rt)
+			}
+		}
+		return VType{Base: TBool, Uniform: uniform}
+	case Percent, Amp, Pipe, Caret, Shl, Shr:
+		if !lt.IsIntBase() || !rt.IsIntBase() {
+			c.errorf(x.Pos, "integer op %s requires integer operands, got %s and %s",
+				x.Op, lt, rt)
+			return VType{Base: TInt, Uniform: uniform}
+		}
+		return VType{Base: commonBase(lt.Base, rt.Base), Uniform: uniform}
+	case Plus, Minus, Star, Slash:
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			c.errorf(x.Pos, "arithmetic requires numeric operands, got %s and %s", lt, rt)
+			return VType{Base: TInt, Uniform: uniform}
+		}
+		return VType{Base: commonBase(lt.Base, rt.Base), Uniform: uniform}
+	}
+	c.errorf(x.Pos, "unsupported binary operator %s", x.Op)
+	return VType{Base: TInt, Uniform: true}
+}

@@ -1,0 +1,260 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkOK(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	return p
+}
+
+func checkErr(t *testing.T, src, frag string) {
+	t.Helper()
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not contain %q", err, frag)
+	}
+}
+
+func TestSemaUniformityPropagation(t *testing.T) {
+	p := checkOK(t, `
+export void f(uniform float a[], uniform int n) {
+	uniform float u = 1.0;
+	foreach (i = 0 ... n) {
+		varying float v = a[i] + u;
+		a[i] = v;
+	}
+}`)
+	// Find the v declaration's initializer type.
+	for decl, sym := range p.DeclSyms {
+		if sym.Name == "v" {
+			ty := p.Types[decl.Init]
+			if ty.Uniform {
+				t.Error("a[i] + u should be varying")
+			}
+		}
+		if sym.Name == "u" && !sym.Type.Uniform {
+			t.Error("u should be uniform")
+		}
+	}
+}
+
+func TestSemaVaryingToUniformRejected(t *testing.T) {
+	checkErr(t, `
+export void f(uniform int n) {
+	varying int v = 1;
+	uniform int u = v;
+}`, "cannot use")
+}
+
+func TestSemaForeachRules(t *testing.T) {
+	checkErr(t, `
+export void f(uniform int n) {
+	varying int m = n;
+	foreach (i = 0 ... m) { }
+}`, "foreach bound must be uniform int")
+
+	checkErr(t, `
+export void f(uniform int n) {
+	foreach (i = 0 ... n) {
+		foreach (j = 0 ... n) { }
+	}
+}`, "varying control flow")
+
+	checkErr(t, `
+export void f(uniform int n) {
+	foreach (i = 0 ... n) {
+		i = 3;
+	}
+}`, "induction variable")
+}
+
+func TestSemaUniformAssignUnderMask(t *testing.T) {
+	// Assigning a uniform declared OUTSIDE the foreach is an error...
+	checkErr(t, `
+export void f(uniform int n) {
+	uniform int acc = 0;
+	foreach (i = 0 ... n) {
+		acc = acc + 1;
+	}
+}`, "under varying control flow")
+
+	// ...but a uniform loop counter declared INSIDE is lane-uniform and fine.
+	checkOK(t, `
+export void f(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		varying float s = 0.0;
+		for (uniform int k = 0; k < 3; k++) {
+			s += a[i];
+		}
+		a[i] = s;
+	}
+}`)
+
+	// A uniform declared inside a varying if may not be assigned under a
+	// DEEPER varying construct.
+	checkErr(t, `
+export void f(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		uniform int k = 0;
+		if (a[i] > 0.0) {
+			k = 1;
+		}
+	}
+}`, "under varying control flow")
+}
+
+func TestSemaReturnRules(t *testing.T) {
+	checkErr(t, `
+export int f(uniform int n) {
+	foreach (i = 0 ... n) {
+		return 1;
+	}
+	return 0;
+}`, "return under varying control flow")
+
+	checkErr(t, `export void f() { return 1; }`, "return with value in void")
+	checkErr(t, `export uniform int f() { return; }`, "missing return value")
+}
+
+func TestSemaConditionTypes(t *testing.T) {
+	checkErr(t, `export void f(uniform int n) { if (n) { } }`,
+		"must be bool")
+	checkErr(t, `export void f(uniform int n) { while (n + 1) { } }`,
+		"must be bool")
+	checkErr(t, `
+export void f(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		varying bool c = a[i] > 0.0;
+		for (uniform int k = 0; c; k++) { }
+	}
+}`, "for condition must be uniform bool")
+}
+
+func TestSemaArrays(t *testing.T) {
+	checkErr(t, `export void f(varying int a[]) { }`, "must be uniform")
+	checkErr(t, `export void f(uniform int a[]) { a = a; }`, "cannot assign to array")
+	checkErr(t, `export void f(uniform int n) { n[0] = 1; }`, "indexing non-array")
+	checkErr(t, `export void f(uniform float a[]) { a[1.5] = 0.0; }`,
+		"index must be an integer")
+	checkOK(t, `export void f() { uniform float tmp[8]; tmp[3] = 1.0; }`)
+	checkErr(t, `export void f() { uniform float tmp[0]; }`, "positive length")
+}
+
+func TestSemaStoreToUniformLocationUnderMask(t *testing.T) {
+	checkErr(t, `
+export void f(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		a[0] = 1.0;
+	}
+}`, "store to uniform array location")
+}
+
+func TestSemaCalls(t *testing.T) {
+	checkErr(t, `export void f() { g(); }`, "undefined function")
+	checkErr(t, `
+float g(varying float x) { return x; }
+export void f() { g(1.0, 2.0); }`, "2 args, want 1")
+	checkErr(t, `
+void g(uniform int x) { }
+export void f(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		g(a[i]);
+	}
+}`, "cannot use")
+	// Implicit broadcast of a uniform argument to a varying parameter.
+	checkOK(t, `
+float g(varying float x) { return x + 1.0; }
+export void f(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		a[i] = g(3.0);
+	}
+}`)
+}
+
+func TestSemaBuiltins(t *testing.T) {
+	checkErr(t, `export void f() { uniform float x = sqrt(1.0, 2.0); }`,
+		"expects 1 argument")
+	checkErr(t, `export void f() { varying float r = reduce_add(1.0); }`,
+		"requires a varying argument")
+	checkErr(t, `
+export void f(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		uniform float s = reduce_add(a[i]);
+	}
+}`, "outside varying control flow")
+	p := checkOK(t, `
+export void f(uniform float a[], uniform int n) {
+	foreach (i = 0 ... n) {
+		a[i] = select(a[i] > 0.0, a[i], 0.0 - a[i]);
+	}
+	varying int pi = programIndex();
+	uniform int pc = programCount();
+	print(pc);
+}`)
+	_ = p
+}
+
+func TestSemaDuplicatesAndUndefined(t *testing.T) {
+	checkErr(t, `void f() { } void f() { }`, "duplicate function")
+	checkErr(t, `void f() { int x = 1; int x = 2; }`, "redeclaration")
+	checkErr(t, `void f() { int x = y; }`, "undefined")
+	// Shadowing in an inner scope is allowed.
+	checkOK(t, `void f() { int x = 1; { int y = x; } int y = 2; }`)
+}
+
+func TestSemaNumericPromotion(t *testing.T) {
+	p := checkOK(t, `
+export void f(uniform float a[], uniform int n) {
+	uniform int i = 3;
+	uniform float x = i + 1.5;
+	uniform int64 big = i * 10;
+	uniform double d = x;
+	a[0] = (float)d;
+}`)
+	for decl, sym := range p.DeclSyms {
+		switch sym.Name {
+		case "x":
+			if ty := p.Types[decl.Init]; ty.Base != TFloat {
+				t.Errorf("i + 1.5 should be float, got %s", ty)
+			}
+		case "big":
+			// i * 10 stays int; the declaration widens it to int64.
+			if ty := p.Types[decl.Init]; ty.Base != TInt {
+				t.Errorf("i * 10 should be int before widening, got %s", ty)
+			}
+			if sym.Type.Base != TInt64 {
+				t.Errorf("big should be int64, got %s", sym.Type)
+			}
+		}
+	}
+}
+
+func TestSemaBoolOps(t *testing.T) {
+	checkErr(t, `export void f(uniform int n) { uniform int x = n + true; }`,
+		"arithmetic requires numeric")
+	checkErr(t, `export void f(uniform int n) { uniform bool b = n && true; }`,
+		"logical op requires bool")
+	checkOK(t, `
+export void f(uniform int n) {
+	uniform bool b = n > 0 && n < 10 || !(n == 5);
+	if (b) { }
+}`)
+}
+
+func TestSemaCastRules(t *testing.T) {
+	checkErr(t, `export void f() { varying float v = 1.0; uniform float u = (uniform float)v; }`,
+		"cannot cast varying to uniform")
+	checkOK(t, `export void f(uniform int n) { varying float v = (varying float)n; }`)
+	checkErr(t, `export void f(uniform int n) { uniform bool b = (bool)n; }`,
+		"unsupported cast")
+}

@@ -1,0 +1,131 @@
+// Package lang implements VSPC, a small ISPC-like SPMD language: C-style
+// syntax with uniform/varying qualifiers, a one-dimensional foreach loop,
+// varying control flow (if/while under execution masks) and array
+// parameters. It provides the lexer, parser, AST and semantic checker;
+// package codegen lowers checked programs to vector IR.
+//
+// VSPC stands in for the ISPC language/compiler in the paper's study:
+// the paper's detectors are synthesized from the ISPC code generator's
+// foreach lowering, which package codegen reproduces structurally.
+package lang
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+
+	// Keywords.
+	KwExport
+	KwUniform
+	KwVarying
+	KwVoid
+	KwInt
+	KwInt64
+	KwFloat
+	KwDouble
+	KwBool
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwForeach
+	KwReturn
+	KwTrue
+	KwFalse
+
+	// Punctuation / operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semi
+	Assign
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Not
+	Lt
+	Le
+	Gt
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	Amp
+	Pipe
+	Caret
+	Shl
+	Shr
+	Ellipsis // ...
+	PlusPlus
+	MinusMinus
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INTLIT: "integer literal",
+	FLOATLIT: "float literal",
+	KwExport: "export", KwUniform: "uniform", KwVarying: "varying",
+	KwVoid: "void", KwInt: "int", KwInt64: "int64", KwFloat: "float",
+	KwDouble: "double", KwBool: "bool", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwForeach: "foreach", KwReturn: "return",
+	KwTrue: "true", KwFalse: "false",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semi: ";",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=",
+	Plus:        "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Not: "!", Lt: "<", Le: "<=", Gt: ">", Ge: ">=", EqEq: "==", NotEq: "!=",
+	AndAnd: "&&", OrOr: "||", Amp: "&", Pipe: "|", Caret: "^",
+	Shl: "<<", Shr: ">>", Ellipsis: "...", PlusPlus: "++", MinusMinus: "--",
+}
+
+// String returns a human-readable token-kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"export": KwExport, "uniform": KwUniform, "varying": KwVarying,
+	"void": KwVoid, "int": KwInt, "int64": KwInt64, "float": KwFloat,
+	"double": KwDouble, "bool": KwBool, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "foreach": KwForeach,
+	"return": KwReturn, "true": KwTrue, "false": KwFalse,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+	Int  int64
+	Flt  float64
+}

@@ -1,0 +1,107 @@
+package passes
+
+import "vulfi/internal/ir"
+
+// Preds returns the predecessor map of a function's CFG.
+func Preds(f *ir.Func) map[*ir.Block][]*ir.Block {
+	out := map[*ir.Block][]*ir.Block{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			out[s] = append(out[s], b)
+		}
+	}
+	return out
+}
+
+// ReversePostOrder returns the blocks reachable from entry in reverse
+// post-order (a topological-ish order for reducible CFGs).
+func ReversePostOrder(f *ir.Func) []*ir.Block {
+	var post []*ir.Block
+	seen := map[*ir.Block]bool{}
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if f.Entry() != nil {
+		dfs(f.Entry())
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate-dominator map using the
+// Cooper–Harvey–Kennedy iterative algorithm. The entry block's idom is
+// itself.
+func Dominators(f *ir.Func) map[*ir.Block]*ir.Block {
+	rpo := ReversePostOrder(f)
+	index := map[*ir.Block]int{}
+	for i, b := range rpo {
+		index[b] = i
+	}
+	preds := Preds(f)
+	idom := map[*ir.Block]*ir.Block{}
+	entry := f.Entry()
+	if entry == nil {
+		return idom
+	}
+	idom[entry] = entry
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range preds[b] {
+				if idom[p] == nil {
+					continue // not yet processed / unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b under idom.
+func Dominates(idom map[*ir.Block]*ir.Block, a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == nil || next == b {
+			return a == b
+		}
+		b = next
+	}
+}

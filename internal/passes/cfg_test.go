@@ -1,0 +1,138 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"vulfi/internal/ir"
+)
+
+// buildDiamondLoop builds:
+//
+//	entry -> header -> {then, else} -> latch -> header | exit
+func buildDiamondLoop() (*ir.Func, map[string]*ir.Block) {
+	f := ir.NewFunc("f", ir.Void, []*ir.Type{ir.I32}, []string{"n"})
+	blocks := map[string]*ir.Block{}
+	for _, nm := range []string{"entry", "header", "then", "else", "latch", "exit"} {
+		blocks[nm] = f.NewBlock(nm)
+	}
+	bu := ir.NewBuilder(blocks["entry"])
+	bu.Br(blocks["header"])
+
+	bu.SetBlock(blocks["header"])
+	i := bu.Phi(ir.I32, "i")
+	c := bu.ICmp(ir.IntSLT, i, f.Params[0], "c")
+	bu.CondBr(c, blocks["then"], blocks["exit"])
+
+	bu.SetBlock(blocks["then"])
+	odd := bu.And(i, ir.ConstInt(ir.I32, 1), "odd")
+	oc := bu.ICmp(ir.IntNE, odd, ir.ConstInt(ir.I32, 0), "oc")
+	bu.CondBr(oc, blocks["else"], blocks["latch"])
+
+	bu.SetBlock(blocks["else"])
+	bu.Br(blocks["latch"])
+
+	bu.SetBlock(blocks["latch"])
+	i2 := bu.Add(i, ir.ConstInt(ir.I32, 1), "i2")
+	bu.Br(blocks["header"])
+
+	ir.AddIncoming(i, ir.ConstInt(ir.I32, 0), blocks["entry"])
+	ir.AddIncoming(i, i2, blocks["latch"])
+
+	bu.SetBlock(blocks["exit"])
+	bu.Ret(nil)
+	return f, blocks
+}
+
+func TestPreds(t *testing.T) {
+	f, b := buildDiamondLoop()
+	p := Preds(f)
+	if len(p[b["header"]]) != 2 {
+		t.Fatalf("header should have 2 preds, got %d", len(p[b["header"]]))
+	}
+	if len(p[b["latch"]]) != 2 {
+		t.Fatalf("latch should have 2 preds (then, else), got %d", len(p[b["latch"]]))
+	}
+	if len(p[b["entry"]]) != 0 {
+		t.Fatal("entry should have no preds")
+	}
+}
+
+func TestReversePostOrder(t *testing.T) {
+	f, b := buildDiamondLoop()
+	rpo := ReversePostOrder(f)
+	if len(rpo) != 6 {
+		t.Fatalf("RPO visits %d blocks, want 6", len(rpo))
+	}
+	pos := map[*ir.Block]int{}
+	for i, blk := range rpo {
+		pos[blk] = i
+	}
+	if pos[b["entry"]] != 0 {
+		t.Fatal("entry must come first")
+	}
+	if pos[b["header"]] > pos[b["then"]] || pos[b["then"]] > pos[b["latch"]] {
+		t.Fatal("RPO order violates forward edges")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f, b := buildDiamondLoop()
+	idom := Dominators(f)
+	cases := []struct{ blk, dom string }{
+		{"header", "entry"},
+		{"then", "header"},
+		{"else", "then"},
+		{"latch", "then"},
+		{"exit", "header"},
+	}
+	for _, c := range cases {
+		if idom[b[c.blk]] != b[c.dom] {
+			t.Errorf("idom(%s) = %v, want %s", c.blk, idom[b[c.blk]], c.dom)
+		}
+	}
+	if !Dominates(idom, b["entry"], b["exit"]) {
+		t.Error("entry should dominate exit")
+	}
+	if !Dominates(idom, b["header"], b["latch"]) {
+		t.Error("header should dominate latch")
+	}
+	if Dominates(idom, b["else"], b["latch"]) {
+		t.Error("else must not dominate latch (then-path bypasses it)")
+	}
+	if !Dominates(idom, b["exit"], b["exit"]) {
+		t.Error("a block dominates itself")
+	}
+}
+
+func TestDominatorsIgnoreUnreachable(t *testing.T) {
+	f, _ := buildDiamondLoop()
+	dead := f.NewBlock("dead")
+	ir.NewBuilder(dead).Ret(nil)
+	idom := Dominators(f)
+	if _, ok := idom[dead]; ok {
+		t.Error("unreachable block should have no idom entry")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	f, _ := buildDiamondLoop()
+	var sb strings.Builder
+	if err := WriteDOT(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		`digraph "f"`, `"entry" -> "header"`,
+		`"header" -> "then" [label="T"]`, `"header" -> "exit" [label="F"]`,
+		`"latch" -> "header"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, out)
+		}
+	}
+	decl := ir.NewDecl("d", ir.Void)
+	if err := WriteDOT(&sb, decl); err == nil {
+		t.Error("rendering a declaration should fail")
+	}
+}

@@ -1,0 +1,78 @@
+package passes
+
+import "vulfi/internal/ir"
+
+// DeadCodeElim removes instructions whose results are unused and which
+// have no side effects, iterating to a fixpoint. The code generator runs
+// it before fault-site enumeration so the site population matches the
+// paper's post-O3 IR: a dead value would absorb injections benignly and
+// bias every outcome rate.
+type DeadCodeElim struct {
+	// Removed counts eliminated instructions after Run.
+	Removed int
+}
+
+// Name implements Pass.
+func (p *DeadCodeElim) Name() string { return "dce" }
+
+// hasSideEffects reports whether an instruction must be kept regardless
+// of uses.
+func hasSideEffects(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpStore, ir.OpCall:
+		return true
+	}
+	return in.Op.IsTerminator()
+}
+
+// Run implements Pass.
+func (p *DeadCodeElim) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl {
+			continue
+		}
+		p.Removed += RunDCE(f)
+	}
+	return nil
+}
+
+// isDead reports whether an instruction's result is unused. A phi whose
+// only user is itself (a self-carried loop value) is also dead.
+func isDead(in *ir.Instr) bool {
+	if in.NumUses() == 0 {
+		return true
+	}
+	if in.Op != ir.OpPhi {
+		return false
+	}
+	for _, u := range in.Uses() {
+		if u.User != in {
+			return false
+		}
+	}
+	return true
+}
+
+// RunDCE eliminates dead instructions in one function and returns the
+// number removed.
+func RunDCE(f *ir.Func) int {
+	removed := 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			// Walk backwards so chains die in one sweep.
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				if hasSideEffects(in) || in.Ty.IsVoid() {
+					continue
+				}
+				if isDead(in) {
+					b.Remove(in)
+					removed++
+					changed = true
+				}
+			}
+		}
+	}
+	return removed
+}

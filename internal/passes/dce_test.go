@@ -1,0 +1,97 @@
+package passes
+
+import (
+	"testing"
+
+	"vulfi/internal/ir"
+)
+
+func TestDCERemovesDeadChains(t *testing.T) {
+	m := ir.NewModule("t")
+	f := ir.NewFunc("f", ir.I32, []*ir.Type{ir.I32, ir.Ptr(ir.I32)},
+		[]string{"x", "p"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	live := bu.Add(f.Params[0], ir.ConstInt(ir.I32, 1), "live")
+	// A dead three-instruction chain.
+	d1 := bu.Mul(f.Params[0], f.Params[0], "d1")
+	d2 := bu.Add(d1, d1, "d2")
+	bu.Xor(d2, d2, "d3")
+	// A store is a side effect and must survive even though unused.
+	bu.Store(live, f.Params[1])
+	bu.Ret(live)
+
+	p := &DeadCodeElim{}
+	if err := p.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if p.Removed != 3 {
+		t.Fatalf("removed %d instructions, want 3", p.Removed)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("module invalid after DCE: %v", err)
+	}
+	for _, in := range f.Entry().Instrs {
+		switch in.Nam {
+		case "d1", "d2", "d3":
+			t.Fatalf("%s not removed", in.Nam)
+		}
+	}
+}
+
+func TestDCEKeepsCallsAndStores(t *testing.T) {
+	m := ir.NewModule("t")
+	ext := ir.NewDecl("llvm.sqrt.f32", ir.F32, ir.F32)
+	m.AddFunc(ext)
+	f := ir.NewFunc("f", ir.Void, []*ir.Type{ir.F32}, []string{"x"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	bu.Call(ext, "unusedCall", f.Params[0])
+	bu.Ret(nil)
+	p := &DeadCodeElim{}
+	if err := p.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if p.Removed != 0 {
+		t.Fatal("DCE removed a call (calls may have side effects)")
+	}
+}
+
+func TestDCERemovesDeadPhis(t *testing.T) {
+	m := ir.NewModule("t")
+	f := ir.NewFunc("f", ir.Void, []*ir.Type{ir.I32}, []string{"n"})
+	m.AddFunc(f)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+	bu := ir.NewBuilder(entry)
+	bu.Br(loop)
+	bu.SetBlock(loop)
+	i := bu.Phi(ir.I32, "i")
+	dead := bu.Phi(ir.I32, "dead") // self-carried, never otherwise used
+	i2 := bu.Add(i, ir.ConstInt(ir.I32, 1), "i2")
+	c := bu.ICmp(ir.IntSLT, i2, f.Params[0], "c")
+	bu.CondBr(c, loop, exit)
+	ir.AddIncoming(i, ir.ConstInt(ir.I32, 0), entry)
+	ir.AddIncoming(i, i2, loop)
+	ir.AddIncoming(dead, ir.ConstInt(ir.I32, 0), entry)
+	ir.AddIncoming(dead, dead, loop)
+	bu.SetBlock(exit)
+	bu.Ret(nil)
+
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	p := &DeadCodeElim{}
+	if err := p.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range loop.Instrs {
+		if in.Nam == "dead" {
+			t.Fatal("self-referential dead phi not removed")
+		}
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid after DCE: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package passes
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"vulfi/internal/ir"
+)
+
+// WriteDOT renders a function's CFG in Graphviz DOT form, one record node
+// per basic block with its instructions — the format used to produce
+// CFG figures like the paper's Figure 7.
+func WriteDOT(w io.Writer, f *ir.Func) error {
+	if f.IsDecl {
+		return fmt.Errorf("passes: cannot render declaration @%s", f.Nam)
+	}
+	fmt.Fprintf(w, "digraph %q {\n", f.Nam)
+	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\", fontsize=9];")
+	for _, b := range f.Blocks {
+		var lines []string
+		lines = append(lines, b.Nam+":")
+		for _, in := range b.Instrs {
+			lines = append(lines, "  "+in.String())
+		}
+		label := strings.Join(lines, "\\l") + "\\l"
+		label = strings.ReplaceAll(label, `"`, `\"`)
+		fmt.Fprintf(w, "  %q [label=\"%s\"];\n", b.Nam, label)
+	}
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		for i, s := range b.Succs() {
+			attr := ""
+			if t.Op == ir.OpCondBr {
+				if i == 0 {
+					attr = " [label=\"T\"]"
+				} else {
+					attr = " [label=\"F\"]"
+				}
+			}
+			fmt.Fprintf(w, "  %q -> %q%s;\n", b.Nam, s.Nam, attr)
+		}
+	}
+	fmt.Fprintln(w, "}")
+	return nil
+}

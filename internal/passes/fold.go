@@ -1,0 +1,213 @@
+package passes
+
+import "vulfi/internal/ir"
+
+// ConstFold performs the scalar-integer constant folding and identity
+// simplification an -O3 pipeline would have done before VULFI sees the
+// IR: constant arithmetic collapses to constants, and x+0 / x-0 / x*1
+// style identities disappear. (Floating-point folding is deliberately
+// omitted: x+0.0 is not an identity for -0.0, and the code generator
+// does not emit foldable float constants anyway.)
+//
+// Folding matters for fidelity: `foreach (i = 0 ... n)` lowers with
+// span = n - 0, and after folding the entry block computes
+// `%nextras = srem i32 %n, 8` — the exact instruction the paper's
+// Figure 7 shows.
+type ConstFold struct {
+	// Folded counts simplified instructions after Run.
+	Folded int
+}
+
+// Name implements Pass.
+func (p *ConstFold) Name() string { return "constfold" }
+
+// Run implements Pass.
+func (p *ConstFold) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl {
+			continue
+		}
+		p.Folded += foldFunc(f)
+	}
+	return nil
+}
+
+func foldFunc(f *ir.Func) int {
+	folded := 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if nv := foldInstr(in); nv != nil {
+					in.ReplaceAllUsesWith(nv)
+					b.Remove(in)
+					folded++
+					changed = true
+					break // the instruction list was mutated; restart block
+				}
+			}
+		}
+	}
+	return folded
+}
+
+// foldInstr returns the replacement value if in can be simplified.
+func foldInstr(in *ir.Instr) ir.Value {
+	if in.Ty == nil || in.Ty.IsVoid() || in.Ty.IsVector() || in.NumUses() == 0 {
+		return nil
+	}
+	switch {
+	case in.Op.IsCast():
+		return foldCast(in)
+	case in.Op == ir.OpICmp:
+		return foldICmp(in)
+	case in.Op == ir.OpSelect:
+		if c, ok := in.Operand(0).(*ir.Const); ok && !c.Undef {
+			if c.Int() != 0 {
+				return in.Operand(1)
+			}
+			return in.Operand(2)
+		}
+		return nil
+	}
+	if !in.Ty.IsInt() || in.NumOperands() != 2 {
+		return nil
+	}
+	x, y := in.Operand(0), in.Operand(1)
+	cx, xOK := constOf(x)
+	cy, yOK := constOf(y)
+
+	// Identity simplifications.
+	switch in.Op {
+	case ir.OpAdd:
+		if yOK && cy == 0 {
+			return x
+		}
+		if xOK && cx == 0 {
+			return y
+		}
+	case ir.OpSub:
+		if yOK && cy == 0 {
+			return x
+		}
+	case ir.OpMul:
+		if yOK && cy == 1 {
+			return x
+		}
+		if xOK && cx == 1 {
+			return y
+		}
+		if (yOK && cy == 0) || (xOK && cx == 0) {
+			return ir.ConstInt(in.Ty, 0)
+		}
+	case ir.OpAnd:
+		if (yOK && cy == 0) || (xOK && cx == 0) {
+			return ir.ConstInt(in.Ty, 0)
+		}
+	case ir.OpOr, ir.OpXor:
+		if yOK && cy == 0 {
+			return x
+		}
+		if xOK && cx == 0 {
+			return y
+		}
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if yOK && cy == 0 {
+			return x
+		}
+	}
+
+	if !xOK || !yOK {
+		return nil
+	}
+	bits := in.Ty.Bits
+	ux := ir.TruncateToWidth(uint64(cx), bits)
+	uy := ir.TruncateToWidth(uint64(cy), bits)
+	var r uint64
+	switch in.Op {
+	case ir.OpAdd:
+		r = ux + uy
+	case ir.OpSub:
+		r = ux - uy
+	case ir.OpMul:
+		r = ux * uy
+	case ir.OpAnd:
+		r = ux & uy
+	case ir.OpOr:
+		r = ux | uy
+	case ir.OpXor:
+		r = ux ^ uy
+	case ir.OpShl:
+		r = ux << (uy % uint64(bits))
+	case ir.OpLShr:
+		r = ux >> (uy % uint64(bits))
+	case ir.OpAShr:
+		r = uint64(ir.SignExtend(ux, bits) >> (uy % uint64(bits)))
+	default:
+		return nil // division family folds are skipped (trap semantics)
+	}
+	return ir.ConstInt(in.Ty, int64(r))
+}
+
+func constOf(v ir.Value) (int64, bool) {
+	c, ok := v.(*ir.Const)
+	if !ok || c.Undef || !c.Ty.IsInt() || c.Ty.IsVector() {
+		return 0, false
+	}
+	return c.Int(), true
+}
+
+func foldCast(in *ir.Instr) ir.Value {
+	c, ok := in.Operand(0).(*ir.Const)
+	if !ok || c.Undef || !in.Ty.IsInt() || !c.Ty.IsInt() {
+		return nil
+	}
+	switch in.Op {
+	case ir.OpTrunc, ir.OpZExt:
+		return ir.ConstInt(in.Ty, int64(ir.TruncateToWidth(c.Bits[0], in.Ty.Bits)))
+	case ir.OpSExt:
+		return ir.ConstInt(in.Ty, ir.SignExtend(c.Bits[0], c.Ty.Bits))
+	}
+	return nil
+}
+
+func foldICmp(in *ir.Instr) ir.Value {
+	if in.Ty != ir.I1 {
+		return nil
+	}
+	cx, okX := constOf(in.Operand(0))
+	cy, okY := constOf(in.Operand(1))
+	if !okX || !okY {
+		return nil
+	}
+	bits := in.Operand(0).Type().Bits
+	sx, sy := ir.SignExtend(uint64(cx), bits), ir.SignExtend(uint64(cy), bits)
+	ux := ir.TruncateToWidth(uint64(cx), bits)
+	uy := ir.TruncateToWidth(uint64(cy), bits)
+	var r bool
+	switch in.Pred {
+	case ir.IntEQ:
+		r = ux == uy
+	case ir.IntNE:
+		r = ux != uy
+	case ir.IntSLT:
+		r = sx < sy
+	case ir.IntSLE:
+		r = sx <= sy
+	case ir.IntSGT:
+		r = sx > sy
+	case ir.IntSGE:
+		r = sx >= sy
+	case ir.IntULT:
+		r = ux < uy
+	case ir.IntULE:
+		r = ux <= uy
+	case ir.IntUGT:
+		r = ux > uy
+	case ir.IntUGE:
+		r = ux >= uy
+	default:
+		return nil
+	}
+	return ir.ConstBool(r)
+}

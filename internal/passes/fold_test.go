@@ -1,0 +1,109 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"vulfi/internal/ir"
+)
+
+func foldModule(t *testing.T, build func(f *ir.Func, bu *ir.Builder)) (*ir.Module, *ConstFold) {
+	t.Helper()
+	m := ir.NewModule("t")
+	f := ir.NewFunc("f", ir.I32, []*ir.Type{ir.I32, ir.Ptr(ir.I32)},
+		[]string{"x", "p"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	build(f, bu)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	p := &ConstFold{}
+	if err := p.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid after folding: %v", err)
+	}
+	return m, p
+}
+
+func TestFoldConstantArithmetic(t *testing.T) {
+	m, p := foldModule(t, func(f *ir.Func, bu *ir.Builder) {
+		a := bu.Add(ir.ConstInt(ir.I32, 6), ir.ConstInt(ir.I32, 7), "a")
+		b := bu.Mul(a, ir.ConstInt(ir.I32, 2), "b")
+		r := bu.Add(f.Params[0], b, "r") // x + 26
+		bu.Ret(r)
+	})
+	if p.Folded < 2 {
+		t.Fatalf("folded %d, want >= 2", p.Folded)
+	}
+	text := m.String()
+	if !strings.Contains(text, "%r = add i32 %x, 26") {
+		t.Fatalf("constants not folded:\n%s", text)
+	}
+}
+
+func TestFoldIdentities(t *testing.T) {
+	m, _ := foldModule(t, func(f *ir.Func, bu *ir.Builder) {
+		a := bu.Sub(f.Params[0], ir.ConstInt(ir.I32, 0), "a") // x - 0 -> x
+		b := bu.Mul(a, ir.ConstInt(ir.I32, 1), "b")           // x * 1 -> x
+		c := bu.Add(b, ir.ConstInt(ir.I32, 0), "c")           // x + 0 -> x
+		bu.Store(c, f.Params[1])
+		bu.Ret(c)
+	})
+	text := m.String()
+	if !strings.Contains(text, "store i32 %x") || !strings.Contains(text, "ret i32 %x") {
+		t.Fatalf("identities not simplified:\n%s", text)
+	}
+}
+
+func TestFoldICmpAndSelect(t *testing.T) {
+	m, _ := foldModule(t, func(f *ir.Func, bu *ir.Builder) {
+		c := bu.ICmp(ir.IntSLT, ir.ConstInt(ir.I32, 3), ir.ConstInt(ir.I32, 5), "c")
+		s := bu.Select(c, f.Params[0], ir.ConstInt(ir.I32, 99), "s")
+		bu.Ret(s)
+	})
+	text := m.String()
+	if !strings.Contains(text, "ret i32 %x") {
+		t.Fatalf("icmp/select chain not folded:\n%s", text)
+	}
+}
+
+func TestFoldCasts(t *testing.T) {
+	m, _ := foldModule(t, func(f *ir.Func, bu *ir.Builder) {
+		w := bu.Cast(ir.OpSExt, ir.ConstInt(ir.I8, -3), ir.I32, "w")
+		r := bu.Add(f.Params[0], w, "r")
+		bu.Ret(r)
+	})
+	if !strings.Contains(m.String(), "%r = add i32 %x, -3") {
+		t.Fatalf("sext of constant not folded:\n%s", m)
+	}
+}
+
+func TestFoldDoesNotTouchDivision(t *testing.T) {
+	_, p := foldModule(t, func(f *ir.Func, bu *ir.Builder) {
+		// 1/0 must stay (it traps at runtime; folding would hide that).
+		d := bu.SDiv(ir.ConstInt(ir.I32, 1), ir.ConstInt(ir.I32, 0), "d")
+		bu.Ret(d)
+	})
+	if p.Folded != 0 {
+		t.Fatal("division folded")
+	}
+}
+
+func TestFoldSkipsVectorsAndFloats(t *testing.T) {
+	m := ir.NewModule("t")
+	f := ir.NewFunc("f", ir.F32, nil, nil)
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	a := bu.FAdd(ir.ConstFloat(ir.F32, 1), ir.ConstFloat(ir.F32, 2), "a")
+	bu.Ret(a)
+	p := &ConstFold{}
+	if err := p.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if p.Folded != 0 {
+		t.Fatal("float arithmetic folded (policy: leave floats alone)")
+	}
+}

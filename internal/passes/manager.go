@@ -1,0 +1,48 @@
+package passes
+
+import "vulfi/internal/ir"
+
+// Pass is a module transformation or analysis, in the style of LLVM
+// module passes. VULFI's instrumentor and the detector-synthesis
+// transforms are implemented as passes.
+type Pass interface {
+	Name() string
+	Run(m *ir.Module) error
+}
+
+// Manager runs a pipeline of passes, verifying the module after each
+// transformation when Verify is set.
+type Manager struct {
+	Verify bool
+	passes []Pass
+}
+
+// Add appends passes to the pipeline.
+func (pm *Manager) Add(p ...Pass) { pm.passes = append(pm.passes, p...) }
+
+// Run executes the pipeline.
+func (pm *Manager) Run(m *ir.Module) error {
+	for _, p := range pm.passes {
+		if err := p.Run(m); err != nil {
+			return &PassError{Pass: p.Name(), Err: err}
+		}
+		if pm.Verify {
+			if err := m.Verify(); err != nil {
+				return &PassError{Pass: p.Name(), Err: err}
+			}
+		}
+	}
+	return nil
+}
+
+// PassError wraps a failure with the responsible pass name.
+type PassError struct {
+	Pass string
+	Err  error
+}
+
+// Error implements error.
+func (e *PassError) Error() string { return "pass " + e.Pass + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying error.
+func (e *PassError) Unwrap() error { return e.Err }

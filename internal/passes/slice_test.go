@@ -1,0 +1,180 @@
+package passes
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vulfi/internal/ir"
+)
+
+// buildFooIR hand-builds the paper's Figure 3 foo() loop:
+//
+//	for (i = 0; i < n; i++) { a[i] = a[i] * s; s = s + i; }
+//
+// i must classify as control AND address; s as pure-data.
+func buildFooIR() (*ir.Module, *ir.Instr, *ir.Instr) {
+	m := ir.NewModule("foo")
+	f := ir.NewFunc("foo", ir.Void, []*ir.Type{ir.Ptr(ir.I32), ir.I32, ir.I32},
+		[]string{"a", "n", "x"})
+	m.AddFunc(f)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	bu := ir.NewBuilder(entry)
+	bu.Br(loop)
+
+	bu.SetBlock(loop)
+	i := bu.Phi(ir.I32, "i")
+	s := bu.Phi(ir.I32, "s")
+	cond := bu.ICmp(ir.IntSLT, i, f.Params[1], "cond")
+	bu.CondBr(cond, body, exit)
+
+	bu.SetBlock(body)
+	p := bu.GEP(f.Params[0], i, "p")
+	v := bu.Load(p, "v")
+	mul := bu.Mul(v, s, "mul")
+	bu.Store(mul, p)
+	s2 := bu.Add(s, i, "s2")
+	i2 := bu.Add(i, ir.ConstInt(ir.I32, 1), "i2")
+	bu.Br(loop)
+
+	ir.AddIncoming(i, ir.ConstInt(ir.I32, 0), entry)
+	ir.AddIncoming(i, i2, body)
+	ir.AddIncoming(s, f.Params[2], entry)
+	ir.AddIncoming(s, s2, body)
+
+	bu.SetBlock(exit)
+	bu.Ret(nil)
+	return m, i, s
+}
+
+func TestFigure3Classification(t *testing.T) {
+	m, i, s := buildFooIR()
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	fi := ForwardSlice(i)
+	if !fi.Control || !fi.Address {
+		t.Fatalf("i should be control+address (paper Figure 3), got %+v", fi)
+	}
+	fs := ForwardSlice(s)
+	if fs.Control || fs.Address {
+		t.Fatalf("s should be pure-data (paper Figure 3), got %+v", fs)
+	}
+	if !fs.Matches(PureData) || fs.Matches(Control) || fs.Matches(Address) {
+		t.Fatal("pure-data matching wrong")
+	}
+	if !fi.Matches(Control) || !fi.Matches(Address) || fi.Matches(PureData) {
+		t.Fatal("control/address matching wrong")
+	}
+}
+
+func TestSliceFollowsTransitiveUses(t *testing.T) {
+	m := ir.NewModule("t")
+	f := ir.NewFunc("f", ir.Void, []*ir.Type{ir.Ptr(ir.F32), ir.I32},
+		[]string{"a", "x"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	// x -> y -> z -> gep index: x is an address site transitively.
+	y := bu.Add(f.Params[1], ir.ConstInt(ir.I32, 1), "y")
+	z := bu.Mul(y, ir.ConstInt(ir.I32, 2), "z")
+	p := bu.GEP(f.Params[0], z, "p")
+	bu.Store(ir.ConstFloat(ir.F32, 0), p)
+	bu.Ret(nil)
+
+	fl := ForwardSlice(f.Params[1])
+	if !fl.Address {
+		t.Fatal("transitive address use not found")
+	}
+	if ForwardSlice(y).Address != true {
+		t.Fatal("intermediate value should be address too")
+	}
+}
+
+func TestSlicePointerOperandsAreAddress(t *testing.T) {
+	m := ir.NewModule("t")
+	f := ir.NewFunc("f", ir.F32, []*ir.Type{ir.Ptr(ir.F32)}, []string{"p"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	l := bu.Load(f.Params[0], "l")
+	bu.Ret(l)
+	if !ForwardSlice(f.Params[0]).Address {
+		t.Fatal("load pointer operand should mark address")
+	}
+	// The loaded value itself is pure-data (only flows to ret).
+	if fl := ForwardSlice(l); fl.Address || fl.Control {
+		t.Fatal("loaded value misclassified")
+	}
+}
+
+func TestSliceMaskOperandIsControl(t *testing.T) {
+	m := ir.NewModule("t")
+	mask := ir.NewDecl("llvm.x86.avx.maskload.ps.256",
+		ir.Vec(ir.F32, 8), ir.Ptr(ir.F32), ir.Vec(ir.I32, 8))
+	m.AddFunc(mask)
+	f := ir.NewFunc("f", ir.Vec(ir.F32, 8),
+		[]*ir.Type{ir.Ptr(ir.F32), ir.Vec(ir.I1, 8)}, []string{"p", "m"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	im := bu.Cast(ir.OpSExt, f.Params[1], ir.Vec(ir.I32, 8), "im")
+	ld := bu.Call(mask, "ld", f.Params[0], im)
+	bu.Ret(ld)
+
+	if fl := ForwardSlice(im); !fl.Control {
+		t.Fatal("masked-intrinsic mask operand should be control")
+	}
+	if fl := ForwardSlice(f.Params[0]); !fl.Address {
+		t.Fatal("masked-intrinsic pointer operand should be address")
+	}
+}
+
+func TestSliceStopsAtStores(t *testing.T) {
+	// Data flow through memory is not tracked (SSA slicing).
+	m := ir.NewModule("t")
+	f := ir.NewFunc("f", ir.I32, []*ir.Type{ir.I32}, []string{"x"})
+	m.AddFunc(f)
+	bu := ir.NewBuilder(f.NewBlock("entry"))
+	slot := bu.Alloca(ir.I32, 1, "slot")
+	bu.Store(f.Params[0], slot)
+	back := bu.Load(slot, "back")
+	p2 := bu.GEP(slot, back, "p2")
+	l2 := bu.Load(p2, "l2")
+	bu.Ret(l2)
+	// x reaches only the store's value operand: pure-data.
+	if fl := ForwardSlice(f.Params[0]); fl.Address || fl.Control {
+		t.Fatalf("value stored to memory should classify pure-data, got %+v", fl)
+	}
+	// back feeds a GEP: address.
+	if !ForwardSlice(back).Address {
+		t.Fatal("reloaded value feeding GEP should be address")
+	}
+}
+
+// Property (Figure 2): for arbitrary flag combinations, PureData matches
+// exactly the complement of Control ∪ Address.
+func TestCategoryPartitionProperty(t *testing.T) {
+	prop := func(control, address bool) bool {
+		fl := SliceFlags{Control: control, Address: address}
+		pure := fl.Matches(PureData)
+		if pure != (!control && !address) {
+			return false
+		}
+		// Every site matches at least one category.
+		return pure || fl.Matches(Control) || fl.Matches(Address)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	if PureData.String() != "pure-data" || Control.String() != "control" ||
+		Address.String() != "address" {
+		t.Error("category names wrong")
+	}
+	if len(AllCategories) != 3 {
+		t.Error("AllCategories wrong")
+	}
+}

@@ -1,0 +1,87 @@
+package passes
+
+import (
+	"errors"
+	"fmt"
+
+	"vulfi/internal/ir"
+)
+
+// VerifySSA checks the dominance property of SSA form: every use of an
+// instruction's value must be dominated by its definition (for phi
+// incomings, the definition must dominate the end of the incoming block).
+// The module verifier checks types and structure; this pass checks the
+// deeper value-flow invariant the interpreter relies on.
+func VerifySSA(f *ir.Func) error {
+	if f.IsDecl {
+		return nil
+	}
+	idom := Dominators(f)
+	var errs []error
+	blockIndex := map[*ir.Block]map[*ir.Instr]int{}
+	for _, b := range f.Blocks {
+		m := make(map[*ir.Instr]int, len(b.Instrs))
+		for i, in := range b.Instrs {
+			m[in] = i
+		}
+		blockIndex[b] = m
+	}
+
+	dominatesUse := func(def *ir.Instr, user *ir.Instr, opIdx int) bool {
+		defB := def.Parent
+		if user.Op == ir.OpPhi {
+			// The def must dominate the end of the incoming block.
+			inc := user.Succs[opIdx]
+			return Dominates(idom, defB, inc)
+		}
+		useB := user.Parent
+		if defB == useB {
+			bi := blockIndex[defB]
+			// Within a block, definition must precede use; phis at block
+			// entry are all "simultaneous", so a phi may use another phi
+			// of the same block (the previous iteration's value).
+			if def.Op == ir.OpPhi && user.Op == ir.OpPhi {
+				return true
+			}
+			return bi[def] < bi[user]
+		}
+		return Dominates(idom, defB, useB)
+	}
+
+	for _, b := range f.Blocks {
+		if _, reachable := idom[b]; !reachable && b != f.Entry() {
+			continue // unreachable code is not subject to dominance
+		}
+		for _, in := range b.Instrs {
+			for i := 0; i < in.NumOperands(); i++ {
+				def, ok := in.Operand(i).(*ir.Instr)
+				if !ok {
+					continue
+				}
+				if def.Parent == nil {
+					errs = append(errs, fmt.Errorf(
+						"@%s: %s uses detached instruction %%%s",
+						f.Nam, in, def.Nam))
+					continue
+				}
+				if !dominatesUse(def, in, i) {
+					errs = append(errs, fmt.Errorf(
+						"@%s/%s: use of %%%s in %q not dominated by its definition in %s",
+						f.Nam, b.Nam, def.Nam, in.String(), def.Parent.Nam))
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// VerifySSAModule runs VerifySSA over every definition.
+func VerifySSAModule(m *ir.Module) error {
+	var errs []error
+	for _, f := range m.Funcs {
+		if err := VerifySSA(f); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

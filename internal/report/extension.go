@@ -1,0 +1,87 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/campaign"
+	"vulfi/internal/isa"
+	"vulfi/internal/passes"
+)
+
+// Extension runs the studies that go beyond the paper's evaluation:
+//
+//	(a) the §III-B uniform-broadcast detector (the paper sketches the
+//	    invariant and defers the implementation) — measured as the
+//	    detection-rate uplift over the foreach-invariant detector alone;
+//	(b) the mask-loop monotonicity detector on a divergent varying-while
+//	    workload (Mandelbrot);
+//	(c) the AVX512 target (gang 16, natively predicated) as the "multiple
+//	    vector formats" extensibility claim, on the vector benchmarks.
+func Extension(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "EXTENSIONS (beyond the paper's evaluation)")
+
+	fmt.Fprintln(w, "\n(a) §III-B uniform-broadcast detector uplift (control faults):")
+	for _, b := range []*benchmarks.Benchmark{
+		benchmarks.VectorCopy, benchmarks.Jacobi, benchmarks.Chebyshev,
+	} {
+		var rates [2]float64
+		var fired [2]int
+		for i, broadcast := range []bool{false, true} {
+			sr, err := campaign.RunStudy(campaign.Config{
+				Benchmark: b, ISA: isa.AVX, Category: passes.Control,
+				Scale: o.Scale, Experiments: o.MicroExperiments, Campaigns: 1,
+				Seed: o.Seed, Workers: o.Workers,
+				Detectors: true, BroadcastDetector: broadcast,
+			})
+			if err != nil {
+				return err
+			}
+			rates[i] = sr.Totals.SDCDetectionRate()
+			fired[i] = sr.Totals.Detected
+		}
+		fmt.Fprintf(w, "  %-12s foreach-only: detection %5.1f%% (fired %d)   +broadcast: %5.1f%% (fired %d)\n",
+			b.Name, 100*rates[0], fired[0], 100*rates[1], fired[1])
+	}
+
+	fmt.Fprintln(w, "\n(b) Mask-loop monotonicity detector (Mandelbrot, control faults):")
+	for _, maskDet := range []bool{false, true} {
+		sr, err := campaign.RunStudy(campaign.Config{
+			Benchmark: benchmarks.Mandelbrot, ISA: isa.AVX,
+			Category: passes.Control, Scale: o.Scale,
+			Experiments: o.MicroExperiments / 2, Campaigns: 1,
+			Seed: o.Seed, Workers: o.Workers,
+			Detectors: true, MaskLoopDetector: maskDet,
+		})
+		if err != nil {
+			return err
+		}
+		mode := "foreach-only   "
+		if maskDet {
+			mode = "+mask-monotonic"
+		}
+		fmt.Fprintf(w, "  %s  SDC %5.1f%%  detection %5.1f%% (fired %d)\n",
+			mode, 100*sr.Totals.SDCRate(), 100*sr.Totals.SDCDetectionRate(),
+			sr.Totals.Detected)
+	}
+
+	fmt.Fprintln(w, "\n(c) AVX512 target (gang 16) on the micro-benchmarks, control faults:")
+	for _, b := range benchmarks.Micro() {
+		for _, target := range []*isa.ISA{isa.AVX, isa.AVX512} {
+			sr, err := campaign.RunStudy(campaign.Config{
+				Benchmark: b, ISA: target, Category: passes.Control,
+				Scale: o.Scale, Experiments: o.MicroExperiments / 2, Campaigns: 1,
+				Seed: o.Seed, Workers: o.Workers, Detectors: true,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  %-12s %-7s lane-sites=%4d  SDC %5.1f%%  Crash %5.1f%%  detection %5.1f%%\n",
+				b.Name, target.Name, sr.LaneSites,
+				100*sr.Totals.SDCRate(), 100*sr.Totals.CrashRate(),
+				100*sr.Totals.SDCDetectionRate())
+		}
+	}
+	return nil
+}

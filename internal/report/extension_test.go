@@ -1,0 +1,22 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtension(t *testing.T) {
+	o := tinyOptions()
+	var buf bytes.Buffer
+	if err := Extension(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"EXTENSIONS", "broadcast detector",
+		"AVX512", "foreach-only", "+broadcast"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Extension output missing %q:\n%s", frag, out)
+		}
+	}
+}

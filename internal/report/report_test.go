@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/isa"
+)
+
+func tinyOptions() Options {
+	o := Defaults()
+	o.Experiments = 5
+	o.Campaigns = 2
+	o.MicroExperiments = 10
+	o.Scale = benchmarks.ScaleTest
+	o.Benchmarks = []string{"Blackscholes"}
+	o.ISAs = []*isa.ISA{isa.AVX}
+	return o
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"TABLE I", "Blackscholes", "AVX"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table1 output missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "SSE") {
+		t.Error("ISA filter ignored")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig10(&buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"FIGURE 10", "pure-data", "control", "address",
+		"Averages across benchmarks"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig10 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig11(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig11(&buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"FIGURE 11", "SDC", "Benign", "Crash", "±MoE"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig11 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig12(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig12(&buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"FIGURE 12", "VectorCopy", "DotProduct",
+		"VectorSum", "SDC Detection Rate"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig12 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Ablations(&buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"per-lane", "whole-register", "mask-aware",
+		"mask-oblivious", "exit-only", "every-iteration"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Ablations output missing %q:\n%s", frag, out)
+		}
+	}
+}

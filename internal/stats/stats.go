@@ -1,0 +1,141 @@
+// Package stats implements the statistical machinery of the paper's
+// evaluation methodology (§IV-D): sample mean/deviation, Student-t
+// critical values for 95% confidence, the margin-of-error rule used to
+// decide how many fault-injection campaigns to run, and a normality
+// diagnostic for the campaign-rate sample distribution.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// tTable95 holds two-sided 95% Student-t critical values for df = 1..30.
+var tTable95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (normal approximation beyond the table).
+func TCritical95(df int) float64 {
+	switch {
+	case df <= 0:
+		return math.Inf(1)
+	case df <= len(tTable95):
+		return tTable95[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}
+
+// MarginOfError95 returns the paper's ±margin at 95% confidence for the
+// sample of campaign rates: t(df) × stderr.
+func MarginOfError95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.Inf(1)
+	}
+	return TCritical95(len(xs)-1) * StdErr(xs)
+}
+
+// Skewness returns the sample skewness (0 for degenerate samples).
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// Kurtosis returns the sample excess kurtosis (0 for degenerate samples).
+func Kurtosis(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 4 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m4 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m4 += d * d * d * d
+	}
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m4/(m2*m2) - 3
+}
+
+// JarqueBera returns the Jarque–Bera normality statistic; under
+// normality it is χ²(2)-distributed.
+func JarqueBera(xs []float64) float64 {
+	n := float64(len(xs))
+	s := Skewness(xs)
+	k := Kurtosis(xs)
+	return n / 6 * (s*s + k*k/4)
+}
+
+// NearNormal applies the paper's "normal or near normal" criterion using
+// the Jarque–Bera statistic at the χ²(2) 95% cut-off (5.991). Degenerate
+// (zero-variance) samples count as near normal.
+func NearNormal(xs []float64) bool {
+	if Variance(xs) == 0 {
+		return true
+	}
+	return JarqueBera(xs) < 5.991
+}

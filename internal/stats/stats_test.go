@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceKnownValues(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	// Sample variance with n-1: sum sq dev = 32, /7.
+	if !almost(Variance(xs), 32.0/7, 1e-12) {
+		t.Errorf("variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("stddev = %v", StdDev(xs))
+	}
+	if !almost(StdErr(xs), math.Sqrt(32.0/7)/math.Sqrt(8), 1e-12) {
+		t.Errorf("stderr = %v", StdErr(xs))
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdErr(nil) != 0 {
+		t.Error("empty sample should yield zeros")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("singleton variance should be 0")
+	}
+	if !math.IsInf(MarginOfError95([]float64{1}), 1) {
+		t.Error("MoE of singleton should be +Inf")
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {5, 2.571}, {19, 2.093}, {30, 2.042},
+		{35, 2.021}, {50, 2.000}, {100, 1.980}, {1000, 1.960},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Errorf("t(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(TCritical95(0), 1) {
+		t.Error("t(0) should be +Inf")
+	}
+}
+
+// TestPaperMarginRule reproduces the §IV-D setup: 20 campaign SDC rates;
+// the margin of error uses t(19) = 2.093.
+func TestPaperMarginRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 20)
+	for i := range xs {
+		xs[i] = 0.5 + rng.NormFloat64()*0.02
+	}
+	moe := MarginOfError95(xs)
+	want := 2.093 * StdErr(xs)
+	if !almost(moe, want, 1e-12) {
+		t.Errorf("moe = %v, want %v", moe, want)
+	}
+	// With σ≈2% over 20 campaigns, the margin lands within the paper's
+	// ±3% target.
+	if moe > 0.03 {
+		t.Errorf("margin %v exceeds the paper's ±3%% regime", moe)
+	}
+}
+
+// Property: mean is shift-equivariant and variance shift-invariant.
+func TestShiftProperties(t *testing.T) {
+	prop := func(raw []float64, shift float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			// Clamp wild quick-generated values to keep FP error bounded.
+			xs[i] = math.Mod(v, 1000)
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		shift = math.Mod(shift, 1000)
+		if math.IsNaN(shift) {
+			shift = 0
+		}
+		ys := make([]float64, len(xs))
+		for i := range xs {
+			ys[i] = xs[i] + shift
+		}
+		return almost(Mean(ys), Mean(xs)+shift, 1e-6) &&
+			almost(Variance(ys), Variance(xs), 1e-5*(1+Variance(xs)))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewnessKurtosis(t *testing.T) {
+	// Symmetric sample: zero skewness.
+	sym := []float64{-2, -1, 0, 1, 2}
+	if !almost(Skewness(sym), 0, 1e-12) {
+		t.Errorf("symmetric skewness = %v", Skewness(sym))
+	}
+	// Right-skewed sample: positive skewness.
+	skew := []float64{1, 1, 1, 1, 10}
+	if Skewness(skew) <= 0 {
+		t.Errorf("right-skewed sample has skewness %v", Skewness(skew))
+	}
+	if Skewness([]float64{3, 3, 3}) != 0 {
+		t.Error("degenerate skewness should be 0")
+	}
+}
+
+func TestNearNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	normal := make([]float64, 200)
+	for i := range normal {
+		normal[i] = rng.NormFloat64()
+	}
+	if !NearNormal(normal) {
+		t.Errorf("gaussian sample rejected (JB=%v)", JarqueBera(normal))
+	}
+	// A heavily skewed sample must be rejected.
+	skewed := make([]float64, 200)
+	for i := range skewed {
+		skewed[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+	if NearNormal(skewed) {
+		t.Errorf("lognormal sample accepted (JB=%v)", JarqueBera(skewed))
+	}
+	// Constant samples count as near normal (degenerate distributions).
+	if !NearNormal([]float64{1, 1, 1, 1}) {
+		t.Error("constant sample should pass")
+	}
+}
