@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-telemetry clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark suite (paper figures + pipeline microbenchmarks).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Interpreter overhead with telemetry detached vs attached-but-idle;
+# the two ns/op figures should be within a couple percent.
+bench-telemetry:
+	$(GO) test -bench=BenchmarkInterpreterTelemetry -count=5 -run=^$$ .
+
+clean:
+	$(GO) clean ./...

@@ -21,6 +21,7 @@ import (
 	"vulfi/internal/benchmarks"
 	"vulfi/internal/isa"
 	"vulfi/internal/report"
+	"vulfi/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +39,9 @@ func main() {
 		benchList = flag.String("benchmarks", "", "comma-separated benchmark filter")
 		isaName   = flag.String("isa", "", "restrict to one ISA (AVX or SSE)")
 		large     = flag.Bool("large", false, "use large inputs")
+		progress  = flag.Bool("progress", false, "render live per-cell progress on stderr")
+		events    = flag.String("events", "", "write structured JSONL spans to this file")
+		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -61,6 +65,31 @@ func main() {
 		}
 		opts.ISAs = []*isa.ISA{a}
 	}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ew := telemetry.NewEventWriter(f)
+		defer func() {
+			if err := ew.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			}
+		}()
+		opts.Events = ew
+	}
+	if *httpAddr != "" {
+		_, url, err := telemetry.Serve(*httpAddr, telemetry.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry on %s/metrics (also /debug/vars, /debug/pprof)\n", url)
+	}
 
 	if !(*table1 || *fig10 || *fig11 || *fig12 || *ablations || *ext || *all) {
 		flag.Usage()
@@ -80,15 +109,23 @@ func main() {
 		{*all || *ablations, func() error { return report.Ablations(os.Stdout, opts) }, "ablations"},
 		{*all || *ext, func() error { return report.Extension(os.Stdout, opts) }, "extensions"},
 	}
+	expCounter := telemetry.Default().Counter("campaign.experiments")
 	for _, s := range sections {
 		if !s.on {
 			continue
 		}
-		start := time.Now()
+		start, before := time.Now(), expCounter.Value()
 		if err := s.fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", s.tag, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\n[%s done in %v]\n\n", s.tag, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if ran := expCounter.Value() - before; ran > 0 {
+			fmt.Printf("\n[%s done in %v — %d experiments, %.1f exp/s]\n\n",
+				s.tag, elapsed.Round(time.Millisecond), ran,
+				float64(ran)/elapsed.Seconds())
+		} else {
+			fmt.Printf("\n[%s done in %v]\n\n", s.tag, elapsed.Round(time.Millisecond))
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"vulfi/internal/campaign"
 	"vulfi/internal/isa"
 	"vulfi/internal/passes"
+	"vulfi/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,9 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-campaign rows and sample injections")
 		jsonOut   = flag.Bool("json", false, "emit the study as JSON instead of text")
 		csvOut    = flag.Bool("csv", false, "emit the study as a CSV row (with header)")
+		progress  = flag.Bool("progress", false, "render live progress on stderr")
+		events    = flag.String("events", "", "write structured JSONL spans to this file")
+		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -77,6 +81,35 @@ func main() {
 		Benchmark: b, ISA: target, Category: cat, Scale: scale,
 		Experiments: *exps, Campaigns: *camps, Seed: *seed, Workers: *workers,
 		Detectors: *detectors, BroadcastDetector: *broadcast,
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ew := telemetry.NewEventWriter(f)
+		defer func() {
+			if err := ew.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			}
+		}()
+		cfg.Events = ew
+	}
+	if *httpAddr != "" {
+		_, url, err := telemetry.Serve(*httpAddr, telemetry.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry on %s/metrics (also /debug/vars, /debug/pprof)\n", url)
+	}
+	if *progress {
+		pr := telemetry.NewProgress(os.Stderr, cfg.String(), *camps**exps)
+		cfg.OnExperiment = func(r *campaign.ExperimentResult) {
+			pr.Observe(r.Outcome.String(), r.Detected)
+		}
+		defer pr.Finish()
 	}
 	if !*jsonOut && !*csvOut {
 		fmt.Printf("VULFI study: %s  (%d campaigns x %d experiments)\n",

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"vulfi/internal/benchmarks"
 	"vulfi/internal/codegen"
@@ -20,6 +21,7 @@ import (
 	"vulfi/internal/interp"
 	"vulfi/internal/isa"
 	"vulfi/internal/passes"
+	"vulfi/internal/telemetry"
 )
 
 // Outcome classifies one fault-injection experiment (§IV-B).
@@ -72,6 +74,19 @@ type Config struct {
 	// MaskOblivious counts masked-off lanes as live fault sites
 	// (ablation of the paper's mask-aware accounting).
 	MaskOblivious bool
+
+	// Metrics receives this study's telemetry (phase histograms, outcome
+	// counters, interpreter counters). Nil uses the process-wide default
+	// registry; concurrent studies that must not interleave should each
+	// pass their own registry.
+	Metrics *telemetry.Registry
+	// Events, when non-nil, receives structured study/campaign/experiment
+	// spans as JSONL. A nil writer disables event emission.
+	Events *telemetry.EventWriter
+	// OnExperiment, when non-nil, is invoked after every completed
+	// experiment (live progress hook). It is called from worker
+	// goroutines and must be safe for concurrent use.
+	OnExperiment func(*ExperimentResult)
 }
 
 func (c Config) String() string {
@@ -93,6 +108,10 @@ type ExperimentResult struct {
 	// GoldenDynInstrs is the golden run's dynamic instruction count.
 	GoldenDynInstrs uint64
 	InputLabel      string
+	// Wall is the experiment's total wall time (golden + faulty +
+	// compare); FaultyWall is the faulty run's share.
+	Wall       time.Duration
+	FaultyWall time.Duration
 }
 
 // Prepared is a compiled, instrumented study cell ready to run
@@ -103,11 +122,50 @@ type Prepared struct {
 	Res   *codegen.Result
 	Inst  *core.Instrumentation
 	Sites []*core.Site
+
+	reg *telemetry.Registry
+	im  *interp.Metrics
+	mx  cellMetrics
+}
+
+// cellMetrics caches the study cell's instruments so the per-experiment
+// path performs no registry lookups.
+type cellMetrics struct {
+	golden, faulty, compare, wall      *telemetry.Histogram
+	sdc, benign, crash, hang, detected *telemetry.Counter
+	experiments                        *telemetry.Counter
+}
+
+func newCellMetrics(reg *telemetry.Registry) cellMetrics {
+	return cellMetrics{
+		golden:      reg.Histogram("campaign.golden"),
+		faulty:      reg.Histogram("campaign.faulty"),
+		compare:     reg.Histogram("campaign.compare"),
+		wall:        reg.Histogram("campaign.experiment"),
+		sdc:         reg.Counter("campaign.outcome.sdc"),
+		benign:      reg.Counter("campaign.outcome.benign"),
+		crash:       reg.Counter("campaign.outcome.crash"),
+		hang:        reg.Counter("campaign.outcome.hang"),
+		detected:    reg.Counter("campaign.detected"),
+		experiments: reg.Counter("campaign.experiments"),
+	}
+}
+
+// registry resolves the study's registry (default when unconfigured).
+func (c Config) registry() *telemetry.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return telemetry.Default()
 }
 
 // Prepare compiles the benchmark for the configured ISA, synthesizes
 // detectors when requested, and instruments the selected site category.
+// The compile+instrument wall time lands in the study registry's
+// "campaign.prepare" histogram.
 func Prepare(cfg Config) (*Prepared, error) {
+	reg := cfg.registry()
+	defer reg.Histogram("campaign.prepare").Since(time.Now())
 	res, err := codegen.Compile(mustProgram(cfg.Benchmark), cfg.ISA,
 		cfg.Benchmark.Name)
 	if err != nil {
@@ -133,7 +191,10 @@ func Prepare(cfg Config) (*Prepared, error) {
 	if err := pm.Run(res.Module); err != nil {
 		return nil, err
 	}
-	return &Prepared{Cfg: cfg, Res: res, Inst: inst, Sites: inst.Sites}, nil
+	return &Prepared{
+		Cfg: cfg, Res: res, Inst: inst, Sites: inst.Sites,
+		reg: reg, im: interp.NewMetrics(reg), mx: newCellMetrics(reg),
+	}, nil
 }
 
 // mustProgram memoizes parsing+checking per benchmark source.
@@ -148,6 +209,7 @@ func (p *Prepared) newInstance(plan *core.Plan, budget uint64) (*exec.Instance, 
 	if err != nil {
 		return nil, err
 	}
+	x.It.SetMetrics(p.im)
 	core.AttachRuntime(x.It, plan)
 	detect.AttachRuntime(x.It)
 	return x, nil
@@ -196,8 +258,10 @@ func quantizeF32(b []byte, step float32) []byte {
 // RunExperiment performs one paired experiment (§IV-B execution
 // strategy): a golden counting run that records the output and the
 // dynamic fault-site count N, then a faulty run with one bit flipped at a
-// uniformly chosen dynamic site.
+// uniformly chosen dynamic site. Per-phase wall times (golden, faulty,
+// compare) and outcome counters land in the study registry.
 func (p *Prepared) RunExperiment(seed int64) (*ExperimentResult, error) {
+	start := time.Now()
 	// Golden run.
 	goldenPlan := &core.Plan{Mode: core.CountOnly}
 	xg, err := p.newInstance(goldenPlan, 0)
@@ -213,6 +277,7 @@ func (p *Prepared) RunExperiment(seed int64) (*ExperimentResult, error) {
 		return nil, fmt.Errorf("golden run trapped (%s, input %s): %w",
 			p.Cfg, spec.Label, tr)
 	}
+	p.mx.golden.Since(start)
 	res := &ExperimentResult{
 		DynSites:        goldenPlan.DynSites,
 		GoldenDynInstrs: xg.It.DynInstrs,
@@ -222,6 +287,8 @@ func (p *Prepared) RunExperiment(seed int64) (*ExperimentResult, error) {
 		// No dynamic site in this category was ever reached: nothing to
 		// corrupt; the experiment is vacuously benign.
 		res.Outcome = OutcomeBenign
+		res.Wall = time.Since(start)
+		p.finishExperiment(res)
 		return res, nil
 	}
 
@@ -235,6 +302,7 @@ func (p *Prepared) RunExperiment(seed int64) (*ExperimentResult, error) {
 	}
 
 	// Faulty run: same input (same setup seed), bounded by a hang budget.
+	faultyStart := time.Now()
 	budget := xg.It.DynInstrs*3 + 100_000
 	xf, err := p.newInstance(faultPlan, budget)
 	if err != nil {
@@ -245,6 +313,10 @@ func (p *Prepared) RunExperiment(seed int64) (*ExperimentResult, error) {
 		return nil, err
 	}
 	faultyOut, ftr := p.observe(xf, spec2)
+	res.FaultyWall = time.Since(faultyStart)
+	p.mx.faulty.Observe(res.FaultyWall)
+
+	compareStart := time.Now()
 	res.Detected = len(xf.It.Detections) > 0
 	res.Record = faultPlan.Record
 	switch {
@@ -257,5 +329,29 @@ func (p *Prepared) RunExperiment(seed int64) (*ExperimentResult, error) {
 	default:
 		res.Outcome = OutcomeBenign
 	}
+	p.mx.compare.Since(compareStart)
+	res.Wall = time.Since(start)
+	p.finishExperiment(res)
 	return res, nil
+}
+
+// finishExperiment records an experiment's outcome counters and total
+// wall time.
+func (p *Prepared) finishExperiment(r *ExperimentResult) {
+	p.mx.experiments.Inc()
+	p.mx.wall.Observe(r.Wall)
+	switch r.Outcome {
+	case OutcomeSDC:
+		p.mx.sdc.Inc()
+	case OutcomeBenign:
+		p.mx.benign.Inc()
+	case OutcomeCrash:
+		p.mx.crash.Inc()
+		if r.Hang {
+			p.mx.hang.Inc()
+		}
+	}
+	if r.Detected {
+		p.mx.detected.Inc()
+	}
 }

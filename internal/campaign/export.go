@@ -34,6 +34,13 @@ type studyJSON struct {
 	MarginOfError float64   `json:"margin_of_error_95"`
 	NearNormal    bool      `json:"near_normal"`
 	CampaignSDC   []float64 `json:"campaign_sdc_rates"`
+
+	// Per-experiment wall-time aggregates over the whole study, so
+	// exported studies carry their cost profile.
+	WallTotalNS int64 `json:"wall_total_ns"`
+	WallMinNS   int64 `json:"wall_min_ns"`
+	WallMeanNS  int64 `json:"wall_mean_ns"`
+	WallMaxNS   int64 `json:"wall_max_ns"`
 }
 
 func (sr *StudyResult) toJSON() studyJSON {
@@ -57,6 +64,10 @@ func (sr *StudyResult) toJSON() studyJSON {
 		NoSites:     sr.Totals.NoSites,
 		MeanSDC:     sr.MeanSDC, MarginOfError: finiteOr(sr.MarginOfError, -1),
 		NearNormal: sr.NearNormal, CampaignSDC: sr.SDCRates,
+		WallTotalNS: int64(sr.Totals.WallTotal),
+		WallMinNS:   int64(sr.Totals.WallMin),
+		WallMeanNS:  int64(sr.Totals.WallMean()),
+		WallMaxNS:   int64(sr.Totals.WallMax),
 	}
 }
 
@@ -84,6 +95,7 @@ var CSVHeader = []string{
 	"detected", "sdc_detected", "sdc_rate", "benign_rate", "crash_rate",
 	"sdc_detection_rate", "margin_of_error_95", "near_normal",
 	"mean_golden_dyn_instrs",
+	"wall_total_ns", "wall_min_ns", "wall_mean_ns", "wall_max_ns",
 }
 
 // WriteCSVHeader emits the header row.
@@ -109,6 +121,10 @@ func (sr *StudyResult) WriteCSVRow(w io.Writer) error {
 		f(t.SDCRate()), f(t.BenignRate()), f(t.CrashRate()),
 		f(t.SDCDetectionRate()), f(finiteOr(sr.MarginOfError, -1)),
 		fmt.Sprint(sr.NearNormal), f(sr.MeanGoldenDynInstrs),
+		strconv.FormatInt(int64(t.WallTotal), 10),
+		strconv.FormatInt(int64(t.WallMin), 10),
+		strconv.FormatInt(int64(t.WallMean()), 10),
+		strconv.FormatInt(int64(t.WallMax), 10),
 	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(row); err != nil {

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"vulfi/internal/stats"
+	"vulfi/internal/telemetry"
 )
 
 // CampaignResult aggregates one campaign of experiments (paper: 100).
@@ -23,9 +25,31 @@ type CampaignResult struct {
 	SDCDetected int
 	// NoSites counts vacuous experiments (no dynamic site in category).
 	NoSites int
+
+	// WallTotal/WallMin/WallMax aggregate per-experiment wall times;
+	// WallMean derives the average. Zero when no experiment carried
+	// timing (e.g. results merged from a pre-timing serialization).
+	WallTotal time.Duration
+	WallMin   time.Duration
+	WallMax   time.Duration
+}
+
+// WallMean returns the average experiment wall time.
+func (c *CampaignResult) WallMean() time.Duration {
+	if c.Experiments == 0 {
+		return 0
+	}
+	return c.WallTotal / time.Duration(c.Experiments)
 }
 
 func (c *CampaignResult) add(r *ExperimentResult) {
+	c.WallTotal += r.Wall
+	if c.Experiments == 0 || r.Wall < c.WallMin {
+		c.WallMin = r.Wall
+	}
+	if r.Wall > c.WallMax {
+		c.WallMax = r.Wall
+	}
 	c.Experiments++
 	switch r.Outcome {
 	case OutcomeSDC:
@@ -50,6 +74,15 @@ func (c *CampaignResult) add(r *ExperimentResult) {
 }
 
 func (c *CampaignResult) merge(o CampaignResult) {
+	if o.Experiments > 0 {
+		if c.Experiments == 0 || o.WallMin < c.WallMin {
+			c.WallMin = o.WallMin
+		}
+		if o.WallMax > c.WallMax {
+			c.WallMax = o.WallMax
+		}
+	}
+	c.WallTotal += o.WallTotal
 	c.Experiments += o.Experiments
 	c.SDC += o.SDC
 	c.Benign += o.Benign
@@ -101,6 +134,9 @@ type StudyResult struct {
 	// MeanGoldenDynInstrs is the average golden-run dynamic instruction
 	// count (Table I's per-benchmark figure).
 	MeanGoldenDynInstrs float64
+
+	// Wall is the study's total wall-clock time (prepare excluded).
+	Wall time.Duration
 }
 
 // RunStudy prepares the cell and runs Campaigns × Experiments paired
@@ -120,8 +156,12 @@ func RunStudy(cfg Config) (*StudyResult, error) {
 }
 
 // RunStudy runs the configured number of campaigns on a prepared cell.
+// When the cell carries an event sink it emits one span per experiment,
+// per campaign, and for the whole study; OnExperiment fires after every
+// completed experiment for live progress.
 func (p *Prepared) RunStudy() (*StudyResult, error) {
 	cfg := p.Cfg
+	start := time.Now()
 	total := cfg.Campaigns * cfg.Experiments
 	results := make([]*ExperimentResult, total)
 	errs := make([]error, total)
@@ -130,6 +170,9 @@ func (p *Prepared) RunStudy() (*StudyResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	inflight := p.reg.Gauge("campaign.workers")
+	inflight.Add(int64(workers))
+	defer inflight.Add(-int64(workers))
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -138,7 +181,17 @@ func (p *Prepared) RunStudy() (*StudyResult, error) {
 			defer wg.Done()
 			for i := range work {
 				seed := cfg.Seed + int64(i)*0x9E3779B9 + 1
-				results[i], errs[i] = p.RunExperiment(seed)
+				r, err := p.RunExperiment(seed)
+				results[i], errs[i] = r, err
+				if err != nil {
+					continue
+				}
+				if cfg.Events != nil {
+					cfg.Events.Emit(experimentSpan(cfg, i, seed, r))
+				}
+				if cfg.OnExperiment != nil {
+					cfg.OnExperiment(r)
+				}
 			}
 		}()
 	}
@@ -170,10 +223,92 @@ func (p *Prepared) RunStudy() (*StudyResult, error) {
 		sr.Campaigns = append(sr.Campaigns, cr)
 		sr.Totals.merge(cr)
 		sr.SDCRates = append(sr.SDCRates, cr.SDCRate())
+		if cfg.Events != nil {
+			cfg.Events.Emit(campaignSpan(cfg, c, cr))
+		}
 	}
 	sr.MeanSDC = stats.Mean(sr.SDCRates)
 	sr.MarginOfError = stats.MarginOfError95(sr.SDCRates)
 	sr.NearNormal = stats.NearNormal(sr.SDCRates)
 	sr.MeanGoldenDynInstrs = dynSum / float64(total)
+	sr.Wall = time.Since(start)
+	if cfg.Events != nil {
+		cfg.Events.Emit(studySpan(sr))
+	}
 	return sr, nil
+}
+
+// experimentSpan serializes one completed experiment as a telemetry
+// event, carrying the seed so any single experiment can be replayed.
+func experimentSpan(cfg Config, index int, seed int64, r *ExperimentResult) telemetry.Event {
+	fields := map[string]any{
+		"index":             index,
+		"seed":              seed,
+		"outcome":           r.Outcome.String(),
+		"detected":          r.Detected,
+		"hang":              r.Hang,
+		"dyn_sites":         r.DynSites,
+		"golden_dyn_instrs": r.GoldenDynInstrs,
+		"input":             r.InputLabel,
+		"faulty_wall_ns":    int64(r.FaultyWall),
+	}
+	if r.DynSites > 0 {
+		fields["injection"] = r.Record.String()
+	}
+	if r.Trap != nil {
+		fields["trap"] = r.Trap.Error()
+	}
+	return telemetry.Event{
+		Type: "experiment", Name: cfg.String(),
+		DurNS: int64(r.Wall), Fields: fields,
+	}
+}
+
+// campaignSpan summarizes one campaign (the paper's unit of statistical
+// sampling) as a telemetry event.
+func campaignSpan(cfg Config, index int, cr CampaignResult) telemetry.Event {
+	return telemetry.Event{
+		Type: "campaign", Name: cfg.String(), DurNS: int64(cr.WallTotal),
+		Fields: map[string]any{
+			"index":        index,
+			"experiments":  cr.Experiments,
+			"sdc":          cr.SDC,
+			"benign":       cr.Benign,
+			"crash":        cr.Crash,
+			"hang":         cr.Hang,
+			"detected":     cr.Detected,
+			"sdc_rate":     cr.SDCRate(),
+			"wall_min_ns":  int64(cr.WallMin),
+			"wall_mean_ns": int64(cr.WallMean()),
+			"wall_max_ns":  int64(cr.WallMax),
+		},
+	}
+}
+
+// studySpan serializes the qualified study summary, including enough of
+// the configuration (seed, scale, detector flags) to rerun the cell.
+func studySpan(sr *StudyResult) telemetry.Event {
+	cfg := sr.Cfg
+	return telemetry.Event{
+		Type: "study", Name: cfg.String(), DurNS: int64(sr.Wall),
+		Fields: map[string]any{
+			"benchmark":     cfg.Benchmark.Name,
+			"isa":           cfg.ISA.Name,
+			"category":      cfg.Category.String(),
+			"campaigns":     cfg.Campaigns,
+			"experiments":   cfg.Experiments,
+			"seed":          cfg.Seed,
+			"detectors":     cfg.Detectors,
+			"static_sites":  sr.StaticSites,
+			"lane_sites":    sr.LaneSites,
+			"sdc":           sr.Totals.SDC,
+			"benign":        sr.Totals.Benign,
+			"crash":         sr.Totals.Crash,
+			"mean_sdc_rate": sr.MeanSDC,
+			// finiteOr: a single-campaign margin is +Inf, which JSON
+			// cannot carry.
+			"margin_of_error": finiteOr(sr.MarginOfError, -1),
+			"near_normal":     sr.NearNormal,
+		},
+	}
 }

@@ -20,11 +20,13 @@ package codegen
 
 import (
 	"fmt"
+	"time"
 
 	"vulfi/internal/ir"
 	"vulfi/internal/isa"
 	"vulfi/internal/lang"
 	"vulfi/internal/passes"
+	"vulfi/internal/telemetry"
 )
 
 // ForeachInfo records the IR artifacts of one lowered foreach loop. The
@@ -54,6 +56,7 @@ const MaskParamName = "__mask"
 
 // Compile lowers a checked program for the given ISA.
 func Compile(prog *lang.Program, target *isa.ISA, moduleName string) (*Result, error) {
+	defer telemetry.Default().Histogram("codegen.compile").Since(time.Now())
 	mg := &moduleGen{
 		prog: prog,
 		isa:  target,

@@ -47,6 +47,12 @@ type Interp struct {
 	depth    int
 	globals  map[*ir.Global]uint64
 	tracer   *Tracer
+
+	// metrics, when attached, receives batched execution counters; nil
+	// keeps the hot path to a single pointer test (see SetMetrics).
+	metrics       *Metrics
+	flushedInstrs uint64
+	flushedVector uint64
 }
 
 // New creates an interpreter for mod, allocating storage for its globals.
@@ -111,7 +117,7 @@ func (it *Interp) Run(name string, args ...Value) (Value, *Trap) {
 }
 
 // Call executes f with args.
-func (it *Interp) Call(f *ir.Func, args []Value) (Value, *Trap) {
+func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 	if f.IsDecl {
 		fn, ok := it.externs[f.Nam]
 		if !ok {
@@ -126,7 +132,17 @@ func (it *Interp) Call(f *ir.Func, args []Value) (Value, *Trap) {
 		it.depth--
 		return Value{}, trapf(TrapStack, "call depth %d at @%s", it.depth, f.Nam)
 	}
-	defer func() { it.depth-- }()
+	defer func() {
+		it.depth--
+		// Top-level return: publish batched counters and record a trap
+		// outcome, so attached telemetry costs nothing per instruction.
+		if it.depth == 0 && it.metrics != nil {
+			it.FlushMetrics()
+			if tr != nil && it.metrics.Traps != nil {
+				it.metrics.Traps.Inc()
+			}
+		}
+	}()
 
 	if len(args) != len(f.Params) {
 		return Value{}, trapf(TrapHalt, "@%s: got %d args, want %d",

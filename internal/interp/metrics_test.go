@@ -1,0 +1,72 @@
+package interp
+
+import (
+	"testing"
+
+	"vulfi/internal/ir"
+	"vulfi/internal/telemetry"
+)
+
+// TestMetricsFlushOnReturn: counters must match the interpreter's own
+// dynamic counts after a top-level call, without per-instruction cost.
+func TestMetricsFlushOnReturn(t *testing.T) {
+	m := ir.NewModule("t")
+	buildSum(m)
+	it, err := New(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	it.SetMetrics(NewMetrics(reg))
+	addr, tr := it.Mem.Alloc(10 * 4)
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	if _, tr := it.Run("sum", PtrValue(ir.Ptr(ir.I32), addr),
+		IntValue(ir.I32, 10)); tr != nil {
+		t.Fatal(tr)
+	}
+	if got := reg.Counter("interp.instrs").Value(); got != it.DynInstrs {
+		t.Fatalf("instrs counter = %d, interpreter counted %d", got, it.DynInstrs)
+	}
+	if got := reg.Counter("interp.vector_instrs").Value(); got != it.DynVector {
+		t.Fatalf("vector counter = %d, want %d", got, it.DynVector)
+	}
+	if got := reg.Counter("interp.traps").Value(); got != 0 {
+		t.Fatalf("trap counter = %d on clean run", got)
+	}
+
+	// A second run on the same instance must add only the delta.
+	if _, tr := it.Run("sum", PtrValue(ir.Ptr(ir.I32), addr),
+		IntValue(ir.I32, 10)); tr != nil {
+		t.Fatal(tr)
+	}
+	if got := reg.Counter("interp.instrs").Value(); got != it.DynInstrs {
+		t.Fatalf("after rerun: counter = %d, want %d", got, it.DynInstrs)
+	}
+}
+
+// TestMetricsTrapCounting: a trapped top-level call increments the trap
+// counter exactly once even though the trap propagates through nested
+// frames.
+func TestMetricsTrapCounting(t *testing.T) {
+	m := ir.NewModule("t")
+	buildSum(m)
+	it, err := New(m, Options{Budget: 10}) // guarantees a budget trap
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	it.SetMetrics(NewMetrics(reg))
+	addr, tr := it.Mem.Alloc(10 * 4)
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	if _, tr := it.Run("sum", PtrValue(ir.Ptr(ir.I32), addr),
+		IntValue(ir.I32, 10)); tr == nil {
+		t.Fatal("expected budget trap")
+	}
+	if got := reg.Counter("interp.traps").Value(); got != 1 {
+		t.Fatalf("trap counter = %d, want 1", got)
+	}
+}

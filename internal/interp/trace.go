@@ -5,24 +5,44 @@ import (
 	"io"
 
 	"vulfi/internal/ir"
+	"vulfi/internal/telemetry"
 )
 
 // Tracer receives an event per executed instruction (debugging aid; used
 // by cmd/vspcc -trace). Nil disables tracing with zero overhead on the
 // hot path beyond a pointer check.
+//
+// Events go to W as text lines, or — when Events is set — to the
+// structured JSONL sink as telemetry events of type "trace", sharing
+// the campaign layer's event schema.
 type Tracer struct {
 	W io.Writer
 	// Limit stops tracing after this many events (0 = unlimited).
 	Limit uint64
-	seen  uint64
+	// Events, when non-nil, receives structured events instead of text.
+	Events  *telemetry.EventWriter
+	seen    uint64
+	skipped uint64
 }
+
+// Seen returns the number of events emitted so far (at most Limit when
+// a limit is set).
+func (tr *Tracer) Seen() uint64 { return tr.seen }
+
+// Skipped returns the number of events suppressed after Limit was
+// reached.
+func (tr *Tracer) Skipped() uint64 { return tr.skipped }
 
 // SetTracer installs a tracer on the interpreter.
 func (it *Interp) SetTracer(tr *Tracer) { it.tracer = tr }
 
 func (it *Interp) trace(in *ir.Instr, result Value) {
 	tr := it.tracer
-	if tr == nil || (tr.Limit > 0 && tr.seen >= tr.Limit) {
+	if tr == nil {
+		return
+	}
+	if tr.Limit > 0 && tr.seen >= tr.Limit {
+		tr.skipped++
 		return
 	}
 	tr.seen++
@@ -30,7 +50,20 @@ func (it *Interp) trace(in *ir.Instr, result Value) {
 	if in.Parent != nil {
 		where = in.Parent.Func.Nam + "/" + in.Parent.Nam
 	}
-	if in.Ty != nil && !in.Ty.IsVoid() {
+	hasResult := in.Ty != nil && !in.Ty.IsVoid()
+	if tr.Events != nil {
+		fields := map[string]any{
+			"dyn":   it.DynInstrs,
+			"instr": in.String(),
+		}
+		if hasResult {
+			fields["instr"] = in.Ident()
+			fields["value"] = result.String()
+		}
+		tr.Events.Emit(telemetry.Event{Type: "trace", Name: where, Fields: fields})
+		return
+	}
+	if hasResult {
 		fmt.Fprintf(tr.W, "[%8d] %-28s %s = %s\n", it.DynInstrs, where,
 			in.Ident(), result)
 	} else {

@@ -1,0 +1,87 @@
+package interp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vulfi/internal/ir"
+	"vulfi/internal/telemetry"
+)
+
+// runTraced executes the buildSum loop under a tracer and returns it.
+func runTraced(t *testing.T, tr *Tracer) {
+	t.Helper()
+	m := ir.NewModule("t")
+	buildSum(m)
+	it, err := New(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.SetTracer(tr)
+	addr, trap := it.Mem.Alloc(10 * 4)
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if _, trap := it.Run("sum", PtrValue(ir.Ptr(ir.I32), addr),
+		IntValue(ir.I32, 10)); trap != nil {
+		t.Fatal(trap)
+	}
+}
+
+// TestTracerLimitExact: emission must stop exactly at Limit, with the
+// remainder observable through Skipped (previously `seen` was
+// unobservable from outside the package).
+func TestTracerLimitExact(t *testing.T) {
+	// Unlimited run first, to know the total event count.
+	var all bytes.Buffer
+	full := &Tracer{W: &all}
+	runTraced(t, full)
+	total := full.Seen()
+	if total < 10 {
+		t.Fatalf("loop traced only %d events; test needs more", total)
+	}
+	if full.Skipped() != 0 {
+		t.Fatalf("unlimited tracer skipped %d", full.Skipped())
+	}
+
+	const limit = 5
+	var buf bytes.Buffer
+	tr := &Tracer{W: &buf, Limit: limit}
+	runTraced(t, tr)
+	if tr.Seen() != limit {
+		t.Fatalf("Seen = %d, want exactly %d", tr.Seen(), limit)
+	}
+	if want := total - limit; tr.Skipped() != want {
+		t.Fatalf("Skipped = %d, want %d", tr.Skipped(), want)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != limit {
+		t.Fatalf("emitted %d lines, want %d", got, limit)
+	}
+}
+
+// TestTracerEventSink: with an EventWriter attached the tracer emits
+// structured "trace" events in the shared telemetry schema.
+func TestTracerEventSink(t *testing.T) {
+	var buf bytes.Buffer
+	ew := telemetry.NewEventWriter(&buf)
+	tr := &Tracer{Events: ew, Limit: 4}
+	runTraced(t, tr)
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	for _, line := range lines {
+		var e telemetry.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if e.Type != "trace" || !strings.HasPrefix(e.Name, "sum/") {
+			t.Fatalf("unexpected event %+v", e)
+		}
+	}
+}

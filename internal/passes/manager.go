@@ -1,6 +1,11 @@
 package passes
 
-import "vulfi/internal/ir"
+import (
+	"time"
+
+	"vulfi/internal/ir"
+	"vulfi/internal/telemetry"
+)
 
 // Pass is a module transformation or analysis, in the style of LLVM
 // module passes. VULFI's instrumentor and the detector-synthesis
@@ -20,12 +25,15 @@ type Manager struct {
 // Add appends passes to the pipeline.
 func (pm *Manager) Add(p ...Pass) { pm.passes = append(pm.passes, p...) }
 
-// Run executes the pipeline.
+// Run executes the pipeline, recording each pass's wall time in the
+// default telemetry registry under "passes.<name>".
 func (pm *Manager) Run(m *ir.Module) error {
 	for _, p := range pm.passes {
+		start := time.Now()
 		if err := p.Run(m); err != nil {
 			return &PassError{Pass: p.Name(), Err: err}
 		}
+		telemetry.Default().Histogram("passes." + p.Name()).Since(start)
 		if pm.Verify {
 			if err := m.Verify(); err != nil {
 				return &PassError{Pass: p.Name(), Err: err}

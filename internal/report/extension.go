@@ -29,7 +29,7 @@ func Extension(w io.Writer, o Options) error {
 		var rates [2]float64
 		var fired [2]int
 		for i, broadcast := range []bool{false, true} {
-			sr, err := campaign.RunStudy(campaign.Config{
+			sr, err := o.runStudy(campaign.Config{
 				Benchmark: b, ISA: isa.AVX, Category: passes.Control,
 				Scale: o.Scale, Experiments: o.MicroExperiments, Campaigns: 1,
 				Seed: o.Seed, Workers: o.Workers,
@@ -47,7 +47,7 @@ func Extension(w io.Writer, o Options) error {
 
 	fmt.Fprintln(w, "\n(b) Mask-loop monotonicity detector (Mandelbrot, control faults):")
 	for _, maskDet := range []bool{false, true} {
-		sr, err := campaign.RunStudy(campaign.Config{
+		sr, err := o.runStudy(campaign.Config{
 			Benchmark: benchmarks.Mandelbrot, ISA: isa.AVX,
 			Category: passes.Control, Scale: o.Scale,
 			Experiments: o.MicroExperiments / 2, Campaigns: 1,
@@ -69,7 +69,7 @@ func Extension(w io.Writer, o Options) error {
 	fmt.Fprintln(w, "\n(c) AVX512 target (gang 16) on the micro-benchmarks, control faults:")
 	for _, b := range benchmarks.Micro() {
 		for _, target := range []*isa.ISA{isa.AVX, isa.AVX512} {
-			sr, err := campaign.RunStudy(campaign.Config{
+			sr, err := o.runStudy(campaign.Config{
 				Benchmark: b, ISA: target, Category: passes.Control,
 				Scale: o.Scale, Experiments: o.MicroExperiments / 2, Campaigns: 1,
 				Seed: o.Seed, Workers: o.Workers, Detectors: true,

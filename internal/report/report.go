@@ -18,6 +18,7 @@ import (
 	"vulfi/internal/isa"
 	"vulfi/internal/lang"
 	"vulfi/internal/passes"
+	"vulfi/internal/telemetry"
 )
 
 // Options scales the studies.
@@ -34,6 +35,32 @@ type Options struct {
 	Benchmarks []string
 	// ISAs filters targets (nil = AVX + SSE).
 	ISAs []*isa.ISA
+
+	// Metrics receives study telemetry (phase histograms, outcome
+	// counters). Nil records to the process-wide default registry.
+	Metrics *telemetry.Registry
+	// Events, when non-nil, receives structured study/campaign/experiment
+	// spans as JSONL.
+	Events *telemetry.EventWriter
+	// Progress, when non-nil, renders a live per-cell progress line
+	// (counts, exp/s, ETA) to the writer — typically os.Stderr.
+	Progress io.Writer
+}
+
+// runStudy threads the options' telemetry sinks into one study cell and
+// runs it, rendering live progress when configured.
+func (o Options) runStudy(cfg campaign.Config) (*campaign.StudyResult, error) {
+	cfg.Metrics = o.Metrics
+	cfg.Events = o.Events
+	if o.Progress != nil {
+		pr := telemetry.NewProgress(o.Progress, cfg.String(),
+			cfg.Campaigns*cfg.Experiments)
+		cfg.OnExperiment = func(r *campaign.ExperimentResult) {
+			pr.Observe(r.Outcome.String(), r.Detected)
+		}
+		defer pr.Finish()
+	}
+	return campaign.RunStudy(cfg)
 }
 
 // Defaults returns a laptop-scale configuration; Full returns the
@@ -154,7 +181,7 @@ func Fig11(w io.Writer, o Options) error {
 	for _, b := range o.studyBenchmarks() {
 		for _, target := range o.isas() {
 			for _, cat := range passes.AllCategories {
-				sr, err := campaign.RunStudy(campaign.Config{
+				sr, err := o.runStudy(campaign.Config{
 					Benchmark: b, ISA: target, Category: cat, Scale: o.Scale,
 					Experiments: o.Experiments, Campaigns: o.Campaigns,
 					Seed: o.Seed, Workers: o.Workers,
@@ -189,7 +216,7 @@ func Fig12(w io.Writer, o Options) error {
 			return err
 		}
 		for _, cat := range passes.AllCategories {
-			sr, err := campaign.RunStudy(campaign.Config{
+			sr, err := o.runStudy(campaign.Config{
 				Benchmark: b, ISA: target, Category: cat, Scale: o.Scale,
 				Experiments: o.MicroExperiments, Campaigns: 1,
 				Seed: o.Seed, Workers: o.Workers, Detectors: true,
@@ -215,7 +242,7 @@ func Ablations(w io.Writer, o Options) error {
 
 	fmt.Fprintln(w, "\n(a) Per-lane vs whole-register fault sites (vector copy, pure-data):")
 	for _, whole := range []bool{false, true} {
-		sr, err := campaign.RunStudy(campaign.Config{
+		sr, err := o.runStudy(campaign.Config{
 			Benchmark: b, ISA: target, Category: passes.PureData, Scale: o.Scale,
 			Experiments: o.MicroExperiments, Campaigns: 1, Seed: o.Seed,
 			Workers: o.Workers, WholeRegisterSites: whole,

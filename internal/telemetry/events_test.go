@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	ew.Emit(Event{Type: "study", Name: "Blackscholes/AVX/control",
+		Fields: map[string]any{"seed": 1, "campaigns": 2}})
+	ew.Emit(Event{Type: "experiment", DurNS: 1500,
+		Fields: map[string]any{"outcome": "SDC"}})
+	ew.Emit(Event{Type: "trace"})
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ew.Count() != 3 {
+		t.Fatalf("count = %d", ew.Count())
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	var lines int
+	for sc.Scan() {
+		lines++
+		var e struct {
+			Type   string         `json:"type"`
+			Time   time.Time      `json:"time"`
+			Fields map[string]any `json:"fields"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if e.Type == "" {
+			t.Fatalf("line %d missing type", lines)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("line %d not timestamped", lines)
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("lines = %d, want 3", lines)
+	}
+}
+
+func TestEventWriterNilSafe(t *testing.T) {
+	var ew *EventWriter
+	ew.Emit(Event{Type: "x"}) // must not panic
+	if ew.Count() != 0 || ew.Err() != nil || ew.Flush() != nil || ew.Close() != nil {
+		t.Fatal("nil EventWriter is not a clean no-op")
+	}
+}
+
+func TestEventWriterPreservesExplicitTime(t *testing.T) {
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	ts := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	ew.Emit(Event{Type: "study", Time: ts})
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Time.Equal(ts) {
+		t.Fatalf("time = %v, want %v", e.Time, ts)
+	}
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count of every duration histogram.
+// Bucket 0 holds sub-microsecond observations; bucket b (b ≥ 1) holds
+// durations whose whole-microsecond value has bit-length b, i.e. the
+// range (2^(b-1)-1, 2^b-1] µs. The last bucket absorbs everything
+// longer (≈ 2^38 µs ≈ 3.2 days), so no observation is ever dropped.
+const HistBuckets = 40
+
+// histShards spreads concurrent Observe calls over independent atomic
+// count arrays to avoid cache-line contention on hot histograms.
+const histShards = 8
+
+type histShard struct {
+	counts [HistBuckets]atomic.Uint64
+	sum    atomic.Int64
+	// pad the shard to its own cache lines so neighboring shards do not
+	// false-share.
+	_ [64]byte
+}
+
+// Histogram is a lock-free duration histogram with fixed logarithmic
+// buckets. Because bucket boundaries are fixed at compile time, two
+// histograms that observed the same multiset of durations snapshot
+// identically, independent of observation order or concurrency.
+type Histogram struct {
+	shards [histShards]histShard
+	minNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.minNS.Store(math.MaxInt64)
+	return h
+}
+
+// bucketOf quantizes a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	us := uint64(d) / uint64(time.Microsecond)
+	b := bits.Len64(us) // 0 when d < 1µs
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i — the value
+// quantile estimation reports for samples landing in that bucket.
+func BucketUpper(i int) time.Duration {
+	if i <= 0 {
+		return time.Microsecond
+	}
+	return time.Duration((uint64(1)<<i)-1) * time.Microsecond
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	// Shard selection hashes the observed value: cheap, deterministic,
+	// and spreads distinct durations across shards. Snapshot sums all
+	// shards, so placement never affects results. The shift keeps the
+	// top log2(histShards) bits of the mix.
+	s := &h.shards[(uint64(d)*0x9E3779B97F4A7C15)>>(64-3)]
+	s.counts[bucketOf(d)].Add(1)
+	s.sum.Add(int64(d))
+	for {
+		cur := h.minNS.Load()
+		if int64(d) >= cur || h.minNS.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	for {
+		cur := h.maxNS.Load()
+		if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Since observes the time elapsed from t0. Designed for
+// defer-at-function-entry: defer h.Since(time.Now()).
+func (h *Histogram) Since(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// HistogramSnapshot is a consistent-enough copy of one histogram (each
+// bucket is read atomically; a snapshot taken while observers run may
+// split a concurrent observation across Count and Sum, but quiescent
+// snapshots are exact).
+type HistogramSnapshot struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Min   time.Duration `json:"min_ns"` // zero when Count == 0
+	Max   time.Duration `json:"max_ns"` // zero when Count == 0
+	// Buckets are the per-bucket observation counts (see HistBuckets for
+	// the quantization scheme).
+	Buckets [HistBuckets]uint64 `json:"buckets"`
+}
+
+// Snapshot sums the shards into one snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < HistBuckets; b++ {
+			s.Buckets[b] += sh.counts[b].Load()
+		}
+		s.Sum += time.Duration(sh.sum.Load())
+	}
+	for b := 0; b < HistBuckets; b++ {
+		s.Count += s.Buckets[b]
+	}
+	if s.Count > 0 {
+		s.Min = time.Duration(h.minNS.Load())
+		s.Max = time.Duration(h.maxNS.Load())
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of
+// the bucket containing the ceil(q·Count)-th observation. Deterministic
+// given the same observations; returns 0 for an empty histogram.
+func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for b := 0; b < HistBuckets; b++ {
+		cum += s.Buckets[b]
+		if cum >= rank {
+			return BucketUpper(b)
+		}
+	}
+	return BucketUpper(HistBuckets - 1)
+}
+
+// Mean returns the exact average of the observed durations.
+func (s *HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty = %v, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("Mean on empty = %v", s.Mean())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := newHistogram()
+	h.Observe(5 * time.Microsecond) // bucket 3: (3µs, 7µs]
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 5*time.Microsecond || s.Max != 5*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Sum != 5*time.Microsecond {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	// Every quantile of a single sample is its bucket's upper bound.
+	want := 7 * time.Microsecond
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{-time.Second, 0},          // clamps to 0 in Observe; bucketOf(0)=0
+		{999 * time.Nanosecond, 0}, // sub-microsecond
+		{time.Microsecond, 1},      // us=1, bit-length 1
+		{1999 * time.Nanosecond, 1},
+		{2 * time.Microsecond, 2},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{7 * time.Microsecond, 3},
+		{8 * time.Microsecond, 4},
+		{time.Hour, 32}, // 3.6e9 µs has bit length 32
+		{1 << 62, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		d := c.d
+		if d < 0 {
+			d = 0
+		}
+		if got := bucketOf(d); got != c.bucket {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.bucket)
+		}
+	}
+	// Upper bounds must be inclusive: an observation exactly at a bucket
+	// boundary quantizes to a quantile equal to itself when the bound is
+	// of the form 2^b-1 µs.
+	h := newHistogram()
+	h.Observe(3 * time.Microsecond) // upper bound of bucket 2 is exactly 3µs
+	s := h.Snapshot()
+	if got := s.Quantile(1); got != 3*time.Microsecond {
+		t.Fatalf("boundary quantile = %v, want 3µs", got)
+	}
+}
+
+func TestHistogramQuantileRanks(t *testing.T) {
+	h := newHistogram()
+	// 90 fast observations and 10 slow ones: p50 lands in the fast
+	// bucket, p95/p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(2 * time.Microsecond) // bucket 2, upper 3µs
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Microsecond) // bucket 7, upper 127µs
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := s.Quantile(0.50); got != 3*time.Microsecond {
+		t.Fatalf("p50 = %v, want 3µs", got)
+	}
+	if got := s.Quantile(0.90); got != 3*time.Microsecond {
+		t.Fatalf("p90 = %v, want 3µs (rank 90 is the last fast sample)", got)
+	}
+	if got := s.Quantile(0.95); got != 127*time.Microsecond {
+		t.Fatalf("p95 = %v, want 127µs", got)
+	}
+	if got := s.Quantile(0.99); got != 127*time.Microsecond {
+		t.Fatalf("p99 = %v, want 127µs", got)
+	}
+	wantMean := (90*2*time.Microsecond + 10*100*time.Microsecond) / 100
+	if got := s.Mean(); got != wantMean {
+		t.Fatalf("mean = %v, want %v", got, wantMean)
+	}
+}
+
+// TestHistogramOrderIndependence: fixed quantization means the snapshot
+// is a pure function of the observed multiset.
+func TestHistogramOrderIndependence(t *testing.T) {
+	ds := []time.Duration{
+		time.Nanosecond, time.Microsecond, 5 * time.Microsecond,
+		33 * time.Microsecond, time.Millisecond, 17 * time.Millisecond,
+		time.Second,
+	}
+	a, b := newHistogram(), newHistogram()
+	for _, d := range ds {
+		a.Observe(d)
+	}
+	for i := len(ds) - 1; i >= 0; i-- {
+		b.Observe(ds[i])
+	}
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", a.Snapshot(), b.Snapshot())
+	}
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// PromHandler serves the registry in Prometheus text exposition format.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+// DebugVars returns a compact expvar-friendly view of the registry:
+// counters and gauges verbatim, histograms summarized as count/sum and
+// deterministic p50/p95/p99 estimates.
+func (r *Registry) DebugVars() any {
+	s := r.Snapshot()
+	hists := make(map[string]map[string]any, len(s.Histograms))
+	for name, h := range s.Histograms {
+		hists[name] = map[string]any{
+			"count":  h.Count,
+			"sum_ns": int64(h.Sum),
+			"min_ns": int64(h.Min),
+			"max_ns": int64(h.Max),
+			"p50_ns": int64(h.Quantile(0.50)),
+			"p95_ns": int64(h.Quantile(0.95)),
+			"p99_ns": int64(h.Quantile(0.99)),
+		}
+	}
+	return map[string]any{
+		"counters":   s.Counters,
+		"gauges":     s.Gauges,
+		"histograms": hists,
+	}
+}
+
+var expvarPublished sync.Map
+
+// PublishExpvar exposes the registry's DebugVars under the given expvar
+// name. Safe to call repeatedly; only the first call per name publishes
+// (expvar.Publish panics on duplicates).
+func PublishExpvar(name string, r *Registry) {
+	if _, dup := expvarPublished.LoadOrStore(name, true); dup {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.DebugVars() }))
+}
+
+// Handler builds the full observability mux for a registry: /metrics
+// (Prometheus text), /debug/vars (expvar JSON, including the registry
+// bridge), and the net/http/pprof profiling endpoints.
+func Handler(r *Registry) http.Handler {
+	PublishExpvar("vulfi", r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", PromHandler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":6060") and
+// returns the running server plus its bound address (useful with
+// ":0"). The server runs until Close/Shutdown.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

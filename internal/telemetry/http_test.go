@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestObservabilityHandler(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	h := Handler(r)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	rec := get("/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "campaign_experiments_total 42") {
+		t.Fatalf("/metrics missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = get("/debug/vars")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", rec.Code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["vulfi"]; !ok {
+		t.Fatalf("/debug/vars missing registry bridge: %v", vars)
+	}
+
+	rec = get("/debug/pprof/cmdline")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", rec.Code)
+	}
+}

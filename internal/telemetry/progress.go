@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress renders live campaign progress: completed/total experiments,
+// throughput, an ETA for the current cell, and running outcome tallies.
+// On a terminal it repaints one status line in place; on a pipe or file
+// it degrades to occasional full lines, so logs stay readable.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	total int
+	tty   bool
+
+	start       time.Time
+	done        int
+	sdc         int
+	benign      int
+	crash       int
+	detected    int
+	lastRender  time.Time
+	lastPercent int
+	finalShown  bool // the done==total line has already been printed
+}
+
+// NewProgress creates a reporter for total experiments labelled label
+// (typically the study-cell name). Rendering starts with the first
+// Observe call.
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	return &Progress{
+		w: w, label: label, total: total,
+		tty: isTerminal(w), start: time.Now(), lastPercent: -1,
+	}
+}
+
+// isTerminal reports whether w is an interactive terminal (a character
+// device). Anything else — pipes, files, buffers — gets line output.
+func isTerminal(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// Observe records one completed experiment. outcome is the paper's
+// outcome name ("SDC", "Benign", "Crash"); detected marks a fired
+// detector. Safe for concurrent use from worker goroutines.
+func (p *Progress) Observe(outcome string, detected bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	switch outcome {
+	case "SDC":
+		p.sdc++
+	case "Benign":
+		p.benign++
+	case "Crash":
+		p.crash++
+	}
+	if detected {
+		p.detected++
+	}
+	now := time.Now()
+	if p.tty {
+		// Repaint at most every 100ms, plus always on the last one.
+		if p.done < p.total && now.Sub(p.lastRender) < 100*time.Millisecond {
+			return
+		}
+	} else {
+		// Line mode: a line every 10% of the cell and at completion.
+		pct := -1
+		if p.total > 0 {
+			pct = p.done * 10 / p.total
+		}
+		if p.done < p.total && pct == p.lastPercent {
+			return
+		}
+		p.lastPercent = pct
+	}
+	p.lastRender = now
+	p.render(now)
+}
+
+func (p *Progress) render(now time.Time) {
+	line := p.line(now)
+	if p.done >= p.total {
+		p.finalShown = true
+	}
+	if p.tty && p.done < p.total {
+		fmt.Fprintf(p.w, "\r\x1b[K%s", line)
+	} else if p.tty {
+		fmt.Fprintf(p.w, "\r\x1b[K%s\n", line)
+	} else {
+		fmt.Fprintln(p.w, line)
+	}
+}
+
+func (p *Progress) line(now time.Time) string {
+	elapsed := now.Sub(p.start)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %6d/%-6d", p.label, p.done, p.total)
+	if p.total > 0 {
+		fmt.Fprintf(&b, " %5.1f%%", 100*float64(p.done)/float64(p.total))
+	}
+	if elapsed > 0 && p.done > 0 {
+		rate := float64(p.done) / elapsed.Seconds()
+		fmt.Fprintf(&b, "  %7.1f exp/s", rate)
+		if p.done < p.total {
+			eta := time.Duration(float64(p.total-p.done)/rate) * time.Second
+			fmt.Fprintf(&b, "  ETA %-8s", eta.Round(time.Second))
+		} else {
+			fmt.Fprintf(&b, "  in %-8s", elapsed.Round(time.Millisecond))
+		}
+	}
+	fmt.Fprintf(&b, "  SDC %d Benign %d Crash %d", p.sdc, p.benign, p.crash)
+	if p.detected > 0 {
+		fmt.Fprintf(&b, " Detected %d", p.detected)
+	}
+	return b.String()
+}
+
+// Finish paints the final state (once) and, on a terminal, terminates
+// the in-place status line. Call when the cell completes; safe even if
+// the last Observe already printed the done==total line.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finalShown {
+		return
+	}
+	p.finalShown = true
+	line := p.line(time.Now())
+	if p.tty {
+		fmt.Fprintf(p.w, "\r\x1b[K%s\n", line)
+	} else {
+		fmt.Fprintln(p.w, line)
+	}
+}

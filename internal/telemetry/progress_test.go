@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestProgressLineMode: a non-terminal writer must get whole lines (no
+// carriage-return repainting), roughly one per 10% plus the final one.
+func TestProgressLineMode(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "VectorCopy/AVX/control", 50)
+	for i := 0; i < 50; i++ {
+		out := "Benign"
+		switch {
+		case i%10 == 0:
+			out = "SDC"
+		case i%7 == 0:
+			out = "Crash"
+		}
+		p.Observe(out, i%25 == 0)
+	}
+	p.Finish()
+
+	out := buf.String()
+	if strings.Contains(out, "\r") {
+		t.Fatalf("line mode used carriage returns:\n%q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 || len(lines) > 15 {
+		t.Fatalf("expected throttled line output, got %d lines:\n%s", len(lines), out)
+	}
+	last := lines[len(lines)-1]
+	for _, want := range []string{"VectorCopy/AVX/control", "50/50",
+		"SDC 5", "Crash 7", "Benign 38", "exp/s"} {
+		if !strings.Contains(last, want) {
+			t.Errorf("final line missing %q: %q", want, last)
+		}
+	}
+}
+
+// TestProgressFinishIdempotent: Finish after a final Observe must not
+// duplicate the summary line.
+func TestProgressFinishIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "cell", 2)
+	p.Observe("Benign", false)
+	p.Observe("Benign", false)
+	n := strings.Count(buf.String(), "2/2")
+	p.Finish()
+	p.Finish()
+	if got := strings.Count(buf.String(), "2/2"); got != n || n != 1 {
+		t.Fatalf("final line printed %d times (pre-Finish %d)", got, n)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Observe("SDC", true)
+	p.Finish()
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// promName sanitizes an instrument name into the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], mapping '.' and '-' (our namespace separators)
+// to '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm writes the registry in Prometheus text exposition format
+// (version 0.0.4): counters as *_total, gauges as-is, and histograms as
+// classic cumulative-bucket histograms in seconds. Output is sorted by
+// name, so identical registry states expose byte-identical text.
+func (r *Registry) WriteProm(w io.Writer) error {
+	s := r.Snapshot()
+	return s.WriteProm(w)
+}
+
+// WriteProm writes a previously captured snapshot (see Registry.WriteProm).
+func (s Snapshot) WriteProm(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n",
+			n, n, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		if err := writePromHist(w, promName(name)+"_seconds",
+			s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHist(w io.Writer, n string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+		return err
+	}
+	// Emit cumulative buckets up to the last non-empty one, then +Inf.
+	last := -1
+	for b := 0; b < HistBuckets; b++ {
+		if h.Buckets[b] > 0 {
+			last = b
+		}
+	}
+	var cum uint64
+	for b := 0; b <= last; b++ {
+		cum += h.Buckets[b]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+			n, formatSeconds(BucketUpper(b)), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		n, h.Count, n, formatSeconds(h.Sum), n, h.Count)
+	return err
+}
+
+// formatSeconds renders a duration as decimal seconds without float
+// round-off (durations are integer nanoseconds).
+func formatSeconds(d time.Duration) string {
+	ns := int64(d)
+	return fmt.Sprintf("%d.%09d", ns/1e9, ns%1e9)
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a.b")
+	c2 := r.Counter("a.b")
+	if c1 != c2 {
+		t.Fatal("counter lookup is not stable")
+	}
+	c1.Inc()
+	c1.Add(4)
+	if c2.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c2.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if r.Gauge("g").Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("histogram lookup is not stable")
+	}
+}
+
+// populate drives a fixed workload into a registry.
+func populate(r *Registry) {
+	r.Counter("campaign.experiments").Add(42)
+	r.Counter("interp.traps").Add(3)
+	r.Gauge("workers").Set(8)
+	h := r.Histogram("campaign.golden")
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Duration(i) * 10 * time.Microsecond)
+	}
+}
+
+// TestSnapshotDeterminism: identical workloads produce byte-identical
+// Prometheus exposition, regardless of which registry instance ran them.
+func TestSnapshotDeterminism(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	populate(a)
+	populate(b)
+	var wa, wb bytes.Buffer
+	if err := a.WriteProm(&wa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteProm(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if wa.String() != wb.String() {
+		t.Fatalf("exposition differs:\n%s\n---\n%s", wa.String(), wb.String())
+	}
+	if wa.Len() == 0 {
+		t.Fatal("empty exposition")
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE campaign_experiments_total counter\ncampaign_experiments_total 42\n",
+		"# TYPE interp_traps_total counter\ninterp_traps_total 3\n",
+		"# TYPE workers gauge\nworkers 8\n",
+		"# TYPE campaign_golden_seconds histogram\n",
+		"campaign_golden_seconds_bucket{le=\"+Inf\"} 10\n",
+		"campaign_golden_seconds_count 10\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every line must be a comment or name{...} value.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"campaign.outcome.sdc": "campaign_outcome_sdc",
+		"foreach-invariant":    "foreach_invariant",
+		"9lives":               "_lives", // leading digit is invalid
+		"ok_name:x":            "ok_name:x",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDebugVars(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	v, ok := r.DebugVars().(map[string]any)
+	if !ok {
+		t.Fatalf("DebugVars type %T", r.DebugVars())
+	}
+	counters := v["counters"].(map[string]uint64)
+	if counters["campaign.experiments"] != 42 {
+		t.Fatalf("counters = %v", counters)
+	}
+	hists := v["histograms"].(map[string]map[string]any)
+	if hists["campaign.golden"]["count"].(uint64) != 10 {
+		t.Fatalf("histograms = %v", hists)
+	}
+}
