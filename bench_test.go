@@ -1,6 +1,7 @@
 package vulfi_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -109,7 +110,7 @@ func BenchmarkFig11Campaign(b *testing.B) {
 				var sdc, crash int
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					r, err := p.RunExperiment(int64(i))
+					r, err := p.RunExperiment(context.Background(), int64(i))
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -144,7 +145,7 @@ func BenchmarkFig12Detectors(b *testing.B) {
 				var sdc, sdcDetected int
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					r, err := p.RunExperiment(int64(i))
+					r, err := p.RunExperiment(context.Background(), int64(i))
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -232,7 +233,7 @@ func BenchmarkAblationSiteGranularity(b *testing.B) {
 			var sdc int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				r, err := p.RunExperiment(int64(i))
+				r, err := p.RunExperiment(context.Background(), int64(i))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -267,7 +268,7 @@ func BenchmarkAblationMaskAccounting(b *testing.B) {
 			var sites float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				r, err := p.RunExperiment(int64(i))
+				r, err := p.RunExperiment(context.Background(), int64(i))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -6,18 +6,25 @@
 // It prints per-campaign and aggregate SDC/Benign/Crash rates with the
 // paper's 95%-confidence margin of error, and a sample of injection
 // records in verbose mode.
+//
+// With -remote ADDR the study is not run in-process: the same flags are
+// submitted to a vulfid daemon as a job, live progress is tailed over
+// the job's SSE stream, and the daemon's final result is printed.
+// Ctrl-C cancels the job on the daemon before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"vulfi/internal/benchmarks"
 	"vulfi/internal/campaign"
-	"vulfi/internal/isa"
-	"vulfi/internal/passes"
+	"vulfi/internal/server"
 	"vulfi/internal/telemetry"
 )
 
@@ -40,6 +47,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "render live progress on stderr")
 		events    = flag.String("events", "", "write structured JSONL spans to this file")
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6060)")
+		remote    = flag.String("remote", "", "submit to a vulfid daemon at this address instead of running locally")
 	)
 	flag.Parse()
 
@@ -50,38 +58,36 @@ func main() {
 		return
 	}
 
-	b := benchmarks.ByName(*benchName)
-	if b == nil {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *benchName)
-		os.Exit(2)
-	}
-	target := isa.ByName(strings.ToUpper(*isaName))
-	if target == nil {
-		fmt.Fprintf(os.Stderr, "unknown ISA %q\n", *isaName)
-		os.Exit(2)
-	}
-	var cat passes.Category
-	switch strings.ToLower(*catName) {
-	case "pure-data", "puredata", "data":
-		cat = passes.PureData
-	case "control", "ctrl":
-		cat = passes.Control
-	case "address", "addr":
-		cat = passes.Address
-	default:
-		fmt.Fprintf(os.Stderr, "unknown category %q\n", *catName)
-		os.Exit(2)
-	}
-	scale := benchmarks.ScaleDefault
+	scaleName := "default"
 	if *large {
-		scale = benchmarks.ScaleLarge
+		scaleName = "large"
 	}
-
-	cfg := campaign.Config{
-		Benchmark: b, ISA: target, Category: cat, Scale: scale,
+	spec := server.Spec{
+		Benchmark: *benchName, ISA: strings.ToUpper(*isaName),
+		Category: *catName, Scale: scaleName,
 		Experiments: *exps, Campaigns: *camps, Seed: *seed, Workers: *workers,
 		Detectors: *detectors, BroadcastDetector: *broadcast,
 	}
+	cfg, err := spec.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// Ctrl-C cancels the study cooperatively (and, in remote mode, asks
+	// the daemon to cancel the job).
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *remote != "" {
+		if err := runRemote(ctx, *remote, spec, *jsonOut, *progress); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
@@ -116,7 +122,7 @@ func main() {
 			cfg, *camps, *exps)
 	}
 
-	sr, err := campaign.RunStudy(cfg)
+	sr, err := campaign.RunStudy(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

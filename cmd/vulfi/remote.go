@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"vulfi/internal/server"
+)
+
+// runRemote submits the spec to a vulfid daemon, tails the job's SSE
+// event stream until it reaches a terminal state, and prints the final
+// result. When ctx is cancelled (Ctrl-C) the job is cancelled on the
+// daemon before returning.
+func runRemote(ctx context.Context, addr string, spec server.Spec,
+	jsonOut, progress bool) error {
+
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	st, err := submitJob(ctx, base, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "submitted job %s (%d experiments) to %s\n",
+		st.ID, st.Total, base)
+
+	// Cancel the remote job if our context dies while tailing.
+	defer func() {
+		if ctx.Err() == nil {
+			return
+		}
+		req, err := http.NewRequest(http.MethodDelete,
+			base+"/v1/jobs/"+st.ID, nil)
+		if err == nil {
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+				fmt.Fprintf(os.Stderr, "cancelled job %s\n", st.ID)
+			}
+		}
+	}()
+
+	final, err := tailJob(ctx, base, st.ID, progress)
+	if err != nil {
+		return err
+	}
+	return printRemoteResult(final, jsonOut)
+}
+
+func submitJob(ctx context.Context, base string, spec server.Spec) (*server.Status, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Backpressure: honor Retry-After and resubmit.
+			delay := 5 * time.Second
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if d, err := time.ParseDuration(ra + "s"); err == nil {
+					delay = d
+				}
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "queue full, retrying in %s\n", delay)
+			select {
+			case <-time.After(delay):
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return nil, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(raw))
+		}
+		var st server.Status
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return nil, fmt.Errorf("submit: bad response: %w", err)
+		}
+		return &st, nil
+	}
+}
+
+// tailJob follows the job's SSE stream until a terminal state event,
+// reconnecting on dropped connections (the daemon may restart mid-job;
+// the journal makes that invisible apart from the reconnect).
+func tailJob(ctx context.Context, base, id string, progress bool) (*server.Status, error) {
+	for {
+		st, err := tailOnce(ctx, base, id, progress)
+		if err == nil {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		fmt.Fprintf(os.Stderr, "event stream dropped (%v), reconnecting\n", err)
+		select {
+		case <-time.After(2 * time.Second):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func tailOnce(ctx context.Context, base, id string, progress bool) (*server.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("events: %s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var eventType string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			eventType = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch eventType {
+			case "experiment":
+				if progress {
+					var ev struct {
+						Done    int    `json:"done"`
+						Total   int    `json:"total"`
+						Outcome string `json:"outcome"`
+					}
+					if json.Unmarshal([]byte(data), &ev) == nil {
+						fmt.Fprintf(os.Stderr, "\r%d/%d experiments (last: %s)   ",
+							ev.Done, ev.Total, ev.Outcome)
+					}
+				}
+			case "state":
+				var st server.Status
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					return nil, fmt.Errorf("bad state event: %w", err)
+				}
+				switch st.State {
+				case server.StateDone, server.StateFailed, server.StateCancelled:
+					if progress {
+						fmt.Fprintln(os.Stderr)
+					}
+					return &st, nil
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("event stream ended without a terminal state")
+}
+
+// remoteStudy mirrors the studyJSON fields the text summary needs.
+type remoteStudy struct {
+	StaticSites int     `json:"static_sites"`
+	LaneSites   int     `json:"lane_sites"`
+	MeanDyn     float64 `json:"mean_golden_dyn_instrs"`
+	SDC         int     `json:"sdc"`
+	Benign      int     `json:"benign"`
+	Crash       int     `json:"crash"`
+	Hang        int     `json:"hang"`
+	Detected    int     `json:"detected"`
+	SDCDetected int     `json:"sdc_detected"`
+	MeanSDC     float64 `json:"mean_sdc_rate"`
+	MoE         float64 `json:"margin_of_error_95"`
+	NearNormal  bool    `json:"near_normal"`
+	Experiments int     `json:"experiments_per_campaign"`
+	Campaigns   int     `json:"campaigns"`
+}
+
+func printRemoteResult(st *server.Status, jsonOut bool) error {
+	switch st.State {
+	case server.StateCancelled:
+		return fmt.Errorf("job %s was cancelled after %d/%d experiments",
+			st.ID, st.Done, st.Total)
+	case server.StateFailed:
+		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	}
+	if jsonOut {
+		var indented bytes.Buffer
+		if err := json.Indent(&indented, st.Result, "", "  "); err != nil {
+			return err
+		}
+		fmt.Println(indented.String())
+		return nil
+	}
+	var sr remoteStudy
+	if err := json.Unmarshal(st.Result, &sr); err != nil {
+		return fmt.Errorf("job %s: bad result payload: %w", st.ID, err)
+	}
+	total := float64(sr.SDC + sr.Benign + sr.Crash)
+	pct := func(n int) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / total
+	}
+	fmt.Printf("job %s: done (%d campaigns x %d experiments)\n",
+		st.ID, sr.Campaigns, sr.Experiments)
+	fmt.Printf("static sites: %d (%d lane sites)\n", sr.StaticSites, sr.LaneSites)
+	fmt.Printf("mean golden dynamic instructions: %.0f\n", sr.MeanDyn)
+	fmt.Printf("SDC    %6.2f%%  (±%.2f%% at 95%%, near-normal=%v)\n",
+		100*sr.MeanSDC, 100*sr.MoE, sr.NearNormal)
+	fmt.Printf("Benign %6.2f%%\n", pct(sr.Benign))
+	fmt.Printf("Crash  %6.2f%%  (%d hangs)\n", pct(sr.Crash), sr.Hang)
+	if sr.Detected > 0 && sr.SDC > 0 {
+		fmt.Printf("detector fired in %d experiments; SDC detection rate %.2f%%\n",
+			sr.Detected, 100*float64(sr.SDCDetected)/float64(sr.SDC))
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Command vulfid is the long-lived campaign service: it accepts study
+// specs over an HTTP/JSON API, queues them with backpressure, runs them
+// on the campaign worker pool, and checkpoints every completed
+// experiment to a JSONL journal so a killed daemon resumes incomplete
+// jobs on restart with identical statistics.
+//
+//	vulfid -addr :8666 -journal /var/lib/vulfid
+//
+//	curl -XPOST localhost:8666/v1/jobs -d '{"benchmark":"Blackscholes","isa":"AVX","category":"control"}'
+//	curl localhost:8666/v1/jobs/<id>
+//	curl -N localhost:8666/v1/jobs/<id>/events
+//	curl -XDELETE localhost:8666/v1/jobs/<id>
+//
+// SIGINT/SIGTERM drain gracefully: in-flight experiments finish and are
+// journaled, running studies stop between experiments, and queued jobs
+// stay journaled for the next daemon.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vulfi/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8666", "HTTP listen address")
+		journal = flag.String("journal", "vulfid-journal", "job journal directory (checkpoint/resume state)")
+		queue   = flag.Int("queue", 64, "max queued jobs before 429 backpressure")
+		runners = flag.Int("runners", 1, "concurrently executing jobs (each parallelizes internally)")
+		fsync   = flag.Bool("fsync", false, "fdatasync every journal record (power-loss durability)")
+		grace   = flag.Duration("grace", 2*time.Minute, "drain budget for in-flight experiments on shutdown")
+	)
+	flag.Parse()
+	log.SetPrefix("vulfid: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	s, err := server.New(server.Options{
+		JournalDir: *journal, QueueSize: *queue, Runners: *runners,
+		Fsync: *fsync, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv, bound, err := s.Serve(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s (journal %s, queue %d, runners %d)",
+		bound, *journal, *queue, *runners)
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default signal behavior: a second signal kills hard
+	log.Printf("signal received, draining (budget %s)", *grace)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	if err := s.Drain(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if shutdownErr != nil {
+		log.Printf("http shutdown: %v", shutdownErr)
+	}
+	fmt.Fprintln(os.Stderr, "vulfid: drained cleanly")
+}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 		"ISA", "category", "SDC", "Benign", "Crash", "±MoE(SDC)")
 	for _, target := range isa.All {
 		for _, cat := range passes.AllCategories {
-			sr, err := campaign.RunStudy(campaign.Config{
+			sr, err := campaign.RunStudy(context.Background(), campaign.Config{
 				Benchmark:   benchmarks.Blackscholes,
 				ISA:         target,
 				Category:    cat,

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,7 @@ import (
 func main() {
 	// Run the §IV-E style detector study on vector copy, per category.
 	for _, cat := range passes.AllCategories {
-		sr, err := campaign.RunStudy(campaign.Config{
+		sr, err := campaign.RunStudy(context.Background(), campaign.Config{
 			Benchmark:   benchmarks.VectorCopy,
 			ISA:         isa.AVX,
 			Category:    cat,

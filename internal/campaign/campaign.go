@@ -7,6 +7,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -87,6 +88,19 @@ type Config struct {
 	// experiment (live progress hook). It is called from worker
 	// goroutines and must be safe for concurrent use.
 	OnExperiment func(*ExperimentResult)
+	// OnResult, when non-nil, is invoked after every freshly executed
+	// experiment with its index, seed and result (checkpoint hook: the
+	// triple is exactly what a journal needs to replay the experiment on
+	// resume). Replayed Completed entries do not fire it. Called from
+	// worker goroutines; must be safe for concurrent use.
+	OnResult func(index int, seed int64, r *ExperimentResult)
+	// Completed carries results replayed from a checkpoint, keyed by
+	// experiment index. RunStudy merges them verbatim instead of
+	// re-running those indices; combined with the deterministic
+	// ExperimentSeed schedule this makes an interrupted study resumable
+	// with identical statistics. Replayed results bypass the telemetry
+	// registry (their phases were recorded when they originally ran).
+	Completed map[int]*ExperimentResult
 }
 
 func (c Config) String() string {
@@ -260,7 +274,13 @@ func quantizeF32(b []byte, step float32) []byte {
 // dynamic fault-site count N, then a faulty run with one bit flipped at a
 // uniformly chosen dynamic site. Per-phase wall times (golden, faulty,
 // compare) and outcome counters land in the study registry.
-func (p *Prepared) RunExperiment(seed int64) (*ExperimentResult, error) {
+//
+// Cancellation is checked only on entry: a started experiment runs to
+// completion, so a cancelled study never records a half-finished pair.
+func (p *Prepared) RunExperiment(ctx context.Context, seed int64) (*ExperimentResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	// Golden run.
 	goldenPlan := &core.Plan{Mode: core.CountOnly}

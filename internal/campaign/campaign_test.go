@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func smallCfg(b *benchmarks.Benchmark, cat passes.Category) Config {
 func TestStudyVectorCopy(t *testing.T) {
 	for _, cat := range passes.AllCategories {
 		t.Run(cat.String(), func(t *testing.T) {
-			sr, err := RunStudy(smallCfg(benchmarks.VectorCopy, cat))
+			sr, err := RunStudy(context.Background(), smallCfg(benchmarks.VectorCopy, cat))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -54,7 +55,7 @@ func TestInjectionActuallyHappens(t *testing.T) {
 	}
 	injected := 0
 	for i := int64(0); i < 20; i++ {
-		r, err := p.RunExperiment(100 + i)
+		r, err := p.RunExperiment(context.Background(), 100+i)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,11 +78,11 @@ func TestExperimentDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := p.RunExperiment(42)
+	a, err := p.RunExperiment(context.Background(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := p.RunExperiment(42)
+	b, err := p.RunExperiment(context.Background(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestExperimentDeterminism(t *testing.T) {
 // never produce *detectable-by-invariant* SDCs, while control faults
 // produce high SDC rates.
 func TestPureDataSitesNeverFireForeachDetector(t *testing.T) {
-	sr, err := RunStudy(smallCfg(benchmarks.VectorCopy, passes.PureData))
+	sr, err := RunStudy(context.Background(), smallCfg(benchmarks.VectorCopy, passes.PureData))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestDynCount(t *testing.T) {
 func TestMaskLoopDetectorConfig(t *testing.T) {
 	cfg := smallCfg(benchmarks.Mandelbrot, passes.Control)
 	cfg.MaskLoopDetector = true
-	sr, err := RunStudy(cfg)
+	sr, err := RunStudy(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

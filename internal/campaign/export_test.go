@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"strings"
@@ -13,7 +14,7 @@ import (
 
 func runTinyStudy(t *testing.T) *StudyResult {
 	t.Helper()
-	sr, err := RunStudy(smallCfg(benchmarks.VectorCopy, passes.Control))
+	sr, err := RunStudy(context.Background(), smallCfg(benchmarks.VectorCopy, passes.Control))
 	if err != nil {
 		t.Fatal(err)
 	}

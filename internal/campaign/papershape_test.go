@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"testing"
 
 	"vulfi/internal/benchmarks"
@@ -16,7 +17,7 @@ import (
 func shapeStudy(t *testing.T, b *benchmarks.Benchmark, cat passes.Category,
 	detectors bool) *StudyResult {
 	t.Helper()
-	sr, err := RunStudy(Config{
+	sr, err := RunStudy(context.Background(), Config{
 		Benchmark: b, ISA: isa.AVX, Category: cat,
 		Scale: benchmarks.ScaleDefault, Experiments: 60, Campaigns: 1,
 		Seed: 20160516, Detectors: detectors,
@@ -103,7 +104,7 @@ func TestShapeMaskAwareness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := p.RunExperiment(7)
+		r, err := p.RunExperiment(context.Background(), 7)
 		if err != nil {
 			t.Fatal(err)
 		}

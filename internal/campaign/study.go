@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,8 +28,10 @@ type CampaignResult struct {
 	NoSites int
 
 	// WallTotal/WallMin/WallMax aggregate per-experiment wall times;
-	// WallMean derives the average. Zero when no experiment carried
-	// timing (e.g. results merged from a pre-timing serialization).
+	// WallMean derives the average. Only timed experiments (Wall > 0)
+	// participate in the min/max: untimed results — e.g. merged from a
+	// pre-timing serialization — never drag WallMin to zero or leave it
+	// stale. All three are zero when no timed experiment was observed.
 	WallTotal time.Duration
 	WallMin   time.Duration
 	WallMax   time.Duration
@@ -44,11 +47,13 @@ func (c *CampaignResult) WallMean() time.Duration {
 
 func (c *CampaignResult) add(r *ExperimentResult) {
 	c.WallTotal += r.Wall
-	if c.Experiments == 0 || r.Wall < c.WallMin {
-		c.WallMin = r.Wall
-	}
-	if r.Wall > c.WallMax {
-		c.WallMax = r.Wall
+	if r.Wall > 0 {
+		if c.WallMin == 0 || r.Wall < c.WallMin {
+			c.WallMin = r.Wall
+		}
+		if r.Wall > c.WallMax {
+			c.WallMax = r.Wall
+		}
 	}
 	c.Experiments++
 	switch r.Outcome {
@@ -74,13 +79,11 @@ func (c *CampaignResult) add(r *ExperimentResult) {
 }
 
 func (c *CampaignResult) merge(o CampaignResult) {
-	if o.Experiments > 0 {
-		if c.Experiments == 0 || o.WallMin < c.WallMin {
-			c.WallMin = o.WallMin
-		}
-		if o.WallMax > c.WallMax {
-			c.WallMax = o.WallMax
-		}
+	if o.WallMin > 0 && (c.WallMin == 0 || o.WallMin < c.WallMin) {
+		c.WallMin = o.WallMin
+	}
+	if o.WallMax > c.WallMax {
+		c.WallMax = o.WallMax
 	}
 	c.WallTotal += o.WallTotal
 	c.Experiments += o.Experiments
@@ -139,9 +142,18 @@ type StudyResult struct {
 	Wall time.Duration
 }
 
+// ExperimentSeed returns the deterministic seed of experiment index i
+// under this configuration. The schedule depends only on Cfg.Seed and
+// the index, so a checkpointed study can be resumed by replaying the
+// completed indices and re-running the rest with identical seeds.
+func (c Config) ExperimentSeed(i int) int64 {
+	return c.Seed + int64(i)*0x9E3779B9 + 1
+}
+
 // RunStudy prepares the cell and runs Campaigns × Experiments paired
 // experiments on a worker pool, grouping results into campaigns.
-func RunStudy(cfg Config) (*StudyResult, error) {
+// Cancelling ctx stops the study cooperatively between experiments.
+func RunStudy(ctx context.Context, cfg Config) (*StudyResult, error) {
 	if cfg.Experiments <= 0 {
 		cfg.Experiments = 100
 	}
@@ -152,19 +164,32 @@ func RunStudy(cfg Config) (*StudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.RunStudy()
+	return p.RunStudy(ctx)
 }
 
 // RunStudy runs the configured number of campaigns on a prepared cell.
 // When the cell carries an event sink it emits one span per experiment,
 // per campaign, and for the whole study; OnExperiment fires after every
-// completed experiment for live progress.
-func (p *Prepared) RunStudy() (*StudyResult, error) {
+// completed experiment for live progress and OnResult checkpoints each
+// freshly executed (index, seed, result) triple.
+//
+// Cancellation is cooperative between experiments: in-flight experiments
+// finish (and are reported through OnResult/OnExperiment), no further
+// experiments start, and RunStudy returns ctx.Err(). Likewise the first
+// experiment error stops dispatch instead of wasting the rest of the
+// study. Indices present in Cfg.Completed are not re-run; their recorded
+// results are merged verbatim.
+func (p *Prepared) RunStudy(ctx context.Context) (*StudyResult, error) {
 	cfg := p.Cfg
 	start := time.Now()
 	total := cfg.Campaigns * cfg.Experiments
 	results := make([]*ExperimentResult, total)
 	errs := make([]error, total)
+	for i, r := range cfg.Completed {
+		if i >= 0 && i < total && r != nil {
+			results[i] = r
+		}
+	}
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -175,19 +200,27 @@ func (p *Prepared) RunStudy() (*StudyResult, error) {
 	defer inflight.Add(-int64(workers))
 	var wg sync.WaitGroup
 	work := make(chan int)
+	// abort closes on the first experiment error so the dispatcher stops
+	// handing out work instead of running the study to completion.
+	abort := make(chan struct{})
+	var abortOnce sync.Once
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				seed := cfg.Seed + int64(i)*0x9E3779B9 + 1
-				r, err := p.RunExperiment(seed)
+				seed := cfg.ExperimentSeed(i)
+				r, err := p.RunExperiment(ctx, seed)
 				results[i], errs[i] = r, err
 				if err != nil {
+					abortOnce.Do(func() { close(abort) })
 					continue
 				}
 				if cfg.Events != nil {
 					cfg.Events.Emit(experimentSpan(cfg, i, seed, r))
+				}
+				if cfg.OnResult != nil {
+					cfg.OnResult(i, seed, r)
 				}
 				if cfg.OnExperiment != nil {
 					cfg.OnExperiment(r)
@@ -195,12 +228,25 @@ func (p *Prepared) RunStudy() (*StudyResult, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < total; i++ {
-		work <- i
+		if results[i] != nil {
+			continue // replayed from a checkpoint
+		}
+		select {
+		case work <- i:
+		case <-abort:
+			break dispatch
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiment %d: %w", i, err)

@@ -7,6 +7,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -45,6 +46,17 @@ type Options struct {
 	// Progress, when non-nil, renders a live per-cell progress line
 	// (counts, exp/s, ETA) to the writer — typically os.Stderr.
 	Progress io.Writer
+	// Context, when non-nil, cancels in-flight studies cooperatively
+	// (between experiments). Nil means run to completion.
+	Context context.Context
+}
+
+// ctx resolves the options' context (Background when unconfigured).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // runStudy threads the options' telemetry sinks into one study cell and
@@ -60,7 +72,7 @@ func (o Options) runStudy(cfg campaign.Config) (*campaign.StudyResult, error) {
 		}
 		defer pr.Finish()
 	}
-	return campaign.RunStudy(cfg)
+	return campaign.RunStudy(o.ctx(), cfg)
 }
 
 // Defaults returns a laptop-scale configuration; Full returns the
@@ -270,7 +282,7 @@ func Ablations(w io.Writer, o Options) error {
 		if err != nil {
 			return err
 		}
-		r, err := p.RunExperiment(o.Seed)
+		r, err := p.RunExperiment(o.ctx(), o.Seed)
 		if err != nil {
 			return err
 		}

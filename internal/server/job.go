@@ -1,0 +1,322 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"vulfi/internal/campaign"
+	"vulfi/internal/telemetry"
+)
+
+// Job states. A job moves queued → running → {done, failed, cancelled};
+// cancellation can also hit a queued job directly. A drained daemon
+// leaves its unfinished jobs journaled as "interrupted" (non-terminal)
+// and the next daemon re-queues them with the completed experiments
+// replayed.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCancelled   = "cancelled"
+	StateInterrupted = "interrupted"
+)
+
+// Event is one live progress notification, streamed to SSE subscribers.
+type Event struct {
+	// Type is "experiment" (one completed experiment) or "state" (a job
+	// state transition, terminal ones carrying the final status).
+	Type string
+	Data json.RawMessage
+}
+
+// Job is one submitted study: its spec, lifecycle state, progress
+// counters, checkpoint journal and live subscribers.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	mu        sync.Mutex
+	state     string
+	errMsg    string
+	resumed   bool
+	cancelled bool // user asked for cancellation
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+
+	total, done                  int
+	sdc, benign, crash, detected int
+
+	completed map[int]*campaign.ExperimentResult
+	result    json.RawMessage // serialized StudyResult once done
+	cancel    context.CancelFunc
+
+	journal *Journal
+	reg     *telemetry.Registry
+	subs    map[chan Event]bool
+}
+
+func newJob(id string, spec Spec, journal *Journal) *Job {
+	return &Job{
+		ID: id, Spec: spec, state: StateQueued, created: time.Now(),
+		total: spec.Total(), completed: map[int]*campaign.ExperimentResult{},
+		journal: journal, reg: telemetry.NewRegistry(),
+		subs: map[chan Event]bool{},
+	}
+}
+
+// resumedJob rebuilds a job from a journal replay: completed experiments
+// become the study's Completed checkpoint, progress counters are
+// restored, and terminal jobs keep their serialized result so status
+// queries survive restarts.
+func resumedJob(rp *Replay, journal *Journal) *Job {
+	j := newJob(rp.ID, rp.Spec, journal)
+	j.completed = rp.Completed
+	for _, r := range rp.Completed {
+		j.note(r)
+	}
+	if rp.Terminal() {
+		j.state, j.errMsg, j.result = rp.State, rp.Error, rp.Study
+	} else {
+		j.resumed = len(rp.Completed) > 0 || rp.State != ""
+	}
+	return j
+}
+
+// note folds one experiment result into the progress counters (mu held
+// or single-threaded construction).
+func (j *Job) note(r *campaign.ExperimentResult) {
+	j.done++
+	switch r.Outcome {
+	case campaign.OutcomeSDC:
+		j.sdc++
+	case campaign.OutcomeBenign:
+		j.benign++
+	case campaign.OutcomeCrash:
+		j.crash++
+	}
+	if r.Detected {
+		j.detected++
+	}
+}
+
+// Registry exposes the job's private telemetry registry (campaign phase
+// histograms and outcome counters land here).
+func (j *Job) Registry() *telemetry.Registry { return j.reg }
+
+// Status is the wire form of a job's state (GET /v1/jobs/{id}).
+type Status struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Resumed bool   `json:"resumed,omitempty"`
+	Spec    Spec   `json:"spec"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+
+	Done     int `json:"done"`
+	Total    int `json:"total"`
+	SDC      int `json:"sdc"`
+	Benign   int `json:"benign"`
+	Crash    int `json:"crash"`
+	Detected int `json:"detected"`
+
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.ID, State: j.state, Resumed: j.resumed, Spec: j.Spec,
+		Created: j.created, Done: j.done, Total: j.total,
+		SDC: j.sdc, Benign: j.benign, Crash: j.crash, Detected: j.detected,
+		Error: j.errMsg, Result: j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// experimentEvent is the SSE payload for one completed experiment.
+type experimentEvent struct {
+	Index    int    `json:"index"`
+	Seed     int64  `json:"seed"`
+	Outcome  string `json:"outcome"`
+	Detected bool   `json:"detected"`
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+}
+
+// onResult is the campaign checkpoint hook: journal first (crash
+// safety), then update progress and notify subscribers. Called from
+// worker goroutines.
+func (j *Job) onResult(index int, seed int64, r *campaign.ExperimentResult) {
+	j.journal.Experiment(index, seed, r)
+	j.mu.Lock()
+	j.note(r)
+	ev := experimentEvent{
+		Index: index, Seed: seed, Outcome: r.Outcome.String(),
+		Detected: r.Detected, Done: j.done, Total: j.total,
+	}
+	j.mu.Unlock()
+	j.broadcast("experiment", ev)
+}
+
+// broadcast serializes data and fans it out to subscribers without
+// blocking: a slow consumer drops events (the SSE handler re-snapshots
+// on terminal states, so nothing user-visible is lost for good).
+func (j *Job) broadcast(typ string, data any) {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return
+	}
+	ev := Event{Type: typ, Data: raw}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Subscribe registers a live event channel; the returned cancel
+// unregisters it. The channel closes when the job reaches a terminal
+// state.
+func (j *Job) Subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 256)
+	j.mu.Lock()
+	terminal := terminalState(j.state)
+	if !terminal {
+		j.subs[ch] = true
+	}
+	j.mu.Unlock()
+	if terminal {
+		close(ch)
+		return ch, func() {}
+	}
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			j.mu.Lock()
+			still := j.subs[ch]
+			delete(j.subs, ch)
+			j.mu.Unlock()
+			if still {
+				close(ch)
+			}
+		})
+	}
+	return ch, cancel
+}
+
+// setRunning transitions queued → running (returns false if the job was
+// cancelled while queued and must be skipped).
+func (j *Job) setRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	j.journal.State(StateRunning, "", nil)
+	j.broadcast("state", j.Status())
+	return true
+}
+
+// finish moves the job to a terminal or interrupted state, journals it,
+// notifies subscribers and closes their channels (terminal only).
+func (j *Job) finish(state, errMsg string, result json.RawMessage) {
+	j.mu.Lock()
+	j.state, j.errMsg = state, errMsg
+	if result != nil {
+		j.result = result
+	}
+	j.finished = time.Now()
+	j.cancel = nil
+	j.mu.Unlock()
+	j.journal.State(state, errMsg, result)
+	j.broadcast("state", j.Status())
+	if terminalState(state) {
+		j.mu.Lock()
+		subs := j.subs
+		j.subs = map[chan Event]bool{}
+		j.mu.Unlock()
+		for ch := range subs {
+			close(ch)
+		}
+	}
+}
+
+// RequestCancel asks the job to stop: a queued job is cancelled on the
+// spot; a running one gets its context cancelled and finishes
+// cooperatively after in-flight experiments complete. Returns false for
+// jobs already in a terminal state.
+func (j *Job) RequestCancel() bool {
+	j.mu.Lock()
+	switch {
+	case terminalState(j.state):
+		j.mu.Unlock()
+		return false
+	case j.state == StateQueued:
+		j.cancelled = true
+		j.mu.Unlock()
+		j.finish(StateCancelled, "", nil)
+		return true
+	default:
+		j.cancelled = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	}
+}
+
+// cancelRequested reports whether RequestCancel was called.
+func (j *Job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelled
+}
+
+// marshalStudy serializes a finished study compactly — journal records
+// must stay single-line JSONL, so the indented WriteJSON form is
+// re-compacted before embedding.
+func marshalStudy(sr *campaign.StudyResult) json.RawMessage {
+	var buf bytes.Buffer
+	if err := sr.WriteJSON(&buf); err != nil {
+		return nil
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, buf.Bytes()); err != nil {
+		return nil
+	}
+	return compact.Bytes()
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by TryPush when the queue is at capacity;
+// the HTTP layer maps it to 429 + Retry-After (backpressure, not
+// failure — the client owns the retry).
+var ErrQueueFull = errors.New("job queue full")
+
+// jobQueue is a bounded FIFO of pending jobs. The capacity bounds HTTP
+// submissions only: Push (used for journal-resumed jobs at startup)
+// always succeeds, so a restart can never drop checkpointed work no
+// matter how small the queue is.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job
+	cap    int
+	closed bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	q := &jobQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// TryPush enqueues a job, failing with ErrQueueFull at capacity.
+func (q *jobQueue) TryPush(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("job queue closed")
+	}
+	if len(q.items) >= q.cap {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return nil
+}
+
+// Push enqueues unconditionally (resumed jobs bypass the capacity).
+func (q *jobQueue) Push(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+}
+
+// Pop blocks until a job is available or the queue closes (ok=false).
+func (q *jobQueue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j := q.items[0]
+	q.items = q.items[1:]
+	return j, true
+}
+
+// Len returns the number of queued jobs.
+func (q *jobQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close wakes all blocked Pops; queued items drain normally first.
+func (q *jobQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"vulfi/internal/campaign"
+)
+
+// runner is one scheduler goroutine: it pulls jobs off the queue and
+// runs them to completion (or interruption) on the campaign worker pool.
+// The number of runners bounds how many studies execute concurrently;
+// each study parallelizes internally, so the default is 1.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		job, ok := s.q.Pop()
+		if !ok {
+			return
+		}
+		s.mx.queueDepth.Set(int64(s.q.Len()))
+		if s.baseCtx.Err() != nil {
+			// Draining: leave the job queued in its journal (no terminal
+			// record), so the next daemon resumes it.
+			s.logf("drain: leaving job %s for restart", job.ID)
+			continue
+		}
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job under a cancellable context, checkpointing
+// every experiment through the job journal.
+func (s *Server) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !job.setRunning(cancel) {
+		return // cancelled while queued
+	}
+	s.mx.running.Add(1)
+	defer s.mx.running.Add(-1)
+	start := time.Now()
+
+	cfg, err := job.Spec.Config()
+	if err != nil {
+		// Validated at submission; only a spec journaled by a newer
+		// daemon version can fail here.
+		s.mx.failed.Inc()
+		job.finish(StateFailed, err.Error(), nil)
+		return
+	}
+	cfg.Metrics = job.reg
+	cfg.OnResult = job.onResult
+	cfg.Completed = job.completed
+
+	sr, err := campaign.RunStudy(ctx, cfg)
+	s.mx.jobWall.Since(start)
+	switch {
+	case err == nil:
+		s.mx.completed.Inc()
+		job.finish(StateDone, "", marshalStudy(sr))
+	case errors.Is(err, context.Canceled) && job.cancelRequested():
+		s.mx.cancelled.Inc()
+		job.finish(StateCancelled, "", nil)
+	case s.baseCtx.Err() != nil:
+		// Daemon drain: in-flight experiments finished and were
+		// journaled; mark the interruption (non-terminal) and leave the
+		// job for the next daemon.
+		job.finish(StateInterrupted, "", nil)
+		s.logf("drain: job %s interrupted at %d/%d experiments",
+			job.ID, job.Status().Done, job.Status().Total)
+	default:
+		s.mx.failed.Inc()
+		job.finish(StateFailed, err.Error(), nil)
+	}
+}

@@ -1,0 +1,429 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"vulfi/internal/telemetry"
+)
+
+// Options configure a campaign server.
+type Options struct {
+	// JournalDir holds one JSONL journal per job (created if missing).
+	JournalDir string
+	// QueueSize bounds pending jobs; submissions beyond it get 429 +
+	// Retry-After. Default 64.
+	QueueSize int
+	// Runners is the number of concurrently executing jobs (each one
+	// parallelizes internally on the campaign worker pool). Default 1.
+	Runners int
+	// Fsync makes the journal fdatasync every record (power-loss
+	// durability; process-crash durability needs no fsync).
+	Fsync bool
+	// Registry receives server-level telemetry (queue depth, job
+	// counters, job wall-time histogram) and backs /metrics. Default: a
+	// fresh registry.
+	Registry *telemetry.Registry
+	// Logf logs operational messages (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// serverMetrics caches the server's instruments.
+type serverMetrics struct {
+	submitted, rejected, completed, failed, cancelled, resumed *telemetry.Counter
+	queueDepth, running                                        *telemetry.Gauge
+	jobWall                                                    *telemetry.Histogram
+}
+
+func newServerMetrics(reg *telemetry.Registry) serverMetrics {
+	return serverMetrics{
+		submitted:  reg.Counter("server.jobs.submitted"),
+		rejected:   reg.Counter("server.jobs.rejected"),
+		completed:  reg.Counter("server.jobs.completed"),
+		failed:     reg.Counter("server.jobs.failed"),
+		cancelled:  reg.Counter("server.jobs.cancelled"),
+		resumed:    reg.Counter("server.jobs.resumed"),
+		queueDepth: reg.Gauge("server.queue.depth"),
+		running:    reg.Gauge("server.jobs.running"),
+		jobWall:    reg.Histogram("server.job.wall"),
+	}
+}
+
+// Server is the vulfid campaign service: HTTP API + bounded queue +
+// scheduler + journal-backed resume.
+type Server struct {
+	opts Options
+	reg  *telemetry.Registry
+	mx   serverMetrics
+	q    *jobQueue
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	draining bool
+}
+
+// New builds a server, replays the journal directory (re-queueing every
+// unfinished job with its completed experiments as a checkpoint), and
+// starts the runner pool. Call Drain to stop it.
+func New(opts Options) (*Server, error) {
+	if opts.JournalDir == "" {
+		return nil, fmt.Errorf("server: JournalDir is required")
+	}
+	if err := os.MkdirAll(opts.JournalDir, 0o755); err != nil {
+		return nil, err
+	}
+	if opts.Registry == nil {
+		opts.Registry = telemetry.NewRegistry()
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	if opts.Runners <= 0 {
+		opts.Runners = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts: opts, reg: opts.Registry, mx: newServerMetrics(opts.Registry),
+		q: newJobQueue(opts.QueueSize), baseCtx: ctx, stop: cancel,
+		jobs: map[string]*Job{},
+	}
+	if err := s.resume(); err != nil {
+		cancel()
+		return nil, err
+	}
+	for i := 0; i < opts.Runners; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) { s.opts.Logf(format, args...) }
+
+// Registry returns the server-level telemetry registry.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// resume replays every journal under JournalDir: terminal jobs are kept
+// for status queries; unfinished ones are re-queued with their
+// checkpoints, ahead of any new submissions.
+func (s *Server) resume() error {
+	replays, err := ScanJournals(s.opts.JournalDir, func(path string, err error) {
+		s.logf("resume: skipping damaged journal %s: %v", path, err)
+	})
+	if err != nil {
+		return err
+	}
+	// Deterministic re-queue order regardless of directory iteration.
+	sort.Slice(replays, func(i, k int) bool { return replays[i].ID < replays[k].ID })
+	for _, rp := range replays {
+		path := JournalPath(s.opts.JournalDir, rp.ID)
+		var journal *Journal
+		if !rp.Terminal() {
+			if journal, err = OpenJournal(path, s.opts.Fsync); err != nil {
+				s.logf("resume: cannot reopen journal %s: %v", path, err)
+				continue
+			}
+		}
+		job := resumedJob(rp, journal)
+		s.mu.Lock()
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		s.mu.Unlock()
+		if !rp.Terminal() {
+			s.mx.resumed.Inc()
+			s.q.Push(job)
+			s.logf("resume: job %s re-queued with %d/%d experiments checkpointed",
+				job.ID, len(rp.Completed), job.Spec.Total())
+		}
+	}
+	s.mx.queueDepth.Set(int64(s.q.Len()))
+	return nil
+}
+
+// Drain gracefully stops the server: no new submissions, cooperative
+// cancellation of running jobs (in-flight experiments finish and are
+// journaled), queued jobs left journaled for the next daemon. It waits
+// for the runners until ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stop()
+	s.q.Close()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Close journals of anything not finished (queued or interrupted).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, job := range s.jobs {
+		if job.journal != nil {
+			_ = job.journal.Close()
+		}
+	}
+	return nil
+}
+
+// newJobID returns a random 12-hex-digit job id.
+func newJobID() (string, error) {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return "j" + hex.EncodeToString(b[:]), nil
+}
+
+// Submit validates a spec, journals it and enqueues the job. It is the
+// programmatic form of POST /v1/jobs (ErrQueueFull → backpressure).
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	if _, err := spec.Config(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return nil, fmt.Errorf("server is draining")
+	}
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+	journal, err := OpenJournal(JournalPath(s.opts.JournalDir, id), s.opts.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	job := newJob(id, spec, journal)
+	journal.Submit(id, spec)
+	if err := journal.Err(); err != nil {
+		_ = journal.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := s.q.TryPush(job); err != nil {
+		_ = journal.Close()
+		_ = os.Remove(JournalPath(s.opts.JournalDir, id))
+		s.mx.rejected.Inc()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.mx.submitted.Inc()
+	s.mx.queueDepth.Set(int64(s.q.Len()))
+	return job, nil
+}
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Jobs lists every known job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// retryAfterSeconds estimates when queue capacity will free up: the mean
+// completed-job wall time (floor 1s), defaulting to 15s before any job
+// has finished.
+func (s *Server) retryAfterSeconds() int {
+	snap := s.mx.jobWall.Snapshot()
+	if snap.Count == 0 {
+		return 15
+	}
+	mean := time.Duration(int64(snap.Sum) / int64(snap.Count))
+	secs := int(mean / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Handler returns the full HTTP API: the /v1 job routes plus the
+// telemetry endpoints (/metrics, /debug/vars, /debug/pprof) for the
+// server registry.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/", telemetry.Handler(s.reg))
+	return mux
+}
+
+// Serve binds addr (":0" allowed) and serves the API until Drain.
+func (s *Server) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		st.Result = nil // keep listings light; fetch one job for the study
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) *Job {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	}
+	return job
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job := s.jobOr404(w, r); job != nil {
+		writeJSON(w, http.StatusOK, job.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.jobOr404(w, r)
+	if job == nil {
+		return
+	}
+	if !job.RequestCancel() {
+		writeError(w, http.StatusConflict, "job %s already %s", job.ID, job.State())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	job := s.jobOr404(w, r)
+	if job == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = job.Registry().WriteProm(w)
+}
+
+// handleEvents streams job progress as Server-Sent Events: a "state"
+// snapshot on connect, one "experiment" event per completed experiment,
+// "state" events on transitions, and a final "state" with the result
+// when the job ends.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.jobOr404(w, r)
+	if job == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(typ string, data json.RawMessage) bool {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", typ, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	snapshot := func() bool {
+		raw, err := json.Marshal(job.Status())
+		return err == nil && send("state", raw)
+	}
+	ch, cancel := job.Subscribe()
+	defer cancel()
+	if !snapshot() {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				// Terminal: emit the authoritative final status (the
+				// buffered terminal event may have been dropped).
+				snapshot()
+				return
+			}
+			if !send(ev.Type, ev.Data) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package server turns the one-shot campaign CLIs into a long-lived
+// study service: an HTTP/JSON API over a bounded job queue, a scheduler
+// that runs study cells on the campaign worker pool, and a crash-safe
+// JSONL journal that checkpoints every completed experiment so an
+// interrupted daemon resumes incomplete jobs on restart with identical
+// statistics (the per-index seed schedule is deterministic).
+//
+// API surface (all under /v1):
+//
+//	POST   /v1/jobs          submit a study spec  (202, or 429 when full)
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{id}         status + result when finished
+//	GET    /v1/jobs/{id}/events  live progress as Server-Sent Events
+//	GET    /v1/jobs/{id}/metrics per-job Prometheus metrics
+//	DELETE /v1/jobs/{id}         cancel (cooperative, between experiments)
+//
+// plus the process-wide /metrics, /debug/vars and /debug/pprof endpoints
+// from the telemetry package.
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/campaign"
+	"vulfi/internal/isa"
+	"vulfi/internal/passes"
+)
+
+// Spec is the wire form of one study cell: the JSON body of POST
+// /v1/jobs. Zero-valued counts inherit the paper's defaults (100
+// experiments × 20 campaigns).
+type Spec struct {
+	Benchmark string `json:"benchmark"`
+	ISA       string `json:"isa"`
+	Category  string `json:"category"`
+	// Scale is "test", "default" (empty) or "large".
+	Scale       string `json:"scale,omitempty"`
+	Experiments int    `json:"experiments,omitempty"`
+	Campaigns   int    `json:"campaigns,omitempty"`
+	Seed        int64  `json:"seed,omitempty"`
+	// Workers bounds the job's experiment parallelism (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+
+	Detectors              bool `json:"detectors,omitempty"`
+	DetectorEveryIteration bool `json:"detector_every_iteration,omitempty"`
+	BroadcastDetector      bool `json:"broadcast_detector,omitempty"`
+	MaskLoopDetector       bool `json:"mask_loop_detector,omitempty"`
+	WholeRegisterSites     bool `json:"whole_register_sites,omitempty"`
+	MaskOblivious          bool `json:"mask_oblivious,omitempty"`
+}
+
+// ParseCategory resolves the CLI/API spelling of a fault-site category.
+func ParseCategory(name string) (passes.Category, error) {
+	switch strings.ToLower(name) {
+	case "pure-data", "puredata", "data":
+		return passes.PureData, nil
+	case "control", "ctrl":
+		return passes.Control, nil
+	case "address", "addr":
+		return passes.Address, nil
+	}
+	return 0, fmt.Errorf("unknown category %q (pure-data, control, address)", name)
+}
+
+// ParseScale resolves the wire spelling of an input-size regime.
+func ParseScale(name string) (benchmarks.Scale, error) {
+	switch strings.ToLower(name) {
+	case "", "default":
+		return benchmarks.ScaleDefault, nil
+	case "test", "small":
+		return benchmarks.ScaleTest, nil
+	case "large":
+		return benchmarks.ScaleLarge, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (test, default, large)", name)
+}
+
+// Config validates the spec and resolves it into a runnable study
+// configuration (telemetry sinks and checkpoint hooks unset).
+func (s Spec) Config() (campaign.Config, error) {
+	var cfg campaign.Config
+	b := benchmarks.ByName(s.Benchmark)
+	if b == nil {
+		return cfg, fmt.Errorf("unknown benchmark %q", s.Benchmark)
+	}
+	target := isa.ByName(strings.ToUpper(s.ISA))
+	if target == nil {
+		return cfg, fmt.Errorf("unknown ISA %q (AVX, SSE)", s.ISA)
+	}
+	cat, err := ParseCategory(s.Category)
+	if err != nil {
+		return cfg, err
+	}
+	scale, err := ParseScale(s.Scale)
+	if err != nil {
+		return cfg, err
+	}
+	if s.Experiments < 0 || s.Campaigns < 0 {
+		return cfg, fmt.Errorf("experiments and campaigns must be non-negative")
+	}
+	return campaign.Config{
+		Benchmark: b, ISA: target, Category: cat, Scale: scale,
+		Experiments: s.Experiments, Campaigns: s.Campaigns,
+		Seed: s.Seed, Workers: s.Workers,
+		Detectors:              s.Detectors,
+		DetectorEveryIteration: s.DetectorEveryIteration,
+		BroadcastDetector:      s.BroadcastDetector,
+		MaskLoopDetector:       s.MaskLoopDetector,
+		WholeRegisterSites:     s.WholeRegisterSites,
+		MaskOblivious:          s.MaskOblivious,
+	}, nil
+}
+
+// Total returns the job's experiment count after applying the paper
+// defaults RunStudy would apply.
+func (s Spec) Total() int {
+	e, c := s.Experiments, s.Campaigns
+	if e <= 0 {
+		e = 100
+	}
+	if c <= 0 {
+		c = 20
+	}
+	return e * c
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# vulfid crash/resume smoke test: start the daemon, submit a study,
+# SIGTERM it mid-run, restart over the same journal, and assert the job
+# resumes from its checkpoints and completes. Exercises the same journal
+# replay a hard crash would (DESIGN.md §9). Needs curl + jq.
+set -euo pipefail
+
+ADDR=127.0.0.1:${VULFID_PORT:-8666}
+BASE=http://$ADDR
+JDIR=$(mktemp -d)
+BIN=$(mktemp -d)/vulfid
+PID=
+
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$JDIR" "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+die() { echo "FAIL: $*" >&2; exit 1; }
+
+start_daemon() {
+  "$BIN" -addr "$ADDR" -journal "$JDIR" &
+  PID=$!
+  for _ in $(seq 100); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && return
+    sleep 0.1
+  done
+  die "daemon did not come up on $ADDR"
+}
+
+go build -o "$BIN" ./cmd/vulfid
+start_daemon
+
+# 1000 experiments on one worker: slow enough to interrupt mid-run.
+ID=$(curl -sf -XPOST "$BASE/v1/jobs" -d '{
+  "benchmark":"Blackscholes","isa":"AVX","category":"control",
+  "experiments":50,"campaigns":20,"seed":9,"workers":1}' | jq -r .id)
+[ -n "$ID" ] && [ "$ID" != null ] || die "submit returned no job id"
+echo "submitted job $ID"
+
+# Wait for the first checkpoints, then pull the plug.
+for _ in $(seq 200); do
+  DONE=$(curl -sf "$BASE/v1/jobs/$ID" | jq -r .done)
+  [ "$DONE" -gt 0 ] && break
+  sleep 0.05
+done
+[ "$DONE" -gt 0 ] || die "no experiments completed before timeout"
+STATE=$(curl -sf "$BASE/v1/jobs/$ID" | jq -r .state)
+[ "$STATE" = running ] || die "job is $STATE at $DONE experiments, cannot interrupt"
+echo "SIGTERM at $DONE completed experiments"
+kill -TERM "$PID"
+wait "$PID" || die "daemon did not drain cleanly"
+PID=
+
+LAST=$(jq -rs '[.[] | select(.t=="state")] | last.state' "$JDIR/$ID.jsonl")
+[ "$LAST" = interrupted ] || die "journal ends in state $LAST, want interrupted"
+CKPTS=$(jq -rs '[.[] | select(.t=="exp")] | length' "$JDIR/$ID.jsonl")
+echo "journal holds $CKPTS checkpointed experiments"
+[ "$CKPTS" -gt 0 ] || die "no experiment checkpoints journaled"
+
+# Restart over the same journal: the job must resume and complete.
+start_daemon
+for _ in $(seq 600); do
+  STATE=$(curl -sf "$BASE/v1/jobs/$ID" | jq -r .state || true)
+  [ "$STATE" = done ] && break
+  case "$STATE" in failed|cancelled) die "resumed job ended $STATE";; esac
+  sleep 0.2
+done
+[ "$STATE" = done ] || die "resumed job never completed (state $STATE)"
+
+FINAL=$(curl -sf "$BASE/v1/jobs/$ID")
+jq -e '.resumed == true' <<<"$FINAL" >/dev/null || die "job not marked resumed"
+jq -e '.done == .total' <<<"$FINAL" >/dev/null || die "resumed job incomplete"
+jq -e '.result.sdc + .result.benign + .result.crash == .total' <<<"$FINAL" \
+  >/dev/null || die "study outcomes do not cover all experiments"
+echo "resumed job completed: $(jq -c \
+  '{done, total, sdc: .result.sdc, benign: .result.benign, crash: .result.crash,
+    moe: .result.margin_of_error_95}' <<<"$FINAL")"
+
+# The acceptance bar: the interrupted-then-resumed study must be
+# statistically identical to the same seed run uninterrupted (wall-clock
+# fields aside — they are the only legitimate difference).
+STRIP='del(.wall_total_ns, .wall_min_ns, .wall_mean_ns, .wall_max_ns)'
+REF=$(go run ./cmd/vulfi -json -benchmark Blackscholes -category control \
+  -isa AVX -experiments 50 -campaigns 20 -seed 9 | jq -S "$STRIP")
+GOT=$(jq -S ".result | $STRIP" <<<"$FINAL")
+[ "$REF" = "$GOT" ] || {
+  diff <(echo "$REF") <(echo "$GOT") >&2 || true
+  die "resumed study differs from uninterrupted run"
+}
+echo "resumed study matches the uninterrupted run field-for-field"
+
+kill -TERM "$PID"
+wait "$PID" || true
+PID=
+echo "PASS: vulfid resumed $ID from $CKPTS checkpoints and completed"

@@ -28,6 +28,8 @@
 package vulfi
 
 import (
+	"context"
+
 	"vulfi/internal/benchmarks"
 	"vulfi/internal/campaign"
 	"vulfi/internal/codegen"
@@ -182,7 +184,15 @@ const (
 )
 
 // RunStudy prepares a study cell and runs its campaigns in parallel.
-func RunStudy(cfg Config) (*StudyResult, error) { return campaign.RunStudy(cfg) }
+func RunStudy(cfg Config) (*StudyResult, error) {
+	return campaign.RunStudy(context.Background(), cfg)
+}
+
+// RunStudyContext is RunStudy under a context: cancelling ctx stops the
+// study cooperatively between experiments.
+func RunStudyContext(ctx context.Context, cfg Config) (*StudyResult, error) {
+	return campaign.RunStudy(ctx, cfg)
+}
 
 // PrepareStudy compiles+instruments a cell for manual experiment control.
 func PrepareStudy(cfg Config) (*campaign.Prepared, error) {
