@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 
 	"vulfi/internal/benchmarks"
 	"vulfi/internal/campaign"
+	"vulfi/internal/report"
 	"vulfi/internal/server"
 	"vulfi/internal/telemetry"
 )
@@ -48,6 +50,8 @@ func main() {
 		events    = flag.String("events", "", "write structured JSONL spans to this file")
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6060)")
 		remote    = flag.String("remote", "", "submit to a vulfid daemon at this address instead of running locally")
+		traceRuns = flag.Bool("trace", false, "record golden/faulty divergence traces and print the propagation profile")
+		explain   = flag.Int("explain", -1, "run only the experiment at this index of the seed schedule, with tracing, and print its fault→divergence→outcome explanation")
 	)
 	flag.Parse()
 
@@ -67,6 +71,7 @@ func main() {
 		Category: *catName, Scale: scaleName,
 		Experiments: *exps, Campaigns: *camps, Seed: *seed, Workers: *workers,
 		Detectors: *detectors, BroadcastDetector: *broadcast,
+		Trace: *traceRuns || *explain >= 0,
 	}
 	cfg, err := spec.Config()
 	if err != nil {
@@ -79,6 +84,41 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *explain >= 0 {
+		if *remote != "" {
+			fmt.Fprintln(os.Stderr, "-explain runs locally; against a daemon use GET /v1/jobs/{id}/explain?index=N")
+			os.Exit(2)
+		}
+		if cfg.Experiments <= 0 {
+			cfg.Experiments = 100
+		}
+		if cfg.Campaigns <= 0 {
+			cfg.Campaigns = 20
+		}
+		r, err := campaign.ExplainExperiment(ctx, cfg, *explain)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{
+				"index": *explain, "seed": cfg.ExperimentSeed(*explain),
+				"outcome": r.Outcome.String(), "detected": r.Detected,
+				"input": r.InputLabel, "explanation": r.Explanation,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Printf("VULFI explain: %s  experiment %d (seed %d)\n",
+			cfg, *explain, cfg.ExperimentSeed(*explain))
+		report.WriteExplanation(os.Stdout, r)
+		return
+	}
 
 	if *remote != "" {
 		if err := runRemote(ctx, *remote, spec, *jsonOut, *progress); err != nil {
@@ -158,5 +198,8 @@ func main() {
 	if *detectors {
 		fmt.Printf("detector fired in %d experiments; SDC detection rate %.2f%%\n",
 			t.Detected, 100*t.SDCDetectionRate())
+	}
+	if sr.Propagation != nil {
+		report.WritePropagation(os.Stdout, sr)
 	}
 }

@@ -1,0 +1,71 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/passes"
+)
+
+// BenchmarkCampaignThroughput measures end-to-end experiment throughput
+// (prepare excluded): one golden/faulty pair per iteration over the
+// deterministic seed schedule. The untraced variant is the PR 3
+// regression gate — with Config.Trace off the recorder hook is a single
+// nil check in the interpreter's hot loop, so untraced throughput must
+// stay within noise (±2%) of the pre-tracing baseline:
+//
+//	go test -run xxx -bench CampaignThroughput/untraced -count 10 ./internal/campaign/
+func BenchmarkCampaignThroughput(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "untraced"
+		if traced {
+			name = "traced"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := smallCfg(benchmarks.VectorCopy, passes.PureData)
+			cfg.Trace = traced
+			p, err := Prepare(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := p.RunExperiment(context.Background(), cfg.ExperimentSeed(i%64))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if traced && r.DynSites > 0 && r.Explanation == nil {
+					b.Fatal("traced experiment missing explanation")
+				}
+			}
+			b.ReportMetric(float64(b.N), "experiments")
+		})
+	}
+}
+
+// BenchmarkRecorderOverhead isolates the interpreter-side cost: the same
+// golden run with no recorder attached vs with a trace ring attached,
+// bounding what Config.Trace costs per retired instruction.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "detached"
+		if traced {
+			name = "attached"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := smallCfg(benchmarks.VectorCopy, passes.PureData)
+			cfg.Trace = traced
+			p, err := Prepare(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.RunExperiment(context.Background(), cfg.ExperimentSeed(0)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"vulfi/internal/isa"
 	"vulfi/internal/passes"
 	"vulfi/internal/telemetry"
+	"vulfi/internal/trace"
 )
 
 // Outcome classifies one fault-injection experiment (§IV-B).
@@ -75,6 +76,16 @@ type Config struct {
 	// MaskOblivious counts masked-off lanes as live fault sites
 	// (ablation of the paper's mask-aware accounting).
 	MaskOblivious bool
+	// Trace enables golden-vs-faulty divergence tracing: every experiment
+	// records both executions into bounded ring buffers, attaches a
+	// trace.Explanation to its result, and the study aggregates a
+	// propagation profile (depth/spread/time-to-detection histograms on
+	// the study registry plus a per-site SDC blame ranking). Tracing
+	// roughly doubles per-experiment memory traffic; disabled it costs
+	// one nil check per retired instruction.
+	Trace bool
+	// TraceCap bounds each trace ring in entries (0 = trace.DefaultCap).
+	TraceCap int
 
 	// Metrics receives this study's telemetry (phase histograms, outcome
 	// counters, interpreter counters). Nil uses the process-wide default
@@ -126,6 +137,10 @@ type ExperimentResult struct {
 	// compare); FaultyWall is the faulty run's share.
 	Wall       time.Duration
 	FaultyWall time.Duration
+	// Explanation is the divergence analysis of this experiment (nil
+	// unless the study ran with Config.Trace). It is JSON-safe and
+	// round-trips through the service journal.
+	Explanation *trace.Explanation
 }
 
 // Prepared is a compiled, instrumented study cell ready to run
@@ -136,6 +151,10 @@ type Prepared struct {
 	Res   *codegen.Result
 	Inst  *core.Instrumentation
 	Sites []*core.Site
+
+	// Profile aggregates divergence explanations across the cell's
+	// experiments (nil unless Cfg.Trace).
+	Profile *trace.Profile
 
 	reg *telemetry.Registry
 	im  *interp.Metrics
@@ -205,10 +224,14 @@ func Prepare(cfg Config) (*Prepared, error) {
 	if err := pm.Run(res.Module); err != nil {
 		return nil, err
 	}
-	return &Prepared{
+	p := &Prepared{
 		Cfg: cfg, Res: res, Inst: inst, Sites: inst.Sites,
 		reg: reg, im: interp.NewMetrics(reg), mx: newCellMetrics(reg),
-	}, nil
+	}
+	if cfg.Trace {
+		p.Profile = trace.NewProfile(reg)
+	}
+	return p, nil
 }
 
 // mustProgram memoizes parsing+checking per benchmark source.
@@ -288,6 +311,11 @@ func (p *Prepared) RunExperiment(ctx context.Context, seed int64) (*ExperimentRe
 	if err != nil {
 		return nil, err
 	}
+	var gRing *trace.Ring
+	if p.Cfg.Trace {
+		gRing = trace.NewRing(p.Cfg.TraceCap)
+		xg.It.SetRecorder(gRing)
+	}
 	spec, err := p.Cfg.Benchmark.Setup(xg, rand.New(rand.NewSource(seed)), p.Cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -328,6 +356,11 @@ func (p *Prepared) RunExperiment(ctx context.Context, seed int64) (*ExperimentRe
 	if err != nil {
 		return nil, err
 	}
+	var fRing *trace.Ring
+	if p.Cfg.Trace {
+		fRing = trace.NewRing(p.Cfg.TraceCap)
+		xf.It.SetRecorder(fRing)
+	}
 	spec2, err := p.Cfg.Benchmark.Setup(xf, rand.New(rand.NewSource(seed)), p.Cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -348,6 +381,10 @@ func (p *Prepared) RunExperiment(ctx context.Context, seed int64) (*ExperimentRe
 		res.Outcome = OutcomeSDC
 	default:
 		res.Outcome = OutcomeBenign
+	}
+	if p.Cfg.Trace {
+		res.Explanation = p.explain(gRing, fRing, res, xf, ftr)
+		p.Profile.Add(res.Explanation)
 	}
 	p.mx.compare.Since(compareStart)
 	res.Wall = time.Since(start)

@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"vulfi/internal/core"
+	"vulfi/internal/exec"
+	"vulfi/internal/interp"
+	"vulfi/internal/trace"
+)
+
+// explain assembles an experiment's divergence explanation: the raw ring
+// diff annotated with the fault-site identity, outcome, detector timing,
+// and crash provenance.
+func (p *Prepared) explain(golden, faulty *trace.Ring, r *ExperimentResult,
+	xf *exec.Instance, ftr *interp.Trap) *trace.Explanation {
+	e := trace.Analyze(golden, faulty)
+	e.Outcome = r.Outcome.String()
+	e.Detected = r.Detected
+	// Width==0 means the injection never fired (target site unreached);
+	// a zero record must not blame lane site 0.
+	if r.Record.Width > 0 {
+		if id := r.Record.LaneSiteID; id >= 0 && id < int64(len(p.Inst.LaneSites)) {
+			e.FaultSite = p.siteRef(p.Inst.LaneSites[id])
+		}
+	}
+	if dyns := xf.It.DetectionDyns; len(dyns) > 0 {
+		e.NoteDetection(dyns[0])
+	}
+	if ftr != nil {
+		e.Trap = &trace.TrapRef{
+			Kind: ftr.Kind.String(), Msg: ftr.Msg,
+			Func: ftr.Func, Block: ftr.Block, Instr: ftr.Instr, Dyn: ftr.Dyn,
+		}
+	}
+	return e
+}
+
+// siteRef converts a lane site into its JSON-safe reference, carrying
+// the static slice flags and the category the study enumerated under.
+func (p *Prepared) siteRef(ls core.LaneSite) *trace.SiteRef {
+	s := ls.Site
+	ref := &trace.SiteRef{
+		SiteID: s.ID, Lane: ls.Lane,
+		Instr:         s.Instr.String(),
+		Category:      p.Cfg.Category.String(),
+		StaticControl: s.Flags.Control,
+		StaticAddress: s.Flags.Address,
+	}
+	if b := s.Instr.Parent; b != nil {
+		ref.Block = b.Nam
+		if b.Func != nil {
+			ref.Func = b.Func.Nam
+		}
+	}
+	return ref
+}
+
+// ExplainExperiment prepares the cell with tracing forced on and runs
+// the single experiment at the given index of the study's deterministic
+// seed schedule, returning its result with the attached explanation. It
+// is the engine behind `vulfi -explain` and the service's
+// GET /v1/jobs/{id}/explain?index=N endpoint.
+func ExplainExperiment(ctx context.Context, cfg Config, index int) (*ExperimentResult, error) {
+	if index < 0 || index >= cfg.Experiments*cfg.Campaigns {
+		return nil, fmt.Errorf("experiment index %d out of range [0,%d)",
+			index, cfg.Experiments*cfg.Campaigns)
+	}
+	cfg.Trace = true
+	p, err := Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunExperiment(ctx, cfg.ExperimentSeed(index))
+}

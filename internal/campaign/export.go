@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"strconv"
+
+	"vulfi/internal/trace"
 )
 
 // studyJSON is the serialized form of a StudyResult.
@@ -41,6 +43,10 @@ type studyJSON struct {
 	WallMinNS   int64 `json:"wall_min_ns"`
 	WallMeanNS  int64 `json:"wall_mean_ns"`
 	WallMaxNS   int64 `json:"wall_max_ns"`
+
+	// Propagation is the aggregated fault-propagation profile (present
+	// only when the study ran with tracing enabled).
+	Propagation *trace.Summary `json:"propagation,omitempty"`
 }
 
 func (sr *StudyResult) toJSON() studyJSON {
@@ -68,6 +74,7 @@ func (sr *StudyResult) toJSON() studyJSON {
 		WallMinNS:   int64(sr.Totals.WallMin),
 		WallMeanNS:  int64(sr.Totals.WallMean()),
 		WallMaxNS:   int64(sr.Totals.WallMax),
+		Propagation: sr.Propagation,
 	}
 }
 

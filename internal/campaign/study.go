@@ -9,6 +9,7 @@ import (
 
 	"vulfi/internal/stats"
 	"vulfi/internal/telemetry"
+	"vulfi/internal/trace"
 )
 
 // CampaignResult aggregates one campaign of experiments (paper: 100).
@@ -140,6 +141,10 @@ type StudyResult struct {
 
 	// Wall is the study's total wall-clock time (prepare excluded).
 	Wall time.Duration
+
+	// Propagation is the study's aggregated fault-propagation profile
+	// (nil unless Cfg.Trace was set).
+	Propagation *trace.Summary
 }
 
 // ExperimentSeed returns the deterministic seed of experiment index i
@@ -277,6 +282,9 @@ dispatch:
 	sr.MarginOfError = stats.MarginOfError95(sr.SDCRates)
 	sr.NearNormal = stats.NearNormal(sr.SDCRates)
 	sr.MeanGoldenDynInstrs = dynSum / float64(total)
+	if p.Profile != nil {
+		sr.Propagation = p.Profile.Summary()
+	}
 	sr.Wall = time.Since(start)
 	if cfg.Events != nil {
 		cfg.Events.Emit(studySpan(sr))
@@ -303,6 +311,13 @@ func experimentSpan(cfg Config, index int, seed int64, r *ExperimentResult) tele
 	}
 	if r.Trap != nil {
 		fields["trap"] = r.Trap.Error()
+		if at := r.Trap.At(); at != "" {
+			fields["trap_site"] = at
+		}
+	}
+	if e := r.Explanation; e != nil {
+		fields["slice_class"] = e.SliceClass()
+		fields["depth"] = e.Depth
 	}
 	return telemetry.Event{
 		Type: "experiment", Name: cfg.String(),

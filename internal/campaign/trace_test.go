@@ -1,0 +1,194 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/passes"
+)
+
+// tracedCfg is the acceptance-criteria cell: VectorCopy × AVX ×
+// pure-data with divergence tracing on.
+func tracedCfg() Config {
+	cfg := smallCfg(benchmarks.VectorCopy, passes.PureData)
+	cfg.Trace = true
+	cfg.Campaigns = 1
+	cfg.Experiments = 30
+	return cfg
+}
+
+// firstSDCIndex scans the deterministic seed schedule for the first
+// experiment classified SDC whose injection actually fired.
+func firstSDCIndex(t *testing.T, cfg Config) (int, *ExperimentResult) {
+	t.Helper()
+	p, err := Prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Experiments*cfg.Campaigns; i++ {
+		r, err := p.RunExperiment(context.Background(), cfg.ExperimentSeed(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Outcome == OutcomeSDC && r.Record.Width > 0 {
+			return i, r
+		}
+	}
+	t.Fatal("no SDC experiment in the scanned seed schedule")
+	return 0, nil
+}
+
+// isFaultSiteOrSuccessor reports whether the first-divergence
+// instruction is the fault site itself or one of its def-use successors
+// introduced by instrumentation (%ext<lane> → %inj<lane> → %ins<lane>,
+// or %inj_s<id> for scalar sites). The injection call carries its lane
+// site ID as the final argument, which ties it to the experiment's
+// injection record.
+func isFaultSiteOrSuccessor(instr, site string, laneSiteID int64) bool {
+	if instr == site {
+		return true
+	}
+	name, _, ok := strings.Cut(instr, " = ")
+	if !ok {
+		return false
+	}
+	switch {
+	case strings.HasPrefix(name, "%inj"):
+		return strings.Contains(instr, fmt.Sprintf("i32 %d)", laneSiteID))
+	case strings.HasPrefix(name, "%ext"), strings.HasPrefix(name, "%ins"):
+		return true
+	}
+	return false
+}
+
+// TestExplainSDCAcceptance is the PR's acceptance criterion: for a
+// deterministic seeded SDC experiment, the reported first divergence is
+// the fault site (or a def-use successor of it), and the dynamic slice
+// class agrees with the static category the site was enumerated under.
+func TestExplainSDCAcceptance(t *testing.T) {
+	cfg := tracedCfg()
+	_, r := firstSDCIndex(t, cfg)
+	e := r.Explanation
+	if e == nil {
+		t.Fatal("traced SDC experiment has no explanation")
+	}
+	if !e.Diverged || e.First == nil {
+		t.Fatalf("SDC must diverge with a first-divergence point: %+v", e)
+	}
+	if e.FaultSite == nil {
+		t.Fatal("performed injection must stamp the fault site")
+	}
+	if e.First.Func != e.FaultSite.Func {
+		t.Fatalf("first divergence in %q, fault site in %q",
+			e.First.Func, e.FaultSite.Func)
+	}
+	if !isFaultSiteOrSuccessor(e.First.Instr, e.FaultSite.Instr, r.Record.LaneSiteID) {
+		t.Fatalf("first divergence %q is neither the fault site %q (lane site %d) nor its instrumentation successor",
+			e.First.Instr, e.FaultSite.Instr, r.Record.LaneSiteID)
+	}
+	if e.Depth == 0 || e.MaxLaneSpread == 0 {
+		t.Fatalf("SDC with divergence must have depth/spread > 0: depth=%d spread=%d",
+			e.Depth, e.MaxLaneSpread)
+	}
+	// A pure-data VectorCopy corruption flows straight to the stored
+	// output: the dynamic slice class must agree with the static
+	// category (no control or address crossing).
+	if got := e.SliceClass(); got != "data" {
+		t.Fatalf("SliceClass = %q, want data (static category %s)",
+			got, cfg.Category)
+	}
+	if e.ControlDivergence {
+		t.Fatal("pure-data VectorCopy SDC must not diverge in control flow")
+	}
+	if e.Outcome != "SDC" {
+		t.Fatalf("explanation outcome = %q, want SDC", e.Outcome)
+	}
+}
+
+// TestExplainExperimentDeterministic re-explains the same experiment
+// index twice and requires byte-identical explanations.
+func TestExplainExperimentDeterministic(t *testing.T) {
+	cfg := tracedCfg()
+	idx, _ := firstSDCIndex(t, cfg)
+	run := func() []byte {
+		r, err := ExplainExperiment(context.Background(), cfg, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Explanation == nil {
+			t.Fatal("ExplainExperiment returned no explanation")
+		}
+		raw, err := json.Marshal(r.Explanation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("explanation not deterministic:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+func TestExplainExperimentIndexRange(t *testing.T) {
+	cfg := tracedCfg()
+	if _, err := ExplainExperiment(context.Background(), cfg, -1); err == nil {
+		t.Fatal("negative index must error")
+	}
+	if _, err := ExplainExperiment(context.Background(), cfg,
+		cfg.Experiments*cfg.Campaigns); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}
+
+// TestStudyPropagationProfile runs a traced study end to end and checks
+// the aggregated propagation profile and its JSON export.
+func TestStudyPropagationProfile(t *testing.T) {
+	cfg := tracedCfg()
+	sr, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Propagation == nil {
+		t.Fatal("traced study has no propagation summary")
+	}
+	if sr.Propagation.Traced != cfg.Experiments*cfg.Campaigns-sr.Totals.NoSites {
+		t.Fatalf("Traced = %d, want %d (experiments minus vacuous)",
+			sr.Propagation.Traced, cfg.Experiments*cfg.Campaigns-sr.Totals.NoSites)
+	}
+	if sr.Totals.SDC > 0 && len(sr.Propagation.Blame) == 0 {
+		t.Fatal("study with SDCs has an empty blame ranking")
+	}
+	var buf bytes.Buffer
+	if err := sr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"propagation"`) {
+		t.Fatal("WriteJSON output missing the propagation profile")
+	}
+}
+
+// TestUntracedStudyHasNoProfile guards the default path: without
+// Config.Trace no explanations or profile are produced.
+func TestUntracedStudyHasNoProfile(t *testing.T) {
+	cfg := smallCfg(benchmarks.VectorCopy, passes.PureData)
+	sr, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Propagation != nil {
+		t.Fatal("untraced study produced a propagation summary")
+	}
+	var buf bytes.Buffer
+	if err := sr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"propagation"`) {
+		t.Fatal("untraced WriteJSON output contains propagation")
+	}
+}

@@ -102,7 +102,7 @@ func checkBroadcastImpl(it *interp.Interp, args []interp.Value) (interp.Value, *
 		x |= v.Bits[i] ^ v.Bits[0]
 	}
 	if x != 0 {
-		it.Detections = append(it.Detections, fmt.Sprintf(
+		it.Detect(fmt.Sprintf(
 			"uniform broadcast lanes diverge: %s", v))
 	}
 	return interp.Value{}, nil

@@ -197,13 +197,13 @@ func AttachRuntime(it *interp.Interp) {
 			nc, ae, start, vl := args[0].Int(), args[1].Int(), args[2].Int(), args[3].Int()
 			switch {
 			case nc < start:
-				it.Detections = append(it.Detections, fmt.Sprintf(
+				it.Detect(fmt.Sprintf(
 					"foreach invariant 1 violated: new_counter %d < start %d", nc, start))
 			case nc > ae:
-				it.Detections = append(it.Detections, fmt.Sprintf(
+				it.Detect(fmt.Sprintf(
 					"foreach invariant 2 violated: new_counter %d > aligned_end %d", nc, ae))
 			case vl != 0 && (nc-start)%vl != 0:
-				it.Detections = append(it.Detections, fmt.Sprintf(
+				it.Detect(fmt.Sprintf(
 					"foreach invariant 3 violated: (new_counter %d - start %d) %% %d != 0",
 					nc, start, vl))
 			}

@@ -108,7 +108,7 @@ func checkMaskMonotonicImpl(it *interp.Interp, args []interp.Value) (interp.Valu
 	loop, live := args[0], args[1]
 	for i := range live.Bits {
 		if live.Bits[i]&1 != 0 && loop.Bits[i]&1 == 0 {
-			it.Detections = append(it.Detections, fmt.Sprintf(
+			it.Detect(fmt.Sprintf(
 				"mask loop monotonicity violated: lane %d live outside the loop mask", i))
 			break
 		}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"vulfi/internal/ir"
 )
@@ -38,8 +40,11 @@ type Interp struct {
 	DynVector uint64
 
 	// Detections accumulates messages from synthesized error detectors
-	// (the checkInvariants* runtime API).
-	Detections []string
+	// (the checkInvariants* runtime API). DetectionDyns records, parallel
+	// to Detections, the dynamic-instruction index at which each detector
+	// fired (the time-to-detection input for propagation tracing).
+	Detections    []string
+	DetectionDyns []uint64
 
 	externs  map[string]ExternFn
 	budget   uint64
@@ -47,6 +52,7 @@ type Interp struct {
 	depth    int
 	globals  map[*ir.Global]uint64
 	tracer   *Tracer
+	rec      Recorder
 
 	// metrics, when attached, receives batched execution counters; nil
 	// keeps the hot path to a single pointer test (see SetMetrics).
@@ -164,16 +170,19 @@ func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 			for i, phi := range phis {
 				v, tr := it.phiIncoming(fr, phi, prev)
 				if tr != nil {
-					return Value{}, tr
+					return Value{}, it.locate(tr, phi)
 				}
 				tmp[i] = v
 			}
 			for i, phi := range phis {
 				fr.vals[phi] = tmp[i]
 				it.account(phi)
+				if it.rec != nil {
+					it.rec.Retire(phi, it.DynInstrs, tmp[i])
+				}
 			}
 			if tr := it.checkBudget(); tr != nil {
-				return Value{}, tr
+				return Value{}, it.locate(tr, phis[0])
 			}
 		}
 
@@ -181,7 +190,7 @@ func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 			it.account(in)
 			if it.DynInstrs&1023 == 0 {
 				if tr := it.checkBudget(); tr != nil {
-					return Value{}, tr
+					return Value{}, it.locate(tr, in)
 				}
 			}
 			switch in.Op {
@@ -191,7 +200,7 @@ func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 			case ir.OpCondBr:
 				c, tr := it.eval(fr, in.Operand(0))
 				if tr != nil {
-					return Value{}, tr
+					return Value{}, it.locate(tr, in)
 				}
 				if c.Bool() {
 					prev, cur = cur, in.Succs[0]
@@ -203,19 +212,23 @@ func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 				if len(in.Operands()) == 0 {
 					return Value{}, nil
 				}
-				return it.eval(fr, in.Operand(0))
+				v, tr := it.eval(fr, in.Operand(0))
+				return v, it.locate(tr, in)
 			case ir.OpUnreachable:
-				return Value{}, trapf(TrapHalt, "reached unreachable in @%s", f.Nam)
+				return Value{}, it.locate(trapf(TrapHalt, "reached unreachable in @%s", f.Nam), in)
 			default:
 				v, tr := it.execInstr(fr, in)
 				if tr != nil {
-					return Value{}, tr
+					return Value{}, it.locate(tr, in)
 				}
 				if !in.Ty.IsVoid() {
 					fr.vals[in] = v
 				}
 				if it.tracer != nil {
 					it.trace(in, v)
+				}
+				if it.rec != nil {
+					it.rec.Retire(in, it.DynInstrs, v)
 				}
 			}
 		}
@@ -227,6 +240,29 @@ func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 type frame struct {
 	vals   map[*ir.Instr]Value
 	params []Value
+}
+
+// locate stamps tr with the provenance of the instruction that was
+// retiring when it fired. The innermost frame wins: once Func is set,
+// outer frames unwinding the same trap leave it untouched.
+func (it *Interp) locate(tr *Trap, in *ir.Instr) *Trap {
+	if tr == nil || tr.Func != "" || in == nil || in.Parent == nil {
+		return tr
+	}
+	tr.Func = in.Parent.Func.Nam
+	tr.Block = in.Parent.Nam
+	tr.Instr = in.String()
+	tr.Dyn = it.DynInstrs
+	return tr
+}
+
+// Detect records a detector firing, stamped with the current dynamic
+// instruction count. Detector runtimes must use this rather than append
+// to Detections directly so propagation tracing can compute
+// time-to-detection.
+func (it *Interp) Detect(msg string) {
+	it.Detections = append(it.Detections, msg)
+	it.DetectionDyns = append(it.DetectionDyns, it.DynInstrs)
 }
 
 func (it *Interp) account(in *ir.Instr) {
@@ -614,9 +650,41 @@ func clampToInt(f float64) int64 {
 	return int64(f)
 }
 
-// DumpState formats a short execution summary (diagnostics).
+// DumpState formats a deterministic execution summary: the headline
+// counters on the first line, then one line per module global sorted by
+// name with its address and leading memory contents. Two interpreters
+// that executed identically produce byte-identical dumps, so trace-diff
+// tests can compare them directly.
 func (it *Interp) DumpState() string {
-	return fmt.Sprintf("dyn=%d vec=%d segments=%d out=%dB detections=%d",
-		it.DynInstrs, it.DynVector, it.Mem.Allocated(), it.Output.Len(),
-		len(it.Detections))
+	var b strings.Builder
+	fmt.Fprintf(&b, "dyn=%d vec=%d depth=%d segments=%d out=%dB detections=%d\n",
+		it.DynInstrs, it.DynVector, it.depth, it.Mem.Allocated(),
+		it.Output.Len(), len(it.Detections))
+
+	globals := make([]*ir.Global, 0, len(it.globals))
+	for g := range it.globals {
+		globals = append(globals, g)
+	}
+	sort.Slice(globals, func(i, j int) bool { return globals[i].Nam < globals[j].Nam })
+
+	const maxDump = 64 // bytes of contents shown per global
+	for _, g := range globals {
+		addr := it.globals[g]
+		size := uint64(g.Elem.ByteSize() * g.Count)
+		fmt.Fprintf(&b, "global @%s %s x%d @%#x = ", g.Nam, g.Elem, g.Count, addr)
+		n := size
+		if n > maxDump {
+			n = maxDump
+		}
+		if data, tr := it.Mem.ReadBytes(addr, n); tr == nil {
+			fmt.Fprintf(&b, "%x", data)
+		} else {
+			b.WriteString("<unreadable>")
+		}
+		if size > maxDump {
+			fmt.Fprintf(&b, "... (%d bytes)", size)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

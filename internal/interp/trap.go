@@ -38,15 +38,38 @@ var trapNames = map[TrapKind]string{
 	TrapStack: "stack overflow", TrapOOM: "out of memory", TrapHalt: "halted",
 }
 
+// String names the trap kind ("out-of-bounds access", ...).
+func (k TrapKind) String() string { return trapNames[k] }
+
 // Trap describes a fatal runtime event.
 type Trap struct {
 	Kind TrapKind
 	Msg  string
+
+	// Provenance of the trapping instruction, stamped by the interpreter
+	// at the innermost frame (empty Func when unknown): the enclosing
+	// function and block, the instruction's printed form, and the dynamic
+	// instruction index at which the trap fired. Campaigns carry this
+	// through to reports so a Crash outcome names its crash site.
+	Func  string
+	Block string
+	Instr string
+	Dyn   uint64
 }
 
-// Error implements error.
+// Error implements error. The message deliberately excludes provenance
+// so it stays stable whether or not the trap was located.
 func (t *Trap) Error() string {
 	return fmt.Sprintf("trap: %s: %s", trapNames[t.Kind], t.Msg)
+}
+
+// At formats the trap location as "@func/block: instr", or "" when the
+// trap was never located.
+func (t *Trap) At() string {
+	if t.Func == "" {
+		return ""
+	}
+	return fmt.Sprintf("@%s/%s: %s", t.Func, t.Block, t.Instr)
 }
 
 func trapf(kind TrapKind, format string, args ...any) *Trap {

@@ -1,0 +1,144 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"vulfi/internal/campaign"
+)
+
+// WriteExplanation renders one traced experiment as a human-readable
+// narrative: fault site → divergence chain → outcome. The result must
+// come from a traced run (vulfi -explain, campaign.ExplainExperiment).
+func WriteExplanation(w io.Writer, r *campaign.ExperimentResult) {
+	e := r.Explanation
+	if e == nil {
+		fmt.Fprintln(w, "no explanation recorded (run with tracing enabled)")
+		return
+	}
+	fmt.Fprintf(w, "outcome      %s", e.Outcome)
+	if e.Detected {
+		fmt.Fprintf(w, "  [detected]")
+	}
+	fmt.Fprintf(w, "  (input %s, N=%d dynamic sites)\n", r.InputLabel, r.DynSites)
+
+	if s := e.FaultSite; s != nil {
+		fmt.Fprintf(w, "fault site   @%s/%s: %s\n", s.Func, s.Block, s.Instr)
+		fmt.Fprintf(w, "             lane %d, static category %s (control=%v address=%v)\n",
+			s.Lane, s.Category, s.StaticControl, s.StaticAddress)
+	} else if r.DynSites == 0 {
+		fmt.Fprintln(w, "fault site   none reached dynamically (vacuously benign)")
+	}
+	if r.Record.Width > 0 {
+		fmt.Fprintf(w, "injection    bit %d/%d  %#x -> %#x\n",
+			r.Record.Bit, r.Record.Width, r.Record.Before, r.Record.After)
+	}
+
+	if !e.Diverged {
+		fmt.Fprintf(w, "divergence   none: the flipped bit never surfaced (%d retired instructions identical)\n",
+			e.GoldenRetired)
+	} else {
+		if f := e.First; f != nil {
+			fmt.Fprintf(w, "first diverg @%s/%s: %s  (dyn %d, lanes %v)\n",
+				f.Func, f.Block, f.Instr, f.Dyn, e.FirstLanes)
+		}
+		for i, l := range e.Chain {
+			fmt.Fprintf(w, "  chain %-2d   %s  lanes %v\n", i+1, l.Ref.Instr, l.Lanes)
+			fmt.Fprintf(w, "             golden %s\n", l.Golden)
+			fmt.Fprintf(w, "             faulty %s\n", l.Faulty)
+		}
+		fmt.Fprintf(w, "propagation  depth=%d corrupted values, max lane spread=%d\n",
+			e.Depth, e.MaxLaneSpread)
+		if e.ControlDivergence {
+			fmt.Fprintf(w, "control flow diverged")
+			if a := e.ControlDivergedAt; a != nil {
+				fmt.Fprintf(w, " at @%s/%s: %s (dyn %d)", a.Func, a.Block, a.Instr, a.Dyn)
+			}
+			fmt.Fprintf(w, "; %d faulty instructions retired past the aligned window\n",
+				e.PostDivergence)
+		}
+	}
+	fmt.Fprintf(w, "slice class  %s (dynamic)", e.SliceClass())
+	if s := e.FaultSite; s != nil {
+		agree := "agrees with"
+		if !dynamicWithinStatic(e.SliceClass(), s.StaticControl, s.StaticAddress) {
+			agree = "exceeds"
+		}
+		fmt.Fprintf(w, " — %s static category %s", agree, s.Category)
+	}
+	fmt.Fprintln(w)
+
+	switch {
+	case e.DetectionDyn > 0 && e.TimeToDetection >= 0:
+		fmt.Fprintf(w, "detection    fired at dyn %d (+%d retired instructions after first divergence)\n",
+			e.DetectionDyn, e.TimeToDetection)
+	case e.Detected:
+		fmt.Fprintf(w, "detection    fired at dyn %d\n", e.DetectionDyn)
+	default:
+		fmt.Fprintln(w, "detection    no detector fired")
+	}
+	if t := e.Trap; t != nil {
+		fmt.Fprintf(w, "trap         %s: %s", t.Kind, t.Msg)
+		if t.Func != "" {
+			fmt.Fprintf(w, "  @%s/%s: %s (dyn %d)", t.Func, t.Block, t.Instr, t.Dyn)
+		}
+		fmt.Fprintln(w)
+	}
+	if e.Truncated {
+		fmt.Fprintln(w, "note         trace ring dropped entries; the first divergence may be earlier")
+	}
+}
+
+// dynamicWithinStatic reports whether the dynamically observed slice
+// class is covered by the site's static forward-slice flags (dynamic
+// crossings are a subset of static ones except for flows through
+// memory, which SSA slicing does not follow).
+func dynamicWithinStatic(class string, control, address bool) bool {
+	switch class {
+	case "data":
+		return true
+	case "control":
+		return control
+	case "address":
+		return address
+	default: // "control+address"
+		return control && address
+	}
+}
+
+// WritePropagation renders a traced study's aggregated propagation
+// profile: divergence/crossing counts, depth/spread means, and the
+// per-site SDC blame ranking (most SDC-prone sites first).
+func WritePropagation(w io.Writer, sr *campaign.StudyResult) {
+	p := sr.Propagation
+	if p == nil {
+		fmt.Fprintln(w, "no propagation profile (run with tracing enabled)")
+		return
+	}
+	fmt.Fprintf(w, "propagation profile: %d traced, %d diverged, %d control-divergent\n",
+		p.Traced, p.Diverged, p.ControlDivergence)
+	fmt.Fprintf(w, "  crossings: control %d, address %d\n",
+		p.CrossedControl, p.CrossedAddress)
+	fmt.Fprintf(w, "  depth: mean %.1f max %d    lane spread: mean %.2f max %d\n",
+		p.MeanDepth, p.MaxDepth, p.MeanLaneSpread, p.MaxLaneSpread)
+	if p.Detections > 0 {
+		fmt.Fprintf(w, "  time-to-detection: mean %.1f retired instructions (%d detections)\n",
+			p.MeanTimeToDetection, p.Detections)
+	}
+	if p.Truncated > 0 {
+		fmt.Fprintf(w, "  %d experiments truncated by the trace ring\n", p.Truncated)
+	}
+	if len(p.Blame) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "  blame ranking (by SDC):")
+	const maxRows = 10
+	for i, b := range p.Blame {
+		if i == maxRows {
+			fmt.Fprintf(w, "    ... %d more sites\n", len(p.Blame)-maxRows)
+			break
+		}
+		fmt.Fprintf(w, "    %2d. %-60s exp=%-4d SDC=%-4d crash=%-4d benign=%-4d detected=%d\n",
+			i+1, b.Site, b.Experiments, b.SDC, b.Crash, b.Benign, b.Detected)
+	}
+}

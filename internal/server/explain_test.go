@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServerExplainEndpoint drives GET /v1/jobs/{id}/explain: the
+// study-level propagation profile of a traced job, the per-experiment
+// deterministic re-explain (?index=N), and the 409/400 error paths.
+func TestServerExplainEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, raw
+	}
+
+	// A traced job: the finished study carries a propagation profile.
+	spec := testSpec()
+	spec.Trace = true
+	resp, raw := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, raw)
+	}
+	var st Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateDone)
+
+	code, body := get("/v1/jobs/" + st.ID + "/explain")
+	if code != http.StatusOK {
+		t.Fatalf("explain profile: %d: %s", code, body)
+	}
+	var profile struct {
+		ID          string `json:"id"`
+		Propagation struct {
+			Traced int `json:"traced"`
+		} `json:"propagation"`
+	}
+	if err := json.Unmarshal(body, &profile); err != nil {
+		t.Fatalf("profile payload: %v\n%s", err, body)
+	}
+	if profile.ID != st.ID || profile.Propagation.Traced == 0 {
+		t.Fatalf("profile payload wrong: %s", body)
+	}
+
+	// Per-experiment explanation, available for any job state.
+	code, body = get("/v1/jobs/" + st.ID + "/explain?index=0")
+	if code != http.StatusOK {
+		t.Fatalf("explain index 0: %d: %s", code, body)
+	}
+	var exp struct {
+		Index       int             `json:"index"`
+		Seed        int64           `json:"seed"`
+		Outcome     string          `json:"outcome"`
+		Explanation json.RawMessage `json:"explanation"`
+	}
+	if err := json.Unmarshal(body, &exp); err != nil {
+		t.Fatalf("explanation payload: %v\n%s", err, body)
+	}
+	if exp.Outcome == "" || len(exp.Explanation) == 0 ||
+		string(exp.Explanation) == "null" {
+		t.Fatalf("explanation payload wrong: %s", body)
+	}
+
+	// Out-of-range and malformed indices are 400s.
+	for _, q := range []string{"?index=-1", "?index=9999", "?index=x"} {
+		if code, body = get("/v1/jobs/" + st.ID + "/explain" + q); code != http.StatusBadRequest {
+			t.Fatalf("explain %s: %d, want 400: %s", q, code, body)
+		}
+	}
+
+	// An untraced job has no profile (409), but ?index=N still works:
+	// the deterministic re-run forces tracing on.
+	resp, raw = postJob(t, ts.URL, testSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit untraced: %s: %s", resp.Status, raw)
+	}
+	var st2 Status
+	if err := json.Unmarshal(raw, &st2); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st2.ID, StateDone)
+	if code, body = get("/v1/jobs/" + st2.ID + "/explain"); code != http.StatusConflict ||
+		!strings.Contains(string(body), "not traced") {
+		t.Fatalf("untraced profile: %d, want 409: %s", code, body)
+	}
+	if code, _ = get("/v1/jobs/" + st2.ID + "/explain?index=1"); code != http.StatusOK {
+		t.Fatalf("untraced explain index: %d, want 200", code)
+	}
+
+	// Unknown jobs are 404s.
+	if code, _ = get("/v1/jobs/jnope/explain"); code != http.StatusNotFound {
+		t.Fatalf("missing job explain: %d, want 404", code)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"vulfi/internal/campaign"
 	"vulfi/internal/telemetry"
 )
 
@@ -279,6 +280,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	mux.HandleFunc("GET /v1/jobs/{id}/explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -365,6 +367,69 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleExplain serves propagation explanations for a job. Without a
+// query it returns the finished study's aggregated propagation profile
+// (requires the job to have been submitted with "trace": true). With
+// ?index=N it deterministically re-runs that single experiment of the
+// job's seed schedule with tracing forced on and returns the full
+// fault→divergence→outcome explanation — this works at any job state,
+// since the schedule depends only on the spec.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	job := s.jobOr404(w, r)
+	if job == nil {
+		return
+	}
+	if q := r.URL.Query().Get("index"); q != "" {
+		index, err := strconv.Atoi(q)
+		if err != nil || index < 0 || index >= job.Spec.Total() {
+			writeError(w, http.StatusBadRequest,
+				"index must be an integer in [0,%d)", job.Spec.Total())
+			return
+		}
+		cfg, err := job.Spec.Config()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if cfg.Experiments <= 0 {
+			cfg.Experiments = 100
+		}
+		if cfg.Campaigns <= 0 {
+			cfg.Campaigns = 20
+		}
+		res, err := campaign.ExplainExperiment(r.Context(), cfg, index)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "explain: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id": job.ID, "index": index, "seed": cfg.ExperimentSeed(index),
+			"outcome": res.Outcome.String(), "detected": res.Detected,
+			"explanation": res.Explanation,
+		})
+		return
+	}
+
+	st := job.Status()
+	if len(st.Result) == 0 {
+		writeError(w, http.StatusConflict,
+			"job %s is %s: no study result yet (use ?index=N for a single experiment)",
+			job.ID, st.State)
+		return
+	}
+	var result struct {
+		Propagation json.RawMessage `json:"propagation"`
+	}
+	if err := json.Unmarshal(st.Result, &result); err != nil || len(result.Propagation) == 0 {
+		writeError(w, http.StatusConflict,
+			"job %s was not traced; submit with \"trace\": true or use ?index=N", job.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": job.ID, "propagation": result.Propagation,
+	})
 }
 
 func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {

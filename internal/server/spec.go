@@ -12,6 +12,8 @@
 //	GET    /v1/jobs/{id}         status + result when finished
 //	GET    /v1/jobs/{id}/events  live progress as Server-Sent Events
 //	GET    /v1/jobs/{id}/metrics per-job Prometheus metrics
+//	GET    /v1/jobs/{id}/explain propagation profile, or ?index=N for one
+//	                             experiment's divergence explanation
 //	DELETE /v1/jobs/{id}         cancel (cooperative, between experiments)
 //
 // plus the process-wide /metrics, /debug/vars and /debug/pprof endpoints
@@ -49,6 +51,11 @@ type Spec struct {
 	MaskLoopDetector       bool `json:"mask_loop_detector,omitempty"`
 	WholeRegisterSites     bool `json:"whole_register_sites,omitempty"`
 	MaskOblivious          bool `json:"mask_oblivious,omitempty"`
+
+	// Trace enables golden-vs-faulty divergence tracing: the finished
+	// study carries a propagation profile (GET /v1/jobs/{id}/explain) and
+	// the per-job registry gains trace.* metrics.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ParseCategory resolves the CLI/API spelling of a fault-site category.
@@ -110,6 +117,7 @@ func (s Spec) Config() (campaign.Config, error) {
 		MaskLoopDetector:       s.MaskLoopDetector,
 		WholeRegisterSites:     s.WholeRegisterSites,
 		MaskOblivious:          s.MaskOblivious,
+		Trace:                  s.Trace,
 	}, nil
 }
 

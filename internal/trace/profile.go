@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"vulfi/internal/telemetry"
+)
+
+// Histogram names registered on the study registry. The telemetry
+// histograms are duration-typed, so integer magnitudes are encoded as
+// microseconds (ObserveCount): bucket b then holds values of bit-length
+// b, a log2 histogram exported through the existing /metrics and
+// /debug/vars expositions unchanged.
+const (
+	HistDepth  = "trace.depth"
+	HistSpread = "trace.lane_spread"
+	HistTTD    = "trace.time_to_detection"
+)
+
+// ObserveCount records the integer n on a duration histogram using the
+// count-as-microseconds encoding.
+func ObserveCount(h *telemetry.Histogram, n uint64) {
+	h.Observe(time.Duration(n) * time.Microsecond)
+}
+
+// BlameEntry is one static fault site's outcome tally in the blame
+// ranking.
+type BlameEntry struct {
+	Site        string `json:"site"`
+	Experiments int    `json:"experiments"`
+	SDC         int    `json:"sdc"`
+	Crash       int    `json:"crash"`
+	Benign      int    `json:"benign"`
+	Detected    int    `json:"detected"`
+}
+
+// SDCRate returns the fraction of this site's experiments that ended in
+// silent data corruption.
+func (b *BlameEntry) SDCRate() float64 {
+	if b.Experiments == 0 {
+		return 0
+	}
+	return float64(b.SDC) / float64(b.Experiments)
+}
+
+// Profile aggregates explanations across a study into the
+// PropagationProfile: depth/spread/time-to-detection histograms on the
+// study's telemetry registry, crossing counters, and the per-static-site
+// blame table. Add is safe to call from campaign worker goroutines.
+type Profile struct {
+	depthH  *telemetry.Histogram
+	spreadH *telemetry.Histogram
+	ttdH    *telemetry.Histogram
+
+	traced         *telemetry.Counter
+	diverged       *telemetry.Counter
+	controlDiv     *telemetry.Counter
+	crossedControl *telemetry.Counter
+	crossedAddress *telemetry.Counter
+
+	mu        sync.Mutex
+	n         int
+	nDiverged int
+	nCtrlDiv  int
+	nCtrl     int
+	nAddr     int
+	depthSum  uint64
+	depthMax  int
+	spreadSum uint64
+	spreadMax int
+	ttdSum    uint64
+	ttdN      int
+	truncated int
+	blame     map[string]*BlameEntry
+}
+
+// NewProfile creates a profile whose histograms and counters live on
+// reg (pass the study's registry so per-job metrics surface on the
+// service's /metrics endpoint for free).
+func NewProfile(reg *telemetry.Registry) *Profile {
+	return &Profile{
+		depthH:         reg.Histogram(HistDepth),
+		spreadH:        reg.Histogram(HistSpread),
+		ttdH:           reg.Histogram(HistTTD),
+		traced:         reg.Counter("trace.experiments"),
+		diverged:       reg.Counter("trace.diverged"),
+		controlDiv:     reg.Counter("trace.control_divergence"),
+		crossedControl: reg.Counter("trace.crossed_control"),
+		crossedAddress: reg.Counter("trace.crossed_address"),
+		blame:          map[string]*BlameEntry{},
+	}
+}
+
+// Add folds one explained experiment into the profile.
+func (p *Profile) Add(e *Explanation) {
+	if e == nil {
+		return
+	}
+	p.traced.Inc()
+	if e.Diverged {
+		p.diverged.Inc()
+		ObserveCount(p.depthH, uint64(e.Depth))
+		ObserveCount(p.spreadH, uint64(e.MaxLaneSpread))
+	}
+	if e.ControlDivergence {
+		p.controlDiv.Inc()
+	}
+	if e.CrossedControl {
+		p.crossedControl.Inc()
+	}
+	if e.CrossedAddress {
+		p.crossedAddress.Inc()
+	}
+	if e.TimeToDetection >= 0 {
+		ObserveCount(p.ttdH, uint64(e.TimeToDetection))
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	if e.Diverged {
+		p.nDiverged++
+		p.depthSum += uint64(e.Depth)
+		if e.Depth > p.depthMax {
+			p.depthMax = e.Depth
+		}
+		p.spreadSum += uint64(e.MaxLaneSpread)
+		if e.MaxLaneSpread > p.spreadMax {
+			p.spreadMax = e.MaxLaneSpread
+		}
+	}
+	if e.ControlDivergence {
+		p.nCtrlDiv++
+	}
+	if e.CrossedControl {
+		p.nCtrl++
+	}
+	if e.CrossedAddress {
+		p.nAddr++
+	}
+	if e.TimeToDetection >= 0 {
+		p.ttdSum += uint64(e.TimeToDetection)
+		p.ttdN++
+	}
+	if e.Truncated {
+		p.truncated++
+	}
+	if s := e.FaultSite; s != nil {
+		key := "@" + s.Func + "/" + s.Block + ": " + s.Instr
+		b := p.blame[key]
+		if b == nil {
+			b = &BlameEntry{Site: key}
+			p.blame[key] = b
+		}
+		b.Experiments++
+		switch e.Outcome {
+		case "SDC":
+			b.SDC++
+		case "Crash":
+			b.Crash++
+		default:
+			b.Benign++
+		}
+		if e.Detected {
+			b.Detected++
+		}
+	}
+}
+
+// Summary is the JSON-exported PropagationProfile of a study.
+type Summary struct {
+	Traced            int `json:"traced"`
+	Diverged          int `json:"diverged"`
+	ControlDivergence int `json:"control_divergence"`
+	CrossedControl    int `json:"crossed_control"`
+	CrossedAddress    int `json:"crossed_address"`
+	Truncated         int `json:"truncated,omitempty"`
+
+	MeanDepth      float64 `json:"mean_depth"`
+	MaxDepth       int     `json:"max_depth"`
+	MeanLaneSpread float64 `json:"mean_lane_spread"`
+	MaxLaneSpread  int     `json:"max_lane_spread"`
+
+	Detections          int     `json:"detections"`
+	MeanTimeToDetection float64 `json:"mean_time_to_detection"`
+
+	// Blame ranks static fault sites by SDC count (then crashes, then
+	// site name): the sites to harden or instrument first.
+	Blame []BlameEntry `json:"blame"`
+}
+
+// Summary snapshots the profile, with the blame table ranked most
+// SDC-prone first.
+func (p *Profile) Summary() *Summary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := &Summary{
+		Traced:            p.n,
+		Diverged:          p.nDiverged,
+		ControlDivergence: p.nCtrlDiv,
+		CrossedControl:    p.nCtrl,
+		CrossedAddress:    p.nAddr,
+		Truncated:         p.truncated,
+		MaxDepth:          p.depthMax,
+		MaxLaneSpread:     p.spreadMax,
+		Detections:        p.ttdN,
+	}
+	if p.nDiverged > 0 {
+		s.MeanDepth = float64(p.depthSum) / float64(p.nDiverged)
+		s.MeanLaneSpread = float64(p.spreadSum) / float64(p.nDiverged)
+	}
+	if p.ttdN > 0 {
+		s.MeanTimeToDetection = float64(p.ttdSum) / float64(p.ttdN)
+	}
+	s.Blame = make([]BlameEntry, 0, len(p.blame))
+	for _, b := range p.blame {
+		s.Blame = append(s.Blame, *b)
+	}
+	sort.Slice(s.Blame, func(i, j int) bool {
+		a, b := &s.Blame[i], &s.Blame[j]
+		if a.SDC != b.SDC {
+			return a.SDC > b.SDC
+		}
+		if a.Crash != b.Crash {
+			return a.Crash > b.Crash
+		}
+		return a.Site < b.Site
+	})
+	return s
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"testing"
+
+	"vulfi/internal/interp"
+	"vulfi/internal/ir"
+)
+
+func v32(lanes ...uint64) interp.Value {
+	if len(lanes) == 1 {
+		return interp.Value{Ty: ir.I32, Bits: lanes}
+	}
+	return interp.Value{Ty: ir.Vec(ir.I32, len(lanes)), Bits: lanes}
+}
+
+func TestRingBounded(t *testing.T) {
+	m := ir.NewModule("t")
+	f := ir.NewFunc("f", ir.I32, []*ir.Type{ir.I32}, []string{"x"})
+	m.AddFunc(f)
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	add := b.Add(f.Params[0], ir.ConstInt(ir.I32, 1), "a")
+	b.Ret(add)
+
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Retire(add, uint64(i+1), v32(uint64(i)))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	if r.Retired() != 10 {
+		t.Fatalf("Retired = %d, want 10", r.Retired())
+	}
+	// Oldest retained entry is the 7th retirement (dyn 7, value 6).
+	for i := 0; i < 4; i++ {
+		e := r.At(i)
+		if e.Dyn != uint64(7+i) || e.Bits[0] != uint64(6+i) {
+			t.Fatalf("At(%d) = dyn %d bits %v, want dyn %d bits [%d]",
+				i, e.Dyn, e.Bits, 7+i, 6+i)
+		}
+	}
+}
+
+func TestRingCopiesBits(t *testing.T) {
+	m := ir.NewModule("t")
+	f := ir.NewFunc("f", ir.I32, []*ir.Type{ir.I32}, []string{"x"})
+	m.AddFunc(f)
+	b := ir.NewBuilder(f.NewBlock("entry"))
+	add := b.Add(f.Params[0], ir.ConstInt(ir.I32, 1), "a")
+	b.Ret(add)
+
+	r := NewRing(8)
+	val := v32(1, 2, 3, 4)
+	r.Retire(add, 1, val)
+	val.Bits[0] = 99 // the interpreter may reuse the backing array
+	if got := r.At(0).Bits[0]; got != 1 {
+		t.Fatalf("ring aliased the value's bits: got %d, want 1", got)
+	}
+}
+
+func TestRingDefaultCap(t *testing.T) {
+	if NewRing(0).Cap() != DefaultCap {
+		t.Fatalf("zero capacity should select DefaultCap")
+	}
+	if NewRing(-5).Cap() != DefaultCap {
+		t.Fatalf("negative capacity should select DefaultCap")
+	}
+}
