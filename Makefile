@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-telemetry clean
+.PHONY: all build test race vet bench bench-telemetry bench-cache clean
 
 all: build vet test
 
@@ -24,6 +24,11 @@ bench:
 # the two ns/op figures should be within a couple percent.
 bench-telemetry:
 	$(GO) test -bench=BenchmarkInterpreterTelemetry -count=5 -run=^$$ .
+
+# Paired cached/uncached study benchmark (golden-run memoization);
+# see scripts/bench-cache.sh for knobs (INPUTS, COUNT, MIN_SPEEDUP...).
+bench-cache:
+	scripts/bench-cache.sh
 
 clean:
 	$(GO) clean ./...

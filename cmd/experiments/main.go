@@ -19,12 +19,14 @@ import (
 	"time"
 
 	"vulfi/internal/benchmarks"
+	"vulfi/internal/cliutil"
 	"vulfi/internal/isa"
 	"vulfi/internal/report"
 	"vulfi/internal/telemetry"
 )
 
 func main() {
+	fs := flag.CommandLine
 	var (
 		table1    = flag.Bool("table1", false, "regenerate Table I")
 		fig10     = flag.Bool("fig10", false, "regenerate Figure 10")
@@ -34,14 +36,14 @@ func main() {
 		ext       = flag.Bool("extensions", false, "run the beyond-the-paper studies")
 		all       = flag.Bool("all", false, "regenerate everything")
 		full      = flag.Bool("full", false, "paper-scale experiment counts")
-		seed      = flag.Int64("seed", 20160516, "study seed")
-		workers   = flag.Int("workers", 0, "experiment parallelism (0 = NumCPU)")
 		benchList = flag.String("benchmarks", "", "comma-separated benchmark filter")
-		isaName   = flag.String("isa", "", "restrict to one ISA (AVX or SSE)")
-		large     = flag.Bool("large", false, "use large inputs")
-		progress  = flag.Bool("progress", false, "render live per-cell progress on stderr")
-		events    = flag.String("events", "", "write structured JSONL spans to this file")
-		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6060)")
+
+		seed    = cliutil.Seed(fs, 20160516)
+		workers = cliutil.Workers(fs)
+		inputs  = cliutil.Inputs(fs)
+		isaName = cliutil.ISA(fs, "") // empty = both targets
+		large   = cliutil.Large(fs)
+		tel     = cliutil.TelemetryFlags(fs)
 	)
 	flag.Parse()
 
@@ -51,6 +53,7 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.Inputs = *inputs
 	if *large {
 		opts.Scale = benchmarks.ScaleLarge
 	}
@@ -65,31 +68,16 @@ func main() {
 		}
 		opts.ISAs = []*isa.ISA{a}
 	}
-	if *progress {
+	if *tel.Progress {
 		opts.Progress = os.Stderr
 	}
-	if *events != "" {
-		f, err := os.Create(*events)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		ew := telemetry.NewEventWriter(f)
-		defer func() {
-			if err := ew.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "events: %v\n", err)
-			}
-		}()
-		opts.Events = ew
+	ew, telStop, err := tel.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *httpAddr != "" {
-		_, url, err := telemetry.Serve(*httpAddr, telemetry.Default())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "telemetry on %s/metrics (also /debug/vars, /debug/pprof)\n", url)
-	}
+	defer telStop()
+	opts.Events = ew
 
 	if !(*table1 || *fig10 || *fig11 || *fig12 || *ablations || *ext || *all) {
 		flag.Usage()

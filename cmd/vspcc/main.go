@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"vulfi/internal/benchmarks"
+	"vulfi/internal/cliutil"
 	"vulfi/internal/codegen"
 	"vulfi/internal/core"
 	"vulfi/internal/detect"
@@ -26,8 +27,8 @@ import (
 
 func main() {
 	var (
-		benchName  = flag.String("benchmark", "", "compile a built-in benchmark instead of a file")
-		isaName    = flag.String("isa", "AVX", "target ISA: AVX or SSE")
+		benchName  = cliutil.Benchmark(flag.CommandLine, "") // empty = compile the file argument
+		isaName    = cliutil.ISA(flag.CommandLine, "AVX")
 		sites      = flag.Bool("sites", false, "print the fault-site census instead of IR")
 		fnFilter   = flag.String("func", "", "restrict site enumeration to one function")
 		detectors  = flag.Bool("detectors", false, "insert the foreach-invariant detector blocks")

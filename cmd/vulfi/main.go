@@ -25,30 +25,31 @@ import (
 
 	"vulfi/internal/benchmarks"
 	"vulfi/internal/campaign"
+	"vulfi/internal/cliutil"
 	"vulfi/internal/report"
 	"vulfi/internal/server"
 	"vulfi/internal/telemetry"
 )
 
 func main() {
+	fs := flag.CommandLine
 	var (
-		benchName = flag.String("benchmark", "VectorCopy", "benchmark name (see -list)")
-		isaName   = flag.String("isa", "AVX", "target ISA: AVX or SSE")
-		catName   = flag.String("category", "pure-data", "fault-site category: pure-data, control, address")
-		exps      = flag.Int("experiments", 100, "experiments per campaign")
-		camps     = flag.Int("campaigns", 20, "number of campaigns")
-		seed      = flag.Int64("seed", 1, "study seed")
-		workers   = flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
-		detectors = flag.Bool("detectors", false, "insert the foreach-invariant detectors")
-		broadcast = flag.Bool("broadcast-detector", false, "also insert the uniform-broadcast checker")
-		large     = flag.Bool("large", false, "use large inputs")
+		benchName            = cliutil.Benchmark(fs, "VectorCopy")
+		isaName              = cliutil.ISA(fs, "AVX")
+		catName              = cliutil.Category(fs)
+		exps                 = cliutil.Experiments(fs)
+		camps                = cliutil.Campaigns(fs)
+		seed                 = cliutil.Seed(fs, 1)
+		workers              = cliutil.Workers(fs)
+		inputs               = cliutil.Inputs(fs)
+		detectors, broadcast = cliutil.Detectors(fs)
+		large                = cliutil.Large(fs)
+		tel                  = cliutil.TelemetryFlags(fs)
+
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		verbose   = flag.Bool("v", false, "print per-campaign rows and sample injections")
 		jsonOut   = flag.Bool("json", false, "emit the study as JSON instead of text")
 		csvOut    = flag.Bool("csv", false, "emit the study as a CSV row (with header)")
-		progress  = flag.Bool("progress", false, "render live progress on stderr")
-		events    = flag.String("events", "", "write structured JSONL spans to this file")
-		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6060)")
 		remote    = flag.String("remote", "", "submit to a vulfid daemon at this address instead of running locally")
 		traceRuns = flag.Bool("trace", false, "record golden/faulty divergence traces and print the propagation profile")
 		explain   = flag.Int("explain", -1, "run only the experiment at this index of the seed schedule, with tracing, and print its fault→divergence→outcome explanation")
@@ -70,6 +71,7 @@ func main() {
 		Benchmark: *benchName, ISA: strings.ToUpper(*isaName),
 		Category: *catName, Scale: scaleName,
 		Experiments: *exps, Campaigns: *camps, Seed: *seed, Workers: *workers,
+		Inputs:    *inputs,
 		Detectors: *detectors, BroadcastDetector: *broadcast,
 		Trace: *traceRuns || *explain >= 0,
 	}
@@ -89,12 +91,6 @@ func main() {
 		if *remote != "" {
 			fmt.Fprintln(os.Stderr, "-explain runs locally; against a daemon use GET /v1/jobs/{id}/explain?index=N")
 			os.Exit(2)
-		}
-		if cfg.Experiments <= 0 {
-			cfg.Experiments = 100
-		}
-		if cfg.Campaigns <= 0 {
-			cfg.Campaigns = 20
 		}
 		r, err := campaign.ExplainExperiment(ctx, cfg, *explain)
 		if err != nil {
@@ -121,36 +117,21 @@ func main() {
 	}
 
 	if *remote != "" {
-		if err := runRemote(ctx, *remote, spec, *jsonOut, *progress); err != nil {
+		if err := runRemote(ctx, *remote, spec, *jsonOut, *tel.Progress); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if *events != "" {
-		f, err := os.Create(*events)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		ew := telemetry.NewEventWriter(f)
-		defer func() {
-			if err := ew.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "events: %v\n", err)
-			}
-		}()
-		cfg.Events = ew
+	ew, telStop, err := tel.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *httpAddr != "" {
-		_, url, err := telemetry.Serve(*httpAddr, telemetry.Default())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "telemetry on %s/metrics (also /debug/vars, /debug/pprof)\n", url)
-	}
-	if *progress {
+	defer telStop()
+	cfg.Events = ew
+	if *tel.Progress {
 		pr := telemetry.NewProgress(os.Stderr, cfg.String(), *camps**exps)
 		cfg.OnExperiment = func(r *campaign.ExperimentResult) {
 			pr.Observe(r.Outcome.String(), r.Detected)

@@ -2,11 +2,58 @@ package campaign
 
 import (
 	"context"
+	"os"
+	"strconv"
 	"testing"
 
 	"vulfi/internal/benchmarks"
+	"vulfi/internal/isa"
 	"vulfi/internal/passes"
 )
+
+// BenchmarkStudyThroughput measures whole-study throughput (prepare
+// excluded) on the default-scale AVX/pure-data cell under the
+// input-pool knob. The pool size comes from VULFI_BENCH_INPUTS
+// (unset/0 = no pool, no cache) so the cached and uncached modes share
+// one benchmark name and benchstat can diff them directly:
+//
+//	VULFI_BENCH_INPUTS=0 go test -run '^$' -bench StudyThroughput -count 10 ./internal/campaign/ > uncached.txt
+//	VULFI_BENCH_INPUTS=4 go test -run '^$' -bench StudyThroughput -count 10 ./internal/campaign/ > cached.txt
+//	benchstat uncached.txt cached.txt
+//
+// scripts/bench-cache.sh automates the pairing (see also the CI
+// cache-bench job, which fails on uncached-path regressions).
+func BenchmarkStudyThroughput(b *testing.B) {
+	inputs := 0
+	if s := os.Getenv("VULFI_BENCH_INPUTS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			b.Fatalf("VULFI_BENCH_INPUTS=%q: %v", s, err)
+		}
+		inputs = v
+	}
+	cfg := Config{
+		Benchmark: benchmarks.VectorCopy, ISA: isa.AVX,
+		Category: passes.PureData, Scale: benchmarks.ScaleDefault,
+		Experiments: 25, Campaigns: 2, Seed: 1, Workers: 1,
+		Inputs: inputs,
+	}
+	p, err := Prepare(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := p.RunStudy(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += sr.Totals.Experiments
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "exp/s")
+}
 
 // BenchmarkCampaignThroughput measures end-to-end experiment throughput
 // (prepare excluded): one golden/faulty pair per iteration over the

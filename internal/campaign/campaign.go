@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"vulfi/internal/benchmarks"
@@ -60,6 +61,16 @@ type Config struct {
 	Seed int64
 	// Workers bounds experiment parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Inputs selects the input-pool mode (§IV-B). 0 gives every
+	// experiment its own freshly drawn input (the historical default);
+	// K > 0 draws experiment i's input seed from a pool of K seeds
+	// (index i mod K), so K = 1 is the paper-faithful fixed-input mode.
+	// With a pool the golden half of each pair is memoized per input
+	// seed (see goldenCache), which roughly halves campaign cost; the
+	// cache is bypassed when Trace is on because divergence analysis
+	// needs a live golden ring. Caching is observationally invisible:
+	// results are byte-identical to an uncached run of the same pool.
+	Inputs int
 	// Detectors inserts the §III detectors before instrumentation.
 	Detectors bool
 	// DetectorEveryIteration moves the foreach check into the latch
@@ -159,6 +170,12 @@ type Prepared struct {
 	reg *telemetry.Registry
 	im  *interp.Metrics
 	mx  cellMetrics
+
+	// golden memoizes golden runs per input seed (nil unless the cell
+	// has an input pool and tracing is off).
+	golden *goldenCache
+	// pool recycles reset interpreter instances across experiments.
+	pool sync.Pool
 }
 
 // cellMetrics caches the study cell's instruments so the per-experiment
@@ -197,6 +214,9 @@ func (c Config) registry() *telemetry.Registry {
 // The compile+instrument wall time lands in the study registry's
 // "campaign.prepare" histogram.
 func Prepare(cfg Config) (*Prepared, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	reg := cfg.registry()
 	defer reg.Histogram("campaign.prepare").Since(time.Now())
 	res, err := codegen.Compile(mustProgram(cfg.Benchmark), cfg.ISA,
@@ -230,6 +250,8 @@ func Prepare(cfg Config) (*Prepared, error) {
 	}
 	if cfg.Trace {
 		p.Profile = trace.NewProfile(reg)
+	} else if cfg.Inputs > 0 {
+		p.golden = newGoldenCache(goldenCacheCap(cfg.Inputs), reg)
 	}
 	return p, nil
 }
@@ -239,9 +261,20 @@ func mustProgram(b *benchmarks.Benchmark) *langProgram {
 	return compileProgram(b)
 }
 
-// newInstance builds an interpreter instance with the ISA intrinsics, the
-// detector runtime and an injection plan attached.
+// newInstance builds (or reuses) an interpreter instance with the ISA
+// intrinsics, the detector runtime and an injection plan attached.
+// Instances come from a per-cell pool: experiments return them with
+// release once every observable product has been copied out. The reset
+// path re-binds only the plan-dependent injection runtime; the
+// plan-independent ISA and detector externs survive the reset.
 func (p *Prepared) newInstance(plan *core.Plan, budget uint64) (*exec.Instance, error) {
+	if v := p.pool.Get(); v != nil {
+		x := v.(*exec.Instance)
+		if err := x.Reset(interp.Options{Budget: budget}); err == nil {
+			core.AttachRuntime(x.It, plan)
+			return x, nil
+		}
+	}
 	x, err := exec.NewInstance(p.Res, interp.Options{Budget: budget})
 	if err != nil {
 		return nil, err
@@ -251,6 +284,10 @@ func (p *Prepared) newInstance(plan *core.Plan, budget uint64) (*exec.Instance, 
 	detect.AttachRuntime(x.It)
 	return x, nil
 }
+
+// release returns an instance to the reuse pool. Callers must not touch
+// the instance afterwards: the next newInstance wipes its state.
+func (p *Prepared) release(x *exec.Instance) { p.pool.Put(x) }
 
 // observe runs the entry function and extracts the comparable output:
 // the declared output regions plus the program output stream.
@@ -292,20 +329,20 @@ func quantizeF32(b []byte, step float32) []byte {
 	return out
 }
 
-// RunExperiment performs one paired experiment (§IV-B execution
-// strategy): a golden counting run that records the output and the
-// dynamic fault-site count N, then a faulty run with one bit flipped at a
-// uniformly chosen dynamic site. Per-phase wall times (golden, faulty,
-// compare) and outcome counters land in the study registry.
-//
-// Cancellation is checked only on entry: a started experiment runs to
-// completion, so a cancelled study never records a half-finished pair.
-func (p *Prepared) RunExperiment(ctx context.Context, seed int64) (*ExperimentResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	// Golden run.
+// goldenRun is the product of one golden counting run: everything the
+// faulty half of an experiment needs. With an input pool configured it
+// is memoized per input seed (see goldenCache). The ring is only set in
+// trace mode, which bypasses the cache.
+type goldenRun struct {
+	Out       []byte
+	DynSites  uint64
+	DynInstrs uint64
+	Label     string
+	ring      *trace.Ring
+}
+
+// execGolden performs one golden counting run for the given input seed.
+func (p *Prepared) execGolden(inputSeed int64) (*goldenRun, error) {
 	goldenPlan := &core.Plan{Mode: core.CountOnly}
 	xg, err := p.newInstance(goldenPlan, 0)
 	if err != nil {
@@ -316,22 +353,77 @@ func (p *Prepared) RunExperiment(ctx context.Context, seed int64) (*ExperimentRe
 		gRing = trace.NewRing(p.Cfg.TraceCap)
 		xg.It.SetRecorder(gRing)
 	}
-	spec, err := p.Cfg.Benchmark.Setup(xg, rand.New(rand.NewSource(seed)), p.Cfg.Scale)
+	spec, err := p.Cfg.Benchmark.Setup(xg, rand.New(rand.NewSource(inputSeed)), p.Cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
-	goldenOut, tr := p.observe(xg, spec)
+	out, tr := p.observe(xg, spec)
 	if tr != nil {
 		return nil, fmt.Errorf("golden run trapped (%s, input %s): %w",
 			p.Cfg, spec.Label, tr)
 	}
+	g := &goldenRun{
+		Out:       out,
+		DynSites:  goldenPlan.DynSites,
+		DynInstrs: xg.It.DynInstrs,
+		Label:     spec.Label,
+		ring:      gRing,
+	}
+	p.release(xg)
+	return g, nil
+}
+
+// goldenRunFor resolves the golden half of an experiment, through the
+// memoization cache when the cell carries one.
+func (p *Prepared) goldenRunFor(inputSeed int64) (*goldenRun, error) {
+	if p.golden != nil {
+		return p.golden.get(inputSeed, func() (*goldenRun, error) {
+			return p.execGolden(inputSeed)
+		})
+	}
+	return p.execGolden(inputSeed)
+}
+
+// RunExperiment performs one paired experiment with seed driving both
+// the input generation and the fault selection — the historical
+// single-seed form, equivalent to an experiment of a study without an
+// input pool. Studies with input pools go through RunExperimentAt.
+func (p *Prepared) RunExperiment(ctx context.Context, seed int64) (*ExperimentResult, error) {
+	return p.runExperiment(ctx, seed, seed)
+}
+
+// RunExperimentAt runs the experiment at index i of the deterministic
+// study schedule: fault seed ExperimentSeed(i), input seed InputSeed(i).
+func (p *Prepared) RunExperimentAt(ctx context.Context, i int) (*ExperimentResult, error) {
+	return p.runExperiment(ctx, p.Cfg.ExperimentSeed(i), p.Cfg.InputSeed(i))
+}
+
+// runExperiment performs one paired experiment (§IV-B execution
+// strategy): a golden counting run that records the output and the
+// dynamic fault-site count N (memoized per input seed when the cell has
+// an input pool), then a faulty run with one bit flipped at a uniformly
+// chosen dynamic site. Per-phase wall times (golden, faulty, compare)
+// and outcome counters land in the study registry. The fault schedule
+// depends only on seed; the program input only on inputSeed.
+//
+// Cancellation is checked only on entry: a started experiment runs to
+// completion, so a cancelled study never records a half-finished pair.
+func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64) (*ExperimentResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g, err := p.goldenRunFor(inputSeed)
+	if err != nil {
+		return nil, err
+	}
 	p.mx.golden.Since(start)
 	res := &ExperimentResult{
-		DynSites:        goldenPlan.DynSites,
-		GoldenDynInstrs: xg.It.DynInstrs,
-		InputLabel:      spec.Label,
+		DynSites:        g.DynSites,
+		GoldenDynInstrs: g.DynInstrs,
+		InputLabel:      g.Label,
 	}
-	if goldenPlan.DynSites == 0 {
+	if g.DynSites == 0 {
 		// No dynamic site in this category was ever reached: nothing to
 		// corrupt; the experiment is vacuously benign.
 		res.Outcome = OutcomeBenign
@@ -345,13 +437,13 @@ func (p *Prepared) RunExperiment(ctx context.Context, seed int64) (*ExperimentRe
 	frng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
 	faultPlan := &core.Plan{
 		Mode:      core.InjectOnce,
-		TargetDyn: 1 + uint64(frng.Int63n(int64(goldenPlan.DynSites))),
+		TargetDyn: 1 + uint64(frng.Int63n(int64(g.DynSites))),
 		BitSeed:   uint64(frng.Int63()),
 	}
 
 	// Faulty run: same input (same setup seed), bounded by a hang budget.
 	faultyStart := time.Now()
-	budget := xg.It.DynInstrs*3 + 100_000
+	budget := g.DynInstrs*3 + 100_000
 	xf, err := p.newInstance(faultPlan, budget)
 	if err != nil {
 		return nil, err
@@ -361,7 +453,7 @@ func (p *Prepared) RunExperiment(ctx context.Context, seed int64) (*ExperimentRe
 		fRing = trace.NewRing(p.Cfg.TraceCap)
 		xf.It.SetRecorder(fRing)
 	}
-	spec2, err := p.Cfg.Benchmark.Setup(xf, rand.New(rand.NewSource(seed)), p.Cfg.Scale)
+	spec2, err := p.Cfg.Benchmark.Setup(xf, rand.New(rand.NewSource(inputSeed)), p.Cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -377,16 +469,17 @@ func (p *Prepared) RunExperiment(ctx context.Context, seed int64) (*ExperimentRe
 		res.Outcome = OutcomeCrash
 		res.Trap = ftr
 		res.Hang = ftr.Kind == interp.TrapBudget
-	case !bytes.Equal(goldenOut, faultyOut):
+	case !bytes.Equal(g.Out, faultyOut):
 		res.Outcome = OutcomeSDC
 	default:
 		res.Outcome = OutcomeBenign
 	}
 	if p.Cfg.Trace {
-		res.Explanation = p.explain(gRing, fRing, res, xf, ftr)
+		res.Explanation = p.explain(g.ring, fRing, res, xf, ftr)
 		p.Profile.Add(res.Explanation)
 	}
 	p.mx.compare.Since(compareStart)
+	p.release(xf)
 	res.Wall = time.Since(start)
 	p.finishExperiment(res)
 	return res, nil

@@ -63,14 +63,19 @@ func (p *Prepared) siteRef(ls core.LaneSite) *trace.SiteRef {
 // is the engine behind `vulfi -explain` and the service's
 // GET /v1/jobs/{id}/explain?index=N endpoint.
 func ExplainExperiment(ctx context.Context, cfg Config, index int) (*ExperimentResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if index < 0 || index >= cfg.Experiments*cfg.Campaigns {
 		return nil, fmt.Errorf("experiment index %d out of range [0,%d)",
 			index, cfg.Experiments*cfg.Campaigns)
 	}
+	// Tracing forces the golden-cache bypass, so the explanation always
+	// analyzes a live golden ring even on cached studies.
 	cfg.Trace = true
 	p, err := Prepare(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return p.RunExperiment(ctx, cfg.ExperimentSeed(index))
+	return p.RunExperimentAt(ctx, index)
 }

@@ -19,6 +19,7 @@ type studyJSON struct {
 	Experiments int     `json:"experiments_per_campaign"`
 	Campaigns   int     `json:"campaigns"`
 	Seed        int64   `json:"seed"`
+	Inputs      int     `json:"inputs"`
 	Detectors   bool    `json:"detectors"`
 	StaticSites int     `json:"static_sites"`
 	LaneSites   int     `json:"lane_sites"`
@@ -57,6 +58,7 @@ func (sr *StudyResult) toJSON() studyJSON {
 		Experiments: sr.Cfg.Experiments,
 		Campaigns:   sr.Cfg.Campaigns,
 		Seed:        sr.Cfg.Seed,
+		Inputs:      sr.Cfg.Inputs,
 		Detectors:   sr.Cfg.Detectors,
 		StaticSites: sr.StaticSites,
 		LaneSites:   sr.LaneSites,
@@ -97,7 +99,7 @@ func (sr *StudyResult) WriteJSON(w io.Writer) error {
 // CSVHeader is the column list WriteCSVRow emits, suitable for
 // aggregating many study cells into one table.
 var CSVHeader = []string{
-	"benchmark", "isa", "category", "campaigns", "experiments",
+	"benchmark", "isa", "category", "campaigns", "experiments", "inputs",
 	"static_sites", "lane_sites", "sdc", "benign", "crash", "hang",
 	"detected", "sdc_detected", "sdc_rate", "benign_rate", "crash_rate",
 	"sdc_detection_rate", "margin_of_error_95", "near_normal",
@@ -122,6 +124,7 @@ func (sr *StudyResult) WriteCSVRow(w io.Writer) error {
 	row := []string{
 		sr.Cfg.Benchmark.Name, sr.Cfg.ISA.Name, sr.Cfg.Category.String(),
 		strconv.Itoa(sr.Cfg.Campaigns), strconv.Itoa(sr.Cfg.Experiments),
+		strconv.Itoa(sr.Cfg.Inputs),
 		strconv.Itoa(sr.StaticSites), strconv.Itoa(sr.LaneSites),
 		strconv.Itoa(t.SDC), strconv.Itoa(t.Benign), strconv.Itoa(t.Crash),
 		strconv.Itoa(t.Hang), strconv.Itoa(t.Detected), strconv.Itoa(t.SDCDetected),

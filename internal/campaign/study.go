@@ -155,15 +155,27 @@ func (c Config) ExperimentSeed(i int) int64 {
 	return c.Seed + int64(i)*0x9E3779B9 + 1
 }
 
+// InputSeed returns the seed that generates experiment i's program
+// input. Without an input pool (Inputs <= 0) it equals ExperimentSeed(i)
+// — every experiment draws its own input, the historical behavior. With
+// Inputs = K > 0 experiment i draws from a pool of K seeds (index
+// i mod K), so pool seed j generates exactly the input experiment j
+// would have drawn uncached. The pool schedule depends only on Seed and
+// K, never on the experiment count, so resumed studies see identical
+// inputs.
+func (c Config) InputSeed(i int) int64 {
+	if c.Inputs <= 0 {
+		return c.ExperimentSeed(i)
+	}
+	return c.ExperimentSeed(i % c.Inputs)
+}
+
 // RunStudy prepares the cell and runs Campaigns × Experiments paired
 // experiments on a worker pool, grouping results into campaigns.
 // Cancelling ctx stops the study cooperatively between experiments.
 func RunStudy(ctx context.Context, cfg Config) (*StudyResult, error) {
-	if cfg.Experiments <= 0 {
-		cfg.Experiments = 100
-	}
-	if cfg.Campaigns <= 0 {
-		cfg.Campaigns = 20
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	p, err := Prepare(cfg)
 	if err != nil {
@@ -215,7 +227,7 @@ func (p *Prepared) RunStudy(ctx context.Context) (*StudyResult, error) {
 			defer wg.Done()
 			for i := range work {
 				seed := cfg.ExperimentSeed(i)
-				r, err := p.RunExperiment(ctx, seed)
+				r, err := p.RunExperimentAt(ctx, i)
 				results[i], errs[i] = r, err
 				if err != nil {
 					abortOnce.Do(func() { close(abort) })

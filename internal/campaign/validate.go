@@ -1,0 +1,51 @@
+package campaign
+
+import (
+	"fmt"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/passes"
+)
+
+// Validate normalizes the configuration in place — applying the paper's
+// defaults for unset counts (100 experiments × 20 campaigns) — and
+// reports the first invalid field. It is the single gate every entry
+// point shares: the root vulfi package, RunStudy/Prepare, the CLIs and
+// the vulfid service all funnel their configurations through it, so a
+// spec rejected in one place is rejected identically everywhere.
+func (c *Config) Validate() error {
+	if c.Benchmark == nil {
+		return fmt.Errorf("campaign: Benchmark is required")
+	}
+	if c.ISA == nil {
+		return fmt.Errorf("campaign: ISA is required")
+	}
+	if c.Category < passes.PureData || c.Category > passes.Address {
+		return fmt.Errorf("campaign: unknown category %d", c.Category)
+	}
+	if c.Scale < benchmarks.ScaleTest || c.Scale > benchmarks.ScaleLarge {
+		return fmt.Errorf("campaign: unknown scale %d", c.Scale)
+	}
+	if c.Experiments < 0 {
+		return fmt.Errorf("campaign: Experiments must be non-negative (got %d)", c.Experiments)
+	}
+	if c.Campaigns < 0 {
+		return fmt.Errorf("campaign: Campaigns must be non-negative (got %d)", c.Campaigns)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("campaign: Workers must be non-negative (got %d)", c.Workers)
+	}
+	if c.Inputs < 0 {
+		return fmt.Errorf("campaign: Inputs must be non-negative (got %d)", c.Inputs)
+	}
+	if c.TraceCap < 0 {
+		return fmt.Errorf("campaign: TraceCap must be non-negative (got %d)", c.TraceCap)
+	}
+	if c.Experiments == 0 {
+		c.Experiments = 100
+	}
+	if c.Campaigns == 0 {
+		c.Campaigns = 20
+	}
+	return nil
+}

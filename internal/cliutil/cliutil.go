@@ -1,0 +1,123 @@
+// Package cliutil registers the canonical command-line flags shared by
+// the vulfi binaries (vulfi, vulfid, experiments, vspcc), so every tool
+// spells each knob the same way — -benchmark, -isa, -category, -seed,
+// -inputs, ... — with one usage string per knob. Per-binary defaults
+// stay with the caller (experiments seeds with the paper date, vspcc
+// has no default benchmark), but a flag's name and meaning never drift
+// between tools.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vulfi/internal/telemetry"
+)
+
+// Benchmark registers the canonical -benchmark flag.
+func Benchmark(fs *flag.FlagSet, def string) *string {
+	return fs.String("benchmark", def, "built-in benchmark name (see 'vulfi -list')")
+}
+
+// ISA registers the canonical -isa flag. Binaries that accept "all
+// ISAs" pass an empty default.
+func ISA(fs *flag.FlagSet, def string) *string {
+	return fs.String("isa", def, "target ISA: AVX or SSE")
+}
+
+// Category registers the canonical -category flag.
+func Category(fs *flag.FlagSet) *string {
+	return fs.String("category", "pure-data", "fault-site category: pure-data, control, address")
+}
+
+// Experiments registers the canonical -experiments flag (paper: 100
+// per campaign).
+func Experiments(fs *flag.FlagSet) *int {
+	return fs.Int("experiments", 100, "experiments per campaign")
+}
+
+// Campaigns registers the canonical -campaigns flag (paper: 20).
+func Campaigns(fs *flag.FlagSet) *int {
+	return fs.Int("campaigns", 20, "number of campaigns")
+}
+
+// Seed registers the canonical -seed flag.
+func Seed(fs *flag.FlagSet, def int64) *int64 {
+	return fs.Int64("seed", def, "study seed (the whole schedule is deterministic under it)")
+}
+
+// Workers registers the canonical -workers flag.
+func Workers(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "experiment parallelism (0 = NumCPU)")
+}
+
+// Inputs registers the canonical -inputs flag: the input-pool size K
+// that enables golden-run memoization.
+func Inputs(fs *flag.FlagSet) *int {
+	return fs.Int("inputs", 0, "input-pool size K: experiment i draws input i mod K and golden runs are memoized (0 = fresh input per experiment, 1 = paper-faithful fixed input)")
+}
+
+// Detectors registers the canonical detector pair: -detectors and
+// -broadcast-detector.
+func Detectors(fs *flag.FlagSet) (detectors, broadcast *bool) {
+	detectors = fs.Bool("detectors", false, "insert the foreach-invariant detectors")
+	broadcast = fs.Bool("broadcast-detector", false, "also insert the uniform-broadcast checker")
+	return detectors, broadcast
+}
+
+// Large registers the canonical -large flag.
+func Large(fs *flag.FlagSet) *bool {
+	return fs.Bool("large", false, "use large inputs")
+}
+
+// Telemetry is the shared observability flag group — -progress,
+// -events and -http — registered identically by every campaign binary.
+type Telemetry struct {
+	Progress *bool
+	Events   *string
+	HTTP     *string
+}
+
+// TelemetryFlags registers the canonical telemetry flag group.
+func TelemetryFlags(fs *flag.FlagSet) *Telemetry {
+	return &Telemetry{
+		Progress: fs.Bool("progress", false, "render live progress on stderr"),
+		Events:   fs.String("events", "", "write structured JSONL spans to this file"),
+		HTTP:     fs.String("http", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6060)"),
+	}
+}
+
+// Start opens the -events sink and the -http telemetry server. It
+// returns the event writer (nil unless -events was given) and a cleanup
+// function — defer it — that flushes and closes the sink, reporting
+// close errors to stderr.
+func (t *Telemetry) Start(stderr io.Writer) (*telemetry.EventWriter, func(), error) {
+	var ew *telemetry.EventWriter
+	if *t.Events != "" {
+		f, err := os.Create(*t.Events)
+		if err != nil {
+			return nil, func() {}, err
+		}
+		ew = telemetry.NewEventWriter(f)
+	}
+	if *t.HTTP != "" {
+		_, url, err := telemetry.Serve(*t.HTTP, telemetry.Default())
+		if err != nil {
+			if ew != nil {
+				ew.Close()
+			}
+			return nil, func() {}, err
+		}
+		fmt.Fprintf(stderr, "telemetry on %s/metrics (also /debug/vars, /debug/pprof)\n", url)
+	}
+	cleanup := func() {
+		if ew != nil {
+			if err := ew.Close(); err != nil {
+				fmt.Fprintf(stderr, "events: %v\n", err)
+			}
+		}
+	}
+	return ew, cleanup, nil
+}

@@ -31,6 +31,17 @@ func NewInstance(res *codegen.Result, opts interp.Options) (*Instance, error) {
 	return &Instance{It: it, Res: res}, nil
 }
 
+// Reset returns the instance to its post-NewInstance state under new
+// interpreter options: fresh memory image and counters, globals at
+// identical addresses, ISA intrinsics still bound. Campaign hot paths
+// reset-and-reuse instances instead of building one per run.
+func (x *Instance) Reset(opts interp.Options) error {
+	if tr := x.It.Reset(opts); tr != nil {
+		return tr
+	}
+	return nil
+}
+
 // AllocF32 copies data into a fresh memory segment of float32 cells.
 func (x *Instance) AllocF32(data []float32) (uint64, error) {
 	addr, tr := x.It.Mem.Alloc(uint64(4 * len(data)))

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"testing"
+
+	"vulfi/internal/codegen"
+	"vulfi/internal/interp"
+	"vulfi/internal/isa"
+)
+
+// TestResetDeterminism: a reset instance must behave exactly like a
+// fresh one — same allocation addresses, same outputs, same dynamic
+// instruction counts — because the campaign engine recycles instances
+// across experiments and its results must not depend on reuse.
+func TestResetDeterminism(t *testing.T) {
+	res, err := codegen.CompileSource(incSrc, isa.SSE, "inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type run struct {
+		addr  uint64
+		out   []float32
+		insts uint64
+	}
+	oneRun := func(x *Instance) run {
+		t.Helper()
+		fa, err := x.AllocF32([]float32{1, 2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, tr := x.CallExport("inc", PtrArgF32(fa), I32Arg(4)); tr != nil {
+			t.Fatal(tr)
+		}
+		out, err := x.ReadF32(fa, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run{addr: fa, out: out, insts: x.It.DynInstrs}
+	}
+
+	x, err := NewInstance(res, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := oneRun(x)
+
+	if err := x.Reset(interp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	second := oneRun(x)
+
+	fresh, err := NewInstance(res, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := oneRun(fresh)
+
+	for i, r := range []run{second, third} {
+		if r.addr != first.addr {
+			t.Fatalf("run %d alloc address %#x, want %#x", i, r.addr, first.addr)
+		}
+		if r.insts != first.insts {
+			t.Fatalf("run %d retired %d instructions, want %d", i, r.insts, first.insts)
+		}
+		for j := range r.out {
+			if r.out[j] != first.out[j] {
+				t.Fatalf("run %d out[%d] = %v, want %v", i, j, r.out[j], first.out[j])
+			}
+		}
+	}
+}
+
+// TestResetZeroesRecycledMemory: buffers recycled through the memory
+// free list must come back zeroed, or a reset instance could read stale
+// bytes from the previous experiment.
+func TestResetZeroesRecycledMemory(t *testing.T) {
+	res, err := codegen.CompileSource(incSrc, isa.SSE, "inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewInstance(res, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := x.AllocF32([]float32{9, 9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Reset(interp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// The same-size allocation reuses the recycled buffer (and, by the
+	// deterministic address sequence, the same address).
+	fb, tr := x.It.Mem.Alloc(16)
+	if tr != nil {
+		t.Fatal(tr)
+	}
+	if fb != fa {
+		t.Fatalf("recycled allocation at %#x, want %#x", fb, fa)
+	}
+	got, err := x.ReadF32(fb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("recycled[%d] = %v, want zero", i, v)
+		}
+	}
+}

@@ -54,6 +54,12 @@ type Interp struct {
 	tracer   *Tracer
 	rec      Recorder
 
+	// frames and ops recycle call frames and operand buffers across
+	// calls (and across Reset), so the steady state of a long campaign
+	// allocates neither on the execution hot path.
+	frames []*frame
+	ops    [][]Value
+
 	// metrics, when attached, receives batched execution counters; nil
 	// keeps the hot path to a single pointer test (see SetMetrics).
 	metrics       *Metrics
@@ -63,29 +69,55 @@ type Interp struct {
 
 // New creates an interpreter for mod, allocating storage for its globals.
 func New(mod *ir.Module, opts Options) (*Interp, error) {
+	it := &Interp{
+		Mod:     mod,
+		Mem:     NewMemory(opts.MemLimit),
+		externs: map[string]ExternFn{},
+		globals: map[*ir.Global]uint64{},
+	}
+	if tr := it.Reset(opts); tr != nil {
+		return nil, tr
+	}
+	RegisterBuiltins(it)
+	return it, nil
+}
+
+// Reset returns the interpreter to its post-New state under new options,
+// keeping registered externs, attached metrics and the recycling pools
+// but dropping all execution state: output, counters, detections,
+// recorder/tracer, call depth and the entire memory image. Globals are
+// reallocated in module order on the recycled memory, so they land at
+// exactly the addresses a fresh interpreter would use — a deterministic
+// program behaves identically on a reset and on a fresh instance.
+// Campaign hot paths reset-and-reuse instances instead of rebuilding
+// every frame, buffer and segment per experiment.
+func (it *Interp) Reset(opts Options) *Trap {
 	if opts.Budget == 0 {
 		opts.Budget = 200_000_000
 	}
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = 512
 	}
-	it := &Interp{
-		Mod:      mod,
-		Mem:      NewMemory(opts.MemLimit),
-		externs:  map[string]ExternFn{},
-		budget:   opts.Budget,
-		maxDepth: opts.MaxDepth,
-		globals:  map[*ir.Global]uint64{},
-	}
-	for _, g := range mod.Globals {
+	it.Mem.Reset(opts.MemLimit)
+	it.Output.Reset()
+	it.DynInstrs, it.DynVector = 0, 0
+	it.Detections = it.Detections[:0]
+	it.DetectionDyns = it.DetectionDyns[:0]
+	it.budget = opts.Budget
+	it.maxDepth = opts.MaxDepth
+	it.depth = 0
+	it.tracer = nil
+	it.rec = nil
+	it.flushedInstrs, it.flushedVector = 0, 0
+	clear(it.globals)
+	for _, g := range it.Mod.Globals {
 		addr, tr := it.Mem.Alloc(uint64(g.Elem.ByteSize() * g.Count))
 		if tr != nil {
-			return nil, tr
+			return tr
 		}
 		it.globals[g] = addr
 	}
-	RegisterBuiltins(it)
-	return it, nil
+	return nil
 }
 
 // RegisterExtern installs (or replaces) the implementation of an external
@@ -138,8 +170,12 @@ func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 		it.depth--
 		return Value{}, trapf(TrapStack, "call depth %d at @%s", it.depth, f.Nam)
 	}
+	var fr *frame
 	defer func() {
 		it.depth--
+		if fr != nil {
+			it.putFrame(fr)
+		}
 		// Top-level return: publish batched counters and record a trap
 		// outcome, so attached telemetry costs nothing per instruction.
 		if it.depth == 0 && it.metrics != nil {
@@ -154,11 +190,7 @@ func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 		return Value{}, trapf(TrapHalt, "@%s: got %d args, want %d",
 			f.Nam, len(args), len(f.Params))
 	}
-	fr := &frame{
-		vals:   make(map[*ir.Instr]Value, 64),
-		params: make([]Value, len(args)),
-	}
-	copy(fr.params, args)
+	fr = it.getFrame(args)
 
 	cur := f.Entry()
 	var prev *ir.Block
@@ -166,10 +198,11 @@ func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 		// Evaluate phis as a parallel copy.
 		phis := cur.Phis()
 		if len(phis) > 0 {
-			tmp := make([]Value, len(phis))
+			tmp := it.getOps(len(phis))
 			for i, phi := range phis {
 				v, tr := it.phiIncoming(fr, phi, prev)
 				if tr != nil {
+					it.putOps(tmp)
 					return Value{}, it.locate(tr, phi)
 				}
 				tmp[i] = v
@@ -181,6 +214,7 @@ func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 					it.rec.Retire(phi, it.DynInstrs, tmp[i])
 				}
 			}
+			it.putOps(tmp)
 			if tr := it.checkBudget(); tr != nil {
 				return Value{}, it.locate(tr, phis[0])
 			}
@@ -240,6 +274,58 @@ func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 type frame struct {
 	vals   map[*ir.Instr]Value
 	params []Value
+}
+
+// getFrame pops a recycled call frame (or builds one) with args copied
+// into its params.
+func (it *Interp) getFrame(args []Value) *frame {
+	var fr *frame
+	if n := len(it.frames); n > 0 {
+		fr = it.frames[n-1]
+		it.frames[n-1] = nil
+		it.frames = it.frames[:n-1]
+	} else {
+		fr = &frame{vals: make(map[*ir.Instr]Value, 64)}
+	}
+	fr.params = append(fr.params[:0], args...)
+	return fr
+}
+
+// putFrame drops a frame's value references and returns it to the pool.
+func (it *Interp) putFrame(fr *frame) {
+	clear(fr.vals)
+	for i := range fr.params {
+		fr.params[i] = Value{}
+	}
+	fr.params = fr.params[:0]
+	it.frames = append(it.frames, fr)
+}
+
+// getOps pops a recycled operand buffer of length n. The buffers are
+// scratch for one instruction: every execInstr path must return them
+// with putOps once the result value has been built (results never alias
+// the buffer itself, only the Bits payloads of live values).
+func (it *Interp) getOps(n int) []Value {
+	if m := len(it.ops); m > 0 {
+		buf := it.ops[m-1]
+		it.ops[m-1] = nil
+		it.ops = it.ops[:m-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	if n < 4 {
+		return make([]Value, n, 4)
+	}
+	return make([]Value, n)
+}
+
+// putOps drops the buffer's value references and returns it to the pool.
+func (it *Interp) putOps(ops []Value) {
+	for i := range ops {
+		ops[i] = Value{}
+	}
+	it.ops = append(it.ops, ops[:0])
 }
 
 // locate stamps tr with the provenance of the instruction that was
@@ -308,10 +394,11 @@ func (it *Interp) eval(fr *frame, v ir.Value) (Value, *Trap) {
 }
 
 func (it *Interp) evalN(fr *frame, in *ir.Instr) ([]Value, *Trap) {
-	out := make([]Value, in.NumOperands())
+	out := it.getOps(in.NumOperands())
 	for i := 0; i < in.NumOperands(); i++ {
 		v, tr := it.eval(fr, in.Operand(i))
 		if tr != nil {
+			it.putOps(out)
 			return nil, tr
 		}
 		out[i] = v
@@ -327,25 +414,33 @@ func (it *Interp) execInstr(fr *frame, in *ir.Instr) (Value, *Trap) {
 		if tr != nil {
 			return Value{}, tr
 		}
-		return intBin(in.Op, ops[0], ops[1])
+		v, tr := intBin(in.Op, ops[0], ops[1])
+		it.putOps(ops)
+		return v, tr
 	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFRem:
 		ops, tr := it.evalN(fr, in)
 		if tr != nil {
 			return Value{}, tr
 		}
-		return floatBin(in.Op, ops[0], ops[1]), nil
+		v := floatBin(in.Op, ops[0], ops[1])
+		it.putOps(ops)
+		return v, nil
 	case ir.OpICmp, ir.OpFCmp:
 		ops, tr := it.evalN(fr, in)
 		if tr != nil {
 			return Value{}, tr
 		}
-		return compare(in.Op, in.Pred, ops[0], ops[1]), nil
+		v := compare(in.Op, in.Pred, ops[0], ops[1])
+		it.putOps(ops)
+		return v, nil
 	case ir.OpSelect:
 		ops, tr := it.evalN(fr, in)
 		if tr != nil {
 			return Value{}, tr
 		}
-		return selectVal(ops[0], ops[1], ops[2]), nil
+		v := selectVal(ops[0], ops[1], ops[2])
+		it.putOps(ops)
+		return v, nil
 	case ir.OpAlloca:
 		addr, tr := it.Mem.Alloc(uint64(in.AllocElem.ByteSize() * in.AllocCount))
 		if tr != nil {
@@ -363,7 +458,9 @@ func (it *Interp) execInstr(fr *frame, in *ir.Instr) (Value, *Trap) {
 		if tr != nil {
 			return Value{}, tr
 		}
-		return Value{}, it.Mem.Store(ops[0], ops[1].Uint())
+		str := it.Mem.Store(ops[0], ops[1].Uint())
+		it.putOps(ops)
+		return Value{}, str
 	case ir.OpGEP:
 		ops, tr := it.evalN(fr, in)
 		if tr != nil {
@@ -371,6 +468,7 @@ func (it *Interp) execInstr(fr *frame, in *ir.Instr) (Value, *Trap) {
 		}
 		elem := in.Ty.Elem
 		addr := ops[0].Uint() + uint64(ops[1].Int())*uint64(elem.ByteSize())
+		it.putOps(ops)
 		return PtrValue(in.Ty, addr), nil
 	case ir.OpExtractElement:
 		ops, tr := it.evalN(fr, in)
@@ -382,7 +480,9 @@ func (it *Interp) execInstr(fr *frame, in *ir.Instr) (Value, *Trap) {
 			return Value{}, trapf(TrapBadIndex, "extractelement lane %d of %d",
 				idx, len(ops[0].Bits))
 		}
-		return Scalar(in.Ty, ops[0].Bits[idx]), nil
+		v := Scalar(in.Ty, ops[0].Bits[idx])
+		it.putOps(ops)
+		return v, nil
 	case ir.OpInsertElement:
 		ops, tr := it.evalN(fr, in)
 		if tr != nil {
@@ -395,6 +495,7 @@ func (it *Interp) execInstr(fr *frame, in *ir.Instr) (Value, *Trap) {
 		}
 		out := ops[0].Clone()
 		out.Bits[idx] = ops[1].Bits[0]
+		it.putOps(ops)
 		return out, nil
 	case ir.OpShuffleVector:
 		ops, tr := it.evalN(fr, in)
@@ -413,6 +514,7 @@ func (it *Interp) execInstr(fr *frame, in *ir.Instr) (Value, *Trap) {
 				out.Bits[i] = ops[1].Bits[mi-n]
 			}
 		}
+		it.putOps(ops)
 		return out, nil
 	case ir.OpPhi:
 		return Value{}, trapf(TrapHalt, "phi executed outside block entry")
@@ -421,7 +523,9 @@ func (it *Interp) execInstr(fr *frame, in *ir.Instr) (Value, *Trap) {
 		if tr != nil {
 			return Value{}, tr
 		}
-		return it.Call(in.Callee, ops)
+		v, tr := it.Call(in.Callee, ops)
+		it.putOps(ops)
+		return v, tr
 	default:
 		if in.Op.IsCast() {
 			v, tr := it.eval(fr, in.Operand(0))

@@ -24,6 +24,10 @@ type Memory struct {
 	next  uint64
 	limit uint64
 	data  map[uint64][]byte // segment start -> storage
+	// free recycles segment storage across Reset by (aligned) size class;
+	// recycled buffers are re-zeroed on reuse so a reset memory is
+	// indistinguishable from a fresh one.
+	free map[uint64][][]byte
 }
 
 type segment struct {
@@ -40,6 +44,28 @@ func NewMemory(limit uint64) *Memory {
 	return &Memory{next: memBase, limit: limit, data: map[uint64][]byte{}}
 }
 
+// Reset returns the memory to its freshly-constructed state while
+// keeping segment storage for recycling: subsequent Allocs of the same
+// sizes reuse (and re-zero) the old backing arrays instead of growing
+// the heap. The address sequence after Reset is identical to a fresh
+// Memory's, so a deterministic program sees the same pointers either
+// way.
+func (m *Memory) Reset(limit uint64) {
+	if limit == 0 {
+		limit = 1 << 30
+	}
+	if m.free == nil {
+		m.free = map[uint64][][]byte{}
+	}
+	for start, buf := range m.data {
+		m.free[uint64(len(buf))] = append(m.free[uint64(len(buf))], buf)
+		delete(m.data, start)
+	}
+	m.segs = m.segs[:0]
+	m.next = memBase
+	m.limit = limit
+}
+
 // Alloc reserves size bytes and returns the segment base address.
 func (m *Memory) Alloc(size uint64) (uint64, *Trap) {
 	if size == 0 {
@@ -52,7 +78,16 @@ func (m *Memory) Alloc(size uint64) (uint64, *Trap) {
 	}
 	addr := m.next
 	m.segs = append(m.segs, segment{start: addr, size: size})
-	m.data[addr] = make([]byte, size)
+	var store []byte
+	if bufs := m.free[size]; len(bufs) > 0 {
+		store = bufs[len(bufs)-1]
+		bufs[len(bufs)-1] = nil
+		m.free[size] = bufs[:len(bufs)-1]
+		clear(store)
+	} else {
+		store = make([]byte, size)
+	}
+	m.data[addr] = store
 	m.next = addr + size + guardGap
 	return addr, nil
 }

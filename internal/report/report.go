@@ -32,6 +32,10 @@ type Options struct {
 	Scale            benchmarks.Scale
 	Seed             int64
 	Workers          int
+	// Inputs is the input-pool size K threaded into every study cell:
+	// experiment i draws input i mod K and golden runs are memoized
+	// (0 = a fresh input per experiment, no cache).
+	Inputs int
 	// Benchmarks filters to the named subset (nil = all).
 	Benchmarks []string
 	// ISAs filters targets (nil = AVX + SSE).
@@ -64,6 +68,7 @@ func (o Options) ctx() context.Context {
 func (o Options) runStudy(cfg campaign.Config) (*campaign.StudyResult, error) {
 	cfg.Metrics = o.Metrics
 	cfg.Events = o.Events
+	cfg.Inputs = o.Inputs
 	if o.Progress != nil {
 		pr := telemetry.NewProgress(o.Progress, cfg.String(),
 			cfg.Campaigns*cfg.Experiments)

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAPIVersionHeader: every /v1 response — success or error, any
+// route — carries the schema version header.
+func TestAPIVersionHeader(t *testing.T) {
+	s := newTestServer(t, Options{})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/v1/jobs", "/v1/jobs/nope", "/no/such/route"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("Vulfid-Api-Version"); got != APIVersion {
+			t.Fatalf("GET %s: Vulfid-Api-Version = %q, want %q", path, got, APIVersion)
+		}
+	}
+}
+
+// TestSubmitUnknownFieldRejected: a typo'd spec field must fail loudly
+// with a 400 that names the offending field and quotes the accepted
+// schema — never silently run a default study.
+func TestSubmitUnknownFieldRejected(t *testing.T) {
+	s := newTestServer(t, Options{})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"benchmark":"VectorCopy","isa":"AVX","category":"control","inputz":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %s, want 400", resp.Status)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, "inputz") {
+		t.Fatalf("error %q does not name the unknown field", body.Error)
+	}
+	if !strings.Contains(body.Error, "inputs") || !strings.Contains(body.Error, "benchmark") {
+		t.Fatalf("error %q does not quote the accepted schema", body.Error)
+	}
+}
+
+// TestSpecFields: the reflected schema matches the documented wire
+// fields, so the 400 message can never drift from the struct.
+func TestSpecFields(t *testing.T) {
+	got := SpecFields()
+	want := []string{
+		"benchmark", "isa", "category", "scale", "experiments", "campaigns",
+		"seed", "workers", "inputs", "detectors", "detector_every_iteration",
+		"broadcast_detector", "mask_loop_detector", "whole_register_sites",
+		"mask_oblivious", "trace",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SpecFields() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SpecFields()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestInputsRoundTrip: the inputs knob must survive submit → status →
+// journal → resumed daemon, and the finished study must echo it.
+func TestInputsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Options{JournalDir: dir})
+	ts := httptest.NewServer(s1.Handler())
+
+	spec := testSpec()
+	spec.Inputs = 2
+	resp, raw := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, raw)
+	}
+	var st Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Spec.Inputs != 2 {
+		t.Fatalf("status echoed inputs = %d, want 2", st.Spec.Inputs)
+	}
+	final := waitState(t, s1, st.ID, StateDone)
+	var study struct {
+		Inputs int `json:"inputs"`
+	}
+	if err := json.Unmarshal(final.Result, &study); err != nil {
+		t.Fatal(err)
+	}
+	if study.Inputs != 2 {
+		t.Fatalf("exported study inputs = %d, want 2", study.Inputs)
+	}
+	ts.Close()
+	drain(t, s1)
+
+	// A fresh daemon over the same journal must rehydrate the knob.
+	s2 := newTestServer(t, Options{JournalDir: dir})
+	defer drain(t, s2)
+	job := s2.Job(st.ID)
+	if job == nil {
+		t.Fatalf("job %s not resumed from journal", st.ID)
+	}
+	if got := job.Status().Spec.Inputs; got != 2 {
+		t.Fatalf("resumed spec inputs = %d, want 2", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -285,7 +286,12 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/", telemetry.Handler(s.reg))
-	return mux
+	// Stamp every response with the wire-schema version so clients can
+	// detect drift without parsing bodies.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Vulfid-Api-Version", APIVersion)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // Serve binds addr (":0" allowed) and serves the API until Drain.
@@ -316,6 +322,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		// Unknown fields get the accepted schema quoted back, so a typo'd
+		// knob is a descriptive 400 rather than a silently default study.
+		if f, ok := strings.CutPrefix(err.Error(), "json: unknown field "); ok {
+			writeError(w, http.StatusBadRequest,
+				"bad spec: unknown field %s; the spec accepts: %s",
+				f, strings.Join(SpecFields(), ", "))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}
@@ -388,16 +402,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 				"index must be an integer in [0,%d)", job.Spec.Total())
 			return
 		}
+		// Spec.Config is already normalized (Validate applies the paper
+		// defaults), so the index range matches Spec.Total.
 		cfg, err := job.Spec.Config()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
-		}
-		if cfg.Experiments <= 0 {
-			cfg.Experiments = 100
-		}
-		if cfg.Campaigns <= 0 {
-			cfg.Campaigns = 20
 		}
 		res, err := campaign.ExplainExperiment(r.Context(), cfg, index)
 		if err != nil {

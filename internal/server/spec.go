@@ -22,6 +22,7 @@ package server
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 
 	"vulfi/internal/benchmarks"
@@ -30,9 +31,62 @@ import (
 	"vulfi/internal/passes"
 )
 
+// APIVersion identifies the wire schema of the /v1 API. Every response
+// carries it in the Vulfid-Api-Version header, so clients can detect
+// schema drift without parsing bodies. Bumped when the request or
+// response schema changes in a way a client could observe (1.1 added
+// the "inputs" pool knob and the version header itself).
+const APIVersion = "1.1"
+
 // Spec is the wire form of one study cell: the JSON body of POST
 // /v1/jobs. Zero-valued counts inherit the paper's defaults (100
 // experiments × 20 campaigns).
+//
+// # Request schema (POST /v1/jobs)
+//
+// Unknown fields are rejected with a descriptive 400, so typos never
+// silently run a default study. All fields below are optional except
+// benchmark, isa and category:
+//
+//	{
+//	  "benchmark": "Blackscholes",      // required; see `vulfi -list`
+//	  "isa": "AVX",                     // required; "AVX" or "SSE"
+//	  "category": "pure-data",          // required; "pure-data", "control", "address"
+//	  "scale": "default",               // "test", "default", "large"
+//	  "experiments": 100,               // per campaign; 0 = paper default 100
+//	  "campaigns": 20,                  // 0 = paper default 20
+//	  "seed": 1,                        // study seed (deterministic schedule)
+//	  "workers": 0,                     // experiment parallelism; 0 = GOMAXPROCS
+//	  "inputs": 0,                      // input-pool size K; see Spec.Inputs
+//	  "detectors": false,               // §III foreach-invariant detectors
+//	  "detector_every_iteration": false,
+//	  "broadcast_detector": false,
+//	  "mask_loop_detector": false,
+//	  "whole_register_sites": false,
+//	  "mask_oblivious": false,
+//	  "trace": false                    // divergence tracing (disables golden cache)
+//	}
+//
+// # Response schema
+//
+// Every /v1 response is JSON, stamped with the Vulfid-Api-Version
+// header. Errors are {"error": "..."} with a 4xx/5xx status. POST
+// /v1/jobs answers 202 with the job status (429 + Retry-After when the
+// queue is full):
+//
+//	{
+//	  "id": "j0123456789ab",
+//	  "state": "queued",                // queued|running|done|failed|cancelled
+//	  "spec": { ... },                  // the submitted spec, echoed
+//	  "total": 2000,                    // experiments after defaults
+//	  "completed": 0,                   // experiments finished so far
+//	  "error": "...",                   // failed jobs only
+//	  "result": { ... }                 // finished jobs: the exported study JSON
+//	}
+//
+// GET /v1/jobs lists {"jobs": [status...]} without results; GET
+// /v1/jobs/{id} returns one full status; DELETE cancels; the /events,
+// /metrics and /explain sub-resources are documented on their handlers.
 type Spec struct {
 	Benchmark string `json:"benchmark"`
 	ISA       string `json:"isa"`
@@ -44,6 +98,12 @@ type Spec struct {
 	Seed        int64  `json:"seed,omitempty"`
 	// Workers bounds the job's experiment parallelism (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// Inputs is the input-pool size K: experiment i draws its program
+	// input from a pool of K seeds (i mod K), enabling golden-run
+	// memoization. 0 = a fresh input per experiment (no cache); 1 = the
+	// paper-faithful fixed-input mode. Rides through the journal, so
+	// resumed jobs keep their pool.
+	Inputs int `json:"inputs,omitempty"`
 
 	Detectors              bool `json:"detectors,omitempty"`
 	DetectorEveryIteration bool `json:"detector_every_iteration,omitempty"`
@@ -54,8 +114,24 @@ type Spec struct {
 
 	// Trace enables golden-vs-faulty divergence tracing: the finished
 	// study carries a propagation profile (GET /v1/jobs/{id}/explain) and
-	// the per-job registry gains trace.* metrics.
+	// the per-job registry gains trace.* metrics. Tracing bypasses the
+	// golden-run cache (divergence analysis needs a live golden ring).
 	Trace bool `json:"trace,omitempty"`
+}
+
+// SpecFields returns the spec's JSON field names in declaration order —
+// the accepted request schema, quoted back to clients that send an
+// unknown field.
+func SpecFields() []string {
+	t := reflect.TypeOf(Spec{})
+	out := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		tag := t.Field(i).Tag.Get("json")
+		if name, _, _ := strings.Cut(tag, ","); name != "" && name != "-" {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // ParseCategory resolves the CLI/API spelling of a fault-site category.
@@ -84,8 +160,10 @@ func ParseScale(name string) (benchmarks.Scale, error) {
 	return 0, fmt.Errorf("unknown scale %q (test, default, large)", name)
 }
 
-// Config validates the spec and resolves it into a runnable study
-// configuration (telemetry sinks and checkpoint hooks unset).
+// Config resolves the spec's name fields and validates the result via
+// campaign.Config.Validate — the same gate the CLIs and the root vulfi
+// package use — returning a runnable, normalized study configuration
+// (telemetry sinks and checkpoint hooks unset).
 func (s Spec) Config() (campaign.Config, error) {
 	var cfg campaign.Config
 	b := benchmarks.ByName(s.Benchmark)
@@ -104,13 +182,10 @@ func (s Spec) Config() (campaign.Config, error) {
 	if err != nil {
 		return cfg, err
 	}
-	if s.Experiments < 0 || s.Campaigns < 0 {
-		return cfg, fmt.Errorf("experiments and campaigns must be non-negative")
-	}
-	return campaign.Config{
+	cfg = campaign.Config{
 		Benchmark: b, ISA: target, Category: cat, Scale: scale,
 		Experiments: s.Experiments, Campaigns: s.Campaigns,
-		Seed: s.Seed, Workers: s.Workers,
+		Seed: s.Seed, Workers: s.Workers, Inputs: s.Inputs,
 		Detectors:              s.Detectors,
 		DetectorEveryIteration: s.DetectorEveryIteration,
 		BroadcastDetector:      s.BroadcastDetector,
@@ -118,7 +193,11 @@ func (s Spec) Config() (campaign.Config, error) {
 		WholeRegisterSites:     s.WholeRegisterSites,
 		MaskOblivious:          s.MaskOblivious,
 		Trace:                  s.Trace,
-	}, nil
+	}
+	if err := cfg.Validate(); err != nil {
+		return campaign.Config{}, err
+	}
+	return cfg, nil
 }
 
 // Total returns the job's experiment count after applying the paper

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# bench-cache.sh — paired cached/uncached campaign benchmark.
+#
+# Runs BenchmarkStudyThroughput twice — once with no input pool
+# (VULFI_BENCH_INPUTS=0, every experiment re-executes its golden run)
+# and once with a pool (golden runs memoized) — then reports the
+# speedup and, when benchstat is on PATH, a statistical comparison.
+#
+#   scripts/bench-cache.sh [outdir]
+#
+# Environment:
+#   INPUTS       pool size for the cached run          (default 4)
+#   COUNT        benchmark repetitions per mode        (default 5)
+#   BENCHTIME    -benchtime per repetition             (default 1s)
+#   MIN_SPEEDUP  fail if cached/uncached is below this (default 0: report only)
+#   BASELINE_REF git ref; when set, the uncached path is also benchmarked
+#                at that ref and a >10% ns/op regression fails the script
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+outdir=${1:-bench-out}
+INPUTS=${INPUTS:-4}
+COUNT=${COUNT:-5}
+BENCHTIME=${BENCHTIME:-1s}
+MIN_SPEEDUP=${MIN_SPEEDUP:-0}
+mkdir -p "$outdir"
+
+bench() { # bench <inputs> <outfile>
+  VULFI_BENCH_INPUTS=$1 go test -run '^$' -bench StudyThroughput \
+    -count "$COUNT" -benchtime "$BENCHTIME" ./internal/campaign/ | tee "$2"
+}
+
+# median ns/op over the repetitions of one mode.
+median_ns() {
+  awk '/^BenchmarkStudyThroughput/ {print $3}' "$1" | sort -n |
+    awk '{a[NR]=$1} END {print (NR%2 ? a[(NR+1)/2] : (a[NR/2]+a[NR/2+1])/2)}'
+}
+
+echo "== uncached (inputs=0) =="
+bench 0 "$outdir/uncached.txt"
+echo "== cached (inputs=$INPUTS) =="
+bench "$INPUTS" "$outdir/cached.txt"
+
+un=$(median_ns "$outdir/uncached.txt")
+ca=$(median_ns "$outdir/cached.txt")
+speedup=$(awk -v u="$un" -v c="$ca" 'BEGIN {printf "%.2f", u/c}')
+echo "median ns/op: uncached=$un cached=$ca  speedup=${speedup}x"
+
+cat > "$outdir/bench.json" <<EOF
+{
+  "benchmark": "BenchmarkStudyThroughput",
+  "cell": "VectorCopy/AVX/pure-data (default scale)",
+  "inputs": $INPUTS,
+  "count": $COUNT,
+  "benchtime": "$BENCHTIME",
+  "uncached_ns_per_study": $un,
+  "cached_ns_per_study": $ca,
+  "speedup": $speedup,
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+}
+EOF
+
+if command -v benchstat >/dev/null 2>&1; then
+  benchstat "$outdir/uncached.txt" "$outdir/cached.txt" | tee "$outdir/benchstat.txt"
+else
+  echo "benchstat not installed; skipping statistical comparison" >&2
+fi
+
+if [ "$MIN_SPEEDUP" != 0 ]; then
+  awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN {exit !(s >= m)}' || {
+    echo "FAIL: cached speedup ${speedup}x below required ${MIN_SPEEDUP}x" >&2
+    exit 1
+  }
+fi
+
+if [ -n "${BASELINE_REF:-}" ]; then
+  echo "== uncached baseline at $BASELINE_REF =="
+  wt=$(mktemp -d)
+  trap 'git worktree remove --force "$wt" 2>/dev/null || true' EXIT
+  git worktree add --detach "$wt" "$BASELINE_REF" >/dev/null
+  (cd "$wt" && VULFI_BENCH_INPUTS=0 go test -run '^$' -bench 'StudyThroughput|CampaignThroughput/untraced' \
+    -count "$COUNT" -benchtime "$BENCHTIME" ./internal/campaign/) | tee "$outdir/baseline.txt"
+  base=$(median_ns "$outdir/baseline.txt")
+  if [ -z "$base" ]; then
+    # The baseline predates BenchmarkStudyThroughput; fall back to the
+    # per-experiment benchmark for a coarse check, or pass vacuously.
+    echo "baseline has no StudyThroughput benchmark; skipping regression gate" >&2
+  else
+    ratio=$(awk -v b="$base" -v u="$un" 'BEGIN {printf "%.3f", u/b}')
+    echo "uncached ns/op: baseline=$base current=$un  ratio=$ratio"
+    awk -v r="$ratio" 'BEGIN {exit !(r <= 1.10)}' || {
+      echo "FAIL: uncached path regressed ${ratio}x vs $BASELINE_REF (>10%)" >&2
+      exit 1
+    }
+  fi
+fi

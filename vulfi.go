@@ -17,11 +17,13 @@
 //
 // Run a full statistical campaign on a built-in benchmark:
 //
-//	study, _ := vulfi.RunStudy(vulfi.Config{
-//		Benchmark: vulfi.BenchmarkByName("Blackscholes"),
-//		ISA:       vulfi.AVX,
-//		Category:  vulfi.Control,
-//	})
+//	study, _ := vulfi.NewStudy(
+//		vulfi.WithBenchmarkName("Blackscholes"),
+//		vulfi.WithISA(vulfi.AVX),
+//		vulfi.WithCategory(vulfi.Control),
+//		vulfi.WithInputs(8), // pool 8 inputs; golden runs are memoized
+//	)
+//	result, _ := study.Run(context.Background())
 //
 // See the examples/ directory for complete programs and DESIGN.md for
 // the system inventory and the paper-experiment index.
@@ -174,6 +176,15 @@ type (
 	Outcome = campaign.Outcome
 	// Benchmark is one evaluation workload.
 	Benchmark = benchmarks.Benchmark
+	// Scale is an input-size regime (test / default / large).
+	Scale = benchmarks.Scale
+)
+
+// Input-size regimes.
+const (
+	ScaleTest    = benchmarks.ScaleTest
+	ScaleDefault = benchmarks.ScaleDefault
+	ScaleLarge   = benchmarks.ScaleLarge
 )
 
 // Outcomes.
@@ -184,17 +195,25 @@ const (
 )
 
 // RunStudy prepares a study cell and runs its campaigns in parallel.
+//
+// Deprecated: build studies with NewStudy and the With* options, which
+// validate the configuration before any compilation. RunStudy remains a
+// thin shim over the same engine.
 func RunStudy(cfg Config) (*StudyResult, error) {
 	return campaign.RunStudy(context.Background(), cfg)
 }
 
 // RunStudyContext is RunStudy under a context: cancelling ctx stops the
 // study cooperatively between experiments.
+//
+// Deprecated: use NewStudy(...) followed by Study.Run(ctx).
 func RunStudyContext(ctx context.Context, cfg Config) (*StudyResult, error) {
 	return campaign.RunStudy(ctx, cfg)
 }
 
 // PrepareStudy compiles+instruments a cell for manual experiment control.
+//
+// Deprecated: use NewStudy(...) followed by Study.Prepare.
 func PrepareStudy(cfg Config) (*campaign.Prepared, error) {
 	return campaign.Prepare(cfg)
 }
