@@ -44,8 +44,13 @@ func main() {
 		isaName = cliutil.ISA(fs, "") // empty = both targets
 		large   = cliutil.Large(fs)
 		tel     = cliutil.TelemetryFlags(fs)
+		version = cliutil.Version(fs)
 	)
 	flag.Parse()
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "experiments")
+		return
+	}
 
 	opts := report.Defaults()
 	if *full {

@@ -37,8 +37,13 @@ func main() {
 		cfg        = flag.Bool("cfg", false, "print the CFG block summary")
 		dot        = flag.String("dot", "", "emit the named function's CFG as Graphviz DOT")
 		format     = flag.Bool("fmt", false, "pretty-print the parsed source and exit")
+		version    = cliutil.Version(flag.CommandLine)
 	)
 	flag.Parse()
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "vspcc")
+		return
+	}
 
 	target := isa.ByName(strings.ToUpper(*isaName))
 	if target == nil {

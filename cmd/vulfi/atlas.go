@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"vulfi/internal/atlas"
+	"vulfi/internal/campaign"
+	"vulfi/internal/report"
+	"vulfi/internal/stats"
+)
+
+// defaultHistory is where -history and the subcommands look when no
+// -file is given; vulfid keeps its own store under the journal dir.
+const defaultHistory = "vulfi-history.jsonl"
+
+// writeHeatmap renders the study's per-site atlas as a self-contained
+// HTML heatmap.
+func writeHeatmap(path string, sr *campaign.StudyResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := atlas.New(sr).WriteHTML(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("atlas heatmap: %w", err)
+	}
+	return f.Close()
+}
+
+// historyCmd implements `vulfi history [-file F] list|show N`.
+func historyCmd(args []string) int {
+	fs := flag.NewFlagSet("vulfi history", flag.ExitOnError)
+	file := fs.String("file", defaultHistory, "history store to read")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: vulfi history [-file F] list|show N")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	entries, err := atlas.ReadHistory(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	verb := "list"
+	if fs.NArg() > 0 {
+		verb = fs.Arg(0)
+	}
+	switch verb {
+	case "list":
+		if len(entries) == 0 {
+			fmt.Printf("no recorded studies in %s\n", *file)
+			return 0
+		}
+		report.WriteHistory(os.Stdout, entries)
+		return 0
+	case "show":
+		if fs.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: vulfi history show N  (1-based entry index)")
+			return 2
+		}
+		e, ok := entryAt(entries, fs.Arg(1))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "entry %q out of range: %s has %d entries\n",
+				fs.Arg(1), *file, len(entries))
+			return 2
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(e); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	default:
+		fs.Usage()
+		return 2
+	}
+}
+
+// diffCmd implements `vulfi diff [-file F] [-z Z] BASELINE [CANDIDATE]`:
+// the regression gate between two recorded studies. Indices are 1-based;
+// the candidate defaults to the newest entry. Exit status: 0 no
+// significant regression, 1 regression(s), 2 usage error.
+func diffCmd(args []string) int {
+	fs := flag.NewFlagSet("vulfi diff", flag.ExitOnError)
+	file := fs.String("file", defaultHistory, "history store to read")
+	z := fs.Float64("z", stats.Z95, "two-proportion z threshold for significance")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: vulfi diff [-file F] [-z Z] BASELINE [CANDIDATE]  (1-based history entries; candidate defaults to the newest)")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	if fs.NArg() < 1 || fs.NArg() > 2 {
+		fs.Usage()
+		return 2
+	}
+	entries, err := atlas.ReadHistory(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(entries) == 0 {
+		fmt.Fprintf(os.Stderr, "no recorded studies in %s\n", *file)
+		return 2
+	}
+	baseline, ok := entryAt(entries, fs.Arg(0))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "baseline %q out of range: %s has %d entries\n",
+			fs.Arg(0), *file, len(entries))
+		return 2
+	}
+	candidate := &entries[len(entries)-1]
+	if fs.NArg() == 2 {
+		if candidate, ok = entryAt(entries, fs.Arg(1)); !ok {
+			fmt.Fprintf(os.Stderr, "candidate %q out of range: %s has %d entries\n",
+				fs.Arg(1), *file, len(entries))
+			return 2
+		}
+	}
+
+	d := atlas.Compare(baseline, candidate, *z)
+	report.WriteDiff(os.Stdout, d)
+	if len(d.Regressions()) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// entryAt resolves a 1-based history index argument.
+func entryAt(entries []atlas.Entry, arg string) (*atlas.Entry, bool) {
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 || n > len(entries) {
+		return nil, false
+	}
+	return &entries[n-1], true
+}

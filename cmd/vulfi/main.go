@@ -11,6 +11,19 @@
 // submitted to a vulfid daemon as a job, live progress is tailed over
 // the job's SSE stream, and the daemon's final result is printed.
 // Ctrl-C cancels the job on the daemon before exiting.
+//
+// With -atlas FILE the study additionally attributes every outcome to
+// its static fault site and renders a self-contained HTML heatmap to
+// FILE; -history FILE appends the finished study to a JSONL history
+// store that the subcommands read:
+//
+//	vulfi history list              # recorded studies, newest last
+//	vulfi history show N            # full JSON of entry N (1-based)
+//	vulfi diff BASELINE [CANDIDATE] # regression gate between two entries
+//
+// `vulfi diff` exits non-zero when the candidate significantly regresses
+// the baseline (SDC or crash rate up, detection rate down), so it can
+// gate CI.
 package main
 
 import (
@@ -22,7 +35,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"vulfi/internal/atlas"
 	"vulfi/internal/benchmarks"
 	"vulfi/internal/campaign"
 	"vulfi/internal/cliutil"
@@ -32,6 +47,17 @@ import (
 )
 
 func main() {
+	// Subcommands operate on the history store and take their own flags;
+	// everything else is the classic flag-driven study runner.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "history":
+			os.Exit(historyCmd(os.Args[2:]))
+		case "diff":
+			os.Exit(diffCmd(os.Args[2:]))
+		}
+	}
+
 	fs := flag.CommandLine
 	var (
 		benchName            = cliutil.Benchmark(fs, "VectorCopy")
@@ -53,9 +79,16 @@ func main() {
 		remote    = flag.String("remote", "", "submit to a vulfid daemon at this address instead of running locally")
 		traceRuns = flag.Bool("trace", false, "record golden/faulty divergence traces and print the propagation profile")
 		explain   = flag.Int("explain", -1, "run only the experiment at this index of the seed schedule, with tracing, and print its fault→divergence→outcome explanation")
+		atlasOut  = flag.String("atlas", "", "attribute outcomes to static fault sites and write the HTML heatmap to this file")
+		histOut   = flag.String("history", "", "append the finished study to this JSONL history store (see 'vulfi history', 'vulfi diff')")
+		version   = cliutil.Version(fs)
 	)
 	flag.Parse()
 
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "vulfi")
+		return
+	}
 	if *list {
 		for _, b := range benchmarks.All() {
 			fmt.Printf("%-18s %-7s entry=%s  %s\n", b.Name, b.Suite, b.Entry, b.InputDesc)
@@ -74,6 +107,7 @@ func main() {
 		Inputs:    *inputs,
 		Detectors: *detectors, BroadcastDetector: *broadcast,
 		Trace: *traceRuns || *explain >= 0,
+		Atlas: *atlasOut != "" || *histOut != "",
 	}
 	cfg, err := spec.Config()
 	if err != nil {
@@ -117,6 +151,10 @@ func main() {
 	}
 
 	if *remote != "" {
+		if *atlasOut != "" || *histOut != "" {
+			fmt.Fprintln(os.Stderr, "-atlas and -history run locally; a vulfid daemon records its own history (GET /v1/history)")
+			os.Exit(2)
+		}
 		if err := runRemote(ctx, *remote, spec, *jsonOut, *tel.Progress); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -149,6 +187,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *atlasOut != "" {
+		if err := writeHeatmap(*atlasOut, sr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*jsonOut && !*csvOut {
+			fmt.Printf("atlas heatmap written to %s\n", *atlasOut)
+		}
+	}
+	if *histOut != "" {
+		if err := atlas.AppendEntry(*histOut, atlas.NewEntry(sr, time.Now())); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	switch {
 	case *jsonOut:
 		if err := sr.WriteJSON(os.Stdout); err != nil {
@@ -163,24 +217,5 @@ func main() {
 		return
 	}
 
-	if *verbose {
-		for i, c := range sr.Campaigns {
-			fmt.Printf("  campaign %2d: SDC %5.1f%%  Benign %5.1f%%  Crash %5.1f%%  detected %d\n",
-				i+1, 100*c.SDCRate(), 100*c.BenignRate(), 100*c.CrashRate(), c.Detected)
-		}
-	}
-	t := sr.Totals
-	fmt.Printf("static sites: %d (%d lane sites)\n", sr.StaticSites, sr.LaneSites)
-	fmt.Printf("mean golden dynamic instructions: %.0f\n", sr.MeanGoldenDynInstrs)
-	fmt.Printf("SDC    %6.2f%%  (±%.2f%% at 95%%, near-normal=%v)\n",
-		100*sr.MeanSDC, 100*sr.MarginOfError, sr.NearNormal)
-	fmt.Printf("Benign %6.2f%%\n", 100*t.BenignRate())
-	fmt.Printf("Crash  %6.2f%%  (%d hangs)\n", 100*t.CrashRate(), t.Hang)
-	if *detectors {
-		fmt.Printf("detector fired in %d experiments; SDC detection rate %.2f%%\n",
-			t.Detected, 100*t.SDCDetectionRate())
-	}
-	if sr.Propagation != nil {
-		report.WritePropagation(os.Stdout, sr)
-	}
+	report.WriteStudy(os.Stdout, sr, *verbose)
 }

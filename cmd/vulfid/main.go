@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"vulfi/internal/cliutil"
 	"vulfi/internal/server"
 )
 
@@ -37,14 +38,20 @@ func main() {
 		runners = flag.Int("runners", 1, "concurrently executing jobs (each parallelizes internally)")
 		fsync   = flag.Bool("fsync", false, "fdatasync every journal record (power-loss durability)")
 		grace   = flag.Duration("grace", 2*time.Minute, "drain budget for in-flight experiments on shutdown")
+		history = flag.String("history", "", "study-history JSONL store (default JOURNAL/history.jsonl; \"none\" disables)")
+		version = cliutil.Version(flag.CommandLine)
 	)
 	flag.Parse()
+	if *version {
+		cliutil.PrintVersion(os.Stdout, "vulfid")
+		return
+	}
 	log.SetPrefix("vulfid: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	s, err := server.New(server.Options{
 		JournalDir: *journal, QueueSize: *queue, Runners: *runners,
-		Fsync: *fsync, Logf: log.Printf,
+		Fsync: *fsync, Logf: log.Printf, HistoryPath: *history,
 	})
 	if err != nil {
 		log.Fatal(err)

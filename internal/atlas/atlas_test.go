@@ -1,0 +1,310 @@
+package atlas
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/campaign"
+	"vulfi/internal/isa"
+	"vulfi/internal/stats"
+)
+
+// tallies builds a small synthetic tally set with a known worst site.
+func testTallies() []campaign.SiteTally {
+	return []campaign.SiteTally{
+		{Site: 0, Key: "@kernel/entry: %v = add", Func: "kernel",
+			Block: "entry", Instr: "%v = add", Category: "pure-data",
+			Lanes: 4, Activations: 400, Injections: 40, SDC: 30, Benign: 8,
+			Crash: 2, Detected: 12},
+		{Site: 1, Key: "@kernel/loop: %c = icmp", Func: "kernel",
+			Block: "loop", Instr: "%c = icmp", Category: "control",
+			Lanes: 4, Activations: 100, Injections: 20, SDC: 2, Benign: 10,
+			Crash: 8, Hang: 1, Detected: 5},
+		{Site: 2, Key: "@helper/entry: %p = getelementptr", Func: "helper",
+			Block: "entry", Instr: "%p = getelementptr", Category: "address",
+			Lanes: 1, Activations: 50, Injections: 0},
+	}
+}
+
+func testEntry(t time.Time, detectors bool, sdc, crash, detected int) Entry {
+	return Entry{
+		Schema: SchemaVersion, Time: t.UTC().Format(time.RFC3339),
+		Benchmark: "vector_copy", ISA: "avx2", Category: "pure-data",
+		Scale: "test", Seed: 1, Campaigns: 2, Experiments: 100,
+		Detectors: detectors,
+		Total:     200, SDC: sdc, Crash: crash, Detected: detected,
+		Benign: 200 - sdc - crash,
+	}
+}
+
+func TestRowsRankAndIntervals(t *testing.T) {
+	rs := rows(testTallies())
+	if len(rs) != 3 {
+		t.Fatalf("rows = %d", len(rs))
+	}
+	// Rate ranking: 30/40 beats 2/20 beats 0-injection.
+	if rs[0].Site != 0 || rs[1].Site != 1 || rs[2].Site != 2 {
+		t.Fatalf("rank order %d,%d,%d", rs[0].Site, rs[1].Site, rs[2].Site)
+	}
+	r := rs[0]
+	if r.SDCRate.Rate != 0.75 {
+		t.Fatalf("sdc rate %v", r.SDCRate.Rate)
+	}
+	if r.SDCRate.Lo >= r.SDCRate.Rate || r.SDCRate.Hi <= r.SDCRate.Rate {
+		t.Fatalf("CI [%v,%v] excludes point %v", r.SDCRate.Lo, r.SDCRate.Hi, r.SDCRate.Rate)
+	}
+	// Zero injections: vacuous [0,1] interval, zero rate.
+	z := rs[2]
+	if z.SDCRate.Rate != 0 || z.SDCRate.Lo != 0 || z.SDCRate.Hi != 1 {
+		t.Fatalf("no-injection interval = %+v", z.SDCRate)
+	}
+}
+
+func TestHeatmapHTML(t *testing.T) {
+	a := &Atlas{Benchmark: "vector_copy", ISA: "avx2", Category: "control",
+		Experiments: 60, Rows: rows(testTallies())}
+	var buf bytes.Buffer
+	if err := a.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		"<table", "@kernel", "@helper", "icmp", "getelementptr",
+		"control", "pure-data", "address", "Wilson",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("heatmap missing %q", want)
+		}
+	}
+	// Self-contained: no external scripts, styles or images.
+	for _, banned := range []string{"http://", "https://", "src=\"", "link rel"} {
+		if strings.Contains(page, banned) {
+			t.Errorf("heatmap references external asset (%q)", banned)
+		}
+	}
+}
+
+func TestAtlasCSVAndJSON(t *testing.T) {
+	a := &Atlas{Benchmark: "b", ISA: "i", Category: "c",
+		Rows: rows(testTallies())}
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := a.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 1+3 {
+		t.Fatalf("csv lines = %d, want header+3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "site,key,func") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if !strings.Contains(jsonBuf.String(), "\"sdc_rate\"") {
+		t.Fatal("json missing sdc_rate")
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	e1 := testEntry(t0, true, 40, 10, 30)
+	e1.Sites = testTallies()
+	e2 := testEntry(t0.Add(time.Hour), true, 42, 11, 29)
+	for _, e := range []Entry{e1, e2} {
+		if err := AppendEntry(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("entries = %d", len(got))
+	}
+	if got[0].SDC != 40 || len(got[0].Sites) != 3 || got[1].SDC != 42 {
+		t.Fatalf("round trip mangled entries: %+v", got)
+	}
+
+	// A crash-truncated tail is tolerated; the valid prefix survives.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":1,"benchmark":"tr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err = ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("truncation-tolerant read = %d entries, want 2", len(got))
+	}
+
+	// Corruption followed by more valid data is real damage. Terminate
+	// the torn fragment so the next append starts a fresh line.
+	f, err = os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := AppendEntry(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHistory(path); err == nil {
+		t.Fatal("mid-file corruption not reported")
+	}
+
+	// A missing file is empty history, not an error.
+	if es, err := ReadHistory(filepath.Join(t.TempDir(), "none.jsonl")); err != nil || es != nil {
+		t.Fatalf("missing file: %v, %v", es, err)
+	}
+}
+
+// TestCompareIdentical: the regression gate must pass — zero
+// significant classes, zero regressions — when baseline and candidate
+// are the same study. This is the CI smoke contract.
+func TestCompareIdentical(t *testing.T) {
+	e := testEntry(time.Unix(0, 0), true, 40, 10, 30)
+	e.Sites = testTallies()
+	d := Compare(&e, &e, stats.Z95)
+	if regs := d.Regressions(); len(regs) != 0 {
+		t.Fatalf("identical studies regressed: %v", regs)
+	}
+	for _, c := range d.Classes {
+		if c.Z != 0 || c.Significant {
+			t.Fatalf("identical studies: class %s z=%v significant=%v",
+				c.Class, c.Z, c.Significant)
+		}
+	}
+	if len(d.Sites) != 0 {
+		t.Fatalf("identical studies produced site diffs: %+v", d.Sites)
+	}
+}
+
+// TestCompareDetectorGate: a candidate that turned detectors off
+// against a detector-enabled baseline must fail the gate on the
+// detected class (rate significantly down), and the failure must name
+// the class.
+func TestCompareDetectorGate(t *testing.T) {
+	base := testEntry(time.Unix(0, 0), true, 40, 10, 80)
+	cand := testEntry(time.Unix(1, 0), true, 40, 10, 5)
+	cand.Detectors = false // candidate disabled its detectors
+
+	d := Compare(&base, &cand, stats.Z95)
+	regs := d.Regressions()
+	if len(regs) == 0 {
+		t.Fatal("collapsed detection passed the gate")
+	}
+	found := false
+	for _, r := range regs {
+		if strings.Contains(r, "detected") && strings.Contains(r, "down") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regressions do not name the detected class: %v", regs)
+	}
+
+	// And an SDC-rate increase gates regardless of detectors.
+	worse := testEntry(time.Unix(2, 0), true, 90, 10, 80)
+	d = Compare(&base, &worse, stats.Z95)
+	regs = d.Regressions()
+	if len(regs) == 0 {
+		t.Fatal("SDC surge passed the gate")
+	}
+	if !strings.Contains(strings.Join(regs, "\n"), "sdc rate up") {
+		t.Fatalf("regressions do not name sdc: %v", regs)
+	}
+
+	// An improvement (SDC down) is significant but not a regression.
+	better := testEntry(time.Unix(3, 0), true, 5, 10, 80)
+	if regs := Compare(&base, &better, stats.Z95).Regressions(); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+// TestComparePerSite: per-site SDC deltas surface only significant
+// changes, flag increases as regressions, and ignore sites absent from
+// the baseline.
+func TestComparePerSite(t *testing.T) {
+	base := testEntry(time.Unix(0, 0), true, 40, 10, 30)
+	base.Sites = []campaign.SiteTally{
+		{Key: "@k/b: add", Category: "pure-data", Injections: 100, SDC: 10},
+		{Key: "@k/b: mul", Category: "pure-data", Injections: 100, SDC: 50},
+	}
+	cand := testEntry(time.Unix(1, 0), true, 40, 10, 30)
+	cand.Sites = []campaign.SiteTally{
+		{Key: "@k/b: add", Category: "pure-data", Injections: 100, SDC: 45},
+		{Key: "@k/b: mul", Category: "pure-data", Injections: 100, SDC: 48},
+		{Key: "@k/b: new", Category: "control", Injections: 100, SDC: 99},
+	}
+	d := Compare(&base, &cand, stats.Z95)
+	if len(d.Sites) != 1 {
+		t.Fatalf("site diffs = %+v, want just the add site", d.Sites)
+	}
+	s := d.Sites[0]
+	if s.Key != "@k/b: add" || !s.Regression || s.Z < stats.Z95 {
+		t.Fatalf("site diff = %+v", s)
+	}
+	if !strings.Contains(strings.Join(d.Regressions(), "\n"), "@k/b: add") {
+		t.Fatalf("regressions do not name the site: %v", d.Regressions())
+	}
+}
+
+// TestCompareMismatch: different cells still compare, but the diff
+// carries a mismatch warning.
+func TestCompareMismatch(t *testing.T) {
+	a := testEntry(time.Unix(0, 0), true, 40, 10, 30)
+	b := testEntry(time.Unix(1, 0), true, 40, 10, 30)
+	b.Benchmark = "sorting"
+	if d := Compare(&a, &b, stats.Z95); d.Mismatch == "" {
+		t.Fatal("cross-cell comparison carried no mismatch warning")
+	}
+}
+
+// TestNewEntryFromStudy: the campaign-facing constructor must carry the
+// configuration and totals through faithfully.
+func TestNewEntryFromStudy(t *testing.T) {
+	// Construct a minimal StudyResult by hand (no real study needed).
+	sr := &campaign.StudyResult{}
+	sr.Cfg.Benchmark = benchmarks.VectorCopy
+	sr.Cfg.ISA = isa.AVX
+	sr.Cfg.Seed = 7
+	sr.Cfg.Campaigns, sr.Cfg.Experiments = 2, 10
+	sr.Cfg.Detectors = true
+	sr.Totals.Experiments = 20
+	sr.Totals.SDC, sr.Totals.Benign, sr.Totals.Crash = 5, 13, 2
+	sr.MeanSDC = 0.25
+	sr.Wall = 2 * time.Second
+	sr.Sites = testTallies()
+
+	e := NewEntry(sr, time.Date(2026, 8, 6, 9, 0, 0, 0, time.UTC))
+	if e.Schema != SchemaVersion || e.Time != "2026-08-06T09:00:00Z" {
+		t.Fatalf("stamp = %d %q", e.Schema, e.Time)
+	}
+	if e.Name() == "" || e.Seed != 7 || e.Total != 20 || e.SDC != 5 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.ExpPerSec != 10 {
+		t.Fatalf("exp/s = %v, want 10", e.ExpPerSec)
+	}
+	if len(e.Sites) != 3 {
+		t.Fatalf("sites = %d", len(e.Sites))
+	}
+	if e.Scale != "test" {
+		t.Fatalf("scale = %q", e.Scale)
+	}
+}

@@ -1,0 +1,181 @@
+package atlas
+
+import (
+	"fmt"
+
+	"vulfi/internal/stats"
+)
+
+// ClassDiff compares one outcome class between a baseline and a
+// candidate study via the pooled two-proportion z-test.
+type ClassDiff struct {
+	Class    string  `json:"class"`
+	BaseX    int     `json:"base_x"`
+	BaseN    int     `json:"base_n"`
+	CandX    int     `json:"cand_x"`
+	CandN    int     `json:"cand_n"`
+	BaseRate float64 `json:"base_rate"`
+	CandRate float64 `json:"cand_rate"`
+	// Z is the two-proportion statistic, positive when the candidate's
+	// rate is higher than the baseline's.
+	Z float64 `json:"z"`
+	// Significant reports |Z| at or above the gate's threshold.
+	Significant bool `json:"significant"`
+	// Regression marks a significant change in the bad direction for
+	// this class (SDC/crash up, detection down).
+	Regression bool `json:"regression"`
+}
+
+// SiteDiff compares one static site's SDC rate between two studies that
+// both recorded per-site tallies.
+type SiteDiff struct {
+	Key      string  `json:"key"`
+	Category string  `json:"category"`
+	BaseSDC  int     `json:"base_sdc"`
+	BaseN    int     `json:"base_n"`
+	CandSDC  int     `json:"cand_sdc"`
+	CandN    int     `json:"cand_n"`
+	BaseRate float64 `json:"base_rate"`
+	CandRate float64 `json:"cand_rate"`
+	Z        float64 `json:"z"`
+	// Regression marks a significant SDC-rate increase at this site.
+	Regression bool `json:"regression"`
+}
+
+// Diff is the longitudinal comparison of two studies: per-outcome-class
+// z-tests plus, when both entries carry atlases, per-site SDC deltas.
+type Diff struct {
+	Baseline  *Entry      `json:"-"`
+	Candidate *Entry      `json:"-"`
+	Threshold float64     `json:"threshold"`
+	Classes   []ClassDiff `json:"classes"`
+	// Sites lists only sites with a significant SDC-rate change in
+	// either direction, worst first.
+	Sites []SiteDiff `json:"sites,omitempty"`
+	// Mismatch warns when the two entries describe different cells
+	// (benchmark/ISA/category) — the comparison still runs, but the
+	// numbers compare apples to oranges.
+	Mismatch string `json:"mismatch,omitempty"`
+}
+
+// rateOf is a NaN-free proportion.
+func rateOf(x, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(x) / float64(n)
+}
+
+// classDiff builds one class row. worseUp says a rate increase is the
+// bad direction (SDC, crash); false means a decrease is bad (detected).
+func classDiff(class string, baseX, baseN, candX, candN int, z float64, worseUp, gated bool) ClassDiff {
+	d := ClassDiff{
+		Class: class,
+		BaseX: baseX, BaseN: baseN, CandX: candX, CandN: candN,
+		BaseRate: rateOf(baseX, baseN), CandRate: rateOf(candX, candN),
+		Z: stats.TwoProportionZ(baseX, baseN, candX, candN),
+	}
+	if d.Z >= z || d.Z <= -z {
+		d.Significant = true
+		if gated && ((worseUp && d.Z > 0) || (!worseUp && d.Z < 0)) {
+			d.Regression = true
+		}
+	}
+	return d
+}
+
+// Compare runs the regression gate between a baseline and a candidate
+// entry at significance threshold z (use stats.Z95 for the standard 95%
+// gate). Regression semantics: a significant SDC- or crash-rate
+// increase regresses, as does a significant detection-rate decrease
+// when the baseline ran detectors (so a candidate that lost — or
+// disabled — its detectors fails the gate); benign and hang shifts are
+// reported but never gate (they are complements/subsets of the gated
+// classes).
+func Compare(baseline, candidate *Entry, z float64) *Diff {
+	d := &Diff{Baseline: baseline, Candidate: candidate, Threshold: z}
+	if baseline.Name() != candidate.Name() {
+		d.Mismatch = fmt.Sprintf("comparing %s against %s",
+			candidate.Name(), baseline.Name())
+	}
+	bn, cn := baseline.Total, candidate.Total
+	detGated := baseline.Detectors
+	d.Classes = []ClassDiff{
+		classDiff("sdc", baseline.SDC, bn, candidate.SDC, cn, z, true, true),
+		classDiff("crash", baseline.Crash, bn, candidate.Crash, cn, z, true, true),
+		classDiff("benign", baseline.Benign, bn, candidate.Benign, cn, z, true, false),
+		classDiff("hang", baseline.Hang, bn, candidate.Hang, cn, z, true, false),
+		classDiff("detected", baseline.Detected, bn, candidate.Detected, cn, z, false, detGated),
+	}
+
+	if len(baseline.Sites) > 0 && len(candidate.Sites) > 0 {
+		base := map[string]int{}
+		for i := range baseline.Sites {
+			base[baseline.Sites[i].Key] = i
+		}
+		for i := range candidate.Sites {
+			cs := &candidate.Sites[i]
+			bi, ok := base[cs.Key]
+			if !ok {
+				continue
+			}
+			bs := &baseline.Sites[bi]
+			zz := stats.TwoProportionZ(bs.SDC, bs.Injections, cs.SDC, cs.Injections)
+			if zz < z && zz > -z {
+				continue
+			}
+			d.Sites = append(d.Sites, SiteDiff{
+				Key: cs.Key, Category: cs.Category,
+				BaseSDC: bs.SDC, BaseN: bs.Injections,
+				CandSDC: cs.SDC, CandN: cs.Injections,
+				BaseRate:   rateOf(bs.SDC, bs.Injections),
+				CandRate:   rateOf(cs.SDC, cs.Injections),
+				Z:          zz,
+				Regression: zz > 0,
+			})
+		}
+		// Worst first: largest |z| at the top.
+		for i := 1; i < len(d.Sites); i++ {
+			for j := i; j > 0 && abs(d.Sites[j].Z) > abs(d.Sites[j-1].Z); j-- {
+				d.Sites[j], d.Sites[j-1] = d.Sites[j-1], d.Sites[j]
+			}
+		}
+	}
+	return d
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Regressions lists the gate's failures: the outcome classes (and
+// per-site SDC rates) that significantly regressed from baseline to
+// candidate. Empty means the gate passes.
+func (d *Diff) Regressions() []string {
+	var out []string
+	for _, c := range d.Classes {
+		if c.Regression {
+			out = append(out, fmt.Sprintf(
+				"%s rate %s: %.4f -> %.4f (z=%.2f)",
+				c.Class, direction(c.Z), c.BaseRate, c.CandRate, c.Z))
+		}
+	}
+	for _, s := range d.Sites {
+		if s.Regression {
+			out = append(out, fmt.Sprintf(
+				"site %s sdc rate up: %.4f -> %.4f (z=%.2f)",
+				s.Key, s.BaseRate, s.CandRate, s.Z))
+		}
+	}
+	return out
+}
+
+func direction(z float64) string {
+	if z > 0 {
+		return "up"
+	}
+	return "down"
+}

@@ -1,0 +1,218 @@
+// Package atlas provides spatial and longitudinal observability over
+// fault-injection campaigns: a per-static-site resiliency atlas with
+// Wilson confidence intervals and an embedded HTML heatmap (spatial),
+// plus an append-only study-history store and a two-proportion
+// regression gate comparing any two recorded studies (longitudinal).
+package atlas
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"vulfi/internal/buildinfo"
+	"vulfi/internal/campaign"
+)
+
+// SchemaVersion is stamped on every history entry so future readers can
+// migrate old files.
+const SchemaVersion = 1
+
+// Entry is one completed study in the history store: enough metadata to
+// identify the cell and the binary that ran it, the outcome totals with
+// their statistical qualification, and (optionally) the per-site atlas.
+type Entry struct {
+	Schema int    `json:"schema"`
+	Time   string `json:"time"` // RFC3339, UTC
+	// Build is the VCS revision of the producing binary (empty when
+	// unstamped — tests, ad-hoc builds outside a checkout).
+	Build string `json:"build,omitempty"`
+	// Job is the vulfid job ID when the study ran under the service.
+	Job string `json:"job,omitempty"`
+
+	Benchmark   string `json:"benchmark"`
+	ISA         string `json:"isa"`
+	Category    string `json:"category"`
+	Scale       string `json:"scale"`
+	Seed        int64  `json:"seed"`
+	Campaigns   int    `json:"campaigns"`
+	Experiments int    `json:"experiments_per_campaign"`
+	Inputs      int    `json:"inputs"`
+
+	Detectors              bool `json:"detectors"`
+	DetectorEveryIteration bool `json:"detector_every_iteration,omitempty"`
+	BroadcastDetector      bool `json:"broadcast_detector,omitempty"`
+	MaskLoopDetector       bool `json:"mask_loop_detector,omitempty"`
+	WholeRegisterSites     bool `json:"whole_register_sites,omitempty"`
+	MaskOblivious          bool `json:"mask_oblivious,omitempty"`
+
+	Total       int `json:"total"`
+	SDC         int `json:"sdc"`
+	Benign      int `json:"benign"`
+	Crash       int `json:"crash"`
+	Hang        int `json:"hang"`
+	Detected    int `json:"detected"`
+	SDCDetected int `json:"sdc_detected"`
+	NoSites     int `json:"no_sites"`
+
+	MeanSDC float64 `json:"mean_sdc_rate"`
+	// Margin is the 95% margin of error over campaign SDC rates (-1 when
+	// non-finite, e.g. a single-campaign study).
+	Margin      float64 `json:"margin_of_error_95"`
+	StaticSites int     `json:"static_sites"`
+	LaneSites   int     `json:"lane_sites"`
+
+	WallNS    int64   `json:"wall_ns"`
+	ExpPerSec float64 `json:"exp_per_sec"`
+
+	// Sites is the per-site atlas (present when the study ran with
+	// Config.Atlas).
+	Sites []campaign.SiteTally `json:"sites,omitempty"`
+}
+
+// Name renders the entry's cell identity ("benchmark/isa/category").
+func (e *Entry) Name() string {
+	return e.Benchmark + "/" + e.ISA + "/" + e.Category
+}
+
+// NewEntry converts a completed study into its history entry, stamped
+// with the given wall-clock time and the running binary's revision.
+func NewEntry(sr *campaign.StudyResult, at time.Time) Entry {
+	cfg := sr.Cfg
+	e := Entry{
+		Schema: SchemaVersion,
+		Time:   at.UTC().Format(time.RFC3339),
+		Build:  buildinfo.Revision(),
+
+		Benchmark:   cfg.Benchmark.Name,
+		ISA:         cfg.ISA.Name,
+		Category:    cfg.Category.String(),
+		Scale:       cfg.Scale.String(),
+		Seed:        cfg.Seed,
+		Campaigns:   cfg.Campaigns,
+		Experiments: cfg.Experiments,
+		Inputs:      cfg.Inputs,
+
+		Detectors:              cfg.Detectors,
+		DetectorEveryIteration: cfg.DetectorEveryIteration,
+		BroadcastDetector:      cfg.BroadcastDetector,
+		MaskLoopDetector:       cfg.MaskLoopDetector,
+		WholeRegisterSites:     cfg.WholeRegisterSites,
+		MaskOblivious:          cfg.MaskOblivious,
+
+		Total:       sr.Totals.Experiments,
+		SDC:         sr.Totals.SDC,
+		Benign:      sr.Totals.Benign,
+		Crash:       sr.Totals.Crash,
+		Hang:        sr.Totals.Hang,
+		Detected:    sr.Totals.Detected,
+		SDCDetected: sr.Totals.SDCDetected,
+		NoSites:     sr.Totals.NoSites,
+
+		MeanSDC:     sr.MeanSDC,
+		Margin:      finiteOr(sr.MarginOfError, -1),
+		StaticSites: sr.StaticSites,
+		LaneSites:   sr.LaneSites,
+
+		WallNS: int64(sr.Wall),
+		Sites:  sr.Sites,
+	}
+	if sr.Wall > 0 {
+		e.ExpPerSec = float64(sr.Totals.Experiments) / sr.Wall.Seconds()
+	}
+	return e
+}
+
+// History is an append handle on a study-history file. Appends are
+// serialized and each entry is one JSON line written with a single
+// write call, so concurrent readers never observe a torn record beyond
+// the (tolerated) truncated tail.
+type History struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenHistory opens (creating if needed) the history file for
+// appending.
+func OpenHistory(path string) (*History, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &History{f: f, path: path}, nil
+}
+
+// Append records one entry.
+func (h *History) Append(e Entry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err = h.f.Write(b)
+	return err
+}
+
+// Close closes the underlying file.
+func (h *History) Close() error { return h.f.Close() }
+
+// AppendEntry is the one-shot convenience: open, append, close.
+func AppendEntry(path string, e Entry) error {
+	h, err := OpenHistory(path)
+	if err != nil {
+		return err
+	}
+	if err := h.Append(e); err != nil {
+		h.Close()
+		return err
+	}
+	return h.Close()
+}
+
+// ReadHistory replays a history file in append order. Like the vulfid
+// job journal, a corrupt or truncated final line (a crash mid-append)
+// is tolerated; corruption followed by further valid lines is real
+// damage and errors out. A missing file reads as empty history.
+func ReadHistory(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		line := sc.Bytes()
+		if len(strings.TrimSpace(string(line))) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			pendingErr = fmt.Errorf("%s: corrupt history line: %w", path, err)
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("%s: history line too long", path)
+		}
+		return nil, err
+	}
+	return out, nil
+}

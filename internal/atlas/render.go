@@ -1,0 +1,130 @@
+package atlas
+
+import (
+	"embed"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"strconv"
+)
+
+//go:embed atlas.html
+var tmplFS embed.FS
+
+var heatmapTmpl = template.Must(template.ParseFS(tmplFS, "atlas.html"))
+
+// WriteJSON serializes the atlas as one indented JSON object.
+func (a *Atlas) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// AtlasCSVHeader is the column list WriteCSV emits.
+var AtlasCSVHeader = []string{
+	"site", "key", "func", "block", "instr", "category", "lanes",
+	"activations", "injections", "sdc", "benign", "crash", "hang",
+	"detected", "sdc_rate", "sdc_lo", "sdc_hi", "crash_rate",
+	"detected_rate",
+}
+
+// WriteCSV emits the atlas as a CSV table, one row per static site in
+// rank order (header included).
+func (a *Atlas) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(AtlasCSVHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, r := range a.Rows {
+		row := []string{
+			strconv.Itoa(r.Site), r.Key, r.Func, r.Block, r.Instr,
+			r.Category, strconv.Itoa(r.Lanes),
+			strconv.FormatUint(r.Activations, 10),
+			strconv.Itoa(r.Injections), strconv.Itoa(r.SDC),
+			strconv.Itoa(r.Benign), strconv.Itoa(r.Crash),
+			strconv.Itoa(r.Hang), strconv.Itoa(r.Detected),
+			f(r.SDCRate.Rate), f(r.SDCRate.Lo), f(r.SDCRate.Hi),
+			f(r.CrashRate.Rate), f(r.DetectedRate.Rate),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// rowView is one heatmap table row with its presentation precomputed,
+// so the embedded page needs no script to render.
+type rowView struct {
+	Row
+	// Color is the severity background: green at 0% SDC through red at
+	// 100%.
+	Color template.CSS
+	// BarLeft/BarWidth position the Wilson CI bar in percent; BarPoint
+	// is the point estimate's position.
+	BarLeft  string
+	BarWidth string
+	BarPoint string
+	SDCPct   string
+	CrashPct string
+	DetPct   string
+}
+
+// groupView is one function's row group.
+type groupView struct {
+	Func string
+	Rows []rowView
+}
+
+type pageView struct {
+	*Atlas
+	Groups []groupView
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// severity maps an SDC rate to a background color on a green→yellow→red
+// ramp (HSL hue 120→0), pale enough to keep text readable.
+func severity(rate float64) template.CSS {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	hue := 120 * (1 - rate)
+	return template.CSS(fmt.Sprintf("background:hsl(%.0f,75%%,82%%)", hue))
+}
+
+// WriteHTML renders the self-contained heatmap page: a severity-colored
+// per-site table grouped by function, with Wilson CI bars and
+// client-side column sorting via a small inline script (no external
+// assets, so the file is archivable as a single artifact).
+func (a *Atlas) WriteHTML(w io.Writer) error {
+	pv := pageView{Atlas: a}
+	idx := map[string]int{}
+	for _, r := range a.Rows {
+		i, ok := idx[r.Func]
+		if !ok {
+			i = len(pv.Groups)
+			idx[r.Func] = i
+			pv.Groups = append(pv.Groups, groupView{Func: r.Func})
+		}
+		rv := rowView{
+			Row:      r,
+			Color:    severity(r.SDCRate.Rate),
+			BarLeft:  fmt.Sprintf("%.1f%%", 100*r.SDCRate.Lo),
+			BarWidth: fmt.Sprintf("%.1f%%", 100*(r.SDCRate.Hi-r.SDCRate.Lo)),
+			BarPoint: fmt.Sprintf("%.1f%%", 100*r.SDCRate.Rate),
+			SDCPct:   pct(r.SDCRate.Rate),
+			CrashPct: pct(r.CrashRate.Rate),
+			DetPct:   pct(r.DetectedRate.Rate),
+		}
+		pv.Groups[i].Rows = append(pv.Groups[i].Rows, rv)
+	}
+	return heatmapTmpl.Execute(w, pv)
+}

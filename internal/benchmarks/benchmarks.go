@@ -29,6 +29,19 @@ const (
 	ScaleLarge
 )
 
+// String names the scale with the spelling the service spec and CLIs
+// parse (server.ParseScale round-trips it).
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleLarge:
+		return "large"
+	default:
+		return "default"
+	}
+}
+
 // Region is a memory range compared between golden and faulty runs.
 // When Quantize is nonzero the range is interpreted as float32 cells and
 // quantized to that step before comparison — modeling benchmarks whose

@@ -1,0 +1,86 @@
+// Package buildinfo stamps build provenance on everything the system
+// emits: the -version flag of every CLI, the study JSON export, the
+// vulfid API headers and the atlas history store all carry the VCS
+// revision (plus a dirty bit) of the binary that produced them, so any
+// recorded result is attributable to a commit.
+//
+// The data comes from debug.ReadBuildInfo, which the Go toolchain
+// stamps automatically when a main package is built inside a VCS
+// checkout. Test binaries and `go run` outside a checkout carry no VCS
+// settings; everything here degrades to empty strings then, and JSON
+// fields using Revision are omitempty so deterministic golden files
+// stay deterministic.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// info is the resolved provenance, read once.
+type info struct {
+	version  string // main module version ("(devel)" for local builds)
+	goVers   string
+	revision string // full VCS hash, "" when unstamped
+	dirty    bool
+	time     string // commit time, RFC3339, "" when unstamped
+}
+
+var resolve = sync.OnceValue(func() info {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info{}
+	}
+	in := info{version: bi.Main.Version, goVers: bi.GoVersion}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			in.revision = s.Value
+		case "vcs.modified":
+			in.dirty = s.Value == "true"
+		case "vcs.time":
+			in.time = s.Value
+		}
+	}
+	return in
+})
+
+// Revision returns the short (12-hex) VCS revision of the running
+// binary, suffixed with "-dirty" when the working tree was modified at
+// build time. It returns "" for unstamped binaries (tests, builds
+// outside a checkout), so callers can use it in omitempty JSON fields.
+func Revision() string {
+	in := resolve()
+	if in.revision == "" {
+		return ""
+	}
+	r := in.revision
+	if len(r) > 12 {
+		r = r[:12]
+	}
+	if in.dirty {
+		r += "-dirty"
+	}
+	return r
+}
+
+// String returns the one-line human form printed by every CLI's
+// -version flag: module version, Go toolchain, and — when stamped —
+// the revision and commit time.
+func String() string {
+	in := resolve()
+	s := "vulfi"
+	if in.version != "" {
+		s += " " + in.version
+	}
+	if in.goVers != "" {
+		s += " " + in.goVers
+	}
+	if rev := Revision(); rev != "" {
+		s += " commit " + rev
+		if in.time != "" {
+			s += " (" + in.time + ")"
+		}
+	}
+	return s
+}

@@ -1,0 +1,26 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+// Test binaries are never VCS-stamped, so this exercises the unstamped
+// degradation path: Revision is empty (keeping omitempty JSON fields
+// deterministic) and String still identifies the module and toolchain.
+func TestUnstampedBinary(t *testing.T) {
+	if rev := Revision(); rev != "" {
+		// Not fatal — a build system could stamp test binaries — but the
+		// format contract still holds.
+		if strings.ContainsAny(rev, " \t\n") {
+			t.Errorf("Revision() = %q contains whitespace", rev)
+		}
+	}
+	s := String()
+	if !strings.HasPrefix(s, "vulfi") {
+		t.Errorf("String() = %q, want vulfi prefix", s)
+	}
+	if strings.ContainsRune(s, '\n') {
+		t.Errorf("String() = %q must be one line", s)
+	}
+}

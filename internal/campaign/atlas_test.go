@@ -1,0 +1,157 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/passes"
+	"vulfi/internal/telemetry"
+)
+
+// TestAtlasTallies: the per-site atlas must conserve the study's outcome
+// totals — every attributed injection lands in exactly one row, and the
+// row outcome splits sum back to the study totals minus unattributed
+// (vacuous) experiments.
+func TestAtlasTallies(t *testing.T) {
+	cfg := smallCfg(benchmarks.Blackscholes, passes.PureData)
+	cfg.Atlas = true
+	cfg.Inputs = 2
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+
+	sr, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Sites) == 0 {
+		t.Fatal("atlas study produced no site tallies")
+	}
+	if len(sr.Sites) != sr.StaticSites {
+		t.Fatalf("%d tallies for %d static sites", len(sr.Sites), sr.StaticSites)
+	}
+	var inj, sdc, benign, crash, hang, detected, lanes int
+	seen := map[string]bool{}
+	for i, s := range sr.Sites {
+		if s.Key == "" || s.Func == "" || s.Instr == "" {
+			t.Fatalf("tally %d has empty identity: %+v", i, s)
+		}
+		if seen[s.Key] {
+			t.Fatalf("duplicate site key %q", s.Key)
+		}
+		seen[s.Key] = true
+		if i > 0 && sr.Sites[i-1].Site >= s.Site {
+			t.Fatalf("tallies not in site-ID order: %d then %d",
+				sr.Sites[i-1].Site, s.Site)
+		}
+		if s.Injections > 0 && s.Activations == 0 {
+			t.Errorf("site %s took %d injections but profiled 0 activations",
+				s.Key, s.Injections)
+		}
+		if s.SDC+s.Benign+s.Crash != s.Injections {
+			t.Errorf("site %s outcome split %d+%d+%d != %d injections",
+				s.Key, s.SDC, s.Benign, s.Crash, s.Injections)
+		}
+		inj += s.Injections
+		sdc += s.SDC
+		benign += s.Benign
+		crash += s.Crash
+		hang += s.Hang
+		detected += s.Detected
+		lanes += s.Lanes
+	}
+	if lanes != sr.LaneSites {
+		t.Fatalf("tally lanes sum %d, want %d", lanes, sr.LaneSites)
+	}
+	attributed := int(reg.Counter("atlas.attributed").Value())
+	unattributed := int(reg.Counter("atlas.unattributed").Value())
+	if inj != attributed {
+		t.Fatalf("injections sum %d, attributed counter %d", inj, attributed)
+	}
+	if attributed+unattributed != sr.Totals.Experiments {
+		t.Fatalf("attributed %d + unattributed %d != %d experiments",
+			attributed, unattributed, sr.Totals.Experiments)
+	}
+	// Attributed outcomes are the study totals minus the vacuous (never
+	// injected) experiments, which are all benign by construction.
+	if sdc != sr.Totals.SDC || crash != sr.Totals.Crash || hang != sr.Totals.Hang {
+		t.Fatalf("atlas sdc/crash/hang %d/%d/%d, study %d/%d/%d",
+			sdc, crash, hang, sr.Totals.SDC, sr.Totals.Crash, sr.Totals.Hang)
+	}
+	// Every unattributed experiment (vacuous or target never reached) is
+	// benign by construction, so benign rows + unattributed must equal
+	// the study's benign total.
+	if benign+unattributed != sr.Totals.Benign {
+		t.Fatalf("atlas benign %d + unattributed %d != study benign %d",
+			benign, unattributed, sr.Totals.Benign)
+	}
+	if got := int(reg.Counter("atlas.sites").Value()); got != len(sr.Sites) {
+		t.Fatalf("atlas.sites counter %d, want %d", got, len(sr.Sites))
+	}
+}
+
+// TestAtlasCategoryAgreement: under a control-category study every
+// atlas row must carry a control-side Figure 2 tag — the tallies and
+// the static classifier must never disagree about what was injected.
+func TestAtlasCategoryAgreement(t *testing.T) {
+	cfg := smallCfg(benchmarks.Blackscholes, passes.Control)
+	cfg.Atlas = true
+	sr, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Sites) == 0 {
+		t.Fatal("control study produced no site tallies")
+	}
+	for _, s := range sr.Sites {
+		if s.Category != "control" && s.Category != "control+address" {
+			t.Errorf("control-category study tallied site %s as %q",
+				s.Key, s.Category)
+		}
+	}
+}
+
+// TestAtlasResumeEquivalence: checkpointing an atlas study and resuming
+// it through Cfg.Completed must reproduce the uninterrupted study's
+// JSON — site tallies included — byte for byte. Attribution reads only
+// the replayed results and deterministic profiling runs, so nothing may
+// drift.
+func TestAtlasResumeEquivalence(t *testing.T) {
+	cfg := smallCfg(benchmarks.VectorCopy, passes.PureData)
+	cfg.Atlas = true
+	cfg.Inputs = 2
+
+	var mu sync.Mutex
+	checkpoints := map[int]*ExperimentResult{}
+	cfg.OnResult = func(i int, seed int64, r *ExperimentResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		checkpoints[i] = r
+	}
+	full, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Sites) == 0 {
+		t.Fatal("atlas study produced no site tallies")
+	}
+
+	resumedCfg := cfg
+	resumedCfg.OnResult = nil
+	resumedCfg.Completed = map[int]*ExperimentResult{}
+	total := cfg.Campaigns * cfg.Experiments
+	for i := 0; i < total/2; i++ {
+		resumedCfg.Completed[i] = checkpoints[i]
+	}
+	resumed, err := RunStudy(context.Background(), resumedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, want := studyBytes(t, resumed), studyBytes(t, full)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed atlas study diverged:\nresumed: %s\nfull:    %s", got, want)
+	}
+}

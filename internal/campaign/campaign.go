@@ -97,6 +97,13 @@ type Config struct {
 	Trace bool
 	// TraceCap bounds each trace ring in entries (0 = trace.DefaultCap).
 	TraceCap int
+	// Atlas enables per-static-site outcome attribution: the study result
+	// carries one SiteTally per instrumented static site (injections,
+	// outcome split, dynamic activation counts from a deterministic
+	// profiling pass over the input pool). Derived purely from the
+	// experiment results and golden re-runs, so resumed studies produce
+	// byte-identical tallies.
+	Atlas bool
 
 	// Metrics receives this study's telemetry (phase histograms, outcome
 	// counters, interpreter counters). Nil uses the process-wide default

@@ -8,11 +8,16 @@ import (
 	"math"
 	"strconv"
 
+	"vulfi/internal/buildinfo"
 	"vulfi/internal/trace"
 )
 
 // studyJSON is the serialized form of a StudyResult.
 type studyJSON struct {
+	// Build is the VCS revision of the binary that produced the study
+	// (buildinfo.Revision). Empty — and absent — for unstamped binaries
+	// such as test runs, keeping golden files deterministic.
+	Build       string  `json:"build,omitempty"`
 	Benchmark   string  `json:"benchmark"`
 	ISA         string  `json:"isa"`
 	Category    string  `json:"category"`
@@ -48,10 +53,15 @@ type studyJSON struct {
 	// Propagation is the aggregated fault-propagation profile (present
 	// only when the study ran with tracing enabled).
 	Propagation *trace.Summary `json:"propagation,omitempty"`
+
+	// Sites is the per-static-site atlas (present only when the study ran
+	// with Config.Atlas).
+	Sites []SiteTally `json:"sites,omitempty"`
 }
 
 func (sr *StudyResult) toJSON() studyJSON {
 	return studyJSON{
+		Build:       buildinfo.Revision(),
 		Benchmark:   sr.Cfg.Benchmark.Name,
 		ISA:         sr.Cfg.ISA.Name,
 		Category:    sr.Cfg.Category.String(),
@@ -77,6 +87,7 @@ func (sr *StudyResult) toJSON() studyJSON {
 		WallMeanNS:  int64(sr.Totals.WallMean()),
 		WallMaxNS:   int64(sr.Totals.WallMax),
 		Propagation: sr.Propagation,
+		Sites:       sr.Sites,
 	}
 }
 

@@ -145,6 +145,11 @@ type StudyResult struct {
 	// Propagation is the study's aggregated fault-propagation profile
 	// (nil unless Cfg.Trace was set).
 	Propagation *trace.Summary
+
+	// Sites is the per-static-site atlas (nil unless Cfg.Atlas was set):
+	// one tally per instrumented site, lanes folded, injections attributed
+	// through each experiment's InjectionRecord.
+	Sites []SiteTally
 }
 
 // ExperimentSeed returns the deterministic seed of experiment index i
@@ -296,6 +301,13 @@ dispatch:
 	sr.MeanGoldenDynInstrs = dynSum / float64(total)
 	if p.Profile != nil {
 		sr.Propagation = p.Profile.Summary()
+	}
+	if cfg.Atlas {
+		tallies, err := p.siteTallies(results)
+		if err != nil {
+			return nil, fmt.Errorf("atlas attribution: %w", err)
+		}
+		sr.Sites = tallies
 	}
 	sr.Wall = time.Since(start)
 	if cfg.Events != nil {

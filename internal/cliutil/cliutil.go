@@ -13,8 +13,22 @@ import (
 	"io"
 	"os"
 
+	"vulfi/internal/buildinfo"
 	"vulfi/internal/telemetry"
 )
+
+// Version registers the canonical -version flag; pair it with
+// PrintVersion right after flag parsing.
+func Version(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print build provenance (version, toolchain, commit) and exit")
+}
+
+// PrintVersion writes the tool's one-line build stamp — module version,
+// Go toolchain, and the VCS revision with a dirty bit when the binary
+// was built inside a checkout.
+func PrintVersion(w io.Writer, tool string) {
+	fmt.Fprintf(w, "%s: %s\n", tool, buildinfo.String())
+}
 
 // Benchmark registers the canonical -benchmark flag.
 func Benchmark(fs *flag.FlagSet, def string) *string {

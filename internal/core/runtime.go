@@ -34,6 +34,11 @@ type Plan struct {
 	// vector lanes are not counted (§II: the mask decides "whether or not
 	// to target a particular vector lane").
 	DynSites uint64
+	// Visits, when non-nil, receives per-lane-site activation counts:
+	// Visits[siteID] is incremented on every live (unmasked) visit of that
+	// lane site. Used by atlas profiling runs; nil on the hot experiment
+	// path so normal campaigns pay only a nil check.
+	Visits []uint64
 	// Injected reports whether the flip happened.
 	Injected bool
 	// Record describes the performed injection.
@@ -61,6 +66,9 @@ func (p *Plan) handle(val interp.Value, active, siteID int64) interp.Value {
 		return val // masked-off lane: not a dynamic fault site
 	}
 	p.DynSites++
+	if p.Visits != nil && siteID >= 0 && siteID < int64(len(p.Visits)) {
+		p.Visits[siteID]++
+	}
 	if p.Mode == InjectOnce && !p.Injected && p.DynSites == p.TargetDyn {
 		w := val.Ty.ScalarBits()
 		bit := int(p.BitSeed % uint64(w))

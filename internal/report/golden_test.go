@@ -1,0 +1,146 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vulfi/internal/atlas"
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/campaign"
+	"vulfi/internal/isa"
+	"vulfi/internal/passes"
+	"vulfi/internal/trace"
+)
+
+// Regenerate the golden files with:
+//
+//	go test ./internal/report/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// goldenStudy is a fully deterministic synthetic study: every field a
+// renderer touches is pinned, wall times are zero, and the binary is
+// unstamped under `go test`, so the output is byte-stable.
+func goldenStudy() *campaign.StudyResult {
+	sr := &campaign.StudyResult{}
+	sr.Cfg.Benchmark = benchmarks.VectorCopy
+	sr.Cfg.ISA = isa.AVX
+	sr.Cfg.Category = passes.PureData
+	sr.Cfg.Campaigns, sr.Cfg.Experiments = 2, 10
+	sr.Cfg.Seed = 1
+	sr.Cfg.Detectors = true
+	sr.StaticSites, sr.LaneSites = 3, 9
+	sr.MeanGoldenDynInstrs = 1234
+
+	c1 := campaign.CampaignResult{Experiments: 10, SDC: 4, Benign: 5,
+		Crash: 1, Detected: 3, SDCDetected: 2}
+	c2 := campaign.CampaignResult{Experiments: 10, SDC: 6, Benign: 3,
+		Crash: 1, Hang: 1, Detected: 4, SDCDetected: 3}
+	sr.Campaigns = []campaign.CampaignResult{c1, c2}
+	sr.Totals = campaign.CampaignResult{Experiments: 20, SDC: 10, Benign: 8,
+		Crash: 2, Hang: 1, Detected: 7, SDCDetected: 5}
+	sr.SDCRates = []float64{0.4, 0.6}
+	sr.MeanSDC = 0.5
+	sr.MarginOfError = 0.03
+	sr.NearNormal = true
+
+	sr.Propagation = &trace.Summary{
+		Traced: 20, Diverged: 12, ControlDivergence: 3,
+		CrossedControl: 4, CrossedAddress: 2,
+		MeanDepth: 5.5, MaxDepth: 17, MeanLaneSpread: 1.25, MaxLaneSpread: 4,
+		Detections: 7, MeanTimeToDetection: 42.5,
+		Blame: []trace.BlameEntry{
+			{Site: "@kernel/loop: %v = fmul", Experiments: 8, SDC: 6, Crash: 1, Benign: 1, Detected: 4},
+			{Site: "@kernel/entry: %v = add", Experiments: 7, SDC: 3, Benign: 4, Detected: 2},
+		},
+	}
+	sr.Sites = []campaign.SiteTally{
+		{Site: 0, Key: "@kernel/loop: %v = fmul", Func: "kernel", Block: "loop",
+			Instr: "%v = fmul", Category: "pure-data", Lanes: 4,
+			Activations: 320, Injections: 8, SDC: 6, Benign: 1, Crash: 1, Detected: 4},
+		{Site: 1, Key: "@kernel/entry: %v = add", Func: "kernel", Block: "entry",
+			Instr: "%v = add", Category: "pure-data", Lanes: 4,
+			Activations: 80, Injections: 7, SDC: 3, Benign: 4, Detected: 2},
+		{Site: 2, Key: "@kernel/exit: %p = getelementptr", Func: "kernel", Block: "exit",
+			Instr: "%p = getelementptr", Category: "address", Lanes: 1,
+			Activations: 20, Injections: 5, SDC: 1, Benign: 3, Crash: 1, Hang: 1, Detected: 1},
+	}
+	return sr
+}
+
+func TestGoldenWriteStudy(t *testing.T) {
+	sr := goldenStudy()
+	var buf bytes.Buffer
+	WriteStudy(&buf, sr, true)
+	checkGolden(t, "study.txt", buf.Bytes())
+}
+
+func TestGoldenWritePropagation(t *testing.T) {
+	sr := goldenStudy()
+	var buf bytes.Buffer
+	WritePropagation(&buf, sr)
+	checkGolden(t, "propagation.txt", buf.Bytes())
+}
+
+func TestGoldenStudyJSON(t *testing.T) {
+	sr := goldenStudy()
+	var buf bytes.Buffer
+	if err := sr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "study.json", buf.Bytes())
+}
+
+func TestGoldenAtlasCSV(t *testing.T) {
+	a := atlas.New(goldenStudy())
+	var buf bytes.Buffer
+	if err := a.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "atlas.csv", buf.Bytes())
+}
+
+func TestGoldenAtlasJSON(t *testing.T) {
+	a := atlas.New(goldenStudy())
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "atlas.json", buf.Bytes())
+}
+
+func TestGoldenDiff(t *testing.T) {
+	t0 := time.Unix(0, 0).UTC()
+	base := atlas.NewEntry(goldenStudy(), t0)
+	worse := goldenStudy()
+	worse.Totals.SDC, worse.Totals.Benign = 18, 0
+	cand := atlas.NewEntry(worse, t0)
+	var buf bytes.Buffer
+	WriteDiff(&buf, atlas.Compare(&base, &cand, 1.959963984540054))
+	checkGolden(t, "diff.txt", buf.Bytes())
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"vulfi/internal/atlas"
+	"vulfi/internal/campaign"
+)
+
+// WriteStudy renders a completed study as the CLI's text summary:
+// optional per-campaign rows, the site census, outcome rates with the
+// paper's 95% margin, detector stats when the study ran detectors, and
+// the propagation profile when it was traced. One renderer serves
+// cmd/vulfi and the golden-file tests pinning its format.
+func WriteStudy(w io.Writer, sr *campaign.StudyResult, verbose bool) {
+	if verbose {
+		for i, c := range sr.Campaigns {
+			fmt.Fprintf(w, "  campaign %2d: SDC %5.1f%%  Benign %5.1f%%  Crash %5.1f%%  detected %d\n",
+				i+1, 100*c.SDCRate(), 100*c.BenignRate(), 100*c.CrashRate(), c.Detected)
+		}
+	}
+	t := sr.Totals
+	fmt.Fprintf(w, "static sites: %d (%d lane sites)\n", sr.StaticSites, sr.LaneSites)
+	fmt.Fprintf(w, "mean golden dynamic instructions: %.0f\n", sr.MeanGoldenDynInstrs)
+	fmt.Fprintf(w, "SDC    %6.2f%%  (±%.2f%% at 95%%, near-normal=%v)\n",
+		100*sr.MeanSDC, 100*sr.MarginOfError, sr.NearNormal)
+	fmt.Fprintf(w, "Benign %6.2f%%\n", 100*t.BenignRate())
+	fmt.Fprintf(w, "Crash  %6.2f%%  (%d hangs)\n", 100*t.CrashRate(), t.Hang)
+	if sr.Cfg.Detectors {
+		fmt.Fprintf(w, "detector fired in %d experiments; SDC detection rate %.2f%%\n",
+			t.Detected, 100*t.SDCDetectionRate())
+	}
+	if sr.Propagation != nil {
+		WritePropagation(w, sr)
+	}
+	if len(sr.Sites) > 0 {
+		WriteAtlas(w, atlas.New(sr))
+	}
+}
+
+// WriteAtlas renders the per-site atlas as text: the attribution
+// summary plus the most SDC-prone sites with their Wilson intervals.
+func WriteAtlas(w io.Writer, a *atlas.Atlas) {
+	fmt.Fprintf(w, "resiliency atlas: %d sites, %d/%d experiments attributed\n",
+		len(a.Rows), a.Attributed, a.Experiments)
+	const maxRows = 10
+	for i, r := range a.Rows {
+		if i == maxRows {
+			fmt.Fprintf(w, "    ... %d more sites\n", len(a.Rows)-maxRows)
+			break
+		}
+		fmt.Fprintf(w, "    %2d. %-60s %-15s inj=%-4d SDC %5.1f%% [%5.1f%%,%5.1f%%] act=%d\n",
+			i+1, r.Key, r.Category, r.Injections,
+			100*r.SDCRate.Rate, 100*r.SDCRate.Lo, 100*r.SDCRate.Hi,
+			r.Activations)
+	}
+}
+
+// WriteHistory renders recorded history entries, newest last, as an
+// aligned table (the `vulfi history list` view).
+func WriteHistory(w io.Writer, entries []atlas.Entry) {
+	if len(entries) == 0 {
+		fmt.Fprintln(w, "history is empty")
+		return
+	}
+	fmt.Fprintf(w, "%4s  %-20s  %-32s  %9s  %9s  %9s  %8s  %s\n",
+		"#", "time", "cell", "sdc", "crash", "detected", "exp/s", "build")
+	for i, e := range entries {
+		build := e.Build
+		if build == "" {
+			build = "-"
+		}
+		fmt.Fprintf(w, "%4d  %-20s  %-32s  %8.2f%%  %8.2f%%  %8.2f%%  %8.1f  %s\n",
+			i+1, e.Time, e.Name(),
+			100*rateOf(e.SDC, e.Total), 100*rateOf(e.Crash, e.Total),
+			100*rateOf(e.Detected, e.Total), e.ExpPerSec, build)
+	}
+}
+
+// WriteDiff renders a regression-gate comparison: the per-class table,
+// significant per-site deltas, and the verdict line.
+func WriteDiff(w io.Writer, d *atlas.Diff) {
+	if d.Mismatch != "" {
+		fmt.Fprintf(w, "warning: %s\n", d.Mismatch)
+	}
+	fmt.Fprintf(w, "%-10s %10s %10s %8s  %s\n", "class", "baseline", "candidate", "z", "verdict")
+	for _, c := range d.Classes {
+		verdict := ""
+		switch {
+		case c.Regression:
+			verdict = "REGRESSION"
+		case c.Significant:
+			verdict = "significant"
+		}
+		fmt.Fprintf(w, "%-10s %9.2f%% %9.2f%% %8.2f  %s\n",
+			c.Class, 100*c.BaseRate, 100*c.CandRate, c.Z, verdict)
+	}
+	for _, s := range d.Sites {
+		verdict := "improved"
+		if s.Regression {
+			verdict = "REGRESSION"
+		}
+		fmt.Fprintf(w, "site %-55s %6.1f%% -> %6.1f%%  z=%.2f  %s\n",
+			s.Key, 100*s.BaseRate, 100*s.CandRate, s.Z, verdict)
+	}
+	if regs := d.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(w, "FAIL: %d regression(s) at |z| >= %.2f\n", len(regs), d.Threshold)
+	} else {
+		fmt.Fprintf(w, "PASS: no significant regression at |z| >= %.2f\n", d.Threshold)
+	}
+}
+
+func rateOf(x, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(x) / float64(n)
+}

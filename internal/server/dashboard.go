@@ -1,0 +1,10 @@
+package server
+
+import _ "embed"
+
+// dashboardHTML is the self-contained GET /dashboard page: vanilla
+// inline JS polling /v1/jobs, tailing the newest running job's SSE
+// stream, and rendering /v1/history trends as inline-SVG sparklines.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte

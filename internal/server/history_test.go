@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vulfi/internal/atlas"
+)
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(raw, v); err != nil {
+			t.Fatalf("GET %s: %v\nbody: %s", url, err, raw)
+		}
+	}
+	return resp
+}
+
+// TestHistoryEndpoint: a finished atlas job lands in the history store
+// and is served by GET /v1/history — site tallies stripped by default,
+// included with ?sites=1, the tail selected with ?limit=N.
+func TestHistoryEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Options{JournalDir: dir})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := testSpec()
+	spec.Atlas = true
+	resp, raw := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, raw)
+	}
+	var st Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateDone)
+
+	var body struct {
+		Entries []atlas.Entry `json:"entries"`
+	}
+	getJSON(t, ts.URL+"/v1/history", &body)
+	if len(body.Entries) != 1 {
+		t.Fatalf("history has %d entries, want 1", len(body.Entries))
+	}
+	e := body.Entries[0]
+	if e.Job != st.ID {
+		t.Fatalf("entry job = %q, want %q", e.Job, st.ID)
+	}
+	if e.Benchmark != "VectorCopy" || e.ISA != "AVX" || e.Category != "control" {
+		t.Fatalf("entry cell = %s/%s/%s", e.Benchmark, e.ISA, e.Category)
+	}
+	if e.Total != spec.Total() {
+		t.Fatalf("entry total = %d, want %d", e.Total, spec.Total())
+	}
+	if len(e.Sites) != 0 {
+		t.Fatalf("sites present without ?sites=1: %d rows", len(e.Sites))
+	}
+
+	body.Entries = nil
+	getJSON(t, ts.URL+"/v1/history?sites=1", &body)
+	if len(body.Entries) != 1 || len(body.Entries[0].Sites) == 0 {
+		t.Fatalf("?sites=1 did not include site tallies: %+v", body.Entries)
+	}
+
+	// The store itself (what `vulfi diff` reads) must carry the tallies.
+	stored, err := atlas.ReadHistory(filepath.Join(dir, "history.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 1 || len(stored[0].Sites) == 0 {
+		t.Fatalf("on-disk history missing site tallies: %+v", stored)
+	}
+	if got := s.Registry().Counter("atlas.history.appends").Value(); got != 1 {
+		t.Fatalf("atlas.history.appends = %d, want 1", got)
+	}
+
+	body.Entries = []atlas.Entry{{Job: "sentinel"}}
+	getJSON(t, ts.URL+"/v1/history?limit=0", &body)
+	if len(body.Entries) != 0 {
+		t.Fatalf("?limit=0 returned %d entries, want 0", len(body.Entries))
+	}
+	body.Entries = nil
+	getJSON(t, ts.URL+"/v1/history?limit=5", &body)
+	if len(body.Entries) != 1 {
+		t.Fatalf("?limit=5 returned %d entries, want 1", len(body.Entries))
+	}
+	if resp := getJSON(t, ts.URL+"/v1/history?limit=-1", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?limit=-1: %s, want 400", resp.Status)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/history?limit=x", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?limit=x: %s, want 400", resp.Status)
+	}
+}
+
+// TestHistoryDisabled: HistoryPath "none" turns the store off — no file,
+// and the endpoint answers 404.
+func TestHistoryDisabled(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Options{JournalDir: dir, HistoryPath: "none"})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp := getJSON(t, ts.URL+"/v1/history", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled history: %s, want 404", resp.Status)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "history.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "history.jsonl")); len(m) != 0 {
+		t.Fatalf("history file created despite HistoryPath=none: %v", m)
+	}
+}
+
+// TestDashboardAndBuildHeader: GET /dashboard serves the embedded
+// single-file page, and every response carries Vulfid-Build.
+func TestDashboardAndBuildHeader(t *testing.T) {
+	s := newTestServer(t, Options{})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /dashboard: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Content-Type = %q, want text/html", ct)
+	}
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(page)
+	for _, want := range []string{"vulfid dashboard", "/v1/jobs", "/v1/history", "EventSource"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("dashboard HTML missing %q", want)
+		}
+	}
+	// Self-contained: no external scripts, styles or hosts.
+	for _, banned := range []string{"http://", "https://", "src=\"", "<link"} {
+		if strings.Contains(html, banned) {
+			t.Fatalf("dashboard HTML references external asset: %q", banned)
+		}
+	}
+
+	for _, path := range []string{"/dashboard", "/v1/jobs", "/no/such/route"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.Header.Get("Vulfid-Build") == "" {
+			t.Fatalf("GET %s: missing Vulfid-Build header", path)
+		}
+	}
+}

@@ -60,6 +60,7 @@ func (s *Server) runJob(job *Job) {
 	case err == nil:
 		s.mx.completed.Inc()
 		job.finish(StateDone, "", marshalStudy(sr))
+		s.recordHistory(job, sr)
 	case errors.Is(err, context.Canceled) && job.cancelRequested():
 		s.mx.cancelled.Inc()
 		job.finish(StateCancelled, "", nil)

@@ -10,12 +10,15 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"vulfi/internal/atlas"
+	"vulfi/internal/buildinfo"
 	"vulfi/internal/campaign"
 	"vulfi/internal/telemetry"
 )
@@ -39,6 +42,11 @@ type Options struct {
 	Registry *telemetry.Registry
 	// Logf logs operational messages (default log.Printf).
 	Logf func(format string, args ...any)
+	// HistoryPath is the study-history JSONL file every completed job is
+	// appended to (GET /v1/history, the dashboard trends, `vulfi diff`).
+	// Empty defaults to JournalDir/history.jsonl; "none" disables the
+	// store.
+	HistoryPath string
 }
 
 // serverMetrics caches the server's instruments.
@@ -69,6 +77,11 @@ type Server struct {
 	reg  *telemetry.Registry
 	mx   serverMetrics
 	q    *jobQueue
+
+	// history is the append handle on the study-history store (nil when
+	// disabled); historyPath is its resolved location.
+	history     *atlas.History
+	historyPath string
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -104,6 +117,20 @@ func New(opts Options) (*Server, error) {
 		opts: opts, reg: opts.Registry, mx: newServerMetrics(opts.Registry),
 		q: newJobQueue(opts.QueueSize), baseCtx: ctx, stop: cancel,
 		jobs: map[string]*Job{},
+	}
+	switch opts.HistoryPath {
+	case "none":
+	default:
+		s.historyPath = opts.HistoryPath
+		if s.historyPath == "" {
+			s.historyPath = filepath.Join(opts.JournalDir, "history.jsonl")
+		}
+		h, err := atlas.OpenHistory(s.historyPath)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("history: %w", err)
+		}
+		s.history = h
 	}
 	if err := s.resume(); err != nil {
 		cancel()
@@ -183,7 +210,25 @@ func (s *Server) Drain(ctx context.Context) error {
 			_ = job.journal.Close()
 		}
 	}
+	if s.history != nil {
+		_ = s.history.Close()
+	}
 	return nil
+}
+
+// recordHistory appends a finished job's study to the history store.
+func (s *Server) recordHistory(job *Job, sr *campaign.StudyResult) {
+	if s.history == nil {
+		return
+	}
+	e := atlas.NewEntry(sr, time.Now())
+	e.Job = job.ID
+	if err := s.history.Append(e); err != nil {
+		s.reg.Counter("atlas.history.errors").Inc()
+		s.logf("history: append for job %s failed: %v", job.ID, err)
+		return
+	}
+	s.reg.Counter("atlas.history.appends").Inc()
 }
 
 // newJobID returns a random 12-hex-digit job id.
@@ -282,16 +327,62 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
 	mux.HandleFunc("GET /v1/jobs/{id}/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/history", s.handleHistory)
+	mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/", telemetry.Handler(s.reg))
-	// Stamp every response with the wire-schema version so clients can
-	// detect drift without parsing bodies.
+	// Stamp every response with the wire-schema version and the binary's
+	// build revision so clients can detect drift without parsing bodies.
+	build := buildinfo.Revision()
+	if build == "" {
+		build = "unknown"
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Vulfid-Api-Version", APIVersion)
+		w.Header().Set("Vulfid-Build", build)
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// handleHistory serves the study-history store. Per-site tallies are
+// stripped by default to keep the trend payload light; ?sites=1 keeps
+// them, and ?limit=N returns only the newest N entries.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		writeError(w, http.StatusNotFound, "history store is disabled")
+		return
+	}
+	entries, err := atlas.ReadHistory(s.historyPath)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "history: %v", err)
+		return
+	}
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		if n < len(entries) {
+			entries = entries[len(entries)-n:]
+		}
+	}
+	if r.URL.Query().Get("sites") != "1" {
+		for i := range entries {
+			entries[i].Sites = nil
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"entries": entries})
+}
+
+// handleDashboard serves the embedded single-file dashboard: live job
+// progress over the SSE stream plus historical trend sparklines from
+// /v1/history. No external assets, so it works air-gapped.
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(dashboardHTML)
 }
 
 // Serve binds addr (":0" allowed) and serves the API until Drain.

@@ -35,8 +35,10 @@ import (
 // carries it in the Vulfid-Api-Version header, so clients can detect
 // schema drift without parsing bodies. Bumped when the request or
 // response schema changes in a way a client could observe (1.1 added
-// the "inputs" pool knob and the version header itself).
-const APIVersion = "1.1"
+// the "inputs" pool knob and the version header itself; 1.2 added the
+// "atlas" spec knob, GET /v1/history, GET /dashboard and the
+// Vulfid-Build header).
+const APIVersion = "1.2"
 
 // Spec is the wire form of one study cell: the JSON body of POST
 // /v1/jobs. Zero-valued counts inherit the paper's defaults (100
@@ -64,7 +66,8 @@ const APIVersion = "1.1"
 //	  "mask_loop_detector": false,
 //	  "whole_register_sites": false,
 //	  "mask_oblivious": false,
-//	  "trace": false                    // divergence tracing (disables golden cache)
+//	  "trace": false,                   // divergence tracing (disables golden cache)
+//	  "atlas": false                    // per-static-site outcome attribution
 //	}
 //
 // # Response schema
@@ -117,6 +120,11 @@ type Spec struct {
 	// the per-job registry gains trace.* metrics. Tracing bypasses the
 	// golden-run cache (divergence analysis needs a live golden ring).
 	Trace bool `json:"trace,omitempty"`
+
+	// Atlas enables per-static-site outcome attribution: the finished
+	// study's JSON carries a "sites" tally table, and the job's history
+	// entry records it for longitudinal comparison (vulfi diff).
+	Atlas bool `json:"atlas,omitempty"`
 }
 
 // SpecFields returns the spec's JSON field names in declaration order —
@@ -193,6 +201,7 @@ func (s Spec) Config() (campaign.Config, error) {
 		WholeRegisterSites:     s.WholeRegisterSites,
 		MaskOblivious:          s.MaskOblivious,
 		Trace:                  s.Trace,
+		Atlas:                  s.Atlas,
 	}
 	if err := cfg.Validate(); err != nil {
 		return campaign.Config{}, err

@@ -144,3 +144,74 @@ func TestNearNormal(t *testing.T) {
 		t.Error("constant sample should pass")
 	}
 }
+
+func TestWilsonInterval(t *testing.T) {
+	cases := []struct {
+		x, n   int
+		lo, hi float64 // expected bounds (reference values, 1e-6)
+	}{
+		{0, 0, 0, 1},          // no trials: no information
+		{0, 10, 0, 0.277535},  // zero successes still gets hi > 0
+		{10, 10, 0.722465, 1}, // all successes still gets lo < 1
+		{5, 10, 0.236593, 0.763407},
+		{50, 100, 0.403832, 0.596168},
+	}
+	for _, c := range cases {
+		lo, hi := WilsonInterval(c.x, c.n, Z95)
+		if math.Abs(lo-c.lo) > 1e-5 || math.Abs(hi-c.hi) > 1e-5 {
+			t.Errorf("WilsonInterval(%d,%d) = [%v,%v], want [%v,%v]",
+				c.x, c.n, lo, hi, c.lo, c.hi)
+		}
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("WilsonInterval(%d,%d) = [%v,%v] not a sane interval",
+				c.x, c.n, lo, hi)
+		}
+		p := float64(0)
+		if c.n > 0 {
+			p = float64(c.x) / float64(c.n)
+		} else {
+			p = lo // vacuous containment for the n==0 row
+		}
+		if p < lo-1e-12 || p > hi+1e-12 {
+			t.Errorf("WilsonInterval(%d,%d) = [%v,%v] excludes p=%v",
+				c.x, c.n, lo, hi, p)
+		}
+	}
+}
+
+func TestTwoProportionZ(t *testing.T) {
+	// Identical samples: z must be exactly 0.
+	if z := TwoProportionZ(30, 100, 30, 100); z != 0 {
+		t.Errorf("identical proportions: z = %v, want 0", z)
+	}
+	// Degenerate inputs return 0, never NaN.
+	for _, z := range []float64{
+		TwoProportionZ(0, 0, 5, 10),
+		TwoProportionZ(5, 10, 0, 0),
+		TwoProportionZ(0, 50, 0, 50),   // pooled rate 0
+		TwoProportionZ(50, 50, 50, 50), // pooled rate 1
+	} {
+		if z != 0 || math.IsNaN(z) {
+			t.Errorf("degenerate input: z = %v, want 0", z)
+		}
+	}
+	// A textbook case: 20/100 vs 35/100 → z ≈ 2.3754 (second larger →
+	// positive), antisymmetric under swapping the samples.
+	z := TwoProportionZ(20, 100, 35, 100)
+	if math.Abs(z-2.375423) > 1e-5 {
+		t.Errorf("TwoProportionZ(20/100, 35/100) = %v, want ~2.375423", z)
+	}
+	if zr := TwoProportionZ(35, 100, 20, 100); math.Abs(z+zr) > 1e-12 {
+		t.Errorf("z not antisymmetric: %v vs %v", z, zr)
+	}
+	if z < Z95 {
+		t.Errorf("z = %v should exceed Z95 = %v", z, Z95)
+	}
+	// NormalCDF sanity: Φ(0) = 0.5, Φ(Z95) ≈ 0.975.
+	if c := NormalCDF(0); math.Abs(c-0.5) > 1e-12 {
+		t.Errorf("NormalCDF(0) = %v", c)
+	}
+	if c := NormalCDF(Z95); math.Abs(c-0.975) > 1e-9 {
+		t.Errorf("NormalCDF(Z95) = %v, want 0.975", c)
+	}
+}

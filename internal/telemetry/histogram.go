@@ -128,12 +128,22 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of
-// the bucket containing the ceil(q·Count)-th observation. Deterministic
-// given the same observations; returns 0 for an empty histogram.
+// QuantileEmpty is the sentinel Quantile returns for a histogram with
+// no observations. It is negative — a value no real observation can
+// produce (Observe clamps negatives to zero) — so "no data" is never
+// confusable with "everything was sub-microsecond" (bucket 0's upper
+// bound). Exporters pass it through verbatim: a -1 ns p50 in
+// /debug/vars means the histogram is empty.
+const QuantileEmpty = time.Duration(-1)
+
+// Quantile estimates the q-quantile as the upper bound of the bucket
+// containing the ceil(q·Count)-th observation. q is clamped into (0, 1]:
+// q ≤ 0 degrades to the minimum bucket, q > 1 to the maximum.
+// Deterministic given the same observations; an empty histogram returns
+// the documented QuantileEmpty sentinel rather than a fabricated zero.
 func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
-		return 0
+		return QuantileEmpty
 	}
 	if q <= 0 {
 		q = 0

@@ -12,12 +12,50 @@ func TestHistogramEmpty(t *testing.T) {
 		t.Fatalf("empty snapshot not zero: %+v", s)
 	}
 	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
-		if got := s.Quantile(q); got != 0 {
-			t.Fatalf("Quantile(%v) on empty = %v, want 0", q, got)
+		if got := s.Quantile(q); got != QuantileEmpty {
+			t.Fatalf("Quantile(%v) on empty = %v, want QuantileEmpty", q, got)
 		}
 	}
 	if s.Mean() != 0 {
 		t.Fatalf("Mean on empty = %v", s.Mean())
+	}
+}
+
+// TestHistogramQuantileTable pins the empty-histogram sentinel contract
+// alongside the degenerate shapes that used to be confusable with it:
+// a single sample and a pile of identical samples must report their
+// bucket's upper bound at every quantile, while an empty histogram must
+// report QuantileEmpty — a negative value no real observation produces.
+func TestHistogramQuantileTable(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []time.Duration
+		want time.Duration
+	}{
+		{"empty", nil, QuantileEmpty},
+		{"single-sample", []time.Duration{5 * time.Microsecond}, 7 * time.Microsecond},
+		{"all-equal", []time.Duration{
+			2 * time.Microsecond, 2 * time.Microsecond, 2 * time.Microsecond,
+			2 * time.Microsecond, 2 * time.Microsecond,
+		}, 3 * time.Microsecond},
+		{"all-zero", []time.Duration{0, 0, 0}, time.Microsecond},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := newHistogram()
+			for _, d := range c.obs {
+				h.Observe(d)
+			}
+			s := h.Snapshot()
+			for _, q := range []float64{0, 0.01, 0.5, 0.95, 0.99, 1} {
+				if got := s.Quantile(q); got != c.want {
+					t.Fatalf("Quantile(%v) = %v, want %v", q, got, c.want)
+				}
+			}
+		})
+	}
+	if QuantileEmpty >= 0 {
+		t.Fatal("QuantileEmpty must be negative so no real observation can collide with it")
 	}
 }
 

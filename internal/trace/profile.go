@@ -25,6 +25,19 @@ func ObserveCount(h *telemetry.Histogram, n uint64) {
 	h.Observe(time.Duration(n) * time.Microsecond)
 }
 
+// SiteKey returns the canonical static-site key "@func/block: instr".
+// It is the ONE spelling of a static fault site's identity: the blame
+// ranking, the campaign's per-site tallies and the atlas all key on it,
+// so a site aggregated by two subsystems can never land under two keys.
+func SiteKey(fn, block, instr string) string {
+	return "@" + fn + "/" + block + ": " + instr
+}
+
+// Key returns the site's canonical static key (see SiteKey). Lane is
+// deliberately excluded: attribution is per static site, with lanes
+// folded together.
+func (s *SiteRef) Key() string { return SiteKey(s.Func, s.Block, s.Instr) }
+
 // BlameEntry is one static fault site's outcome tally in the blame
 // ranking.
 type BlameEntry struct {
@@ -148,7 +161,7 @@ func (p *Profile) Add(e *Explanation) {
 		p.truncated++
 	}
 	if s := e.FaultSite; s != nil {
-		key := "@" + s.Func + "/" + s.Block + ": " + s.Instr
+		key := s.Key()
 		b := p.blame[key]
 		if b == nil {
 			b = &BlameEntry{Site: key}

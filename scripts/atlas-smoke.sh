@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Resiliency-atlas smoke test: run one tiny study twice with per-site
+# attribution and the history store enabled, assert the heatmap renders
+# self-contained HTML, the history lists both runs, and the regression
+# gate passes on identical runs (`vulfi diff` exit 0) while a
+# detector-disabled candidate against a detector-enabled baseline fails
+# it naming the detection regression.
+set -euo pipefail
+
+OUT=${1:-atlas-out}
+BIN=$(mktemp -d)/vulfi
+
+cleanup() { rm -rf "$(dirname "$BIN")"; }
+trap cleanup EXIT
+
+die() { echo "FAIL: $*" >&2; exit 1; }
+
+go build -o "$BIN" ./cmd/vulfi
+mkdir -p "$OUT"
+HIST=$OUT/history.jsonl
+rm -f "$HIST"
+
+run() { # run EXTRA_FLAGS... — one tiny control-category study
+  "$BIN" -benchmark VectorCopy -isa AVX -category control \
+    -experiments 20 -campaigns 2 -seed 7 -history "$HIST" "$@"
+}
+
+echo "== two identical runs with atlas + history =="
+run -atlas "$OUT/heatmap.html" >"$OUT/study-1.txt"
+run -atlas "$OUT/heatmap-2.html" >"$OUT/study-2.txt"
+
+grep -q "<table" "$OUT/heatmap.html" || die "heatmap has no table"
+grep -q "resiliency atlas" "$OUT/study-1.txt" || die "study text has no atlas section"
+if grep -Eq 'https?://|src="|<link' "$OUT/heatmap.html"; then
+  die "heatmap references external assets"
+fi
+
+echo "== history =="
+"$BIN" history -file "$HIST" list | tee "$OUT/history.txt"
+[ "$("$BIN" history -file "$HIST" list | grep -c VectorCopy)" -eq 2 ] \
+  || die "history does not list both runs"
+
+echo "== gate: identical runs must pass =="
+"$BIN" diff -file "$HIST" 1 2 | tee "$OUT/diff-identical.txt" \
+  || die "vulfi diff on identical runs exited non-zero"
+
+echo "== gate: detector-disabled candidate must fail =="
+run -detectors >/dev/null   # entry 3: baseline with detectors
+run >/dev/null              # entry 4: same study, detectors off
+if "$BIN" diff -file "$HIST" 3 4 >"$OUT/diff-regression.txt"; then
+  die "gate passed a detector-disabled candidate"
+fi
+grep -q "detected" "$OUT/diff-regression.txt" \
+  || die "gate failure does not name the detected class"
+
+echo "PASS: atlas smoke (artifacts in $OUT/)"

@@ -193,6 +193,13 @@ func WithTrace(cap int) StudyOption {
 	}
 }
 
+// WithAtlas attributes every outcome to its static fault site: the
+// study result carries a per-site tally table (StudyResult.Sites) with
+// activation counts and outcome splits, ready for atlas.New.
+func WithAtlas() StudyOption {
+	return func(c *campaign.Config) error { c.Atlas = true; return nil }
+}
+
 // WithConfig applies fn to the underlying configuration — the escape
 // hatch for fields without a dedicated option (telemetry sinks,
 // checkpoint hooks, replay maps).
