@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -31,19 +32,42 @@ func writeHeatmap(path string, sr *campaign.StudyResult) error {
 	return f.Close()
 }
 
+// readHistoryStrict loads a history store for commands that need
+// entries to exist. Unlike atlas.ReadHistory — which treats a missing
+// file as an empty store so recording can bootstrap it — this reports a
+// missing or empty file as an error naming the file, so a typoed -file
+// or never-recorded store fails loudly instead of reading as a
+// zero-entry gate pass.
+func readHistoryStrict(path string) ([]atlas.Entry, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return nil, fmt.Errorf("history file %s does not exist (run a study with -history %s to record one)",
+			path, path)
+	}
+	entries, err := atlas.ReadHistory(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("history file %s exists but records no studies (run a study with -history %s first)",
+			path, path)
+	}
+	return entries, nil
+}
+
 // historyCmd implements `vulfi history [-file F] list|show N`.
-func historyCmd(args []string) int {
+func historyCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vulfi history", flag.ExitOnError)
 	file := fs.String("file", defaultHistory, "history store to read")
+	fs.SetOutput(stderr)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: vulfi history [-file F] list|show N")
+		fmt.Fprintln(stderr, "usage: vulfi history [-file F] list|show N")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
 
 	entries, err := atlas.ReadHistory(*file)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	verb := "list"
@@ -53,26 +77,26 @@ func historyCmd(args []string) int {
 	switch verb {
 	case "list":
 		if len(entries) == 0 {
-			fmt.Printf("no recorded studies in %s\n", *file)
+			fmt.Fprintf(stdout, "no recorded studies in %s\n", *file)
 			return 0
 		}
-		report.WriteHistory(os.Stdout, entries)
+		report.WriteHistory(stdout, entries)
 		return 0
 	case "show":
 		if fs.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: vulfi history show N  (1-based entry index)")
+			fmt.Fprintln(stderr, "usage: vulfi history show N  (1-based entry index)")
 			return 2
 		}
 		e, ok := entryAt(entries, fs.Arg(1))
 		if !ok {
-			fmt.Fprintf(os.Stderr, "entry %q out of range: %s has %d entries\n",
+			fmt.Fprintf(stderr, "entry %q out of range: %s has %d entries\n",
 				fs.Arg(1), *file, len(entries))
 			return 2
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(e); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		return 0
@@ -86,12 +110,13 @@ func historyCmd(args []string) int {
 // the regression gate between two recorded studies. Indices are 1-based;
 // the candidate defaults to the newest entry. Exit status: 0 no
 // significant regression, 1 regression(s), 2 usage error.
-func diffCmd(args []string) int {
+func diffCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vulfi diff", flag.ExitOnError)
 	file := fs.String("file", defaultHistory, "history store to read")
 	z := fs.Float64("z", stats.Z95, "two-proportion z threshold for significance")
+	fs.SetOutput(stderr)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: vulfi diff [-file F] [-z Z] BASELINE [CANDIDATE]  (1-based history entries; candidate defaults to the newest)")
+		fmt.Fprintln(stderr, "usage: vulfi diff [-file F] [-z Z] BASELINE [CANDIDATE]  (1-based history entries; candidate defaults to the newest)")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
@@ -100,32 +125,28 @@ func diffCmd(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	entries, err := atlas.ReadHistory(*file)
+	entries, err := readHistoryStrict(*file)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	if len(entries) == 0 {
-		fmt.Fprintf(os.Stderr, "no recorded studies in %s\n", *file)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	baseline, ok := entryAt(entries, fs.Arg(0))
 	if !ok {
-		fmt.Fprintf(os.Stderr, "baseline %q out of range: %s has %d entries\n",
+		fmt.Fprintf(stderr, "baseline %q out of range: %s has %d entries\n",
 			fs.Arg(0), *file, len(entries))
 		return 2
 	}
 	candidate := &entries[len(entries)-1]
 	if fs.NArg() == 2 {
 		if candidate, ok = entryAt(entries, fs.Arg(1)); !ok {
-			fmt.Fprintf(os.Stderr, "candidate %q out of range: %s has %d entries\n",
+			fmt.Fprintf(stderr, "candidate %q out of range: %s has %d entries\n",
 				fs.Arg(1), *file, len(entries))
 			return 2
 		}
 	}
 
 	d := atlas.Compare(baseline, candidate, *z)
-	report.WriteDiff(os.Stdout, d)
+	report.WriteDiff(stdout, d)
 	if len(d.Regressions()) > 0 {
 		return 1
 	}

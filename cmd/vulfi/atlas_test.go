@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vulfi/internal/atlas"
+	"vulfi/internal/benchmarks"
+	"vulfi/internal/campaign"
+	"vulfi/internal/isa"
+	"vulfi/internal/passes"
+)
+
+// testEntry is a minimal recorded study for exercising the diff gate.
+func testEntry(t *testing.T, sdc int) atlas.Entry {
+	t.Helper()
+	sr := &campaign.StudyResult{}
+	sr.Cfg.Benchmark = benchmarks.VectorCopy
+	sr.Cfg.ISA = isa.AVX
+	sr.Cfg.Category = passes.PureData
+	sr.Totals = campaign.CampaignResult{Experiments: 100, SDC: sdc,
+		Benign: 100 - sdc}
+	return atlas.NewEntry(sr, time.Unix(0, 0).UTC())
+}
+
+// TestDiffMissingHistory: `vulfi diff` against a history file that does
+// not exist must fail with an error naming the file, not report a
+// zero-entry store as a gate pass.
+func TestDiffMissingHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.jsonl")
+	var out, errOut bytes.Buffer
+	if code := diffCmd([]string{"-file", path, "1"}, &out, &errOut); code != 2 {
+		t.Fatalf("diff on missing history: exit %d, want 2\nstderr: %s",
+			code, errOut.String())
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, path) || !strings.Contains(msg, "does not exist") {
+		t.Fatalf("error must name the missing file %s: %q", path, msg)
+	}
+}
+
+// TestDiffEmptyHistory: an existing but entry-less history file is a
+// distinct, equally loud failure.
+func TestDiffEmptyHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := diffCmd([]string{"-file", path, "1"}, &out, &errOut); code != 2 {
+		t.Fatalf("diff on empty history: exit %d, want 2\nstderr: %s",
+			code, errOut.String())
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, path) || !strings.Contains(msg, "records no studies") {
+		t.Fatalf("error must name the empty file %s: %q", path, msg)
+	}
+}
+
+// TestDiffRecordedHistory: with real entries the gate still works —
+// exit 0 on no regression, 1 when the candidate regresses.
+func TestDiffRecordedHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	for _, sdc := range []int{10, 10, 60} {
+		if err := atlas.AppendEntry(path, testEntry(t, sdc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out, errOut bytes.Buffer
+	if code := diffCmd([]string{"-file", path, "1", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("identical entries: exit %d, want 0\nstderr: %s", code, errOut.String())
+	}
+	out.Reset()
+	if code := diffCmd([]string{"-file", path, "1"}, &out, &errOut); code != 1 {
+		t.Fatalf("regressed candidate: exit %d, want 1\nstdout: %s\nstderr: %s",
+			code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") &&
+		!strings.Contains(strings.ToLower(out.String()), "regress") {
+		t.Fatalf("diff output does not flag the regression: %s", out.String())
+	}
+}

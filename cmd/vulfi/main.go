@@ -52,9 +52,9 @@ func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
 		case "history":
-			os.Exit(historyCmd(os.Args[2:]))
+			os.Exit(historyCmd(os.Args[2:], os.Stdout, os.Stderr))
 		case "diff":
-			os.Exit(diffCmd(os.Args[2:]))
+			os.Exit(diffCmd(os.Args[2:], os.Stdout, os.Stderr))
 		}
 	}
 
@@ -80,6 +80,7 @@ func main() {
 		traceRuns = flag.Bool("trace", false, "record golden/faulty divergence traces and print the propagation profile")
 		explain   = flag.Int("explain", -1, "run only the experiment at this index of the seed schedule, with tracing, and print its fault→divergence→outcome explanation")
 		atlasOut  = flag.String("atlas", "", "attribute outcomes to static fault sites and write the HTML heatmap to this file")
+		profOut   = flag.String("profile", "", "profile interpreter execution: write folded stacks to this file, a flame graph to FILE.html, and print the hot-opcode table")
 		histOut   = flag.String("history", "", "append the finished study to this JSONL history store (see 'vulfi history', 'vulfi diff')")
 		version   = cliutil.Version(fs)
 	)
@@ -106,8 +107,9 @@ func main() {
 		Experiments: *exps, Campaigns: *camps, Seed: *seed, Workers: *workers,
 		Inputs:    *inputs,
 		Detectors: *detectors, BroadcastDetector: *broadcast,
-		Trace: *traceRuns || *explain >= 0,
-		Atlas: *atlasOut != "" || *histOut != "",
+		Trace:   *traceRuns || *explain >= 0,
+		Atlas:   *atlasOut != "" || *histOut != "",
+		Profile: *profOut != "",
 	}
 	cfg, err := spec.Config()
 	if err != nil {
@@ -155,6 +157,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-atlas and -history run locally; a vulfid daemon records its own history (GET /v1/history)")
 			os.Exit(2)
 		}
+		if *profOut != "" {
+			fmt.Fprintln(os.Stderr, "-profile runs locally; against a daemon use GET /v1/jobs/{id}/profile")
+			os.Exit(2)
+		}
 		if err := runRemote(ctx, *remote, spec, *jsonOut, *tel.Progress); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -200,6 +206,16 @@ func main() {
 		if err := atlas.AppendEntry(*histOut, atlas.NewEntry(sr, time.Now())); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+	}
+	if *profOut != "" {
+		if err := writeProfileFiles(*profOut, cfg.String(), sr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*jsonOut && !*csvOut {
+			fmt.Printf("folded stacks written to %s, flame graph to %s.html\n",
+				*profOut, *profOut)
 		}
 	}
 

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vulfi/internal/campaign"
+	"vulfi/internal/profile"
+)
+
+// writeProfileFiles serializes the study's execution profile: folded
+// stacks (flamegraph.pl-compatible) to path, and the self-contained
+// HTML flame graph to path+".html".
+func writeProfileFiles(path, title string, sr *campaign.StudyResult) error {
+	p := sr.HotProfile
+	if p == nil {
+		return fmt.Errorf("study carries no execution profile")
+	}
+	folded, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := profile.WriteFolded(folded, p); err != nil {
+		folded.Close()
+		return err
+	}
+	if err := folded.Close(); err != nil {
+		return err
+	}
+	html, err := os.Create(path + ".html")
+	if err != nil {
+		return err
+	}
+	if err := p.WriteFlameHTML(html, title); err != nil {
+		html.Close()
+		return err
+	}
+	return html.Close()
+}

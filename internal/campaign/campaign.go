@@ -23,6 +23,7 @@ import (
 	"vulfi/internal/interp"
 	"vulfi/internal/isa"
 	"vulfi/internal/passes"
+	"vulfi/internal/profile"
 	"vulfi/internal/telemetry"
 	"vulfi/internal/trace"
 )
@@ -104,6 +105,18 @@ type Config struct {
 	// experiment results and golden re-runs, so resumed studies produce
 	// byte-identical tallies.
 	Atlas bool
+	// Profile enables the execution profiler: every interpreter run
+	// feeds a per-run probe (per-opcode counts and wall-time
+	// attribution, per-site hot ranking, opcode-pair mining), the study
+	// aggregates them with a phase breakdown and an exp/s timeline, and
+	// the result carries a HotProfile. Disabled it costs one nil check
+	// per accounted instruction (the interp.Profiler pattern); enabled
+	// it adds a timestamp per instruction, so profiled wall times are
+	// not comparable to unprofiled ones. Counts are deterministic for a
+	// configuration; wall-time fields are not. Golden-cache hits and
+	// checkpoint-replayed experiments never re-execute and are therefore
+	// absent from the profile.
+	Profile bool
 
 	// Metrics receives this study's telemetry (phase histograms, outcome
 	// counters, interpreter counters). Nil uses the process-wide default
@@ -174,6 +187,9 @@ type Prepared struct {
 	// experiments (nil unless Cfg.Trace).
 	Profile *trace.Profile
 
+	// prof is the execution-profile collector (nil unless Cfg.Profile).
+	prof *profile.Collector
+
 	reg *telemetry.Registry
 	im  *interp.Metrics
 	mx  cellMetrics
@@ -225,7 +241,8 @@ func Prepare(cfg Config) (*Prepared, error) {
 		return nil, err
 	}
 	reg := cfg.registry()
-	defer reg.Histogram("campaign.prepare").Since(time.Now())
+	prepStart := time.Now()
+	defer reg.Histogram("campaign.prepare").Since(prepStart)
 	res, err := codegen.Compile(mustProgram(cfg.Benchmark), cfg.ISA,
 		cfg.Benchmark.Name)
 	if err != nil {
@@ -259,6 +276,10 @@ func Prepare(cfg Config) (*Prepared, error) {
 		p.Profile = trace.NewProfile(reg)
 	} else if cfg.Inputs > 0 {
 		p.golden = newGoldenCache(goldenCacheCap(cfg.Inputs), reg)
+	}
+	if cfg.Profile {
+		p.prof = profile.NewCollector()
+		p.prof.Phase("compile", time.Since(prepStart))
 	}
 	return p, nil
 }
@@ -360,6 +381,11 @@ func (p *Prepared) execGolden(inputSeed int64) (*goldenRun, error) {
 		gRing = trace.NewRing(p.Cfg.TraceCap)
 		xg.It.SetRecorder(gRing)
 	}
+	if p.prof != nil {
+		probe := p.prof.Probe()
+		xg.It.SetProfiler(probe)
+		defer p.prof.Add("golden", probe)
+	}
 	spec, err := p.Cfg.Benchmark.Setup(xg, rand.New(rand.NewSource(inputSeed)), p.Cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -425,6 +451,9 @@ func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64) (*E
 		return nil, err
 	}
 	p.mx.golden.Since(start)
+	if p.prof != nil {
+		p.prof.Phase("golden", time.Since(start))
+	}
 	res := &ExperimentResult{
 		DynSites:        g.DynSites,
 		GoldenDynInstrs: g.DynInstrs,
@@ -460,6 +489,11 @@ func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64) (*E
 		fRing = trace.NewRing(p.Cfg.TraceCap)
 		xf.It.SetRecorder(fRing)
 	}
+	var fProbe *profile.Probe
+	if p.prof != nil {
+		fProbe = p.prof.Probe()
+		xf.It.SetProfiler(fProbe)
+	}
 	spec2, err := p.Cfg.Benchmark.Setup(xf, rand.New(rand.NewSource(inputSeed)), p.Cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -467,6 +501,10 @@ func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64) (*E
 	faultyOut, ftr := p.observe(xf, spec2)
 	res.FaultyWall = time.Since(faultyStart)
 	p.mx.faulty.Observe(res.FaultyWall)
+	if fProbe != nil {
+		p.prof.Add("faulty", fProbe)
+		p.prof.Phase("faulty", res.FaultyWall)
+	}
 
 	compareStart := time.Now()
 	res.Detected = len(xf.It.Detections) > 0
@@ -486,6 +524,9 @@ func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64) (*E
 		p.Profile.Add(res.Explanation)
 	}
 	p.mx.compare.Since(compareStart)
+	if p.prof != nil {
+		p.prof.Phase("compare", time.Since(compareStart))
+	}
 	p.release(xf)
 	res.Wall = time.Since(start)
 	p.finishExperiment(res)
@@ -510,5 +551,8 @@ func (p *Prepared) finishExperiment(r *ExperimentResult) {
 	}
 	if r.Detected {
 		p.mx.detected.Inc()
+	}
+	if p.prof != nil {
+		p.prof.MarkExperiment()
 	}
 }

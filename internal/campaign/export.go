@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"vulfi/internal/buildinfo"
+	"vulfi/internal/profile"
 	"vulfi/internal/trace"
 )
 
@@ -57,6 +58,11 @@ type studyJSON struct {
 	// Sites is the per-static-site atlas (present only when the study ran
 	// with Config.Atlas).
 	Sites []SiteTally `json:"sites,omitempty"`
+
+	// HotProfile is the execution profile (present only when the study
+	// ran with Config.Profile); omitted, the export is byte-identical to
+	// a profiler-unaware build's.
+	HotProfile *profile.Profile `json:"hot_profile,omitempty"`
 }
 
 func (sr *StudyResult) toJSON() studyJSON {
@@ -88,6 +94,7 @@ func (sr *StudyResult) toJSON() studyJSON {
 		WallMaxNS:   int64(sr.Totals.WallMax),
 		Propagation: sr.Propagation,
 		Sites:       sr.Sites,
+		HotProfile:  sr.HotProfile,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"vulfi/internal/profile"
 	"vulfi/internal/stats"
 	"vulfi/internal/telemetry"
 	"vulfi/internal/trace"
@@ -150,6 +151,11 @@ type StudyResult struct {
 	// one tally per instrumented site, lanes folded, injections attributed
 	// through each experiment's InjectionRecord.
 	Sites []SiteTally
+
+	// HotProfile is the study's execution profile (nil unless
+	// Cfg.Profile was set): hot opcodes, opcode pairs, hot sites, phase
+	// breakdown, exp/s timeline.
+	HotProfile *profile.Profile
 }
 
 // ExperimentSeed returns the deterministic seed of experiment index i
@@ -204,6 +210,9 @@ func RunStudy(ctx context.Context, cfg Config) (*StudyResult, error) {
 func (p *Prepared) RunStudy(ctx context.Context) (*StudyResult, error) {
 	cfg := p.Cfg
 	start := time.Now()
+	if p.prof != nil {
+		p.prof.StartTimeline(start)
+	}
 	total := cfg.Campaigns * cfg.Experiments
 	results := make([]*ExperimentResult, total)
 	errs := make([]error, total)
@@ -308,6 +317,9 @@ dispatch:
 			return nil, fmt.Errorf("atlas attribution: %w", err)
 		}
 		sr.Sites = tallies
+	}
+	if p.prof != nil {
+		sr.HotProfile = p.prof.Snapshot()
 	}
 	sr.Wall = time.Since(start)
 	if cfg.Events != nil {

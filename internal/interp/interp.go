@@ -53,6 +53,7 @@ type Interp struct {
 	globals  map[*ir.Global]uint64
 	tracer   *Tracer
 	rec      Recorder
+	prof     Profiler
 
 	// frames and ops recycle call frames and operand buffers across
 	// calls (and across Reset), so the steady state of a long campaign
@@ -108,6 +109,7 @@ func (it *Interp) Reset(opts Options) *Trap {
 	it.depth = 0
 	it.tracer = nil
 	it.rec = nil
+	it.prof = nil
 	it.flushedInstrs, it.flushedVector = 0, 0
 	clear(it.globals)
 	for _, g := range it.Mod.Globals {
@@ -355,6 +357,9 @@ func (it *Interp) account(in *ir.Instr) {
 	it.DynInstrs++
 	if in.IsVectorInstr() {
 		it.DynVector++
+	}
+	if it.prof != nil {
+		it.prof.Account(in)
 	}
 }
 

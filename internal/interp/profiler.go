@@ -1,0 +1,22 @@
+package interp
+
+import "vulfi/internal/ir"
+
+// Profiler receives every accounted instruction — the exact stream
+// behind DynInstrs, so a profiler that counts Account calls totals
+// DynInstrs structurally. Unlike Recorder (which skips terminators and
+// never sees result-free control flow), Account fires for phis,
+// terminators and void instructions alike, before the instruction
+// executes. Implementations must be cheap: Account sits on the
+// interpreter's innermost loop. The interp package deliberately defines
+// the interface rather than importing a concrete profiler, keeping the
+// dependency arrow pointing outward (internal/profile imports trace,
+// trace imports interp).
+type Profiler interface {
+	Account(in *ir.Instr)
+}
+
+// SetProfiler installs (or, with nil, removes) an execution profiler.
+// Disabled profiling costs one nil check per accounted instruction —
+// the same pattern (and the same bound) as SetRecorder.
+func (it *Interp) SetProfiler(p Profiler) { it.prof = p }

@@ -68,6 +68,10 @@ const (
 	OpCondBr
 	OpRet
 	OpUnreachable
+
+	// NumOps is one past the largest opcode: the length of a dense
+	// per-opcode table indexed by Op (profilers, dispatch tables).
+	NumOps
 )
 
 var opNames = map[Op]string{

@@ -1,0 +1,45 @@
+package profile
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteFolded serializes the profile's stacks in the folded-stack
+// format standard flamegraph tooling consumes: one line per stack,
+// semicolon-separated frames, the sample value after the last space.
+// The frame chain is phase;function;block;instruction and the value is
+// the dynamic instruction count (deterministic for a configuration,
+// unlike wall time). Semicolons and newlines inside instruction text
+// are rewritten so frames never split.
+func WriteFolded(w io.Writer, p *Profile) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range p.Stacks {
+		if s.Count == 0 {
+			continue
+		}
+		bw.WriteString(frame(s.Phase))
+		bw.WriteByte(';')
+		bw.WriteString(frame(s.Func))
+		bw.WriteByte(';')
+		bw.WriteString(frame(s.Block))
+		bw.WriteByte(';')
+		bw.WriteString(frame(s.Instr))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(s.Count, 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+var frameSanitizer = strings.NewReplacer(";", ",", "\n", " ")
+
+// frame makes a string safe as one folded-stack frame.
+func frame(s string) string {
+	if s == "" {
+		return "?"
+	}
+	return frameSanitizer.Replace(s)
+}

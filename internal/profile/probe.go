@@ -1,0 +1,105 @@
+// Package profile is the interpreter's execution profiler: per-opcode
+// dynamic counts and wall-time attribution, per-static-site hot
+// rankings keyed by the shared trace.SiteKey spelling, opcode-pair
+// frequency mining (the superinstruction candidate list for a compiled
+// backend), and a campaign phase breakdown with an experiments/second
+// timeline. It is deterministic where it can be — every count is a pure
+// function of the study configuration — and honest where it cannot:
+// wall-time fields measure this machine, this run.
+//
+// The package implements interp.Profiler structurally rather than
+// importing interp (profile needs trace for the site-key spelling, and
+// trace already sits on top of interp).
+package profile
+
+import (
+	"time"
+
+	"vulfi/internal/ir"
+)
+
+// Probe is the per-run accumulator a single interpreter instance feeds
+// through its Account hook. It is deliberately unsynchronized — one
+// probe per running interpreter, merged into the study-wide Collector
+// after the run — mirroring how interp.Metrics batches counters locally
+// and flushes at call boundaries.
+//
+// Attribution is delta-based: Account fires before an instruction
+// executes, so the time between consecutive Account calls — execution
+// of the previous instruction plus dispatch overhead — is attributed to
+// the previous instruction's opcode and static site. Finish closes the
+// final open interval (the terminator that ended the run).
+type Probe struct {
+	count  [ir.NumOps]uint64
+	vector [ir.NumOps]uint64
+	timeNS [ir.NumOps]uint64
+	// pairs is the dense (prev, next) opcode digram table, flattened as
+	// prev*NumOps+next: the superinstruction candidate miner.
+	pairs [ir.NumOps * ir.NumOps]uint64
+
+	// siteCount/siteNS key on instruction identity; the Collector
+	// resolves pointers to site-key strings once per merge, keeping
+	// string formatting off the hot path entirely.
+	siteCount map[*ir.Instr]uint64
+	siteNS    map[*ir.Instr]uint64
+
+	lastIn *ir.Instr
+	lastT  time.Time
+	total  uint64
+}
+
+// NewProbe returns an empty probe. Prefer Collector.Probe, which
+// recycles merged probes across runs.
+func NewProbe() *Probe {
+	return &Probe{
+		siteCount: map[*ir.Instr]uint64{},
+		siteNS:    map[*ir.Instr]uint64{},
+	}
+}
+
+// Account implements the interp.Profiler hook: it receives exactly the
+// instruction stream behind the interpreter's DynInstrs counter (phis,
+// terminators and void instructions included), so Total structurally
+// equals the run's DynInstrs.
+func (p *Probe) Account(in *ir.Instr) {
+	now := time.Now()
+	if prev := p.lastIn; prev != nil {
+		d := uint64(now.Sub(p.lastT))
+		p.timeNS[prev.Op] += d
+		p.siteNS[prev] += d
+		p.pairs[int(prev.Op)*int(ir.NumOps)+int(in.Op)]++
+	}
+	p.count[in.Op]++
+	if in.IsVectorInstr() {
+		p.vector[in.Op]++
+	}
+	p.siteCount[in]++
+	p.total++
+	p.lastIn, p.lastT = in, now
+}
+
+// Finish attributes the final open interval (the last accounted
+// instruction's own execution) and ends the run. Safe to call twice.
+func (p *Probe) Finish() {
+	if prev := p.lastIn; prev != nil {
+		d := uint64(time.Since(p.lastT))
+		p.timeNS[prev.Op] += d
+		p.siteNS[prev] += d
+		p.lastIn = nil
+	}
+}
+
+// Total returns the number of accounted instructions so far.
+func (p *Probe) Total() uint64 { return p.total }
+
+// reset clears the probe for reuse, keeping its maps allocated.
+func (p *Probe) reset() {
+	p.count = [ir.NumOps]uint64{}
+	p.vector = [ir.NumOps]uint64{}
+	p.timeNS = [ir.NumOps]uint64{}
+	p.pairs = [ir.NumOps * ir.NumOps]uint64{}
+	clear(p.siteCount)
+	clear(p.siteNS)
+	p.lastIn = nil
+	p.total = 0
+}

@@ -1,0 +1,292 @@
+package profile
+
+import (
+	"sort"
+	"time"
+
+	"vulfi/internal/ir"
+)
+
+// Caps keep the exported profile a readable decision document rather
+// than a dump: full detail stays available through Stacks (every site,
+// every phase), which the folded output serializes.
+const (
+	maxPairs      = 20
+	maxSites      = 30
+	timelineCells = 30
+)
+
+// Profile is the JSON-exported execution profile of one study. Every
+// count field is deterministic for a given configuration; the *NS,
+// *Pct-of-time and throughput fields are wall-clock measurements and
+// vary run to run (determinism tests zero them, like StudyResult.Wall).
+type Profile struct {
+	// Runs is the number of profiled interpreter executions (golden
+	// cache hits and checkpoint-replayed experiments never re-execute,
+	// so they are invisible here by design).
+	Runs        int    `json:"runs"`
+	Experiments int    `json:"experiments"`
+	TotalDyn    uint64 `json:"total_dyn"`
+	TotalVector uint64 `json:"total_vector"`
+	WallNS      int64  `json:"wall_ns"`
+	// ExpPerSec is the study-level throughput: Experiments over the
+	// timeline's wall span.
+	ExpPerSec float64 `json:"exp_per_sec"`
+
+	// Ops ranks opcodes by dynamic count — the compiled backend's
+	// lowering priority list.
+	Ops []OpRow `json:"ops"`
+	// Pairs ranks (prev, next) opcode digrams by frequency — the
+	// superinstruction candidate list.
+	Pairs []PairRow `json:"pairs,omitempty"`
+	// Sites ranks static sites by dynamic count, keyed by the shared
+	// trace.SiteKey spelling.
+	Sites []SiteRow `json:"sites,omitempty"`
+	// Phases is the campaign phase breakdown (wall + instructions).
+	Phases []PhaseRow `json:"phases,omitempty"`
+	// Timeline buckets experiment completions into equal wall-time
+	// cells — the exp/s trajectory across the study.
+	Timeline []TimelineCell `json:"timeline,omitempty"`
+	// Stacks carries every phase/site row — the folded-stack source the
+	// flame graph and WriteFolded consume.
+	Stacks []StackRow `json:"stacks,omitempty"`
+}
+
+// OpRow is one opcode's aggregate cost.
+type OpRow struct {
+	Op       string  `json:"op"`
+	Count    uint64  `json:"count"`
+	Vector   uint64  `json:"vector,omitempty"`
+	TimeNS   uint64  `json:"time_ns"`
+	CountPct float64 `json:"count_pct"`
+	TimePct  float64 `json:"time_pct"`
+}
+
+// PairRow is one (prev, next) opcode digram.
+type PairRow struct {
+	First  string `json:"first"`
+	Second string `json:"second"`
+	Count  uint64 `json:"count"`
+}
+
+// SiteRow is one static site's aggregate cost across all phases.
+type SiteRow struct {
+	Site   string `json:"site"`
+	Count  uint64 `json:"count"`
+	TimeNS uint64 `json:"time_ns"`
+}
+
+// PhaseRow is one campaign phase's share of the study.
+type PhaseRow struct {
+	Phase  string `json:"phase"`
+	WallNS int64  `json:"wall_ns"`
+	// Dyn is the instructions retired inside this phase's interpreter
+	// runs (zero for phases that execute no guest code, like compare).
+	Dyn uint64 `json:"dyn,omitempty"`
+}
+
+// TimelineCell is one wall-time bucket of experiment completions.
+type TimelineCell struct {
+	OffsetNS    int64   `json:"offset_ns"`
+	Experiments int     `json:"experiments"`
+	ExpPerSec   float64 `json:"exp_per_sec"`
+}
+
+// StackRow is one phase/site folded-stack frame chain with its sample
+// value (dynamic instruction count; TimeNS rides along for tooling that
+// prefers time-weighted graphs).
+type StackRow struct {
+	Phase  string `json:"phase"`
+	Func   string `json:"func"`
+	Block  string `json:"block"`
+	Instr  string `json:"instr"`
+	Count  uint64 `json:"count"`
+	TimeNS uint64 `json:"time_ns"`
+}
+
+// opLabel disambiguates the two opcodes that share the "br" mnemonic.
+func opLabel(o ir.Op) string {
+	if o == ir.OpCondBr {
+		return "condbr"
+	}
+	return o.String()
+}
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// Snapshot freezes the collector into its exported profile. The
+// collector remains usable; later snapshots see later state.
+func (c *Collector) Snapshot() *Profile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	p := &Profile{Runs: c.runs, Experiments: len(c.marks)}
+	var wall time.Duration
+	if !c.t0.IsZero() {
+		if n := len(c.marks); n > 0 {
+			wall = c.marks[n-1]
+		}
+	}
+	p.WallNS = int64(wall)
+	if wall > 0 {
+		p.ExpPerSec = float64(len(c.marks)) / wall.Seconds()
+	}
+
+	var totalNS uint64
+	for op := 0; op < int(ir.NumOps); op++ {
+		p.TotalDyn += c.count[op]
+		p.TotalVector += c.vector[op]
+		totalNS += c.timeNS[op]
+	}
+	for op := 0; op < int(ir.NumOps); op++ {
+		if c.count[op] == 0 {
+			continue
+		}
+		p.Ops = append(p.Ops, OpRow{
+			Op:       opLabel(ir.Op(op)),
+			Count:    c.count[op],
+			Vector:   c.vector[op],
+			TimeNS:   c.timeNS[op],
+			CountPct: pct(c.count[op], p.TotalDyn),
+			TimePct:  pct(c.timeNS[op], totalNS),
+		})
+	}
+	sort.Slice(p.Ops, func(i, j int) bool {
+		a, b := &p.Ops[i], &p.Ops[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return a.Op < b.Op
+	})
+
+	for prev := 0; prev < int(ir.NumOps); prev++ {
+		for next := 0; next < int(ir.NumOps); next++ {
+			n := c.pairs[prev*int(ir.NumOps)+next]
+			if n == 0 {
+				continue
+			}
+			p.Pairs = append(p.Pairs, PairRow{
+				First: opLabel(ir.Op(prev)), Second: opLabel(ir.Op(next)), Count: n,
+			})
+		}
+	}
+	sort.Slice(p.Pairs, func(i, j int) bool {
+		a, b := &p.Pairs[i], &p.Pairs[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.First != b.First {
+			return a.First < b.First
+		}
+		return a.Second < b.Second
+	})
+	if len(p.Pairs) > maxPairs {
+		p.Pairs = p.Pairs[:maxPairs]
+	}
+
+	// Sites: fold phases together for the overall hot ranking; Stacks
+	// keeps the per-phase split.
+	merged := map[string]*SiteRow{}
+	for _, name := range phaseNames(c.phases) {
+		pa := c.phases[name]
+		p.Phases = append(p.Phases, PhaseRow{
+			Phase: name, WallNS: int64(pa.wall), Dyn: pa.dyn,
+		})
+		for _, key := range siteKeys(pa.sites) {
+			s := pa.sites[key]
+			p.Stacks = append(p.Stacks, StackRow{
+				Phase: name, Func: s.id.fn, Block: s.id.block,
+				Instr: s.id.instr, Count: s.count, TimeNS: s.ns,
+			})
+			m := merged[key]
+			if m == nil {
+				m = &SiteRow{Site: key}
+				merged[key] = m
+			}
+			m.Count += s.count
+			m.TimeNS += s.ns
+		}
+	}
+	for _, m := range merged {
+		p.Sites = append(p.Sites, *m)
+	}
+	sort.Slice(p.Sites, func(i, j int) bool {
+		a, b := &p.Sites[i], &p.Sites[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return a.Site < b.Site
+	})
+	if len(p.Sites) > maxSites {
+		p.Sites = p.Sites[:maxSites]
+	}
+
+	p.Timeline = timeline(c.marks, wall)
+	return p
+}
+
+// phaseNames orders recorded phases canonically, with any phase outside
+// PhaseOrder appended alphabetically.
+func phaseNames(phases map[string]*phaseAgg) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, n := range PhaseOrder {
+		if _, ok := phases[n]; ok {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range phases {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}
+
+func siteKeys(sites map[string]*siteAgg) []string {
+	keys := make([]string, 0, len(sites))
+	for k := range sites {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// timeline buckets completion marks into up to timelineCells equal
+// wall-time cells.
+func timeline(marks []time.Duration, wall time.Duration) []TimelineCell {
+	if len(marks) == 0 || wall <= 0 {
+		return nil
+	}
+	cells := timelineCells
+	if len(marks) < cells {
+		cells = len(marks)
+	}
+	width := wall / time.Duration(cells)
+	if width <= 0 {
+		width = 1
+	}
+	out := make([]TimelineCell, cells)
+	for i := range out {
+		out[i].OffsetNS = int64(width) * int64(i)
+	}
+	for _, m := range marks {
+		i := int(m / width)
+		if i >= cells {
+			i = cells - 1
+		}
+		out[i].Experiments++
+	}
+	for i := range out {
+		out[i].ExpPerSec = float64(out[i].Experiments) / width.Seconds()
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"vulfi/internal/campaign"
 	"vulfi/internal/isa"
 	"vulfi/internal/passes"
+	"vulfi/internal/profile"
 	"vulfi/internal/trace"
 )
 
@@ -143,4 +144,33 @@ func TestGoldenDiff(t *testing.T) {
 	var buf bytes.Buffer
 	WriteDiff(&buf, atlas.Compare(&base, &cand, 1.959963984540054))
 	checkGolden(t, "diff.txt", buf.Bytes())
+}
+
+func TestGoldenWriteProfile(t *testing.T) {
+	p := &profile.Profile{
+		Runs: 40, Experiments: 20, TotalDyn: 9000, TotalVector: 2400,
+		WallNS: 250e6, ExpPerSec: 80,
+		Ops: []profile.OpRow{
+			{Op: "fmul", Count: 4000, Vector: 2000, CountPct: 44.4, TimePct: 52.1},
+			{Op: "add", Count: 3000, Vector: 400, CountPct: 33.3, TimePct: 21.9},
+			{Op: "br", Count: 2000, CountPct: 22.2, TimePct: 26.0},
+		},
+		Pairs: []profile.PairRow{
+			{First: "fmul", Second: "add", Count: 3500},
+			{First: "add", Second: "br", Count: 1900},
+		},
+		Sites: []profile.SiteRow{
+			{Site: "@kernel/loop: %v = fmul", Count: 4000, TimeNS: 130e6},
+			{Site: "@kernel/entry: %v = add", Count: 3000, TimeNS: 55e6},
+		},
+		Phases: []profile.PhaseRow{
+			{Phase: "compile", WallNS: 3e6},
+			{Phase: "golden", WallNS: 100e6, Dyn: 4500},
+			{Phase: "faulty", WallNS: 120e6, Dyn: 4500},
+			{Phase: "compare", WallNS: 27e6},
+		},
+	}
+	var buf bytes.Buffer
+	WriteProfile(&buf, p)
+	checkGolden(t, "profile.txt", buf.Bytes())
 }

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"vulfi/internal/profile"
+)
+
+// WriteProfile renders the execution profile as the CLI's text
+// observatory: the ranked per-opcode table (whose count column totals
+// the interpreter's aggregate DynInstrs), the superinstruction
+// candidate pairs, the hottest static sites, and the campaign phase
+// breakdown with the study's throughput.
+func WriteProfile(w io.Writer, p *profile.Profile) {
+	fmt.Fprintf(w, "execution profile: %d dynamic instrs (%d vector) over %d runs\n",
+		p.TotalDyn, p.TotalVector, p.Runs)
+	if p.ExpPerSec > 0 {
+		fmt.Fprintf(w, "throughput: %.1f experiments/s over %.1f ms\n",
+			p.ExpPerSec, float64(p.WallNS)/1e6)
+	}
+
+	const maxOps = 12
+	fmt.Fprintf(w, "hot opcodes:\n")
+	for i, o := range p.Ops {
+		if i == maxOps {
+			fmt.Fprintf(w, "    ... %d more opcodes\n", len(p.Ops)-maxOps)
+			break
+		}
+		fmt.Fprintf(w, "    %2d. %-16s %12d  %5.1f%% dyn  %5.1f%% time  vector=%d\n",
+			i+1, o.Op, o.Count, o.CountPct, o.TimePct, o.Vector)
+	}
+
+	const maxPairs = 8
+	if len(p.Pairs) > 0 {
+		fmt.Fprintf(w, "superinstruction candidates (opcode pairs):\n")
+		for i, pr := range p.Pairs {
+			if i == maxPairs {
+				break
+			}
+			fmt.Fprintf(w, "    %2d. %-16s -> %-16s %12d\n",
+				i+1, pr.First, pr.Second, pr.Count)
+		}
+	}
+
+	const maxSites = 10
+	if len(p.Sites) > 0 {
+		fmt.Fprintf(w, "hot sites:\n")
+		for i, s := range p.Sites {
+			if i == maxSites {
+				fmt.Fprintf(w, "    ... %d more sites\n", len(p.Sites)-maxSites)
+				break
+			}
+			fmt.Fprintf(w, "    %2d. %-60s %12d\n", i+1, s.Site, s.Count)
+		}
+	}
+
+	if len(p.Phases) > 0 {
+		fmt.Fprintf(w, "phases:\n")
+		for _, ph := range p.Phases {
+			fmt.Fprintf(w, "    %-8s %10.1f ms", ph.Phase, float64(ph.WallNS)/1e6)
+			if ph.Dyn > 0 {
+				fmt.Fprintf(w, "  %12d instrs", ph.Dyn)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

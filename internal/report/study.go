@@ -37,6 +37,9 @@ func WriteStudy(w io.Writer, sr *campaign.StudyResult, verbose bool) {
 	if len(sr.Sites) > 0 {
 		WriteAtlas(w, atlas.New(sr))
 	}
+	if sr.HotProfile != nil {
+		WriteProfile(w, sr.HotProfile)
+	}
 }
 
 // WriteAtlas renders the per-site atlas as text: the attribution

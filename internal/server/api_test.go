@@ -68,7 +68,7 @@ func TestSpecFields(t *testing.T) {
 		"benchmark", "isa", "category", "scale", "experiments", "campaigns",
 		"seed", "workers", "inputs", "detectors", "detector_every_iteration",
 		"broadcast_detector", "mask_loop_detector", "whole_register_sites",
-		"mask_oblivious", "trace", "atlas",
+		"mask_oblivious", "trace", "atlas", "profile",
 	}
 	if len(got) != len(want) {
 		t.Fatalf("SpecFields() = %v, want %v", got, want)

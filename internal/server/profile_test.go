@@ -1,0 +1,114 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServerProfileEndpoint drives GET /v1/jobs/{id}/profile: a
+// profiled job's hot-opcode data, the 409 paths for unprofiled and
+// unfinished jobs, and the journal round-trip — after a daemon restart
+// the resumed job serves byte-identical profile data, because the
+// endpoint reads the journaled study result rather than process state.
+func TestServerProfileEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Options{JournalDir: dir})
+	ts := httptest.NewServer(s.Handler())
+
+	get := func(base, path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, raw
+	}
+
+	spec := testSpec()
+	spec.Profile = true
+	resp, raw := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, raw)
+	}
+	var st Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateDone)
+
+	code, first := get(ts.URL, "/v1/jobs/"+st.ID+"/profile")
+	if code != http.StatusOK {
+		t.Fatalf("profile: %d: %s", code, first)
+	}
+	body := first
+	var payload struct {
+		ID  string `json:"id"`
+		Hot struct {
+			TotalDyn uint64 `json:"total_dyn"`
+			Ops      []struct {
+				Op    string `json:"op"`
+				Count uint64 `json:"count"`
+			} `json:"ops"`
+			Sites []json.RawMessage `json:"sites"`
+		} `json:"hot_profile"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("payload: %v\n%s", err, body)
+	}
+	if payload.ID != st.ID || payload.Hot.TotalDyn == 0 ||
+		len(payload.Hot.Ops) == 0 || len(payload.Hot.Sites) == 0 {
+		t.Fatalf("profile payload wrong: %s", body)
+	}
+	var opSum uint64
+	for _, o := range payload.Hot.Ops {
+		opSum += o.Count
+	}
+	if opSum != payload.Hot.TotalDyn {
+		t.Fatalf("served op table sums to %d, want total_dyn %d",
+			opSum, payload.Hot.TotalDyn)
+	}
+
+	// An unprofiled job is a 409 naming the fix.
+	resp, raw = postJob(t, ts.URL, testSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit unprofiled: %s: %s", resp.Status, raw)
+	}
+	var st2 Status
+	if err := json.Unmarshal(raw, &st2); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st2.ID, StateDone)
+	if code, body = get(ts.URL, "/v1/jobs/"+st2.ID+"/profile"); code != http.StatusConflict ||
+		!strings.Contains(string(body), "profile") {
+		t.Fatalf("unprofiled job: %d, want 409: %s", code, body)
+	}
+
+	// Unknown jobs are 404s.
+	if code, _ = get(ts.URL, "/v1/jobs/jnope/profile"); code != http.StatusNotFound {
+		t.Fatalf("missing job: %d, want 404", code)
+	}
+
+	// Restart the daemon over the same journal: the profile must
+	// round-trip byte-identically through the journaled result.
+	ts.Close()
+	drain(t, s)
+	s2 := newTestServer(t, Options{JournalDir: dir})
+	defer drain(t, s2)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	code, body2 := get(ts2.URL, "/v1/jobs/"+st.ID+"/profile")
+	if code != http.StatusOK {
+		t.Fatalf("profile after restart: %d: %s", code, body2)
+	}
+	if !bytes.Equal(first, body2) {
+		t.Fatalf("profile changed across restart:\nbefore: %s\nafter:  %s",
+			first, body2)
+	}
+}

@@ -52,6 +52,13 @@ func (s *Server) runJob(job *Job) {
 	}
 	cfg.Metrics = job.reg
 	cfg.OnResult = job.onResult
+	if d := s.opts.expThrottle; d > 0 {
+		inner := cfg.OnResult
+		cfg.OnResult = func(i int, seed int64, r *campaign.ExperimentResult) {
+			inner(i, seed, r)
+			time.Sleep(d)
+		}
+	}
 	cfg.Completed = job.completed
 
 	sr, err := campaign.RunStudy(ctx, cfg)

@@ -47,6 +47,11 @@ type Options struct {
 	// Empty defaults to JournalDir/history.jsonl; "none" disables the
 	// store.
 	HistoryPath string
+
+	// expThrottle pauses after every checkpointed experiment. Test-only:
+	// it pins a study's minimum wall time so drain/cancel tests can
+	// interrupt mid-run deterministically on arbitrarily fast machines.
+	expThrottle time.Duration
 }
 
 // serverMetrics caches the server's instruments.
@@ -327,6 +332,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
 	mux.HandleFunc("GET /v1/jobs/{id}/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("GET /v1/history", s.handleHistory)
 	mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -530,6 +536,35 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id": job.ID, "propagation": result.Propagation,
+	})
+}
+
+// handleProfile serves a finished job's execution profile — the
+// "hot_profile" object of its journaled study result, so the data
+// round-trips through the journal and survives daemon restarts. 409
+// until the job has a result, and for jobs submitted without
+// "profile": true.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	job := s.jobOr404(w, r)
+	if job == nil {
+		return
+	}
+	st := job.Status()
+	if len(st.Result) == 0 {
+		writeError(w, http.StatusConflict,
+			"job %s is %s: no study result yet", job.ID, st.State)
+		return
+	}
+	var result struct {
+		HotProfile json.RawMessage `json:"hot_profile"`
+	}
+	if err := json.Unmarshal(st.Result, &result); err != nil || len(result.HotProfile) == 0 {
+		writeError(w, http.StatusConflict,
+			"job %s was not profiled; submit with \"profile\": true", job.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": job.ID, "hot_profile": result.HotProfile,
 	})
 }
 

@@ -287,10 +287,6 @@ func stripWall(t *testing.T, study json.RawMessage) map[string]any {
 // per-campaign rates and confidence interval — must be identical to the
 // same spec run uninterrupted.
 func TestServerDrainResumeIdentical(t *testing.T) {
-	// Default-scale Blackscholes runs ≈1ms per experiment on one worker,
-	// so the ~200ms study leaves ample runway to drain mid-run after the
-	// first checkpoint (test-scale microbenchmarks finish faster than the
-	// test can react).
 	spec := Spec{
 		Benchmark: "Blackscholes", ISA: "AVX", Category: "control",
 		Experiments: 10, Campaigns: 20, Seed: 99, Workers: 1,
@@ -310,7 +306,11 @@ func TestServerDrainResumeIdentical(t *testing.T) {
 	want := stripWall(t, marshalStudy(ref))
 
 	dir := t.TempDir()
-	s1 := newTestServer(t, Options{JournalDir: dir})
+	// Throttle the first daemon's experiments so the 200-experiment
+	// study reliably outlasts the drain below regardless of machine
+	// speed (10ms × 200 ≈ 2s floor; the drain lands within tens of ms).
+	// The resumed daemon runs unthrottled.
+	s1 := newTestServer(t, Options{JournalDir: dir, expThrottle: 10 * time.Millisecond})
 	job, err := s1.Submit(spec)
 	if err != nil {
 		t.Fatal(err)

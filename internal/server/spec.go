@@ -14,6 +14,7 @@
 //	GET    /v1/jobs/{id}/metrics per-job Prometheus metrics
 //	GET    /v1/jobs/{id}/explain propagation profile, or ?index=N for one
 //	                             experiment's divergence explanation
+//	GET    /v1/jobs/{id}/profile the finished job's execution profile
 //	DELETE /v1/jobs/{id}         cancel (cooperative, between experiments)
 //
 // plus the process-wide /metrics, /debug/vars and /debug/pprof endpoints
@@ -37,8 +38,9 @@ import (
 // response schema changes in a way a client could observe (1.1 added
 // the "inputs" pool knob and the version header itself; 1.2 added the
 // "atlas" spec knob, GET /v1/history, GET /dashboard and the
-// Vulfid-Build header).
-const APIVersion = "1.2"
+// Vulfid-Build header; 1.3 added the "profile" spec knob and
+// GET /v1/jobs/{id}/profile).
+const APIVersion = "1.3"
 
 // Spec is the wire form of one study cell: the JSON body of POST
 // /v1/jobs. Zero-valued counts inherit the paper's defaults (100
@@ -67,7 +69,8 @@ const APIVersion = "1.2"
 //	  "whole_register_sites": false,
 //	  "mask_oblivious": false,
 //	  "trace": false,                   // divergence tracing (disables golden cache)
-//	  "atlas": false                    // per-static-site outcome attribution
+//	  "atlas": false,                   // per-static-site outcome attribution
+//	  "profile": false                  // execution profiler (hot_profile in the result)
 //	}
 //
 // # Response schema
@@ -125,6 +128,14 @@ type Spec struct {
 	// study's JSON carries a "sites" tally table, and the job's history
 	// entry records it for longitudinal comparison (vulfi diff).
 	Atlas bool `json:"atlas,omitempty"`
+
+	// Profile enables the execution profiler: the finished study's JSON
+	// carries a "hot_profile" object (hot opcodes, opcode pairs, hot
+	// sites, phase breakdown, exp/s timeline), also served standalone at
+	// GET /v1/jobs/{id}/profile. Profiling timestamps every interpreted
+	// instruction, so profiled wall times are not comparable to
+	// unprofiled runs.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // SpecFields returns the spec's JSON field names in declaration order —
@@ -202,6 +213,7 @@ func (s Spec) Config() (campaign.Config, error) {
 		MaskOblivious:          s.MaskOblivious,
 		Trace:                  s.Trace,
 		Atlas:                  s.Atlas,
+		Profile:                s.Profile,
 	}
 	if err := cfg.Validate(); err != nil {
 		return campaign.Config{}, err

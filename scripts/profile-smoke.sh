@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Execution-profiler smoke test: run one small profiled study end to
+# end with `vulfi -profile`, then assert the whole observability
+# surface came out — the text report names hot opcodes and at least one
+# hot site, the folded-stack file is well-formed (4 frames per line,
+# phase root, numeric values), and the flame-graph HTML is
+# self-contained with the profile data inlined.
+set -euo pipefail
+
+OUT=${1:-profile-out}
+BIN=$(mktemp -d)/vulfi
+
+cleanup() { rm -rf "$(dirname "$BIN")"; }
+trap cleanup EXIT
+
+die() { echo "FAIL: $*" >&2; exit 1; }
+
+go build -o "$BIN" ./cmd/vulfi
+mkdir -p "$OUT"
+
+echo "== profiled study =="
+"$BIN" -benchmark VectorCopy -isa AVX -category pure-data \
+  -experiments 20 -campaigns 2 -seed 7 \
+  -profile "$OUT/profile.folded" | tee "$OUT/study.txt"
+
+echo "== text report =="
+grep -q "execution profile:" "$OUT/study.txt" || die "study text has no profile section"
+grep -q "hot opcodes:" "$OUT/study.txt" || die "profile names no hot opcodes"
+grep -q "hot sites:" "$OUT/study.txt" || die "profile names zero hot sites"
+grep -Eq "^ +1\. @" <(sed -n '/hot sites:/,/^[^ ]/p' "$OUT/study.txt") \
+  || die "hottest site does not use the @func/block site-key spelling"
+
+echo "== folded stacks =="
+[ -s "$OUT/profile.folded" ] || die "folded-stack file is empty"
+awk '
+  { sp = match($0, / [0-9]+$/); if (!sp) { exit 1 } }
+  { n = split(substr($0, 1, sp - 1), frames, ";"); if (n != 4) exit 1 }
+' "$OUT/profile.folded" || die "folded lines are not 'phase;func;block;instr count'"
+grep -q "^golden;" "$OUT/profile.folded" || die "no golden-phase stacks"
+grep -q "^faulty;" "$OUT/profile.folded" || die "no faulty-phase stacks"
+
+echo "== flame graph =="
+FLAME=$OUT/profile.folded.html
+[ -s "$FLAME" ] || die "flame-graph HTML missing"
+grep -q "<!DOCTYPE html>" "$FLAME" || die "flame graph is not an HTML page"
+grep -q '"stacks"' "$FLAME" || die "flame graph carries no stack data"
+if grep -Eq 'https?://|src="|<link' "$FLAME"; then
+  die "flame graph references external assets"
+fi
+
+echo "PASS: profile smoke (artifacts in $OUT/)"
