@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-telemetry bench-cache clean
+.PHONY: all build test race vet bench bench-telemetry bench-cache bench-backend clean
 
 all: build vet test
 
@@ -29,6 +29,11 @@ bench-telemetry:
 # see scripts/bench-cache.sh for knobs (INPUTS, COUNT, MIN_SPEEDUP...).
 bench-cache:
 	scripts/bench-cache.sh
+
+# Paired tree/vm backend benchmark; MIN_SPEEDUP=auto gates against the
+# committed BENCH_7.json floor (see scripts/bench-backend.sh for knobs).
+bench-backend:
+	scripts/bench-backend.sh
 
 clean:
 	$(GO) clean ./...

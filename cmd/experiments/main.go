@@ -22,6 +22,7 @@ import (
 	"vulfi/internal/cliutil"
 	"vulfi/internal/isa"
 	"vulfi/internal/report"
+	"vulfi/internal/server"
 	"vulfi/internal/telemetry"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		seed    = cliutil.Seed(fs, 20160516)
 		workers = cliutil.Workers(fs)
 		inputs  = cliutil.Inputs(fs)
+		backend = cliutil.Backend(fs)
 		isaName = cliutil.ISA(fs, "") // empty = both targets
 		large   = cliutil.Large(fs)
 		tel     = cliutil.TelemetryFlags(fs)
@@ -59,6 +61,12 @@ func main() {
 	opts.Seed = *seed
 	opts.Workers = *workers
 	opts.Inputs = *inputs
+	be, err := server.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts.Backend = be
 	if *large {
 		opts.Scale = benchmarks.ScaleLarge
 	}

@@ -68,6 +68,7 @@ func main() {
 		seed                 = cliutil.Seed(fs, 1)
 		workers              = cliutil.Workers(fs)
 		inputs               = cliutil.Inputs(fs)
+		backend              = cliutil.Backend(fs)
 		detectors, broadcast = cliutil.Detectors(fs)
 		large                = cliutil.Large(fs)
 		tel                  = cliutil.TelemetryFlags(fs)
@@ -106,6 +107,7 @@ func main() {
 		Category: *catName, Scale: scaleName,
 		Experiments: *exps, Campaigns: *camps, Seed: *seed, Workers: *workers,
 		Inputs:    *inputs,
+		Backend:   *backend,
 		Detectors: *detectors, BroadcastDetector: *broadcast,
 		Trace:   *traceRuns || *explain >= 0,
 		Atlas:   *atlasOut != "" || *histOut != "",

@@ -23,6 +23,17 @@ import (
 //
 // scripts/bench-cache.sh automates the pairing (see also the CI
 // cache-bench job, which fails on uncached-path regressions).
+//
+// VULFI_BENCH_BACKEND selects the execution backend the same way
+// (unset/"tree" = reference tree-walker, "vm" = compiled bytecode), so
+// the backend speedup is benchstat-diffable under one name too:
+//
+//	VULFI_BENCH_BACKEND=tree go test -run '^$' -bench StudyThroughput -count 10 ./internal/campaign/ > tree.txt
+//	VULFI_BENCH_BACKEND=vm   go test -run '^$' -bench StudyThroughput -count 10 ./internal/campaign/ > vm.txt
+//	benchstat tree.txt vm.txt
+//
+// scripts/bench-backend.sh automates that pairing and enforces the
+// committed BENCH_7.json speedup floor.
 func BenchmarkStudyThroughput(b *testing.B) {
 	inputs := 0
 	if s := os.Getenv("VULFI_BENCH_INPUTS"); s != "" {
@@ -32,11 +43,15 @@ func BenchmarkStudyThroughput(b *testing.B) {
 		}
 		inputs = v
 	}
+	backend := os.Getenv("VULFI_BENCH_BACKEND")
 	cfg := Config{
 		Benchmark: benchmarks.VectorCopy, ISA: isa.AVX,
 		Category: passes.PureData, Scale: benchmarks.ScaleDefault,
 		Experiments: 25, Campaigns: 2, Seed: 1, Workers: 1,
-		Inputs: inputs,
+		Inputs: inputs, Backend: backend,
+	}
+	if err := cfg.Validate(); err != nil {
+		b.Fatalf("VULFI_BENCH_BACKEND=%q: %v", backend, err)
 	}
 	p, err := Prepare(cfg)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"vulfi/internal/profile"
 	"vulfi/internal/telemetry"
 	"vulfi/internal/trace"
+	"vulfi/internal/vm"
 )
 
 // Outcome classifies one fault-injection experiment (§IV-B).
@@ -105,6 +106,16 @@ type Config struct {
 	// experiment results and golden re-runs, so resumed studies produce
 	// byte-identical tallies.
 	Atlas bool
+	// Backend selects the execution backend for every run of this cell.
+	// "" or "tree" is the reference tree-walking interpreter; "vm"
+	// lowers the prepared module to the internal/vm bytecode form
+	// (pre-resolved operand slots, phi-eliminating edge moves, fused
+	// superinstructions) and executes that instead. The two backends are
+	// observably equivalent — outcomes, dynamic counts, trap provenance,
+	// injection semantics and study JSON are byte-identical (pinned by
+	// the differential suite in internal/vm and backend_test.go) — so
+	// the knob trades nothing but speed. Validated by Config.Validate.
+	Backend string
 	// Profile enables the execution profiler: every interpreter run
 	// feeds a per-run probe (per-opcode counts and wall-time
 	// attribution, per-site hot ranking, opcode-pair mining), the study
@@ -197,6 +208,11 @@ type Prepared struct {
 	// golden memoizes golden runs per input seed (nil unless the cell
 	// has an input pool and tracing is off).
 	golden *goldenCache
+	// vmProg is the instrumented module compiled to bytecode (nil unless
+	// Cfg.Backend selects the vm backend). One immutable program is
+	// shared by every instance of the cell; each instance gets its own
+	// vm.Machine over it.
+	vmProg *vm.Program
 	// pool recycles reset interpreter instances across experiments.
 	pool sync.Pool
 }
@@ -277,6 +293,9 @@ func Prepare(cfg Config) (*Prepared, error) {
 	} else if cfg.Inputs > 0 {
 		p.golden = newGoldenCache(goldenCacheCap(cfg.Inputs), reg)
 	}
+	if cfg.Backend == "vm" {
+		p.vmProg = vm.Compile(res.Module)
+	}
 	if cfg.Profile {
 		p.prof = profile.NewCollector()
 		p.prof.Phase("compile", time.Since(prepStart))
@@ -308,6 +327,12 @@ func (p *Prepared) newInstance(plan *core.Plan, budget uint64) (*exec.Instance, 
 		return nil, err
 	}
 	x.It.SetMetrics(p.im)
+	if p.vmProg != nil {
+		// Engines survive Reset, so pooled instances keep their Machine;
+		// only fresh instances attach one (per-instance, over the shared
+		// compiled program).
+		vm.Attach(x.It, p.vmProg)
+	}
 	core.AttachRuntime(x.It, plan)
 	detect.AttachRuntime(x.It)
 	return x, nil
@@ -367,6 +392,10 @@ type goldenRun struct {
 	DynInstrs uint64
 	Label     string
 	ring      *trace.Ring
+	// draws is the input generator's recorded random stream: the faulty
+	// half replays it instead of re-seeding an identical source (see
+	// rngreplay.go). nil when the runtime source hides Source64.
+	draws []uint64
 }
 
 // execGolden performs one golden counting run for the given input seed.
@@ -386,7 +415,14 @@ func (p *Prepared) execGolden(inputSeed int64) (*goldenRun, error) {
 		xg.It.SetProfiler(probe)
 		defer p.prof.Add("golden", probe)
 	}
-	spec, err := p.Cfg.Benchmark.Setup(xg, rand.New(rand.NewSource(inputSeed)), p.Cfg.Scale)
+	var grng *rand.Rand
+	rsrc := newRecSource(inputSeed)
+	if rsrc != nil {
+		grng = rand.New(rsrc)
+	} else {
+		grng = rand.New(rand.NewSource(inputSeed))
+	}
+	spec, err := p.Cfg.Benchmark.Setup(xg, grng, p.Cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +437,9 @@ func (p *Prepared) execGolden(inputSeed int64) (*goldenRun, error) {
 		DynInstrs: xg.It.DynInstrs,
 		Label:     spec.Label,
 		ring:      gRing,
+	}
+	if rsrc != nil {
+		g.draws = rsrc.draws
 	}
 	p.release(xg)
 	return g, nil
@@ -494,7 +533,16 @@ func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64) (*E
 		fProbe = p.prof.Probe()
 		xf.It.SetProfiler(fProbe)
 	}
-	spec2, err := p.Cfg.Benchmark.Setup(xf, rand.New(rand.NewSource(inputSeed)), p.Cfg.Scale)
+	// Same input as the golden half: replay its recorded stream rather
+	// than seeding a second identical source (the seeding, not the
+	// drawing, is what costs — see rngreplay.go).
+	var frand *rand.Rand
+	if g.draws != nil {
+		frand = rand.New(&replaySource{draws: g.draws, seed: inputSeed})
+	} else {
+		frand = rand.New(rand.NewSource(inputSeed))
+	}
+	spec2, err := p.Cfg.Benchmark.Setup(xf, frand, p.Cfg.Scale)
 	if err != nil {
 		return nil, err
 	}

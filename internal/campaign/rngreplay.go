@@ -1,0 +1,83 @@
+package campaign
+
+import "math/rand"
+
+// The paired-execution strategy generates the same benchmark input
+// twice per experiment: once for the golden instance and once for the
+// faulty one, from two rand.Rands seeded identically. Seeding a
+// math/rand source is the expensive part (it initializes a 607-word
+// lagged-Fibonacci state), and at bytecode-backend throughputs it
+// dominates the experiment loop. recSource/replaySource split the pair:
+// the golden setup records every value it draws from a genuinely seeded
+// source, and the faulty setup replays that recording verbatim. The
+// replayed stream is bit-identical to a fresh source's — both backends,
+// the committed golden files and resume byte-identity are unaffected —
+// because rand.Rand derives all its outputs from Source64.Uint64 and
+// the recording captures exactly those words.
+
+// recSource is a rand.Source64 that records every drawn word so a
+// replaySource can reproduce the stream without re-seeding.
+type recSource struct {
+	src   rand.Source64
+	draws []uint64
+}
+
+// newRecSource returns a recording source seeded with seed, or nil if
+// the runtime's source does not expose Source64 (callers then fall back
+// to plain re-seeding).
+func newRecSource(seed int64) *recSource {
+	src, ok := rand.NewSource(seed).(rand.Source64)
+	if !ok {
+		return nil
+	}
+	return &recSource{src: src}
+}
+
+func (s *recSource) Uint64() uint64 {
+	v := s.src.Uint64()
+	s.draws = append(s.draws, v)
+	return v
+}
+
+func (s *recSource) Int63() int64 { return int64(s.Uint64() & (1<<63 - 1)) }
+
+func (s *recSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = s.draws[:0]
+}
+
+// replaySource replays a recSource's recording. If a replay outruns the
+// recording (the two setups disagreeing on draw count would be a
+// benchmark bug, but correctness must not depend on that), it seeds a
+// real source, fast-forwards past the replayed prefix and continues
+// from the authentic stream.
+type replaySource struct {
+	draws []uint64
+	i     int
+	seed  int64
+	src   rand.Source64
+}
+
+func (s *replaySource) Uint64() uint64 {
+	if s.i < len(s.draws) {
+		v := s.draws[s.i]
+		s.i++
+		return v
+	}
+	if s.src == nil {
+		src, ok := rand.NewSource(s.seed).(rand.Source64)
+		if !ok {
+			panic("campaign: replay source without Source64 runtime")
+		}
+		s.src = src
+		for j := 0; j < s.i; j++ {
+			s.src.Uint64()
+		}
+	}
+	s.i++
+	return s.src.Uint64()
+}
+
+func (s *replaySource) Int63() int64 { return int64(s.Uint64() & (1<<63 - 1)) }
+
+func (s *replaySource) Seed(int64) { panic("campaign: replay source is read-only") }

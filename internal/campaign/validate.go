@@ -41,6 +41,11 @@ func (c *Config) Validate() error {
 	if c.TraceCap < 0 {
 		return fmt.Errorf("campaign: TraceCap must be non-negative (got %d)", c.TraceCap)
 	}
+	switch c.Backend {
+	case "", "tree", "vm":
+	default:
+		return fmt.Errorf("campaign: unknown backend %q (tree, vm)", c.Backend)
+	}
 	if c.Experiments == 0 {
 		c.Experiments = 100
 	}

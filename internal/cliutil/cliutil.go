@@ -73,6 +73,12 @@ func Inputs(fs *flag.FlagSet) *int {
 	return fs.Int("inputs", 0, "input-pool size K: experiment i draws input i mod K and golden runs are memoized (0 = fresh input per experiment, 1 = paper-faithful fixed input)")
 }
 
+// Backend registers the canonical -backend flag selecting the
+// execution backend.
+func Backend(fs *flag.FlagSet) *string {
+	return fs.String("backend", "", "execution backend: tree (reference interpreter) or vm (compiled bytecode; same results, faster)")
+}
+
 // Detectors registers the canonical detector pair: -detectors and
 // -broadcast-detector.
 func Detectors(fs *flag.FlagSet) (detectors, broadcast *bool) {

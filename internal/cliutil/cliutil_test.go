@@ -19,6 +19,7 @@ func registerVulfi(fs *flag.FlagSet) {
 	Seed(fs, 1)
 	Workers(fs)
 	Inputs(fs)
+	Backend(fs)
 	Detectors(fs)
 	Large(fs)
 	TelemetryFlags(fs)
@@ -29,6 +30,7 @@ func registerExperiments(fs *flag.FlagSet) {
 	Seed(fs, 20160516)
 	Workers(fs)
 	Inputs(fs)
+	Backend(fs)
 	ISA(fs, "")
 	Large(fs)
 	TelemetryFlags(fs)
@@ -85,6 +87,7 @@ func TestSharedFlagsDoNotDrift(t *testing.T) {
 			defaults: map[string]string{"vulfi": "1", "experiments": "20160516"}},
 		{name: "workers", bins: []string{"vulfi", "experiments"}},
 		{name: "inputs", bins: []string{"vulfi", "experiments"}},
+		{name: "backend", bins: []string{"vulfi", "experiments"}},
 		{name: "detectors", bins: []string{"vulfi"}},
 		{name: "broadcast-detector", bins: []string{"vulfi"}},
 		{name: "large", bins: []string{"vulfi", "experiments"}},

@@ -46,14 +46,26 @@ type Interp struct {
 	Detections    []string
 	DetectionDyns []uint64
 
-	externs  map[string]ExternFn
-	budget   uint64
-	maxDepth int
-	depth    int
-	globals  map[*ir.Global]uint64
-	tracer   *Tracer
-	rec      Recorder
-	prof     Profiler
+	externs map[string]ExternFn
+	// externBy memoizes name-based extern resolution per declaration
+	// node, turning the per-call string-map lookup (hash of the symbol
+	// name) into a pointer-keyed one. RegisterExtern invalidates it, so
+	// replacement keeps its install-over semantics.
+	externBy map[*ir.Func]ExternFn
+	// externEpoch counts RegisterExtern calls; engines key their own
+	// resolved-extern caches on it (see ExternEpoch).
+	externEpoch uint64
+	budget      uint64
+	maxDepth    int
+	depth       int
+	globals     map[*ir.Global]uint64
+	tracer      *Tracer
+	rec         Recorder
+	prof        Profiler
+	// engine, when attached, executes compiled function bodies against
+	// this interpreter's state; nil tree-walks everything. Like externs
+	// and metrics it survives Reset (see SetEngine).
+	engine Engine
 
 	// frames and ops recycle call frames and operand buffers across
 	// calls (and across Reset), so the steady state of a long campaign
@@ -66,6 +78,8 @@ type Interp struct {
 	metrics       *Metrics
 	flushedInstrs uint64
 	flushedVector uint64
+	siteVisits    uint64
+	flushedVisits uint64
 }
 
 // New creates an interpreter for mod, allocating storage for its globals.
@@ -111,6 +125,7 @@ func (it *Interp) Reset(opts Options) *Trap {
 	it.rec = nil
 	it.prof = nil
 	it.flushedInstrs, it.flushedVector = 0, 0
+	it.siteVisits, it.flushedVisits = 0, 0
 	clear(it.globals)
 	for _, g := range it.Mod.Globals {
 		addr, tr := it.Mem.Alloc(uint64(g.Elem.ByteSize() * g.Count))
@@ -126,6 +141,29 @@ func (it *Interp) Reset(opts Options) *Trap {
 // function.
 func (it *Interp) RegisterExtern(name string, fn ExternFn) {
 	it.externs[name] = fn
+	clear(it.externBy)
+	it.externEpoch++
+}
+
+// resolveExtern resolves a declaration to its implementation —
+// registered extern first, generic intrinsic fallback — memoizing the
+// name lookup per declaration node in externBy.
+func (it *Interp) resolveExtern(f *ir.Func) (ExternFn, bool) {
+	if fn, ok := it.externBy[f]; ok {
+		return fn, true
+	}
+	fn, ok := it.externs[f.Nam]
+	if !ok {
+		fn, ok = genericIntrinsic(f.Nam)
+	}
+	if !ok {
+		return nil, false
+	}
+	if it.externBy == nil {
+		it.externBy = map[*ir.Func]ExternFn{}
+	}
+	it.externBy[f] = fn
+	return fn, true
 }
 
 // HasExtern reports whether name has a registered implementation.
@@ -159,10 +197,7 @@ func (it *Interp) Run(name string, args ...Value) (Value, *Trap) {
 // Call executes f with args.
 func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 	if f.IsDecl {
-		fn, ok := it.externs[f.Nam]
-		if !ok {
-			fn, ok = genericIntrinsic(f.Nam)
-		}
+		fn, ok := it.resolveExtern(f)
 		if !ok {
 			return Value{}, trapf(TrapHalt, "unresolved external @%s", f.Nam)
 		}
@@ -191,6 +226,11 @@ func (it *Interp) Call(f *ir.Func, args []Value) (ret Value, tr *Trap) {
 	if len(args) != len(f.Params) {
 		return Value{}, trapf(TrapHalt, "@%s: got %d args, want %d",
 			f.Nam, len(args), len(f.Params))
+	}
+	if it.engine != nil {
+		if v, etr, ok := it.engine.CallCompiled(it, f, args); ok {
+			return v, etr
+		}
 	}
 	fr = it.getFrame(args)
 
@@ -545,6 +585,16 @@ func (it *Interp) execInstr(fr *frame, in *ir.Instr) (Value, *Trap) {
 
 func intBin(op ir.Op, a, b Value) (Value, *Trap) {
 	out := Zero(a.Ty)
+	if tr := intBinInto(out, op, a, b); tr != nil {
+		return Value{}, tr
+	}
+	return out, nil
+}
+
+// intBinInto computes a lane-wise integer binary op into out, whose
+// Bits must already hold one word per lane. Every lane is written (no
+// stale data survives), so out may come from recycled storage.
+func intBinInto(out Value, op ir.Op, a, b Value) *Trap {
 	bits := a.Ty.ScalarBits()
 	for i := range a.Bits {
 		x, y := a.Bits[i], b.Bits[i]
@@ -559,10 +609,10 @@ func intBin(op ir.Op, a, b Value) (Value, *Trap) {
 			r = x * y
 		case ir.OpSDiv, ir.OpSRem:
 			if sy == 0 {
-				return Value{}, trapf(TrapDivZero, "%s by zero", op)
+				return trapf(TrapDivZero, "%s by zero", op)
 			}
 			if sx == minIntFor(bits) && sy == -1 {
-				return Value{}, trapf(TrapDivOverflow, "%d %s -1", sx, op)
+				return trapf(TrapDivOverflow, "%d %s -1", sx, op)
 			}
 			if op == ir.OpSDiv {
 				r = uint64(sx / sy)
@@ -571,7 +621,7 @@ func intBin(op ir.Op, a, b Value) (Value, *Trap) {
 			}
 		case ir.OpUDiv, ir.OpURem:
 			if y == 0 {
-				return Value{}, trapf(TrapDivZero, "%s by zero", op)
+				return trapf(TrapDivZero, "%s by zero", op)
 			}
 			if op == ir.OpUDiv {
 				r = x / y
@@ -593,7 +643,7 @@ func intBin(op ir.Op, a, b Value) (Value, *Trap) {
 		}
 		out.Bits[i] = ir.TruncateToWidth(r, bits)
 	}
-	return out, nil
+	return nil
 }
 
 func minIntFor(bits int) int64 {
@@ -605,6 +655,13 @@ func minIntFor(bits int) int64 {
 
 func floatBin(op ir.Op, a, b Value) Value {
 	out := Zero(a.Ty)
+	floatBinInto(out, op, a, b)
+	return out
+}
+
+// floatBinInto computes a lane-wise float binary op into out; every
+// lane is written.
+func floatBinInto(out Value, op ir.Op, a, b Value) {
 	for i := range a.Bits {
 		x, y := a.LaneFloat(i), b.LaneFloat(i)
 		var r float64
@@ -625,7 +682,6 @@ func floatBin(op ir.Op, a, b Value) Value {
 		}
 		out.SetLaneFloat(i, r)
 	}
-	return out
 }
 
 func compare(op ir.Op, pred ir.Pred, a, b Value) Value {
@@ -635,6 +691,14 @@ func compare(op ir.Op, pred ir.Pred, a, b Value) Value {
 		ty = ir.Vec(ir.I1, n)
 	}
 	out := Zero(ty)
+	compareInto(out, op, pred, a, b)
+	return out
+}
+
+// compareInto computes a lane-wise icmp/fcmp into out (i1 lanes); every
+// lane is written.
+func compareInto(out Value, op ir.Op, pred ir.Pred, a, b Value) {
+	n := a.Lanes()
 	bits := a.Ty.ScalarBits()
 	for i := 0; i < n; i++ {
 		var res bool
@@ -684,9 +748,10 @@ func compare(op ir.Op, pred ir.Pred, a, b Value) Value {
 		}
 		if res {
 			out.Bits[i] = 1
+		} else {
+			out.Bits[i] = 0
 		}
 	}
-	return out
 }
 
 func selectVal(c, t, f Value) Value {
@@ -697,6 +762,22 @@ func selectVal(c, t, f Value) Value {
 		return f.Clone()
 	}
 	out := Zero(t.Ty)
+	selectInto(out, c, t, f)
+	return out
+}
+
+// selectInto computes select into out (scalar condition copies the
+// chosen side; vector condition blends lane-wise); every lane is
+// written.
+func selectInto(out Value, c, t, f Value) {
+	if c.Ty == ir.I1 {
+		if c.Bool() {
+			copy(out.Bits, t.Bits)
+		} else {
+			copy(out.Bits, f.Bits)
+		}
+		return
+	}
 	for i := range out.Bits {
 		if c.Bits[i]&1 != 0 {
 			out.Bits[i] = t.Bits[i]
@@ -704,11 +785,16 @@ func selectVal(c, t, f Value) Value {
 			out.Bits[i] = f.Bits[i]
 		}
 	}
-	return out
 }
 
 func castVal(op ir.Op, v Value, to *ir.Type) Value {
 	out := Zero(to)
+	castInto(out, op, v, to)
+	return out
+}
+
+// castInto computes a cast into out; every lane is written.
+func castInto(out Value, op ir.Op, v Value, to *ir.Type) {
 	fromS, toS := v.Ty.Scalar(), to.Scalar()
 	for i := range v.Bits {
 		switch op {
@@ -741,7 +827,6 @@ func castVal(op ir.Op, v Value, to *ir.Type) Value {
 			out.Bits[i] = ir.TruncateToWidth(v.Bits[i], toS.ScalarBits())
 		}
 	}
-	return out
 }
 
 // clampToInt converts like x86 cvttss2si: NaN/overflow produce the

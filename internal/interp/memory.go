@@ -180,6 +180,22 @@ func (m *Memory) Load(ty *ir.Type, addr uint64) (Value, *Trap) {
 	return v, nil
 }
 
+// LoadInto reads a value of out's type at addr into out's existing
+// lane storage — the allocation-free variant of Load for engines that
+// recycle result storage. Every lane is written on success.
+func (m *Memory) LoadInto(out Value, addr uint64) *Trap {
+	lanes := len(out.Bits)
+	es := uint64(out.Ty.Scalar().ByteSize())
+	buf, off, tr := m.check(addr, es*uint64(lanes))
+	if tr != nil {
+		return tr
+	}
+	for i := 0; i < lanes; i++ {
+		out.Bits[i] = readLE(buf[off+uint64(i)*es:], int(es))
+	}
+	return nil
+}
+
 // Store writes v (scalar or vector, lanes contiguous) at addr.
 func (m *Memory) Store(v Value, addr uint64) *Trap {
 	es := uint64(v.Ty.Scalar().ByteSize())

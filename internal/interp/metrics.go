@@ -18,7 +18,9 @@ type Metrics struct {
 	Instrs       *telemetry.Counter
 	VectorInstrs *telemetry.Counter
 	// SiteVisits counts live dynamic fault-site visits (the injection
-	// runtime calls CountSiteVisit once per unmasked lane visit).
+	// runtime calls CountSiteVisit once per unmasked lane visit). Like
+	// the dynamic counts it is batched: published on flush, not per
+	// visit.
 	SiteVisits *telemetry.Counter
 	// Traps counts top-level executions that ended in a trap.
 	Traps *telemetry.Counter
@@ -38,13 +40,11 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 // SetMetrics attaches (or, with nil, detaches) telemetry counters.
 func (it *Interp) SetMetrics(m *Metrics) { it.metrics = m }
 
-// CountSiteVisit increments the fault-site-visit counter. The injection
-// runtime calls it once per live (unmasked) dynamic fault site.
-func (it *Interp) CountSiteVisit() {
-	if it.metrics != nil && it.metrics.SiteVisits != nil {
-		it.metrics.SiteVisits.Inc()
-	}
-}
+// CountSiteVisit records one live dynamic fault-site visit. The
+// injection runtime calls it once per unmasked lane visit; the count is
+// batched locally and published to the attached counter on flush, so
+// the per-site cost is one non-atomic increment.
+func (it *Interp) CountSiteVisit() { it.siteVisits++ }
 
 // FlushMetrics publishes the not-yet-reported portion of the dynamic
 // instruction counters. Called automatically when a top-level Call
@@ -60,5 +60,9 @@ func (it *Interp) FlushMetrics() {
 	if m.VectorInstrs != nil && it.DynVector > it.flushedVector {
 		m.VectorInstrs.Add(it.DynVector - it.flushedVector)
 	}
+	if m.SiteVisits != nil && it.siteVisits > it.flushedVisits {
+		m.SiteVisits.Add(it.siteVisits - it.flushedVisits)
+	}
 	it.flushedInstrs, it.flushedVector = it.DynInstrs, it.DynVector
+	it.flushedVisits = it.siteVisits
 }

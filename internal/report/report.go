@@ -36,6 +36,10 @@ type Options struct {
 	// experiment i draws input i mod K and golden runs are memoized
 	// (0 = a fresh input per experiment, no cache).
 	Inputs int
+	// Backend is the execution backend threaded into every study cell:
+	// "" or "tree" for the reference interpreter, "vm" for the compiled
+	// bytecode backend (identical results, faster).
+	Backend string
 	// Benchmarks filters to the named subset (nil = all).
 	Benchmarks []string
 	// ISAs filters targets (nil = AVX + SSE).
@@ -69,6 +73,7 @@ func (o Options) runStudy(cfg campaign.Config) (*campaign.StudyResult, error) {
 	cfg.Metrics = o.Metrics
 	cfg.Events = o.Events
 	cfg.Inputs = o.Inputs
+	cfg.Backend = o.Backend
 	if o.Progress != nil {
 		pr := telemetry.NewProgress(o.Progress, cfg.String(),
 			cfg.Campaigns*cfg.Experiments)

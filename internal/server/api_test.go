@@ -68,7 +68,7 @@ func TestSpecFields(t *testing.T) {
 		"benchmark", "isa", "category", "scale", "experiments", "campaigns",
 		"seed", "workers", "inputs", "detectors", "detector_every_iteration",
 		"broadcast_detector", "mask_loop_detector", "whole_register_sites",
-		"mask_oblivious", "trace", "atlas", "profile",
+		"mask_oblivious", "trace", "atlas", "profile", "backend",
 	}
 	if len(got) != len(want) {
 		t.Fatalf("SpecFields() = %v, want %v", got, want)
@@ -77,6 +77,74 @@ func TestSpecFields(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("SpecFields()[%d] = %q, want %q", i, got[i], want[i])
 		}
+	}
+}
+
+// TestSubmitUnknownBackendRejected: a bogus backend name must fail the
+// submit with a descriptive 400 naming the accepted spellings, not
+// silently fall back to the tree-walker.
+func TestSubmitUnknownBackendRejected(t *testing.T) {
+	s := newTestServer(t, Options{})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := testSpec()
+	spec.Backend = "llvm"
+	resp, raw := postJob(t, ts.URL, spec)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown backend: %s, want 400", resp.Status)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, `"llvm"`) {
+		t.Fatalf("error %q does not quote the bad backend", body.Error)
+	}
+	if !strings.Contains(body.Error, "tree") || !strings.Contains(body.Error, "vm") {
+		t.Fatalf("error %q does not list the accepted backends", body.Error)
+	}
+}
+
+// TestBackendRoundTrip: the backend knob must survive submit → status →
+// journal → resumed daemon. The exported study JSON deliberately omits
+// the backend (the backends are observably equivalent), so the
+// round-trip is pinned on the spec echo and the rehydrated journal.
+func TestBackendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Options{JournalDir: dir})
+	ts := httptest.NewServer(s1.Handler())
+
+	spec := testSpec()
+	spec.Backend = "vm"
+	resp, raw := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, raw)
+	}
+	var st Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Spec.Backend != "vm" {
+		t.Fatalf("status echoed backend = %q, want %q", st.Spec.Backend, "vm")
+	}
+	waitState(t, s1, st.ID, StateDone)
+	ts.Close()
+	drain(t, s1)
+
+	// A fresh daemon over the same journal must rehydrate the knob.
+	s2 := newTestServer(t, Options{JournalDir: dir})
+	defer drain(t, s2)
+	job := s2.Job(st.ID)
+	if job == nil {
+		t.Fatalf("job %s not resumed from journal", st.ID)
+	}
+	if got := job.Status().Spec.Backend; got != "vm" {
+		t.Fatalf("resumed spec backend = %q, want %q", got, "vm")
 	}
 }
 

@@ -39,8 +39,8 @@ import (
 // the "inputs" pool knob and the version header itself; 1.2 added the
 // "atlas" spec knob, GET /v1/history, GET /dashboard and the
 // Vulfid-Build header; 1.3 added the "profile" spec knob and
-// GET /v1/jobs/{id}/profile).
-const APIVersion = "1.3"
+// GET /v1/jobs/{id}/profile; 1.4 added the "backend" spec knob).
+const APIVersion = "1.4"
 
 // Spec is the wire form of one study cell: the JSON body of POST
 // /v1/jobs. Zero-valued counts inherit the paper's defaults (100
@@ -70,7 +70,8 @@ const APIVersion = "1.3"
 //	  "mask_oblivious": false,
 //	  "trace": false,                   // divergence tracing (disables golden cache)
 //	  "atlas": false,                   // per-static-site outcome attribution
-//	  "profile": false                  // execution profiler (hot_profile in the result)
+//	  "profile": false,                 // execution profiler (hot_profile in the result)
+//	  "backend": "tree"                 // execution backend: "tree" or "vm"
 //	}
 //
 // # Response schema
@@ -136,6 +137,14 @@ type Spec struct {
 	// instruction, so profiled wall times are not comparable to
 	// unprofiled runs.
 	Profile bool `json:"profile,omitempty"`
+
+	// Backend selects the execution backend: "tree" (or empty) runs the
+	// reference tree-walking interpreter, "vm" the compiled bytecode
+	// backend. The backends produce byte-identical results (the
+	// differential suite pins outcomes, counts, traps and study JSON),
+	// so the knob only affects throughput. Rides through the journal,
+	// so resumed jobs keep their backend.
+	Backend string `json:"backend,omitempty"`
 }
 
 // SpecFields returns the spec's JSON field names in declaration order —
@@ -179,6 +188,20 @@ func ParseScale(name string) (benchmarks.Scale, error) {
 	return 0, fmt.Errorf("unknown scale %q (test, default, large)", name)
 }
 
+// ParseBackend resolves the CLI/API spelling of an execution backend.
+func ParseBackend(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "", "tree", "interp", "interpreter":
+		if name == "" {
+			return "", nil
+		}
+		return "tree", nil
+	case "vm", "bytecode":
+		return "vm", nil
+	}
+	return "", fmt.Errorf("unknown backend %q (tree, vm)", name)
+}
+
 // Config resolves the spec's name fields and validates the result via
 // campaign.Config.Validate — the same gate the CLIs and the root vulfi
 // package use — returning a runnable, normalized study configuration
@@ -201,6 +224,10 @@ func (s Spec) Config() (campaign.Config, error) {
 	if err != nil {
 		return cfg, err
 	}
+	backend, err := ParseBackend(s.Backend)
+	if err != nil {
+		return cfg, err
+	}
 	cfg = campaign.Config{
 		Benchmark: b, ISA: target, Category: cat, Scale: scale,
 		Experiments: s.Experiments, Campaigns: s.Campaigns,
@@ -214,6 +241,7 @@ func (s Spec) Config() (campaign.Config, error) {
 		Trace:                  s.Trace,
 		Atlas:                  s.Atlas,
 		Profile:                s.Profile,
+		Backend:                backend,
 	}
 	if err := cfg.Validate(); err != nil {
 		return campaign.Config{}, err

@@ -1,0 +1,612 @@
+package vm
+
+import (
+	"vulfi/internal/interp"
+	"vulfi/internal/ir"
+)
+
+// vop enumerates bytecode opcodes. The lowered form trades the
+// tree-walker's per-instruction interface dispatch for a dense switch:
+// generic opcodes carry the original ir.Op and route through the interp
+// package's exported operation kernels, fused opcodes execute a whole
+// profiler digram in one dispatch.
+type vop uint8
+
+const (
+	vInvalid vop = iota
+	vIntBin
+	vFloatBin
+	vCmp
+	vSelect
+	vCast
+	vAlloca
+	vLoad
+	vStore
+	vGEP
+	vExtract
+	vInsert
+	vShuffle
+	vCall
+	vBr
+	vCondBr
+	vRet
+	vRetVoid
+	vUnreachable
+	// vPhiGroup accounts a block's phi nodes. The parallel copy itself
+	// has already happened on the incoming edge (vBr/vCondBr move
+	// bundles); this opcode replays the tree-walker's observable phi
+	// schedule: per-phi DynInstrs accounting and Retire in block order,
+	// then one unconditional budget check located at the first phi.
+	vPhiGroup
+	// Fused superinstructions (see fusion in lower).
+	vGEPLoad  // gep + load  : dst = mem[base + idx*elem]
+	vGEPStore // gep + store : mem[base + idx*elem] = value
+	vCmpBr    // scalar cmp + condbr : branch on compare without a visit
+)
+
+// A move copies one value into a register: the phi-elimination parallel
+// copy, sequenced at compile time (lost-copy and swap safe — cycles are
+// broken through the function's scratch register). src is an operand
+// ref; values are immutable once published (every producer builds a
+// fresh result, bit flips clone first), so constant sources are shared
+// rather than cloned.
+type move struct {
+	dst int32
+	src int32
+}
+
+// phiSlot is one phi of a vPhiGroup: the original instruction for
+// accounting/retire, its register, and its precomputed vector flag.
+type phiSlot struct {
+	in  *ir.Instr
+	reg int32
+	vec bool
+}
+
+// vinstr is one lowered instruction. Operand refs (a, b, c, args,
+// move.src) address the register frame when >= 0 and the constant pool
+// when negative (ref < 0 denotes consts[^ref]).
+type vinstr struct {
+	op   vop
+	irop ir.Op
+	pred ir.Pred
+
+	dst     int32 // result register; -1 when void. vGEPStore: the gep's register.
+	a, b, c int32 // operand refs
+
+	ty   *ir.Type
+	nw   int32  // result lane words (len(Bits) of the result value)
+	elem uint64 // gep element byte size; alloca total bytes
+	// idxSh sign-extends the statically-typed index operand (gep index,
+	// extract/insert lane) without re-deriving its scalar width per
+	// execution: int64(bits<<idxSh)>>idxSh == ir.SignExtend(bits, w).
+	idxSh uint8
+
+	in  *ir.Instr // original instruction: accounting, traps, trace, retire
+	vec bool      // precomputed in.IsVectorInstr()
+
+	// Fused second constituent and the two-element accounting group
+	// handed to interp.FusedProfiler implementations.
+	in2   *ir.Instr
+	vec2  bool
+	group []*ir.Instr
+
+	// Branch targets (bytecode pcs) and their edge move bundles.
+	t0, t1 int32
+	m0, m1 []move
+
+	phis []phiSlot
+
+	callee *ir.Func
+	args   []int32
+
+	mask []int
+}
+
+// fnCode is one compiled function body.
+type fnCode struct {
+	fn      *ir.Func
+	nregs   int
+	consts  []interp.Value
+	globals []globalSlot
+	code    []vinstr
+}
+
+// globalSlot materializes one module global's address into a register
+// at frame entry. Global addresses are per-interpreter state (they are
+// reallocated on Reset), so they cannot live in the constant pool of a
+// program shared across instances.
+type globalSlot struct {
+	reg int32
+	g   *ir.Global
+	ty  *ir.Type
+}
+
+// compiler carries the per-function lowering state.
+type compiler struct {
+	f       *ir.Func
+	code    fnCode
+	nreg    int32
+	regOf   map[*ir.Instr]int32
+	scratch int32
+	constIx map[*ir.Const]int32
+	globIx  map[*ir.Global]int32
+	starts  map[*ir.Block]int32
+	fixups  []fixup
+	fused   map[string]int
+	declIx  map[*ir.Func]int32 // program-wide dense extern-callee index
+}
+
+// fixup patches a branch target once every block's start pc is known.
+type fixup struct {
+	pc     int
+	second bool // patch t1 instead of t0
+	blk    *ir.Block
+}
+
+// compileFunc lowers f, reporting ok == false for shapes only the
+// tree-walker's runtime diagnostics can describe faithfully: blocks
+// without terminators ("block fell through"), phis outside the block
+// head or in the entry block, and phis lacking an incoming for a
+// predecessor. Those fall back to tree-walking.
+func compileFunc(f *ir.Func, fused map[string]int, declIx map[*ir.Func]int32) (*fnCode, bool) {
+	c := &compiler{
+		f:       f,
+		regOf:   map[*ir.Instr]int32{},
+		constIx: map[*ir.Const]int32{},
+		globIx:  map[*ir.Global]int32{},
+		starts:  map[*ir.Block]int32{},
+		fused:   fused,
+		declIx:  declIx,
+	}
+	c.code.fn = f
+	if len(f.Blocks) == 0 {
+		return nil, false
+	}
+
+	// Register layout: parameters first (slot == Param.Index), then one
+	// slot per value-producing instruction, then the move scratch, then
+	// any globals the body references.
+	c.nreg = int32(len(f.Params))
+	for _, b := range f.Blocks {
+		sawNonPhi := false
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi && (sawNonPhi || b == f.Entry()) {
+				return nil, false
+			}
+			if in.Op != ir.OpPhi {
+				sawNonPhi = true
+			}
+			if !in.Ty.IsVoid() {
+				c.regOf[in] = c.nreg
+				c.nreg++
+			}
+		}
+	}
+	c.scratch = c.nreg
+	c.nreg++
+
+	for _, b := range f.Blocks {
+		c.starts[b] = int32(len(c.code.code))
+		if !c.lowerBlock(b) {
+			return nil, false
+		}
+	}
+	for _, fx := range c.fixups {
+		target, ok := c.starts[fx.blk]
+		if !ok {
+			return nil, false
+		}
+		if fx.second {
+			c.code.code[fx.pc].t1 = target
+		} else {
+			c.code.code[fx.pc].t0 = target
+		}
+	}
+	c.code.nregs = int(c.nreg)
+	return &c.code, true
+}
+
+// ref resolves an operand to its slot: register for params and
+// instruction results, pool index (encoded negative) for constants,
+// and a frame-entry-materialized register for globals.
+func (c *compiler) ref(v ir.Value) (int32, bool) {
+	switch x := v.(type) {
+	case *ir.Const:
+		ix, ok := c.constIx[x]
+		if !ok {
+			ix = int32(len(c.code.consts))
+			c.code.consts = append(c.code.consts, interp.ConstValue(x))
+			c.constIx[x] = ix
+		}
+		return ^ix, true
+	case *ir.Param:
+		return int32(x.Index), true
+	case *ir.Instr:
+		r, ok := c.regOf[x]
+		return r, ok
+	case *ir.Global:
+		r, ok := c.globIx[x]
+		if !ok {
+			r = c.nreg
+			c.nreg++
+			c.globIx[x] = r
+			c.code.globals = append(c.code.globals,
+				globalSlot{reg: r, g: x, ty: x.Type()})
+		}
+		return r, true
+	}
+	return 0, false
+}
+
+func (c *compiler) emit(v vinstr) int {
+	c.code.code = append(c.code.code, v)
+	return len(c.code.code) - 1
+}
+
+// lowerBlock lowers one basic block: the phi accounting group, the
+// straight-line body with digram fusion, and the terminator with its
+// per-edge parallel-move bundles. Lowering stops at the first
+// terminator — anything after it is unreachable under the tree-walker
+// too.
+func (c *compiler) lowerBlock(b *ir.Block) bool {
+	phis := b.Phis()
+	if len(phis) > 0 {
+		g := vinstr{op: vPhiGroup}
+		for _, phi := range phis {
+			g.phis = append(g.phis, phiSlot{
+				in: phi, reg: c.regOf[phi], vec: phi.IsVectorInstr(),
+			})
+		}
+		c.emit(g)
+	}
+
+	body := b.Instrs[len(phis):]
+	for i := 0; i < len(body); i++ {
+		in := body[i]
+		if in.Op.IsTerminator() {
+			return c.lowerTerminator(b, in)
+		}
+		var next *ir.Instr
+		if i+1 < len(body) {
+			next = body[i+1]
+		}
+		used, ok := c.lowerInstr(b, in, next)
+		if !ok {
+			return false
+		}
+		if used {
+			i++ // fused with next
+			if next.Op.IsTerminator() {
+				return true // the fused opcode carried the terminator
+			}
+		}
+	}
+	return false // no terminator: tree-walker's "block fell through"
+}
+
+// lowerInstr lowers one non-terminator instruction, fusing it with next
+// when the pair matches a superinstruction pattern. Returns whether
+// next was consumed.
+func (c *compiler) lowerInstr(b *ir.Block, in, next *ir.Instr) (bool, bool) {
+	v := vinstr{
+		irop: in.Op, pred: in.Pred, ty: in.Ty,
+		in: in, vec: in.IsVectorInstr(), dst: -1,
+	}
+	if r, ok := c.regOf[in]; ok {
+		v.dst = r
+		v.nw = int32(in.Ty.Lanes())
+	}
+
+	// Digram fusion: adjacent single-use producer/consumer pairs from
+	// the profiler's superinstruction candidate list. Fusing never
+	// reorders accounting — the fused opcodes replay both constituents'
+	// DynInstrs/budget/trace/retire schedule.
+	if next != nil && in.NumUses() == 1 {
+		switch {
+		case in.Op == ir.OpGEP && next.Op == ir.OpLoad && next.Operand(0) == in:
+			if ok := c.fuseGEP(&v, in, next, vGEPLoad); ok {
+				c.fused["gep+load"]++
+				c.emit(v)
+				return true, true
+			}
+		case in.Op == ir.OpGEP && next.Op == ir.OpStore && next.Operand(1) == in:
+			if ok := c.fuseGEP(&v, in, next, vGEPStore); ok {
+				c.fused["gep+store"]++
+				c.emit(v)
+				return true, true
+			}
+		case (in.Op == ir.OpICmp || in.Op == ir.OpFCmp) && in.Ty == ir.I1 &&
+			next.Op == ir.OpCondBr && next.Operand(0) == in:
+			if ok := c.fuseCmpBr(b, &v, in, next); ok {
+				c.fused["cmp+br"]++
+				c.emit(v)
+				return true, true
+			}
+		}
+	}
+
+	ok := c.lowerPlain(&v, in)
+	if !ok {
+		return false, false
+	}
+	c.emit(v)
+	return false, true
+}
+
+// lowerPlain fills v for a single unfused instruction.
+func (c *compiler) lowerPlain(v *vinstr, in *ir.Instr) bool {
+	setABC := func(n int) bool {
+		refs := [3]*int32{&v.a, &v.b, &v.c}
+		for i := 0; i < n; i++ {
+			r, ok := c.ref(in.Operand(i))
+			if !ok {
+				return false
+			}
+			*refs[i] = r
+		}
+		return true
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem, ir.OpUDiv,
+		ir.OpURem, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
+		v.op = vIntBin
+		return setABC(2)
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFRem:
+		v.op = vFloatBin
+		return setABC(2)
+	case ir.OpICmp, ir.OpFCmp:
+		v.op = vCmp
+		return setABC(2)
+	case ir.OpSelect:
+		v.op = vSelect
+		return setABC(3)
+	case ir.OpAlloca:
+		v.op = vAlloca
+		v.elem = uint64(in.AllocElem.ByteSize() * in.AllocCount)
+		return true
+	case ir.OpLoad:
+		v.op = vLoad
+		return setABC(1)
+	case ir.OpStore:
+		v.op = vStore
+		return setABC(2)
+	case ir.OpGEP:
+		v.op = vGEP
+		v.elem = uint64(in.Ty.Elem.ByteSize())
+		v.idxSh = idxShift(in.Operand(1))
+		return setABC(2)
+	case ir.OpExtractElement:
+		v.op = vExtract
+		v.idxSh = idxShift(in.Operand(1))
+		return setABC(2)
+	case ir.OpInsertElement:
+		v.op = vInsert
+		v.idxSh = idxShift(in.Operand(2))
+		return setABC(3)
+	case ir.OpShuffleVector:
+		v.op = vShuffle
+		v.mask = in.ShuffleMask
+		return setABC(2)
+	case ir.OpCall:
+		v.op = vCall
+		v.callee = in.Callee
+		if v.callee == nil {
+			return false
+		}
+		// c is repurposed as the dense extern index for declaration
+		// callees (-1 for defined functions, which route through Call).
+		v.c = -1
+		if v.callee.IsDecl {
+			ix, ok := c.declIx[v.callee]
+			if !ok {
+				ix = int32(len(c.declIx))
+				c.declIx[v.callee] = ix
+			}
+			v.c = ix
+		}
+		n := in.NumOperands()
+		v.args = make([]int32, n)
+		for i := 0; i < n; i++ {
+			r, ok := c.ref(in.Operand(i))
+			if !ok {
+				return false
+			}
+			v.args[i] = r
+		}
+		return true
+	default:
+		if in.Op.IsCast() {
+			v.op = vCast
+			return setABC(1)
+		}
+		return false
+	}
+}
+
+// fuseGEP fills v as a fused gep+load / gep+store superinstruction.
+func (c *compiler) fuseGEP(v *vinstr, gep, mem *ir.Instr, op vop) bool {
+	base, ok1 := c.ref(gep.Operand(0))
+	idx, ok2 := c.ref(gep.Operand(1))
+	if !ok1 || !ok2 {
+		return false
+	}
+	v.op = op
+	v.a, v.b = base, idx
+	v.elem = uint64(gep.Ty.Elem.ByteSize())
+	v.idxSh = idxShift(gep.Operand(1))
+	v.in2, v.vec2 = mem, mem.IsVectorInstr()
+	v.group = []*ir.Instr{gep, mem}
+	if op == vGEPLoad {
+		v.ty = mem.Ty
+		v.nw = int32(mem.Ty.Lanes())
+		v.c = c.regOf[gep] // materialized only when a recorder/tracer watches
+		v.dst = c.regOf[mem]
+	} else {
+		val, ok := c.ref(mem.Operand(0))
+		if !ok {
+			return false
+		}
+		v.ty = gep.Ty
+		v.c = val
+		v.dst = c.regOf[gep]
+	}
+	return true
+}
+
+// idxShift returns the sign-extension shift for v's scalar bit width
+// (0 for 64-bit-or-wider payloads, where no extension is needed).
+func idxShift(v ir.Value) uint8 {
+	b := v.Type().Scalar().Bits
+	if b <= 0 || b >= 64 {
+		return 0
+	}
+	return uint8(64 - b)
+}
+
+// fuseCmpBr fills v as a fused scalar-compare + conditional-branch
+// superinstruction (the profiler's "mask test + branch" digram).
+func (c *compiler) fuseCmpBr(b *ir.Block, v *vinstr, cmp, br *ir.Instr) bool {
+	a, ok1 := c.ref(cmp.Operand(0))
+	bb, ok2 := c.ref(cmp.Operand(1))
+	if !ok1 || !ok2 {
+		return false
+	}
+	m0, ok3 := c.edgeMoves(b, br.Succs[0])
+	m1, ok4 := c.edgeMoves(b, br.Succs[1])
+	if !ok3 || !ok4 {
+		return false
+	}
+	v.op = vCmpBr
+	v.a, v.b = a, bb
+	v.in2, v.vec2 = br, br.IsVectorInstr()
+	v.group = []*ir.Instr{cmp, br}
+	v.m0, v.m1 = m0, m1
+	c.fixups = append(c.fixups,
+		fixup{pc: len(c.code.code), blk: br.Succs[0]},
+		fixup{pc: len(c.code.code), second: true, blk: br.Succs[1]})
+	return true
+}
+
+// lowerTerminator lowers the block's terminator with its edge bundles.
+func (c *compiler) lowerTerminator(b *ir.Block, in *ir.Instr) bool {
+	v := vinstr{
+		irop: in.Op, ty: in.Ty, in: in, vec: in.IsVectorInstr(), dst: -1,
+	}
+	switch in.Op {
+	case ir.OpBr:
+		moves, ok := c.edgeMoves(b, in.Succs[0])
+		if !ok {
+			return false
+		}
+		v.op = vBr
+		v.m0 = moves
+		c.fixups = append(c.fixups, fixup{pc: len(c.code.code), blk: in.Succs[0]})
+	case ir.OpCondBr:
+		cond, ok := c.ref(in.Operand(0))
+		if !ok {
+			return false
+		}
+		m0, ok1 := c.edgeMoves(b, in.Succs[0])
+		m1, ok2 := c.edgeMoves(b, in.Succs[1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		v.op = vCondBr
+		v.a = cond
+		v.m0, v.m1 = m0, m1
+		c.fixups = append(c.fixups,
+			fixup{pc: len(c.code.code), blk: in.Succs[0]},
+			fixup{pc: len(c.code.code), second: true, blk: in.Succs[1]})
+	case ir.OpRet:
+		if len(in.Operands()) == 0 {
+			v.op = vRetVoid
+		} else {
+			r, ok := c.ref(in.Operand(0))
+			if !ok {
+				return false
+			}
+			v.op = vRet
+			v.a = r
+		}
+	case ir.OpUnreachable:
+		v.op = vUnreachable
+	default:
+		return false
+	}
+	c.emit(v)
+	return true
+}
+
+// edgeMoves builds the sequenced parallel-move bundle for the edge
+// b -> succ: one move per phi of succ, from the incoming value b
+// contributes. The bundle runs after the branch decision and before
+// control transfers, which makes critical edges safe without block
+// splitting. Sequencing emits a move only once no other pending move
+// still reads its destination; cycles (the swap problem) are broken by
+// parking one destination in the scratch register (the lost-copy
+// problem cannot arise: destinations are written exactly once).
+func (c *compiler) edgeMoves(b *ir.Block, succ *ir.Block) ([]move, bool) {
+	phis := succ.Phis()
+	if len(phis) == 0 {
+		return nil, true
+	}
+	pending := make([]move, 0, len(phis))
+	for _, phi := range phis {
+		src := int32(0)
+		found := false
+		for i, pred := range phi.Succs {
+			if pred == b {
+				r, ok := c.ref(phi.Operand(i))
+				if !ok {
+					return nil, false
+				}
+				src, found = r, true
+				break
+			}
+		}
+		if !found {
+			return nil, false // tree-walker traps "no incoming" at runtime
+		}
+		dst := c.regOf[phi]
+		if src == dst {
+			continue // self-move: the loop-carried value is already home
+		}
+		pending = append(pending, move{dst: dst, src: src})
+	}
+
+	var out []move
+	for len(pending) > 0 {
+		progress := false
+		for i := 0; i < len(pending); {
+			mv := pending[i]
+			blocked := false
+			for j, other := range pending {
+				if j != i && other.src == mv.dst {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				i++
+				continue
+			}
+			out = append(out, mv)
+			pending = append(pending[:i], pending[i+1:]...)
+			progress = true
+		}
+		if !progress {
+			// Every pending destination is still read by another move: a
+			// cycle. Park one destination in scratch and retarget its
+			// readers.
+			parked := pending[0].dst
+			out = append(out, move{dst: c.scratch, src: parked})
+			for j := range pending {
+				if pending[j].src == parked {
+					pending[j].src = c.scratch
+				}
+			}
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# bench-backend.sh — paired tree/vm backend benchmark.
+#
+# Runs BenchmarkStudyThroughput under both execution backends — the
+# reference tree-walker and the compiled bytecode VM — interleaving the
+# repetitions so slow machine-load drift hits both arms equally, then
+# reports the speedup and, when benchstat is on PATH, a statistical
+# comparison. Writes a BENCH_7.json-shaped summary into the out dir.
+#
+#   scripts/bench-backend.sh [outdir]
+#
+# Environment:
+#   COUNT        interleaved repetitions per backend   (default 5)
+#   BENCHTIME    -benchtime per repetition             (default 1s)
+#   INPUTS       input-pool size for both arms         (default 0)
+#   MIN_SPEEDUP  fail if vm/tree is below this; "auto" derives the
+#                floor from the committed BENCH_7.json (70% of the
+#                recorded speedup, absorbing runner noise while still
+#                catching real backend regressions). Default 0: report
+#                only.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+outdir=${1:-bench-out}
+COUNT=${COUNT:-5}
+BENCHTIME=${BENCHTIME:-1s}
+INPUTS=${INPUTS:-0}
+MIN_SPEEDUP=${MIN_SPEEDUP:-0}
+mkdir -p "$outdir"
+
+: > "$outdir/tree.txt"
+: > "$outdir/vm.txt"
+for _ in $(seq "$COUNT"); do
+  VULFI_BENCH_INPUTS=$INPUTS VULFI_BENCH_BACKEND=tree go test -run '^$' \
+    -bench StudyThroughput -count 1 -benchtime "$BENCHTIME" \
+    ./internal/campaign/ | tee -a "$outdir/tree.txt"
+  VULFI_BENCH_INPUTS=$INPUTS VULFI_BENCH_BACKEND=vm go test -run '^$' \
+    -bench StudyThroughput -count 1 -benchtime "$BENCHTIME" \
+    ./internal/campaign/ | tee -a "$outdir/vm.txt"
+done
+
+# median ns/op over the repetitions of one backend.
+median_ns() {
+  awk '/^BenchmarkStudyThroughput/ {print $3}' "$1" | sort -n |
+    awk '{a[NR]=$1} END {print (NR%2 ? a[(NR+1)/2] : (a[NR/2]+a[NR/2+1])/2)}'
+}
+
+tree=$(median_ns "$outdir/tree.txt")
+vm=$(median_ns "$outdir/vm.txt")
+speedup=$(awk -v t="$tree" -v v="$vm" 'BEGIN {printf "%.2f", t/v}')
+echo "median ns/op: tree=$tree vm=$vm  speedup=${speedup}x"
+
+cat > "$outdir/bench-backend.json" <<EOF
+{
+  "benchmark": "BenchmarkStudyThroughput",
+  "cell": "VectorCopy/AVX/pure-data (default scale)",
+  "inputs": $INPUTS,
+  "count": $COUNT,
+  "benchtime": "$BENCHTIME",
+  "tree_ns_per_study": $tree,
+  "vm_ns_per_study": $vm,
+  "speedup": $speedup,
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+}
+EOF
+
+if command -v benchstat >/dev/null 2>&1; then
+  benchstat "$outdir/tree.txt" "$outdir/vm.txt" | tee "$outdir/benchstat.txt"
+else
+  echo "benchstat not installed; skipping statistical comparison" >&2
+fi
+
+if [ "$MIN_SPEEDUP" = auto ]; then
+  committed=$(awk -F: '/"speedup"/ {gsub(/[ ,]/, "", $2); print $2}' BENCH_7.json)
+  MIN_SPEEDUP=$(awk -v c="$committed" 'BEGIN {printf "%.2f", c * 0.70}')
+  echo "floor from BENCH_7.json: committed ${committed}x -> require >= ${MIN_SPEEDUP}x"
+fi
+if [ "$MIN_SPEEDUP" != 0 ]; then
+  awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN {exit !(s >= m)}' || {
+    echo "FAIL: vm speedup ${speedup}x below required ${MIN_SPEEDUP}x" >&2
+    exit 1
+  }
+fi

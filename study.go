@@ -200,6 +200,15 @@ func WithAtlas() StudyOption {
 	return func(c *campaign.Config) error { c.Atlas = true; return nil }
 }
 
+// WithBackend selects the execution backend: "tree" (or "") is the
+// reference tree-walking interpreter, "vm" compiles the prepared cell
+// to the internal/vm bytecode form. The backends are observably
+// equivalent — identical outcomes, counts, traps and study JSON — so
+// the choice only affects throughput. Validation happens in NewStudy.
+func WithBackend(name string) StudyOption {
+	return func(c *campaign.Config) error { c.Backend = name; return nil }
+}
+
 // WithConfig applies fn to the underlying configuration — the escape
 // hatch for fields without a dedicated option (telemetry sinks,
 // checkpoint hooks, replay maps).
