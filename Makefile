@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-telemetry bench-cache bench-backend clean
+.PHONY: all build test race vet bench bench-telemetry bench-cache bench-backend bench-trend clean
 
 all: build vet test
 
@@ -34,6 +34,11 @@ bench-cache:
 # committed BENCH_7.json floor (see scripts/bench-backend.sh for knobs).
 bench-backend:
 	scripts/bench-backend.sh
+
+# Render the committed BENCH_*.json series into one exp/s trend table
+# (text + bench-out/bench-trend.csv). Pure rendering, runs no benchmarks.
+bench-trend:
+	scripts/bench-trend.sh
 
 clean:
 	$(GO) clean ./...

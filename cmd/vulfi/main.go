@@ -24,6 +24,14 @@
 // `vulfi diff` exits non-zero when the candidate significantly regresses
 // the baseline (SDC or crash rate up, detection rate down), so it can
 // gate CI.
+//
+// With -timeline FILE the study records hierarchical wall-time spans
+// (study → experiment → golden/faulty/compare) and writes them to FILE
+// as Chrome trace-event JSON — load it in Perfetto or chrome://tracing
+// for one lane per worker — plus the raw span list to FILE.jsonl.
+// Combined with -remote, the client generates a W3C traceparent, the
+// daemon's spans nest under the client's root span, and FILE holds the
+// single merged trace.
 package main
 
 import (
@@ -69,6 +77,7 @@ func main() {
 		workers              = cliutil.Workers(fs)
 		inputs               = cliutil.Inputs(fs)
 		backend              = cliutil.Backend(fs)
+		timelineOut          = cliutil.Timeline(fs)
 		detectors, broadcast = cliutil.Detectors(fs)
 		large                = cliutil.Large(fs)
 		tel                  = cliutil.TelemetryFlags(fs)
@@ -109,9 +118,10 @@ func main() {
 		Inputs:    *inputs,
 		Backend:   *backend,
 		Detectors: *detectors, BroadcastDetector: *broadcast,
-		Trace:   *traceRuns || *explain >= 0,
-		Atlas:   *atlasOut != "" || *histOut != "",
-		Profile: *profOut != "",
+		Trace:    *traceRuns || *explain >= 0,
+		Atlas:    *atlasOut != "" || *histOut != "",
+		Profile:  *profOut != "",
+		Timeline: *timelineOut != "",
 	}
 	cfg, err := spec.Config()
 	if err != nil {
@@ -163,7 +173,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-profile runs locally; against a daemon use GET /v1/jobs/{id}/profile")
 			os.Exit(2)
 		}
-		if err := runRemote(ctx, *remote, spec, *jsonOut, *tel.Progress); err != nil {
+		if err := runRemote(ctx, *remote, spec, *jsonOut, *tel.Progress, *timelineOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -218,6 +228,17 @@ func main() {
 		if !*jsonOut && !*csvOut {
 			fmt.Printf("folded stacks written to %s, flame graph to %s.html\n",
 				*profOut, *profOut)
+		}
+	}
+	if *timelineOut != "" {
+		if err := writeTimelineFiles(*timelineOut, sr.Timeline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*jsonOut && !*csvOut {
+			fmt.Printf("trace events written to %s (load in Perfetto), spans to %s.jsonl\n",
+				*timelineOut, *timelineOut)
+			report.WriteTimeline(os.Stdout, sr.Timeline)
 		}
 	}
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"vulfi/internal/obs"
 	"vulfi/internal/server"
 )
 
@@ -19,14 +20,32 @@ import (
 // event stream until it reaches a terminal state, and prints the final
 // result. When ctx is cancelled (Ctrl-C) the job is cancelled on the
 // daemon before returning.
+//
+// With timelineOut set the client opens its own root span, propagates
+// it to the daemon as a W3C traceparent, and — once the job finishes —
+// merges the daemon's timeline under that root span into one
+// Perfetto-loadable trace: the client lane shows the whole
+// submit-to-result window, the server lanes the per-worker experiment
+// spans inside it.
 func runRemote(ctx context.Context, addr string, spec server.Spec,
-	jsonOut, progress bool) error {
+	jsonOut, progress bool, timelineOut string) error {
 
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	base = strings.TrimRight(base, "/")
+
+	var clientSpan string
+	clientStart := time.Now()
+	if timelineOut != "" {
+		// Deterministic client identity: same spec, same trace — matching
+		// the campaign layer's schedule-derived span IDs.
+		tid := obs.DeriveTraceID(fmt.Sprintf("vulfi-remote %s/%s/%s seed=%d",
+			spec.Benchmark, spec.ISA, spec.Category, spec.Seed))
+		clientSpan = obs.DeriveSpanID(tid, "vulfi-remote", spec.Seed)
+		spec.TraceParent = obs.FormatTraceparent(tid, clientSpan)
+	}
 
 	st, err := submitJob(ctx, base, spec)
 	if err != nil {
@@ -54,7 +73,56 @@ func runRemote(ctx context.Context, addr string, spec server.Spec,
 	if err != nil {
 		return err
 	}
+	if timelineOut != "" && final.State == server.StateDone {
+		if err := fetchMergedTimeline(ctx, base, st.ID, clientSpan,
+			clientStart, timelineOut); err != nil {
+			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "merged trace written to %s (load in Perfetto), spans to %s.jsonl\n",
+				timelineOut, timelineOut)
+		}
+	}
 	return printRemoteResult(final, jsonOut)
+}
+
+// fetchMergedTimeline pulls the finished job's timeline from the daemon
+// and nests it under the client's root span — the submit-to-result
+// window measured on this side of the HTTP boundary.
+func fetchMergedTimeline(ctx context.Context, base, id, clientSpan string,
+	clientStart time.Time, path string) error {
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/v1/jobs/"+id+"/timeline", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	var body struct {
+		Timeline *obs.Timeline `json:"timeline"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		return err
+	}
+	if body.Timeline == nil {
+		return fmt.Errorf("job %s has no timeline in its result", id)
+	}
+	client := obs.Span{
+		Name: "vulfi-remote", ID: clientSpan,
+		DurNS: time.Since(clientStart).Nanoseconds(),
+		Attrs: map[string]string{"job": id, "daemon": base},
+	}
+	return writeTimelineFiles(path, obs.MergeRemote(client, clientStart, body.Timeline))
 }
 
 func submitJob(ctx context.Context, base string, spec server.Spec) (*server.Status, error) {

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+
+	"os"
+
+	"vulfi/internal/obs"
+)
+
+// writeTimelineFiles exports a study timeline: Chrome trace-event JSON
+// to path (Perfetto, chrome://tracing) and the raw span list to
+// path.jsonl (one span per line, greppable).
+func writeTimelineFiles(path string, tl *obs.Timeline) error {
+	if tl == nil {
+		return fmt.Errorf("timeline: study produced no timeline")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteTraceEvents(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fj, err := os.Create(path + ".jsonl")
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteJSONL(fj); err != nil {
+		fj.Close()
+		return err
+	}
+	return fj.Close()
+}

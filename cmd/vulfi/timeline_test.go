@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vulfi/internal/obs"
+	"vulfi/internal/server"
+)
+
+// TestRemoteMergedTimeline drives the full remote tracing path the CLI
+// exposes: runRemote against a real in-process daemon with -timeline
+// set must leave ONE merged trace on disk whose client root span (lane
+// "client") parents the daemon's study span, with the trace-event
+// export loadable as JSON.
+func TestRemoteMergedTimeline(t *testing.T) {
+	s, err := server.New(server.Options{
+		JournalDir: t.TempDir(),
+		Logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "trace.json")
+	spec := server.Spec{
+		Benchmark: "VectorCopy", ISA: "AVX", Category: "pure-data",
+		Scale: "test", Experiments: 4, Campaigns: 2, Seed: 1,
+		Timeline: true,
+	}
+
+	// Silence the CLI's stdout result dump for the test log.
+	old := os.Stdout
+	null, _ := os.Open(os.DevNull)
+	os.Stdout = null
+	err = runRemote(context.Background(), ts.URL, spec, true, false, out)
+	os.Stdout = old
+	null.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The JSONL sidecar carries the merged timeline's identity header.
+	raw, err := os.ReadFile(out + ".jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var header struct {
+		Kind    string `json:"kind"`
+		TraceID string `json:"trace_id"`
+		Root    string `json:"root"`
+		Lanes   []string
+	}
+	first := raw
+	if i := bytes.IndexByte(first, '\n'); i >= 0 {
+		first = first[:i]
+	}
+	if err := json.Unmarshal(first, &header); err != nil {
+		t.Fatalf("bad JSONL header: %v", err)
+	}
+
+	// The trace-event file parses, and its span set forms one tree: the
+	// client root span exists and the study span is its child.
+	tr, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph   string            `json:"ph"`
+			Name string            `json:"name"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr, &tf); err != nil {
+		t.Fatalf("trace export is not JSON: %v", err)
+	}
+
+	var clientID string
+	spans := map[string]string{} // id -> parent
+	names := map[string]string{} // id -> name
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans[ev.Args["id"]] = ev.Args["parent"]
+		names[ev.Args["id"]] = ev.Name
+		if ev.Name == "vulfi-remote" {
+			clientID = ev.Args["id"]
+		}
+	}
+	if clientID == "" {
+		t.Fatal("merged trace has no client root span")
+	}
+	if header.Root != clientID {
+		t.Fatalf("timeline root %s is not the client span %s", header.Root, clientID)
+	}
+	study := ""
+	for id, parent := range spans {
+		if names[id] == "study" {
+			study = id
+			if parent != clientID {
+				t.Fatalf("study span parented to %q, want client span %s",
+					parent, clientID)
+			}
+		}
+	}
+	if study == "" {
+		t.Fatal("merged trace has no server-side study span")
+	}
+	experiments := 0
+	for id, parent := range spans {
+		if names[id] == "experiment" {
+			experiments++
+			if parent != study {
+				t.Fatalf("experiment %s parented to %q, want study %s",
+					id, parent, study)
+			}
+		}
+	}
+	if want := spec.Total(); experiments != want {
+		t.Fatalf("merged trace has %d experiment spans, want %d", experiments, want)
+	}
+
+	// Both sides agree on the trace identity (the traceparent the client
+	// derived is what the server adopted).
+	wantTrace := obs.DeriveTraceID(
+		"vulfi-remote VectorCopy/AVX/pure-data seed=1")
+	if header.TraceID != wantTrace {
+		t.Fatalf("merged trace ID %s, want derived %s", header.TraceID, wantTrace)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"vulfi/internal/exec"
 	"vulfi/internal/interp"
 	"vulfi/internal/isa"
+	"vulfi/internal/obs"
 	"vulfi/internal/passes"
 	"vulfi/internal/profile"
 	"vulfi/internal/telemetry"
@@ -116,6 +118,24 @@ type Config struct {
 	// the differential suite in internal/vm and backend_test.go) — so
 	// the knob trades nothing but speed. Validated by Config.Validate.
 	Backend string
+	// Timeline enables hierarchical span tracing: the study records a
+	// span tree (study → experiment → golden/faulty/compare, plus
+	// compile and golden-cache-fill spans) into per-worker lanes and the
+	// result carries an obs.Timeline exportable as JSONL or Chrome
+	// trace-event JSON. Span IDs derive from the deterministic seed
+	// schedule, so the span *tree* (IDs, parents, names, attributes) is
+	// identical across runs and worker counts; lane assignment and
+	// timestamps are scheduling-dependent (obs.Timeline.Canonical
+	// projects the invariant subset). Disabled, the study output is
+	// byte-identical to a timeline-unaware build's.
+	Timeline bool
+	// TraceParent, when non-empty, is a W3C trace-context traceparent
+	// header ("00-<32hex>-<16hex>-01"): the study adopts its trace ID
+	// and parents the study root span under the given span, so a remote
+	// study's spans nest into the submitting client's trace. Validated
+	// by Config.Validate; meaningful only with Timeline.
+	TraceParent string
+
 	// Profile enables the execution profiler: every interpreter run
 	// feeds a per-run probe (per-opcode counts and wall-time
 	// attribution, per-site hot ranking, opcode-pair mining), the study
@@ -141,6 +161,20 @@ type Config struct {
 	// experiment (live progress hook). It is called from worker
 	// goroutines and must be safe for concurrent use.
 	OnExperiment func(*ExperimentResult)
+	// OnStart, when non-nil, is invoked by the study worker pool just
+	// before experiment index begins executing on the given worker
+	// (liveness hook: paired with OnResult it brackets every in-flight
+	// experiment, which is exactly what a stall watchdog needs).
+	// Replayed Completed entries never fire it. Called from worker
+	// goroutines; must be safe for concurrent use.
+	OnStart func(index, worker int)
+	// Heartbeat, when non-nil, receives liveness pulses from the worker
+	// pool's executing interpreters on the budget-check schedule (after
+	// every phi block and every 1024th retired instruction). It must be
+	// cheap and non-blocking — an atomic store per call is the intended
+	// shape — because it sits close to the execution hot path. Called
+	// from worker goroutines.
+	Heartbeat func(worker int)
 	// OnResult, when non-nil, is invoked after every freshly executed
 	// experiment with its index, seed and result (checkpoint hook: the
 	// triple is exactly what a journal needs to replay the experiment on
@@ -200,6 +234,11 @@ type Prepared struct {
 
 	// prof is the execution-profile collector (nil unless Cfg.Profile).
 	prof *profile.Collector
+
+	// obs is the span collector (nil unless Cfg.Timeline): one
+	// unsynchronized lane per worker plus a mutex-guarded control lane,
+	// merged into a Timeline at study end.
+	obs *obs.Collector
 
 	reg *telemetry.Registry
 	im  *interp.Metrics
@@ -300,6 +339,11 @@ func Prepare(cfg Config) (*Prepared, error) {
 		p.prof = profile.NewCollector()
 		p.prof.Phase("compile", time.Since(prepStart))
 	}
+	if cfg.Timeline {
+		p.obs = newTimelineCollector(cfg, prepStart)
+		p.obs.Ctl("compile", p.spanID("compile", 0), p.obs.Root(),
+			prepStart, time.Since(prepStart), nil)
+	}
 	return p, nil
 }
 
@@ -399,11 +443,14 @@ type goldenRun struct {
 }
 
 // execGolden performs one golden counting run for the given input seed.
-func (p *Prepared) execGolden(inputSeed int64) (*goldenRun, error) {
+func (p *Prepared) execGolden(inputSeed int64, wc *workerCtx) (*goldenRun, error) {
 	goldenPlan := &core.Plan{Mode: core.CountOnly}
 	xg, err := p.newInstance(goldenPlan, 0)
 	if err != nil {
 		return nil, err
+	}
+	if wc != nil && wc.beat != nil {
+		xg.It.SetHeartbeat(wc.beat)
 	}
 	var gRing *trace.Ring
 	if p.Cfg.Trace {
@@ -446,14 +493,32 @@ func (p *Prepared) execGolden(inputSeed int64) (*goldenRun, error) {
 }
 
 // goldenRunFor resolves the golden half of an experiment, through the
-// memoization cache when the cell carries one.
-func (p *Prepared) goldenRunFor(inputSeed int64) (*goldenRun, error) {
-	if p.golden != nil {
-		return p.golden.get(inputSeed, func() (*goldenRun, error) {
-			return p.execGolden(inputSeed)
-		})
+// memoization cache when the cell carries one. A cache fill performed
+// by this caller lands as a "cache-fill" span on its lane: the span's
+// ID derives from the input seed (not the triggering experiment, which
+// is scheduling-dependent), so refills forced by evictions repeat the
+// same identity and collapse in the canonical span tree.
+func (p *Prepared) goldenRunFor(inputSeed int64, wc *workerCtx) (*goldenRun, error) {
+	if p.golden == nil {
+		return p.execGolden(inputSeed, wc)
 	}
-	return p.execGolden(inputSeed)
+	// fillStart stays zero unless this caller was the singleflight
+	// leader: the fill closure only runs on the leader's goroutine.
+	var fillStart time.Time
+	var fillDur time.Duration
+	g, err := p.golden.get(inputSeed, func() (*goldenRun, error) {
+		fillStart = time.Now()
+		g, err := p.execGolden(inputSeed, wc)
+		fillDur = time.Since(fillStart)
+		return g, err
+	})
+	if err == nil && !fillStart.IsZero() && wc.tracing() {
+		wc.lane.Record("cache-fill", p.spanID("cache-fill", inputSeed),
+			p.obs.Root(), fillStart, fillDur, map[string]string{
+				"input_seed": strconv.FormatInt(inputSeed, 10),
+			})
+	}
+	return g, err
 }
 
 // RunExperiment performs one paired experiment with seed driving both
@@ -461,13 +526,21 @@ func (p *Prepared) goldenRunFor(inputSeed int64) (*goldenRun, error) {
 // single-seed form, equivalent to an experiment of a study without an
 // input pool. Studies with input pools go through RunExperimentAt.
 func (p *Prepared) RunExperiment(ctx context.Context, seed int64) (*ExperimentResult, error) {
-	return p.runExperiment(ctx, seed, seed)
+	return p.runExperiment(ctx, seed, seed, nil)
 }
 
 // RunExperimentAt runs the experiment at index i of the deterministic
 // study schedule: fault seed ExperimentSeed(i), input seed InputSeed(i).
+// Direct calls run outside the study worker pool, so they record no
+// timeline spans and emit no heartbeats.
 func (p *Prepared) RunExperimentAt(ctx context.Context, i int) (*ExperimentResult, error) {
-	return p.runExperiment(ctx, p.Cfg.ExperimentSeed(i), p.Cfg.InputSeed(i))
+	return p.runExperimentOn(ctx, i, nil)
+}
+
+// runExperimentOn is RunExperimentAt with a worker context attached:
+// spans land on the worker's lane and heartbeats on its pulse.
+func (p *Prepared) runExperimentOn(ctx context.Context, i int, wc *workerCtx) (*ExperimentResult, error) {
+	return p.runExperiment(ctx, p.Cfg.ExperimentSeed(i), p.Cfg.InputSeed(i), wc)
 }
 
 // runExperiment performs one paired experiment (§IV-B execution
@@ -480,18 +553,26 @@ func (p *Prepared) RunExperimentAt(ctx context.Context, i int) (*ExperimentResul
 //
 // Cancellation is checked only on entry: a started experiment runs to
 // completion, so a cancelled study never records a half-finished pair.
-func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64) (*ExperimentResult, error) {
+func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64, wc *workerCtx) (*ExperimentResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	g, err := p.goldenRunFor(inputSeed)
+	g, err := p.goldenRunFor(inputSeed, wc)
 	if err != nil {
 		return nil, err
 	}
 	p.mx.golden.Since(start)
 	if p.prof != nil {
 		p.prof.Phase("golden", time.Since(start))
+	}
+	var expID string
+	if wc.tracing() {
+		expID = p.spanID("experiment", seed)
+		wc.lane.Record("golden", p.spanID("golden", seed), expID,
+			start, time.Since(start), map[string]string{
+				"dyn_instrs": strconv.FormatUint(g.DynInstrs, 10),
+			})
 	}
 	res := &ExperimentResult{
 		DynSites:        g.DynSites,
@@ -504,6 +585,7 @@ func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64) (*E
 		res.Outcome = OutcomeBenign
 		res.Wall = time.Since(start)
 		p.finishExperiment(res)
+		wc.expSpan(p, expID, seed, start, res)
 		return res, nil
 	}
 
@@ -522,6 +604,9 @@ func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64) (*E
 	xf, err := p.newInstance(faultPlan, budget)
 	if err != nil {
 		return nil, err
+	}
+	if wc != nil && wc.beat != nil {
+		xf.It.SetHeartbeat(wc.beat)
 	}
 	var fRing *trace.Ring
 	if p.Cfg.Trace {
@@ -553,6 +638,12 @@ func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64) (*E
 		p.prof.Add("faulty", fProbe)
 		p.prof.Phase("faulty", res.FaultyWall)
 	}
+	if wc.tracing() {
+		wc.lane.Record("faulty", p.spanID("faulty", seed), expID,
+			faultyStart, res.FaultyWall, map[string]string{
+				"dyn_instrs": strconv.FormatUint(xf.It.DynInstrs, 10),
+			})
+	}
 
 	compareStart := time.Now()
 	res.Detected = len(xf.It.Detections) > 0
@@ -575,9 +666,14 @@ func (p *Prepared) runExperiment(ctx context.Context, seed, inputSeed int64) (*E
 	if p.prof != nil {
 		p.prof.Phase("compare", time.Since(compareStart))
 	}
+	if wc.tracing() {
+		wc.lane.Record("compare", p.spanID("compare", seed), expID,
+			compareStart, time.Since(compareStart), nil)
+	}
 	p.release(xf)
 	res.Wall = time.Since(start)
 	p.finishExperiment(res)
+	wc.expSpan(p, expID, seed, start, res)
 	return res, nil
 }
 

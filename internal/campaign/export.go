@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"vulfi/internal/buildinfo"
+	"vulfi/internal/obs"
 	"vulfi/internal/profile"
 	"vulfi/internal/trace"
 )
@@ -63,6 +64,11 @@ type studyJSON struct {
 	// ran with Config.Profile); omitted, the export is byte-identical to
 	// a profiler-unaware build's.
 	HotProfile *profile.Profile `json:"hot_profile,omitempty"`
+
+	// Timeline is the span timeline (present only when the study ran
+	// with Config.Timeline); omitted, the export is byte-identical to a
+	// timeline-unaware build's.
+	Timeline *obs.Timeline `json:"timeline,omitempty"`
 }
 
 func (sr *StudyResult) toJSON() studyJSON {
@@ -95,6 +101,7 @@ func (sr *StudyResult) toJSON() studyJSON {
 		Propagation: sr.Propagation,
 		Sites:       sr.Sites,
 		HotProfile:  sr.HotProfile,
+		Timeline:    sr.Timeline,
 	}
 }
 

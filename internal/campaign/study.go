@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"vulfi/internal/obs"
 	"vulfi/internal/profile"
 	"vulfi/internal/stats"
 	"vulfi/internal/telemetry"
@@ -156,6 +157,13 @@ type StudyResult struct {
 	// Cfg.Profile was set): hot opcodes, opcode pairs, hot sites, phase
 	// breakdown, exp/s timeline.
 	HotProfile *profile.Profile
+
+	// Timeline is the study's merged span timeline (nil unless
+	// Cfg.Timeline was set): the hierarchical span tree per worker
+	// lane, exportable as JSONL or Chrome trace-event JSON. Resumed
+	// studies span only the freshly executed tail — replayed
+	// checkpoint entries never re-execute and record no spans.
+	Timeline *obs.Timeline
 }
 
 // ExperimentSeed returns the deterministic seed of experiment index i
@@ -237,11 +245,18 @@ func (p *Prepared) RunStudy(ctx context.Context) (*StudyResult, error) {
 	var abortOnce sync.Once
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wc := p.workerCtx(w)
 			for i := range work {
 				seed := cfg.ExperimentSeed(i)
-				r, err := p.RunExperimentAt(ctx, i)
+				if cfg.OnStart != nil {
+					cfg.OnStart(i, w)
+				}
+				if wc != nil {
+					wc.index = i
+				}
+				r, err := p.runExperimentOn(ctx, i, wc)
 				results[i], errs[i] = r, err
 				if err != nil {
 					abortOnce.Do(func() { close(abort) })
@@ -257,7 +272,7 @@ func (p *Prepared) RunStudy(ctx context.Context) (*StudyResult, error) {
 					cfg.OnExperiment(r)
 				}
 			}
-		}()
+		}(w)
 	}
 dispatch:
 	for i := 0; i < total; i++ {
@@ -322,6 +337,11 @@ dispatch:
 		sr.HotProfile = p.prof.Snapshot()
 	}
 	sr.Wall = time.Since(start)
+	if p.obs != nil {
+		p.obs.Ctl("study", p.obs.Root(), p.obs.Parent(), start, sr.Wall,
+			studyAttrs(cfg, total))
+		sr.Timeline = p.obs.Finish(sr.Wall)
+	}
 	if cfg.Events != nil {
 		cfg.Events.Emit(studySpan(sr))
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vulfi/internal/benchmarks"
+	"vulfi/internal/obs"
 	"vulfi/internal/passes"
 )
 
@@ -45,6 +46,11 @@ func (c *Config) Validate() error {
 	case "", "tree", "vm":
 	default:
 		return fmt.Errorf("campaign: unknown backend %q (tree, vm)", c.Backend)
+	}
+	if c.TraceParent != "" {
+		if _, _, err := obs.ParseTraceparent(c.TraceParent); err != nil {
+			return fmt.Errorf("campaign: TraceParent: %v", err)
+		}
 	}
 	if c.Experiments == 0 {
 		c.Experiments = 100

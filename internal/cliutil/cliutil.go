@@ -79,6 +79,14 @@ func Backend(fs *flag.FlagSet) *string {
 	return fs.String("backend", "", "execution backend: tree (reference interpreter) or vm (compiled bytecode; same results, faster)")
 }
 
+// Timeline registers the canonical -timeline flag. The flag name is
+// deliberately the same word as the vulfid spec knob ("timeline") so
+// the CLI and the wire API never spell the feature differently; the
+// drift test pins both.
+func Timeline(fs *flag.FlagSet) *string {
+	return fs.String("timeline", "", "trace the study's span timeline: write Chrome trace-event JSON to FILE (load in Perfetto) and the raw spans to FILE.jsonl; with -remote the client's root span parents the daemon's spans in one merged trace")
+}
+
 // Detectors registers the canonical detector pair: -detectors and
 // -broadcast-detector.
 func Detectors(fs *flag.FlagSet) (detectors, broadcast *bool) {

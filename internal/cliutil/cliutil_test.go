@@ -3,6 +3,8 @@ package cliutil
 import (
 	"flag"
 	"testing"
+
+	"vulfi/internal/server"
 )
 
 // registerVulfi, registerExperiments and registerVspcc mirror the exact
@@ -20,6 +22,7 @@ func registerVulfi(fs *flag.FlagSet) {
 	Workers(fs)
 	Inputs(fs)
 	Backend(fs)
+	Timeline(fs)
 	Detectors(fs)
 	Large(fs)
 	TelemetryFlags(fs)
@@ -88,6 +91,7 @@ func TestSharedFlagsDoNotDrift(t *testing.T) {
 		{name: "workers", bins: []string{"vulfi", "experiments"}},
 		{name: "inputs", bins: []string{"vulfi", "experiments"}},
 		{name: "backend", bins: []string{"vulfi", "experiments"}},
+		{name: "timeline", bins: []string{"vulfi"}},
 		{name: "detectors", bins: []string{"vulfi"}},
 		{name: "broadcast-detector", bins: []string{"vulfi"}},
 		{name: "large", bins: []string{"vulfi", "experiments"}},
@@ -95,6 +99,25 @@ func TestSharedFlagsDoNotDrift(t *testing.T) {
 		{name: "events", bins: []string{"vulfi", "experiments"}},
 		{name: "http", bins: []string{"vulfi", "experiments"}},
 		{name: "version", bins: []string{"vulfi", "experiments", "vspcc"}},
+	}
+
+	// CLI flags that mirror a vulfid spec knob must use the knob's exact
+	// JSON name — the same word on the command line and on the wire.
+	specKnobs := map[string]bool{}
+	for _, f := range server.SpecFields() {
+		specKnobs[f] = true
+	}
+	for _, name := range []string{
+		"benchmark", "isa", "category", "experiments", "campaigns",
+		"seed", "workers", "inputs", "backend", "detectors", "timeline",
+	} {
+		if _, ok := bins["vulfi"][name]; !ok {
+			t.Errorf("vulfi does not register -%s", name)
+		}
+		if !specKnobs[name] {
+			t.Errorf("-%s has no matching vulfid spec knob %q (SpecFields: %v)",
+				name, name, server.SpecFields())
+		}
 	}
 
 	for _, knob := range shared {

@@ -1,0 +1,15 @@
+package interp
+
+// SetHeartbeat installs (or, with nil, removes) a liveness callback.
+// The heartbeat fires on the interpreter's budget-check schedule —
+// after every phi block and after every 1024th accounted instruction —
+// with the current DynInstrs, so a watchdog can distinguish an
+// alive-but-slow run from a wedged one without touching the per-
+// instruction hot path. Both backends share the schedule: the bytecode
+// VM routes its budget checks through CheckBudget, so an attached
+// heartbeat beats identically under either backend. Detached it costs
+// one nil check per budget check, the SetRecorder/SetProfiler bound.
+//
+// The callback runs on the executing goroutine and must be cheap and
+// non-blocking (an atomic store is the intended shape).
+func (it *Interp) SetHeartbeat(fn func(dynInstrs uint64)) { it.hb = fn }

@@ -62,6 +62,12 @@ type Interp struct {
 	tracer      *Tracer
 	rec         Recorder
 	prof        Profiler
+	// hb, when attached, receives the current DynInstrs on every budget
+	// check (after each phi block and every 1024th accounted
+	// instruction) — a liveness pulse for watchdogs, costing one nil
+	// check per budget check when detached. Cleared by Reset like the
+	// recorder and profiler (see SetHeartbeat).
+	hb func(uint64)
 	// engine, when attached, executes compiled function bodies against
 	// this interpreter's state; nil tree-walks everything. Like externs
 	// and metrics it survives Reset (see SetEngine).
@@ -124,6 +130,7 @@ func (it *Interp) Reset(opts Options) *Trap {
 	it.tracer = nil
 	it.rec = nil
 	it.prof = nil
+	it.hb = nil
 	it.flushedInstrs, it.flushedVector = 0, 0
 	it.siteVisits, it.flushedVisits = 0, 0
 	clear(it.globals)
@@ -404,6 +411,9 @@ func (it *Interp) account(in *ir.Instr) {
 }
 
 func (it *Interp) checkBudget() *Trap {
+	if it.hb != nil {
+		it.hb(it.DynInstrs)
+	}
 	if it.DynInstrs > it.budget {
 		return trapf(TrapBudget, "executed %d instructions", it.DynInstrs)
 	}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"vulfi/internal/obs"
+)
+
+// WriteTimeline renders the span timeline's text digest — trace
+// identity, per-phase wall totals, per-lane utilization and the slowest
+// experiments — the at-a-glance version of the Perfetto view the
+// trace-event export opens.
+func WriteTimeline(w io.Writer, tl *obs.Timeline) {
+	fmt.Fprintf(w, "timeline: trace %s  %d spans  wall %.1f ms\n",
+		tl.TraceID, len(tl.Spans), float64(tl.WallNS)/1e6)
+
+	type agg struct {
+		n   int
+		dur int64
+	}
+	phases := map[string]*agg{}
+	laneBusy := map[int]int64{}
+	var experiments []obs.Span
+	for _, s := range tl.Spans {
+		a := phases[s.Name]
+		if a == nil {
+			a = &agg{}
+			phases[s.Name] = a
+		}
+		a.n++
+		a.dur += s.DurNS
+		if s.Name == "experiment" {
+			experiments = append(experiments, s)
+			laneBusy[s.Lane] += s.DurNS
+		}
+	}
+
+	names := make([]string, 0, len(phases))
+	for n := range phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "phase totals:\n")
+	for _, n := range names {
+		a := phases[n]
+		fmt.Fprintf(w, "    %-12s %6d spans %10.1f ms\n",
+			n, a.n, float64(a.dur)/1e6)
+	}
+
+	if len(laneBusy) > 0 && tl.WallNS > 0 {
+		lanes := make([]int, 0, len(laneBusy))
+		for l := range laneBusy {
+			lanes = append(lanes, l)
+		}
+		sort.Ints(lanes)
+		fmt.Fprintf(w, "lane utilization (experiment time / study wall):\n")
+		for _, l := range lanes {
+			name := fmt.Sprintf("lane %d", l)
+			if l >= 0 && l < len(tl.Lanes) {
+				name = tl.Lanes[l]
+			}
+			fmt.Fprintf(w, "    %-10s %5.1f%%\n",
+				name, 100*float64(laneBusy[l])/float64(tl.WallNS))
+		}
+	}
+
+	sort.Slice(experiments, func(i, j int) bool {
+		return experiments[i].DurNS > experiments[j].DurNS
+	})
+	const maxSlow = 5
+	if len(experiments) > 0 {
+		fmt.Fprintf(w, "slowest experiments:\n")
+		for i, s := range experiments {
+			if i == maxSlow {
+				break
+			}
+			fmt.Fprintf(w, "    %2d. index %-6s seed %-12s %8.2f ms  %s\n",
+				i+1, s.Attrs["index"], s.Attrs["seed"],
+				float64(s.DurNS)/1e6, s.Attrs["outcome"])
+		}
+	}
+}

@@ -58,6 +58,11 @@ type Job struct {
 	journal *Journal
 	reg     *telemetry.Registry
 	subs    map[chan Event]bool
+
+	// wd is the stall watchdog, set for the duration of the run (nil
+	// for queued and never-run jobs; kept after finish so stall reports
+	// outlive the run).
+	wd *watchdog
 }
 
 func newJob(id string, spec Spec, journal *Journal) *Job {
@@ -107,6 +112,20 @@ func (j *Job) note(r *campaign.ExperimentResult) {
 // Registry exposes the job's private telemetry registry (campaign phase
 // histograms and outcome counters land here).
 func (j *Job) Registry() *telemetry.Registry { return j.reg }
+
+// setWatchdog attaches the run's stall watchdog.
+func (j *Job) setWatchdog(wd *watchdog) {
+	j.mu.Lock()
+	j.wd = wd
+	j.mu.Unlock()
+}
+
+// Watchdog returns the job's stall watchdog (nil if the job never ran).
+func (j *Job) Watchdog() *watchdog {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wd
+}
 
 // Status is the wire form of a job's state (GET /v1/jobs/{id}).
 type Status struct {

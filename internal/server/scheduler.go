@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"runtime"
 	"time"
 
 	"vulfi/internal/campaign"
@@ -52,6 +53,62 @@ func (s *Server) runJob(job *Job) {
 	}
 	cfg.Metrics = job.reg
 	cfg.OnResult = job.onResult
+
+	// Stall watchdog: the pool reports starts, finishes and interpreter
+	// heartbeats; a ticker flags stragglers. The watchdog wrap sits
+	// INSIDE the test throttle below, so an injected inter-experiment
+	// sleep never reads as a stalled experiment.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	wd := newWatchdog(job.Spec, workers, s.opts)
+	job.setWatchdog(wd)
+	cfg.OnStart = wd.onStart
+	if inject := s.opts.stallInject; inject != nil {
+		cfg.OnStart = func(index, worker int) {
+			wd.onStart(index, worker)
+			inject(index)
+		}
+	}
+	cfg.Heartbeat = wd.heartbeat
+	{
+		inner := cfg.OnResult
+		cfg.OnResult = func(i int, seed int64, r *campaign.ExperimentResult) {
+			var site string
+			if r.DynSites > 0 {
+				site = r.Record.String()
+			}
+			wd.onFinish(i, r.Wall, site)
+			inner(i, seed, r)
+		}
+	}
+	tick := s.opts.WatchdogTick
+	if tick <= 0 {
+		tick = defaultWatchdogTick
+	}
+	wdDone := make(chan struct{})
+	defer close(wdDone)
+	go func() {
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-wdDone:
+				return
+			case <-t.C:
+				for _, r := range wd.check() {
+					job.reg.Counter("watchdog.stalls").Inc()
+					job.broadcast("stall", r)
+					s.logf("watchdog: job %s experiment %d stalled on worker %d (%.1fs > %.1fs, alive=%v)",
+						job.ID, r.Index, r.Worker,
+						float64(r.ElapsedNS)/1e9, float64(r.ThresholdNS)/1e9,
+						r.WorkerAlive)
+				}
+			}
+		}
+	}()
+
 	if d := s.opts.expThrottle; d > 0 {
 		inner := cfg.OnResult
 		cfg.OnResult = func(i int, seed int64, r *campaign.ExperimentResult) {

@@ -20,6 +20,7 @@ import (
 	"vulfi/internal/atlas"
 	"vulfi/internal/buildinfo"
 	"vulfi/internal/campaign"
+	"vulfi/internal/obs"
 	"vulfi/internal/telemetry"
 )
 
@@ -48,10 +49,30 @@ type Options struct {
 	// store.
 	HistoryPath string
 
+	// KeepAlive is the idle interval after which the SSE stream
+	// (GET /v1/jobs/{id}/events) emits a ": keep-alive" comment, so
+	// proxies and NAT boxes don't reap quiet connections while a long
+	// experiment runs. Default 15s; negative disables.
+	KeepAlive time.Duration
+
+	// Watchdog thresholds: an inflight experiment is flagged as stalled
+	// when its age exceeds max(StallFactor × rolling-P99 experiment
+	// wall, StallMin), evaluated every WatchdogTick once StallMinSamples
+	// experiments have completed. Zero values take the defaults
+	// (4×, 250ms, 1s, 8).
+	StallFactor     float64
+	StallMin        time.Duration
+	WatchdogTick    time.Duration
+	StallMinSamples int
+
 	// expThrottle pauses after every checkpointed experiment. Test-only:
 	// it pins a study's minimum wall time so drain/cancel tests can
 	// interrupt mid-run deterministically on arbitrarily fast machines.
 	expThrottle time.Duration
+	// stallInject runs at the start of each experiment, on the worker
+	// goroutine. Test-only: sleeping inside it for a chosen index forges
+	// a straggler so watchdog tests are deterministic.
+	stallInject func(index int)
 }
 
 // serverMetrics caches the server's instruments.
@@ -333,6 +354,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
 	mux.HandleFunc("GET /v1/jobs/{id}/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
+	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /v1/history", s.handleHistory)
 	mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -429,6 +451,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
+	}
+	// W3C trace-context propagation: a client that traces its own side
+	// sends a standard traceparent header; the study's spans then nest
+	// under the client's root span. The spec field wins when both are
+	// present (an explicit knob beats ambient context).
+	if tp := r.Header.Get("traceparent"); tp != "" && spec.TraceParent == "" {
+		spec.TraceParent = tp
 	}
 	job, err := s.Submit(spec)
 	switch {
@@ -568,6 +597,67 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTimeline serves a job's span timeline and live watchdog status.
+//
+// The default response carries the "timeline" object of the journaled
+// study result (present once the job finishes, if it was submitted with
+// "timeline": true) plus the watchdog view — every stall report so far
+// and the per-worker interpreter heartbeat counters — which is live at
+// any state, so a stuck job can be inspected while it runs.
+//
+// ?format=trace instead re-exports the finished timeline as Chrome
+// trace-event JSON (load in Perfetto or chrome://tracing): one lane per
+// worker, spans carrying seed/site/outcome args. 409 until the timeline
+// exists.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	job := s.jobOr404(w, r)
+	if job == nil {
+		return
+	}
+	st := job.Status()
+	var timeline json.RawMessage
+	if len(st.Result) > 0 {
+		var result struct {
+			Timeline json.RawMessage `json:"timeline"`
+		}
+		if err := json.Unmarshal(st.Result, &result); err == nil {
+			timeline = result.Timeline
+		}
+	}
+
+	if r.URL.Query().Get("format") == "trace" {
+		if len(timeline) == 0 {
+			writeError(w, http.StatusConflict,
+				"job %s has no timeline yet (state %s); submit with \"timeline\": true",
+				job.ID, st.State)
+			return
+		}
+		var tl obs.Timeline
+		if err := json.Unmarshal(timeline, &tl); err != nil {
+			writeError(w, http.StatusInternalServerError, "timeline: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := tl.WriteTraceEvents(w); err != nil {
+			s.logf("timeline: trace export for job %s failed: %v", job.ID, err)
+		}
+		return
+	}
+
+	resp := map[string]any{"id": job.ID, "state": st.State}
+	if len(timeline) > 0 {
+		resp["timeline"] = timeline
+	}
+	if wd := job.Watchdog(); wd != nil {
+		stalls, beats := wd.snapshot()
+		resp["watchdog"] = map[string]any{
+			"stalls":     stalls,
+			"heartbeats": beats,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
 	job := s.jobOr404(w, r)
 	if job == nil {
@@ -579,8 +669,11 @@ func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams job progress as Server-Sent Events: a "state"
 // snapshot on connect, one "experiment" event per completed experiment,
-// "state" events on transitions, and a final "state" with the result
-// when the job ends.
+// "stall" events when the watchdog flags a straggler, "state" events on
+// transitions, and a final "state" with the result when the job ends.
+// While the stream is idle — a long experiment, a quiet queue — it
+// emits a ": keep-alive" SSE comment every Options.KeepAlive, so
+// proxies and NAT boxes don't reap the connection between events.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	job := s.jobOr404(w, r)
 	if job == nil {
@@ -606,6 +699,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		raw, err := json.Marshal(job.Status())
 		return err == nil && send("state", raw)
 	}
+	keepAlive := s.opts.KeepAlive
+	if keepAlive == 0 {
+		keepAlive = 15 * time.Second
+	}
+	var tick <-chan time.Time
+	if keepAlive > 0 {
+		t := time.NewTicker(keepAlive)
+		defer t.Stop()
+		tick = t.C
+	}
 	ch, cancel := job.Subscribe()
 	defer cancel()
 	if !snapshot() {
@@ -623,6 +726,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !send(ev.Type, ev.Data) {
 				return
 			}
+		case <-tick:
+			// Comment line: ignored by EventSource parsers, but traffic
+			// on the wire for anything timing out idle connections.
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
 		case <-r.Context().Done():
 			return
 		}

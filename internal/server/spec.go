@@ -15,6 +15,8 @@
 //	GET    /v1/jobs/{id}/explain propagation profile, or ?index=N for one
 //	                             experiment's divergence explanation
 //	GET    /v1/jobs/{id}/profile the finished job's execution profile
+//	GET    /v1/jobs/{id}/timeline span timeline (?format=trace for Chrome
+//	                             trace events) plus live watchdog status
 //	DELETE /v1/jobs/{id}         cancel (cooperative, between experiments)
 //
 // plus the process-wide /metrics, /debug/vars and /debug/pprof endpoints
@@ -39,8 +41,11 @@ import (
 // the "inputs" pool knob and the version header itself; 1.2 added the
 // "atlas" spec knob, GET /v1/history, GET /dashboard and the
 // Vulfid-Build header; 1.3 added the "profile" spec knob and
-// GET /v1/jobs/{id}/profile; 1.4 added the "backend" spec knob).
-const APIVersion = "1.4"
+// GET /v1/jobs/{id}/profile; 1.4 added the "backend" spec knob; 1.5
+// added the "timeline" and "trace_parent" spec knobs — the latter also
+// accepted as a W3C traceparent request header on POST /v1/jobs —
+// GET /v1/jobs/{id}/timeline and the watchdog "stall" SSE event).
+const APIVersion = "1.5"
 
 // Spec is the wire form of one study cell: the JSON body of POST
 // /v1/jobs. Zero-valued counts inherit the paper's defaults (100
@@ -71,7 +76,9 @@ const APIVersion = "1.4"
 //	  "trace": false,                   // divergence tracing (disables golden cache)
 //	  "atlas": false,                   // per-static-site outcome attribution
 //	  "profile": false,                 // execution profiler (hot_profile in the result)
-//	  "backend": "tree"                 // execution backend: "tree" or "vm"
+//	  "backend": "tree",                // execution backend: "tree" or "vm"
+//	  "timeline": false,                // span tracing (timeline in the result)
+//	  "trace_parent": ""                // W3C traceparent to nest the study under
 //	}
 //
 // # Response schema
@@ -145,6 +152,21 @@ type Spec struct {
 	// so the knob only affects throughput. Rides through the journal,
 	// so resumed jobs keep their backend.
 	Backend string `json:"backend,omitempty"`
+
+	// Timeline enables hierarchical span tracing: the finished study's
+	// JSON carries a "timeline" object (per-worker span lanes, Chrome
+	// trace-event exportable), served at GET /v1/jobs/{id}/timeline.
+	// Rides through the journal, so resumed jobs keep tracing — and a
+	// resumed study's timeline spans only its freshly executed tail.
+	Timeline bool `json:"timeline,omitempty"`
+
+	// TraceParent, when set, is a W3C trace-context traceparent header
+	// value ("00-<32hex>-<16hex>-01"): the study adopts its trace ID and
+	// nests its root span under the given span, so a remote client's
+	// trace parents the server-side spans. POST /v1/jobs also accepts a
+	// "traceparent" request header, copied here when this field is
+	// empty. Malformed values are rejected with a descriptive 400.
+	TraceParent string `json:"trace_parent,omitempty"`
 }
 
 // SpecFields returns the spec's JSON field names in declaration order —
@@ -242,6 +264,8 @@ func (s Spec) Config() (campaign.Config, error) {
 		Atlas:                  s.Atlas,
 		Profile:                s.Profile,
 		Backend:                backend,
+		Timeline:               s.Timeline,
+		TraceParent:            s.TraceParent,
 	}
 	if err := cfg.Validate(); err != nil {
 		return campaign.Config{}, err

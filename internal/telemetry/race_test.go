@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"bytes"
+	"encoding/json"
 	"runtime"
 	"sync"
 	"testing"
@@ -57,8 +59,13 @@ func TestConcurrentInstruments(t *testing.T) {
 	}
 }
 
-// TestConcurrentEventWriter checks the JSONL writer under concurrent
-// emitters: every event lands and the count matches.
+// TestConcurrentEventWriter checks the JSONL sink under concurrent
+// emitters. Run with -race it doubles as the data-race check; the
+// structural checks hold either way: every line of the output must
+// parse as one complete JSON event, and every (worker, i) payload must
+// land exactly once — i.e. no torn, interleaved, duplicated, or
+// dropped lines, the contract that makes a study log greppable while
+// workers are still writing it.
 func TestConcurrentEventWriter(t *testing.T) {
 	var sink lockedBuffer
 	ew := NewEventWriter(&sink)
@@ -78,8 +85,37 @@ func TestConcurrentEventWriter(t *testing.T) {
 	if err := ew.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if got := ew.Count(); got != uint64(workers*perWorker) {
-		t.Fatalf("event count = %d, want %d", got, workers*perWorker)
+	total := workers * perWorker
+	if got := ew.Count(); got != uint64(total) {
+		t.Fatalf("event count = %d, want %d", got, total)
+	}
+
+	lines := bytes.Split(bytes.TrimRight(sink.buf, "\n"), []byte("\n"))
+	if len(lines) != total {
+		t.Fatalf("sink holds %d lines, want %d", len(lines), total)
+	}
+	seen := make(map[[2]int]bool, total)
+	for _, line := range lines {
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("torn JSONL line %q: %v", line, err)
+		}
+		if e.Type != "experiment" || e.Time.IsZero() {
+			t.Fatalf("malformed event on line %q", line)
+		}
+		w, okW := e.Fields["w"].(float64)
+		i, okI := e.Fields["i"].(float64)
+		if !okW || !okI {
+			t.Fatalf("event lost its payload: %q", line)
+		}
+		key := [2]int{int(w), int(i)}
+		if seen[key] {
+			t.Fatalf("event (w=%d, i=%d) written twice", key[0], key[1])
+		}
+		seen[key] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("%d distinct (worker, i) events, want %d", len(seen), total)
 	}
 }
 

@@ -92,4 +92,3 @@ func TestConcurrentRings(t *testing.T) {
 	}
 	wg.Wait()
 }
-

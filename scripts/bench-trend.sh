@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# bench-trend.sh — the whole perf story in one table.
+#
+# Renders every committed BENCH_*.json (the paired study-throughput
+# measurement each perf PR records) into a single exp/s trend table:
+# text to stdout, CSV to $outdir/bench-trend.csv. Pure rendering — no
+# benchmarks run, so this is safe anywhere, including CI artifacts.
+#
+# Each BENCH file pins one paired measurement (baseline arm vs
+# optimized arm) taken on one machine on one date. Within-file speedups
+# are meaningful; raw ns across files are not (different dates, and
+# later PRs also sped up the shared path), which is why the table shows
+# each era's own baseline next to its optimized arm instead of chaining
+# absolute numbers across eras.
+#
+#   scripts/bench-trend.sh [outdir]     (default bench-out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+outdir=${1:-bench-out}
+mkdir -p "$outdir"
+csv="$outdir/bench-trend.csv"
+
+# Experiments per study in BenchmarkStudyThroughput, parsed from the
+# benchmark source so the ns/study -> exp/s conversion cannot drift
+# from the code.
+dims=$(sed -n 's/.*Experiments: *\([0-9]*\), *Campaigns: *\([0-9]*\).*/\1 \2/p' \
+  internal/campaign/bench_test.go | head -1)
+[ -n "$dims" ] || { echo "cannot find study dimensions in internal/campaign/bench_test.go" >&2; exit 2; }
+set -- $dims
+exps=$(($1 * $2))
+
+files=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n)
+[ -n "$files" ] || { echo "no committed BENCH_*.json files" >&2; exit 2; }
+
+echo "file,date,cell,inputs,baseline,baseline_ns_per_study,baseline_exp_per_s,optimized,optimized_ns_per_study,optimized_exp_per_s,speedup" > "$csv"
+
+echo "== vulfi study-throughput trend (committed BENCH_*.json) =="
+echo "exp/s derived from BenchmarkStudyThroughput: $exps experiments per study"
+echo
+printf "%-13s %-11s %-20s %-20s %11s %9s\n" \
+  "era" "date" "baseline" "optimized" "exp/s(opt)" "speedup"
+for f in $files; do
+  awk -v file="$f" -v exps="$exps" -v csv="$csv" '
+    # Each committed BENCH file is flat JSON, one "key": value per line.
+    match($0, /"[a-z_0-9]+"/) {
+      key = substr($0, RSTART + 1, RLENGTH - 2)
+      rest = substr($0, RSTART + RLENGTH)
+      sub(/^[: ]+/, "", rest)
+      gsub(/[",]/, "", rest)
+      sub(/ +$/, "", rest)
+      v[key] = rest
+      if (key ~ /_ns_per_study$/) nskeys[++n] = key
+    }
+    END {
+      if (n != 2) {
+        printf "%s: want exactly 2 *_ns_per_study keys, got %d\n", file, n > "/dev/stderr"
+        exit 2
+      }
+      # The slower arm is the era baseline (uncached, tree), the faster
+      # one its optimization (cached, vm).
+      base = nskeys[1]; opt = nskeys[2]
+      if (v[base] + 0 < v[opt] + 0) { t = base; base = opt; opt = t }
+      bl = base; sub(/_ns_per_study$/, "", bl)
+      ol = opt;  sub(/_ns_per_study$/, "", ol)
+      bexp = exps * 1e9 / v[base]
+      oexp = exps * 1e9 / v[opt]
+      printf "%-13s %-11s %-8s %9.2fms  %-8s %9.2fms %11.0f %8.2fx\n", \
+        file, substr(v["date"], 1, 10), bl, v[base] / 1e6, ol, v[opt] / 1e6, oexp, v["speedup"]
+      printf "%s,%s,\"%s\",%s,%s,%s,%.0f,%s,%s,%.0f,%s\n", \
+        file, v["date"], v["cell"], v["inputs"], bl, v[base], bexp, ol, v[opt], oexp, v["speedup"] >> csv
+    }
+  ' "$f"
+done
+
+echo
+awk -F, 'NR > 1 { s = s sprintf(" -> %sx (%s: %s)", $11, $1, $8) }
+         END    { print "speedup trajectory: 1.00x baseline" s }' "$csv"
+echo "csv written to $csv"

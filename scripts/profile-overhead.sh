@@ -11,6 +11,11 @@
 # spikes only ever slow a repetition down, while a real hot-path
 # regression shifts the whole distribution, minimum included.
 #
+# The span-tracing subsystem (internal/obs) hangs off the same seams
+# behind Config.Timeline/Config.Heartbeat, which the benchmark never
+# sets either — so this gate doubles as the obs-disabled cost gate: the
+# timeline-smoke CI job runs it at TOLERANCE_PCT=1.
+#
 #   scripts/profile-overhead.sh [outdir]
 #
 # Environment:

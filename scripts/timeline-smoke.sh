@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# timeline-smoke.sh — span tracing end to end, from the CLI down.
+#
+# Runs one small traced study via `vulfi -timeline`, then validates the
+# exports with python3:
+#   - the Chrome trace-event JSON parses, with exactly one study root
+#     span, one compile span, and one experiment span per scheduled
+#     experiment (each with a golden child; faulty/compare pair up);
+#   - every span nests inside the study root's window, and the root
+#     itself fits the timeline wall recorded in the JSONL header —
+#     i.e. span totals reconcile with the study's wall time, including
+#     the workers x wall ceiling on summed experiment spans;
+#   - the JSONL sidecar is line-oriented: header plus one valid JSON
+#     span per line, span count agreeing with the trace export.
+#
+#   scripts/timeline-smoke.sh [outdir]     (default timeline-out)
+#
+# Environment: EXPERIMENTS (default 10), CAMPAIGNS (2), WORKERS (2).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+outdir=${1:-timeline-out}
+EXPERIMENTS=${EXPERIMENTS:-10}
+CAMPAIGNS=${CAMPAIGNS:-2}
+WORKERS=${WORKERS:-2}
+mkdir -p "$outdir"
+
+echo "== traced study (${CAMPAIGNS}x${EXPERIMENTS} experiments, $WORKERS workers) =="
+go run ./cmd/vulfi -benchmark VectorCopy -isa AVX -category pure-data \
+  -experiments "$EXPERIMENTS" -campaigns "$CAMPAIGNS" -seed 1 \
+  -workers "$WORKERS" -timeline "$outdir/trace.json" -json \
+  > "$outdir/study.json"
+
+echo "== validating $outdir/trace.json =="
+python3 - "$outdir/trace.json" "$((EXPERIMENTS * CAMPAIGNS))" "$WORKERS" <<'EOF'
+import json, sys
+
+path, total, workers = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+trace = json.load(open(path))
+spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+by = {}
+for e in spans:
+    by.setdefault(e["name"], []).append(e)
+
+assert len(by.get("study", [])) == 1, f"want 1 study span, got {by.get('study', [])}"
+assert len(by.get("compile", [])) == 1, "want 1 compile span"
+exps = by.get("experiment", [])
+assert len(exps) == total, f"want {total} experiment spans, got {len(exps)}"
+# With no input pool every experiment runs its own golden; faulty and
+# compare pair up (a pre-injection trap can skip both, never one).
+assert len(by.get("golden", [])) == total, "want one golden span per experiment"
+assert len(by.get("faulty", [])) == len(by.get("compare", [])), \
+    "faulty/compare spans must pair up"
+
+# The timeline is anchored at the prepare epoch: the compile span sits
+# at offset 0 and must finish before the study span opens; every other
+# span nests inside the study window.
+root = by["study"][0]
+lo, hi = root["ts"], root["ts"] + root["dur"]
+slack = 1.0  # us; ns->us rounding
+compile_span = by["compile"][0]
+assert compile_span["ts"] + compile_span["dur"] <= lo + slack, \
+    "compile span overlaps the study span"
+for e in spans:
+    if e["name"] == "compile":
+        continue
+    end = e["ts"] + e.get("dur", 0)
+    assert e["ts"] >= lo - slack and end <= hi + slack, \
+        f"{e['name']} span [{e['ts']:.1f},{end:.1f}]us outside study window [{lo:.1f},{hi:.1f}]us"
+
+# Header reconciliation: the JSONL sidecar's wall covers the root span,
+# its span count matches the trace export, and summed experiment time
+# cannot exceed what the worker pool could have delivered.
+with open(path + ".jsonl") as f:
+    lines = f.read().splitlines()
+header = json.loads(lines[0])
+assert header["kind"] == "timeline", header
+assert header["spans"] == len(lines) - 1 == len(spans), \
+    f"header says {header['spans']} spans, jsonl has {len(lines)-1}, trace has {len(spans)}"
+for line in lines[1:]:
+    json.loads(line)  # every span line is complete JSON
+wall_us = header["wall_ns"] / 1e3
+assert root["dur"] <= wall_us + slack, \
+    f"study span {root['dur']:.1f}us exceeds timeline wall {wall_us:.1f}us"
+exp_sum = sum(e["dur"] for e in exps)
+assert exp_sum <= workers * wall_us + slack, \
+    f"sum(experiment)={exp_sum:.1f}us exceeds {workers} workers x wall {wall_us:.1f}us"
+
+print(f"OK: {len(spans)} spans, {total} experiments, "
+      f"study {root['dur']/1e3:.1f}ms within wall {wall_us/1e3:.1f}ms, "
+      f"experiment occupancy {100*exp_sum/(workers*wall_us):.0f}% of {workers} lanes")
+EOF
+
+echo "OK: timeline smoke passed (artifacts in $outdir/)"
