@@ -87,6 +87,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the study as JSON instead of text")
 		csvOut    = flag.Bool("csv", false, "emit the study as a CSV row (with header)")
 		remote    = flag.String("remote", "", "submit to a vulfid daemon at this address instead of running locally")
+		shards    = cliutil.Shards(fs)
+		apiKey    = cliutil.APIKey(fs)
 		traceRuns = flag.Bool("trace", false, "record golden/faulty divergence traces and print the propagation profile")
 		explain   = flag.Int("explain", -1, "run only the experiment at this index of the seed schedule, with tracing, and print its fault→divergence→outcome explanation")
 		atlasOut  = flag.String("atlas", "", "attribute outcomes to static fault sites and write the HTML heatmap to this file")
@@ -107,6 +109,40 @@ func main() {
 		return
 	}
 
+	// Flag combinations that cannot work together fail fast, with one
+	// shared message shape (cliutil) instead of per-combination prose.
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *remote != "" {
+		switch {
+		case *explain >= 0:
+			fail(cliutil.MutuallyExclusive("explain", "remote",
+				"-explain runs locally; against a daemon use GET /v1/jobs/{id}/explain?index=N"))
+		case *atlasOut != "" || *histOut != "":
+			fail(cliutil.MutuallyExclusive("atlas/-history", "remote",
+				"these run locally; a vulfid daemon records its own history (GET /v1/history)"))
+		case *profOut != "":
+			fail(cliutil.MutuallyExclusive("profile", "remote",
+				"-profile runs locally; against a daemon use GET /v1/jobs/{id}/profile"))
+		}
+	}
+	if *shards > 0 {
+		switch {
+		case *remote == "":
+			fail(cliutil.Requires("shards", "remote",
+				"sharding is scheduled by a vulfid coordinator"))
+		case *traceRuns:
+			fail(cliutil.MutuallyExclusive("shards", "trace",
+				"traces attach to fresh local executions, not harvested shard results"))
+		case *timelineOut != "":
+			fail(cliutil.MutuallyExclusive("shards", "timeline",
+				"timelines attach to fresh local executions, not harvested shard results"))
+		}
+	}
+	remoteAPIKey = *apiKey
+
 	scaleName := "default"
 	if *large {
 		scaleName = "large"
@@ -122,6 +158,7 @@ func main() {
 		Atlas:    *atlasOut != "" || *histOut != "",
 		Profile:  *profOut != "",
 		Timeline: *timelineOut != "",
+		Shards:   *shards,
 	}
 	cfg, err := spec.Config()
 	if err != nil {
@@ -136,10 +173,6 @@ func main() {
 	defer stop()
 
 	if *explain >= 0 {
-		if *remote != "" {
-			fmt.Fprintln(os.Stderr, "-explain runs locally; against a daemon use GET /v1/jobs/{id}/explain?index=N")
-			os.Exit(2)
-		}
 		r, err := campaign.ExplainExperiment(ctx, cfg, *explain)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -165,14 +198,6 @@ func main() {
 	}
 
 	if *remote != "" {
-		if *atlasOut != "" || *histOut != "" {
-			fmt.Fprintln(os.Stderr, "-atlas and -history run locally; a vulfid daemon records its own history (GET /v1/history)")
-			os.Exit(2)
-		}
-		if *profOut != "" {
-			fmt.Fprintln(os.Stderr, "-profile runs locally; against a daemon use GET /v1/jobs/{id}/profile")
-			os.Exit(2)
-		}
 		if err := runRemote(ctx, *remote, spec, *jsonOut, *tel.Progress, *timelineOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,25 +1,28 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
-	"strings"
 	"time"
 
+	"vulfi/internal/client"
 	"vulfi/internal/obs"
 	"vulfi/internal/server"
 )
 
-// runRemote submits the spec to a vulfid daemon, tails the job's SSE
-// event stream until it reaches a terminal state, and prints the final
-// result. When ctx is cancelled (Ctrl-C) the job is cancelled on the
-// daemon before returning.
+// remoteAPIKey is the -api-key flag value, presented to the daemon on
+// every request (the runRemote signature itself is part of the test
+// surface and stays key-free).
+var remoteAPIKey string
+
+// runRemote submits the spec to a vulfid daemon through the typed
+// client package, tails the job's SSE event stream until it reaches a
+// terminal state, and prints the final result. When ctx is cancelled
+// (Ctrl-C) the job is cancelled on the daemon before returning. Queue
+// backpressure (429 + Retry-After) is retried inside client.Submit.
 //
 // With timelineOut set the client opens its own root span, propagates
 // it to the daemon as a W3C traceparent, and — once the job finishes —
@@ -30,11 +33,11 @@ import (
 func runRemote(ctx context.Context, addr string, spec server.Spec,
 	jsonOut, progress bool, timelineOut string) error {
 
-	base := addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	notify := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	base = strings.TrimRight(base, "/")
+	cl := client.New(addr,
+		client.WithAPIKey(remoteAPIKey), client.WithNotify(notify))
 
 	var clientSpan string
 	clientStart := time.Now()
@@ -47,34 +50,47 @@ func runRemote(ctx context.Context, addr string, spec server.Spec,
 		spec.TraceParent = obs.FormatTraceparent(tid, clientSpan)
 	}
 
-	st, err := submitJob(ctx, base, spec)
+	st, err := cl.Submit(ctx, spec)
 	if err != nil {
-		return err
+		return fmt.Errorf("submit: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "submitted job %s (%d experiments) to %s\n",
-		st.ID, st.Total, base)
+		st.ID, st.Total, cl.Base())
 
 	// Cancel the remote job if our context dies while tailing.
 	defer func() {
 		if ctx.Err() == nil {
 			return
 		}
-		req, err := http.NewRequest(http.MethodDelete,
-			base+"/v1/jobs/"+st.ID, nil)
-		if err == nil {
-			if resp, err := http.DefaultClient.Do(req); err == nil {
-				resp.Body.Close()
-				fmt.Fprintf(os.Stderr, "cancelled job %s\n", st.ID)
-			}
+		cctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if _, err := cl.Cancel(cctx, st.ID); err == nil {
+			fmt.Fprintf(os.Stderr, "cancelled job %s\n", st.ID)
 		}
 	}()
 
-	final, err := tailJob(ctx, base, st.ID, progress)
+	final, err := cl.Tail(ctx, st.ID, func(event string, data json.RawMessage) {
+		if !progress || event != "experiment" {
+			return
+		}
+		var ev struct {
+			Done    int    `json:"done"`
+			Total   int    `json:"total"`
+			Outcome string `json:"outcome"`
+		}
+		if json.Unmarshal(data, &ev) == nil {
+			fmt.Fprintf(os.Stderr, "\r%d/%d experiments (last: %s)   ",
+				ev.Done, ev.Total, ev.Outcome)
+		}
+	})
 	if err != nil {
 		return err
 	}
+	if progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if timelineOut != "" && final.State == server.StateDone {
-		if err := fetchMergedTimeline(ctx, base, st.ID, clientSpan,
+		if err := fetchMergedTimeline(ctx, cl, st.ID, clientSpan,
 			clientStart, timelineOut); err != nil {
 			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
 		} else {
@@ -88,172 +104,22 @@ func runRemote(ctx context.Context, addr string, spec server.Spec,
 // fetchMergedTimeline pulls the finished job's timeline from the daemon
 // and nests it under the client's root span — the submit-to-result
 // window measured on this side of the HTTP boundary.
-func fetchMergedTimeline(ctx context.Context, base, id, clientSpan string,
+func fetchMergedTimeline(ctx context.Context, cl *client.Client, id, clientSpan string,
 	clientStart time.Time, path string) error {
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		base+"/v1/jobs/"+id+"/timeline", nil)
+	tl, err := cl.Timeline(ctx, id)
 	if err != nil {
 		return err
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
-	}
-	var body struct {
-		Timeline *obs.Timeline `json:"timeline"`
-	}
-	if err := json.Unmarshal(raw, &body); err != nil {
-		return err
-	}
-	if body.Timeline == nil {
+	if tl == nil {
 		return fmt.Errorf("job %s has no timeline in its result", id)
 	}
-	client := obs.Span{
+	root := obs.Span{
 		Name: "vulfi-remote", ID: clientSpan,
 		DurNS: time.Since(clientStart).Nanoseconds(),
-		Attrs: map[string]string{"job": id, "daemon": base},
+		Attrs: map[string]string{"job": id, "daemon": cl.Base()},
 	}
-	return writeTimelineFiles(path, obs.MergeRemote(client, clientStart, body.Timeline))
-}
-
-func submitJob(ctx context.Context, base string, spec server.Spec) (*server.Status, error) {
-	body, err := json.Marshal(spec)
-	if err != nil {
-		return nil, err
-	}
-	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			base+"/v1/jobs", bytes.NewReader(body))
-		if err != nil {
-			return nil, err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			// Backpressure: honor Retry-After and resubmit.
-			delay := 5 * time.Second
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if d, err := time.ParseDuration(ra + "s"); err == nil {
-					delay = d
-				}
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			fmt.Fprintf(os.Stderr, "queue full, retrying in %s\n", delay)
-			select {
-			case <-time.After(delay):
-				continue
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
-		}
-		defer resp.Body.Close()
-		raw, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode != http.StatusAccepted {
-			return nil, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(raw))
-		}
-		var st server.Status
-		if err := json.Unmarshal(raw, &st); err != nil {
-			return nil, fmt.Errorf("submit: bad response: %w", err)
-		}
-		return &st, nil
-	}
-}
-
-// tailJob follows the job's SSE stream until a terminal state event,
-// reconnecting on dropped connections (the daemon may restart mid-job;
-// the journal makes that invisible apart from the reconnect).
-func tailJob(ctx context.Context, base, id string, progress bool) (*server.Status, error) {
-	for {
-		st, err := tailOnce(ctx, base, id, progress)
-		if err == nil {
-			return st, nil
-		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		fmt.Fprintf(os.Stderr, "event stream dropped (%v), reconnecting\n", err)
-		select {
-		case <-time.After(2 * time.Second):
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
-}
-
-func tailOnce(ctx context.Context, base, id string, progress bool) (*server.Status, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		base+"/v1/jobs/"+id+"/events", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(resp.Body)
-		return nil, fmt.Errorf("events: %s: %s", resp.Status, bytes.TrimSpace(raw))
-	}
-
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	var eventType string
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			eventType = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			data := strings.TrimPrefix(line, "data: ")
-			switch eventType {
-			case "experiment":
-				if progress {
-					var ev struct {
-						Done    int    `json:"done"`
-						Total   int    `json:"total"`
-						Outcome string `json:"outcome"`
-					}
-					if json.Unmarshal([]byte(data), &ev) == nil {
-						fmt.Fprintf(os.Stderr, "\r%d/%d experiments (last: %s)   ",
-							ev.Done, ev.Total, ev.Outcome)
-					}
-				}
-			case "state":
-				var st server.Status
-				if err := json.Unmarshal([]byte(data), &st); err != nil {
-					return nil, fmt.Errorf("bad state event: %w", err)
-				}
-				switch st.State {
-				case server.StateDone, server.StateFailed, server.StateCancelled:
-					if progress {
-						fmt.Fprintln(os.Stderr)
-					}
-					return &st, nil
-				}
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return nil, fmt.Errorf("event stream ended without a terminal state")
+	return writeTimelineFiles(path, obs.MergeRemote(root, clientStart, tl))
 }
 
 // remoteStudy mirrors the studyJSON fields the text summary needs.

@@ -14,6 +14,31 @@
 // SIGINT/SIGTERM drain gracefully: in-flight experiments finish and are
 // journaled, running studies stop between experiments, and queued jobs
 // stay journaled for the next daemon.
+//
+// # Scaling out
+//
+// A vulfid started with -coordinator accepts jobs with "shards": N and
+// spreads them over worker vulfids instead of running them itself.
+// Workers are plain vulfids that register with the coordinator:
+//
+//	vulfid -addr :8666 -journal c-journal -coordinator        # coordinator
+//	vulfid -addr :8701 -journal w1-journal -join :8666        # worker 1
+//	vulfid -addr :8702 -journal w2-journal -join :8666        # worker 2
+//
+// -join re-registers on a timer, doubling as the heartbeat the
+// coordinator's fleet view is built from; -advertise overrides the URL
+// the coordinator should dial back (needed when the bind address is
+// not reachable from the coordinator's side).
+//
+// # Multi-tenant access
+//
+// -api-key KEY[=TENANT] (repeatable as a comma list) puts every /v1
+// route behind authentication: requests must present a configured key
+// (Authorization: Bearer, X-Api-Key, or ?key= for EventSource) or get
+// a 401. Submissions are attributed to the key's tenant and
+// -tenant-quota bounds each tenant's queued-plus-running jobs (429 +
+// Retry-After beyond it). -fleet-key is the key a coordinator presents
+// to its workers when those run with -api-key themselves.
 package main
 
 import (
@@ -21,14 +46,92 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"vulfi/internal/api"
+	"vulfi/internal/client"
 	"vulfi/internal/cliutil"
 	"vulfi/internal/server"
 )
+
+// parseAPIKeys parses the -api-key list: "KEY" or "KEY=TENANT", comma
+// separated. A bare key maps to the "default" tenant.
+func parseAPIKeys(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, tenant, found := strings.Cut(part, "=")
+		if key == "" || (found && tenant == "") {
+			return nil, fmt.Errorf("bad -api-key entry %q (want KEY or KEY=TENANT)", part)
+		}
+		if !found {
+			tenant = "default"
+		}
+		out[key] = tenant
+	}
+	return out, nil
+}
+
+// advertiseURL derives the URL a coordinator should dial back from the
+// bound listen address: an unspecified host (":8701", "0.0.0.0:...",
+// "[::]:...") is rewritten to 127.0.0.1, which is right for single-host
+// fleets; multi-host setups pass -advertise explicitly.
+func advertiseURL(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// joinLoop registers this vulfid with a coordinator and keeps
+// re-registering on a timer — registration is idempotent, so the same
+// call is the heartbeat that keeps the worker schedulable. Errors are
+// logged on state change only (a coordinator restart should not flood
+// the log at the heartbeat rate).
+func joinLoop(ctx context.Context, coord, selfURL, name, key string) {
+	cl := client.New(coord, client.WithAPIKey(key))
+	reg := api.WorkerRegistration{URL: selfURL, Name: name}
+	wasErr := false
+	beat := func() {
+		bctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		_, err := cl.RegisterWorker(bctx, reg)
+		switch {
+		case err != nil && !wasErr:
+			log.Printf("join: cannot reach coordinator %s: %v (retrying)", coord, err)
+		case err == nil && wasErr:
+			log.Printf("join: registered with coordinator %s as %s", coord, selfURL)
+		}
+		wasErr = err != nil
+	}
+	log.Printf("join: registering with coordinator %s as %s", coord, selfURL)
+	beat()
+	t := time.NewTicker(5 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			beat()
+		}
+	}
+}
 
 func main() {
 	var (
@@ -39,6 +142,15 @@ func main() {
 		fsync   = flag.Bool("fsync", false, "fdatasync every journal record (power-loss durability)")
 		grace   = flag.Duration("grace", 2*time.Minute, "drain budget for in-flight experiments on shutdown")
 		history = flag.String("history", "", "study-history JSONL store (default JOURNAL/history.jsonl; \"none\" disables)")
+
+		coordinator = flag.Bool("coordinator", false, "accept sharded jobs (\"shards\": N) and spread them over registered workers")
+		join        = flag.String("join", "", "register as a worker with the coordinator at this address (repeats as the heartbeat)")
+		advertise   = flag.String("advertise", "", "URL the coordinator should dial back (default: the bound address, with unspecified hosts rewritten to 127.0.0.1)")
+		name        = flag.String("name", "", "worker display name shown in the coordinator's fleet view")
+		apiKeys     = flag.String("api-key", "", "comma-separated accepted API keys, each KEY or KEY=TENANT; non-empty puts /v1 behind authentication")
+		fleetKey    = flag.String("fleet-key", "", "API key this coordinator presents to its workers")
+		quota       = flag.Int("tenant-quota", 0, "max queued-plus-running jobs per tenant (0 = unlimited)")
+
 		version = cliutil.Version(flag.CommandLine)
 	)
 	flag.Parse()
@@ -49,9 +161,15 @@ func main() {
 	log.SetPrefix("vulfid: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
+	keys, err := parseAPIKeys(*apiKeys)
+	if err != nil {
+		log.Fatal(err)
+	}
 	s, err := server.New(server.Options{
 		JournalDir: *journal, QueueSize: *queue, Runners: *runners,
 		Fsync: *fsync, Logf: log.Printf, HistoryPath: *history,
+		Coordinator: *coordinator, FleetKey: *fleetKey,
+		APIKeys: keys, TenantQuota: *quota,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -60,12 +178,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving on %s (journal %s, queue %d, runners %d)",
-		bound, *journal, *queue, *runners)
+	role := "worker pool"
+	if *coordinator {
+		role = "coordinator"
+	}
+	log.Printf("serving on %s (%s, journal %s, queue %d, runners %d)",
+		bound, role, *journal, *queue, *runners)
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = advertiseURL(bound)
+		}
+		go joinLoop(ctx, *join, self, *name, *fleetKey)
+	}
+
 	<-ctx.Done()
 	stop() // restore default signal behavior: a second signal kills hard
 	log.Printf("signal received, draining (budget %s)", *grace)

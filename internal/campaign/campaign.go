@@ -149,6 +149,20 @@ type Config struct {
 	// absent from the profile.
 	Profile bool
 
+	// ShardStart/ShardEnd restrict execution to experiment indices in
+	// the half-open range [ShardStart, ShardEnd) of the deterministic
+	// schedule — one shard of the study. Out-of-range indices are
+	// neither executed nor aggregated (campaigns entirely outside the
+	// range report empty results), so a shard's StudyResult covers only
+	// its range. A coordinator merges shards by replaying their
+	// checkpointed triples through Completed on an unsharded
+	// configuration, which reproduces the single-node aggregation
+	// exactly — the per-experiment triples are the only execution state.
+	// ShardEnd == 0 means no restriction. Validated (after the count
+	// defaults apply) by Config.Validate.
+	ShardStart int
+	ShardEnd   int
+
 	// Metrics receives this study's telemetry (phase histograms, outcome
 	// counters, interpreter counters). Nil uses the process-wide default
 	// registry; concurrent studies that must not interleave should each

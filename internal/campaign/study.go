@@ -274,8 +274,16 @@ func (p *Prepared) RunStudy(ctx context.Context) (*StudyResult, error) {
 			}
 		}(w)
 	}
+	// A shard runs only its index range; everything else executes the
+	// full schedule. Checkpoint replay above is range-oblivious on
+	// purpose: a merge-only run (fully populated Completed, no range)
+	// aggregates every replayed triple without executing anything.
+	lo, hi := 0, total
+	if cfg.ShardEnd > 0 {
+		lo, hi = cfg.ShardStart, cfg.ShardEnd
+	}
 dispatch:
-	for i := 0; i < total; i++ {
+	for i := lo; i < hi; i++ {
 		if results[i] != nil {
 			continue // replayed from a checkpoint
 		}
@@ -305,10 +313,15 @@ dispatch:
 		LaneSites:   len(p.Inst.LaneSites),
 	}
 	var dynSum float64
+	present := 0
 	for c := 0; c < cfg.Campaigns; c++ {
 		var cr CampaignResult
 		for e := 0; e < cfg.Experiments; e++ {
 			r := results[c*cfg.Experiments+e]
+			if r == nil {
+				continue // outside the shard range
+			}
+			present++
 			cr.add(r)
 			dynSum += float64(r.GoldenDynInstrs)
 		}
@@ -322,7 +335,11 @@ dispatch:
 	sr.MeanSDC = stats.Mean(sr.SDCRates)
 	sr.MarginOfError = stats.MarginOfError95(sr.SDCRates)
 	sr.NearNormal = stats.NearNormal(sr.SDCRates)
-	sr.MeanGoldenDynInstrs = dynSum / float64(total)
+	// Mean over the experiments that actually have results: identical
+	// to /total for full runs, range-sized for shards.
+	if present > 0 {
+		sr.MeanGoldenDynInstrs = dynSum / float64(present)
+	}
 	if p.Profile != nil {
 		sr.Propagation = p.Profile.Summary()
 	}

@@ -58,5 +58,24 @@ func (c *Config) Validate() error {
 	if c.Campaigns == 0 {
 		c.Campaigns = 20
 	}
+	// The shard range is checked against the normalized counts: a spec
+	// that says nothing about counts still shards over the defaulted
+	// 100×20 schedule.
+	if c.ShardStart < 0 || c.ShardEnd < 0 {
+		return fmt.Errorf("campaign: shard range must be non-negative (got [%d,%d))",
+			c.ShardStart, c.ShardEnd)
+	}
+	if c.ShardEnd == 0 && c.ShardStart > 0 {
+		return fmt.Errorf("campaign: ShardStart %d without ShardEnd", c.ShardStart)
+	}
+	if c.ShardEnd > 0 {
+		if c.ShardStart >= c.ShardEnd {
+			return fmt.Errorf("campaign: empty shard range [%d,%d)", c.ShardStart, c.ShardEnd)
+		}
+		if total := c.Campaigns * c.Experiments; c.ShardEnd > total {
+			return fmt.Errorf("campaign: ShardEnd %d exceeds the %d-experiment schedule",
+				c.ShardEnd, total)
+		}
+	}
 	return nil
 }

@@ -87,6 +87,31 @@ func Timeline(fs *flag.FlagSet) *string {
 	return fs.String("timeline", "", "trace the study's span timeline: write Chrome trace-event JSON to FILE (load in Perfetto) and the raw spans to FILE.jsonl; with -remote the client's root span parents the daemon's spans in one merged trace")
 }
 
+// Shards registers the canonical -shards flag. Like -timeline, the
+// flag name matches the vulfid spec knob ("shards") exactly, pinned by
+// the drift test.
+func Shards(fs *flag.FlagSet) *int {
+	return fs.Int("shards", 0, "split the study into about N shards across a coordinator's worker fleet (requires -remote to a vulfid started with -coordinator)")
+}
+
+// APIKey registers the canonical -api-key flag for clients of an
+// authenticated vulfid.
+func APIKey(fs *flag.FlagSet) *string {
+	return fs.String("api-key", "", "API key presented to the remote vulfid (required when the daemon runs with -api-key)")
+}
+
+// MutuallyExclusive renders the canonical error for two flags that
+// cannot be combined; hint explains why or what to do instead.
+func MutuallyExclusive(a, b, hint string) error {
+	return fmt.Errorf("-%s cannot be combined with -%s (%s)", a, b, hint)
+}
+
+// Requires renders the canonical error for a flag that only works in
+// combination with another.
+func Requires(name, needs, hint string) error {
+	return fmt.Errorf("-%s requires -%s (%s)", name, needs, hint)
+}
+
 // Detectors registers the canonical detector pair: -detectors and
 // -broadcast-detector.
 func Detectors(fs *flag.FlagSet) (detectors, broadcast *bool) {

@@ -23,6 +23,8 @@ func registerVulfi(fs *flag.FlagSet) {
 	Inputs(fs)
 	Backend(fs)
 	Timeline(fs)
+	Shards(fs)
+	APIKey(fs)
 	Detectors(fs)
 	Large(fs)
 	TelemetryFlags(fs)
@@ -92,6 +94,8 @@ func TestSharedFlagsDoNotDrift(t *testing.T) {
 		{name: "inputs", bins: []string{"vulfi", "experiments"}},
 		{name: "backend", bins: []string{"vulfi", "experiments"}},
 		{name: "timeline", bins: []string{"vulfi"}},
+		{name: "shards", bins: []string{"vulfi"}},
+		{name: "api-key", bins: []string{"vulfi"}},
 		{name: "detectors", bins: []string{"vulfi"}},
 		{name: "broadcast-detector", bins: []string{"vulfi"}},
 		{name: "large", bins: []string{"vulfi", "experiments"}},
@@ -110,6 +114,7 @@ func TestSharedFlagsDoNotDrift(t *testing.T) {
 	for _, name := range []string{
 		"benchmark", "isa", "category", "experiments", "campaigns",
 		"seed", "workers", "inputs", "backend", "detectors", "timeline",
+		"shards",
 	} {
 		if _, ok := bins["vulfi"][name]; !ok {
 			t.Errorf("vulfi does not register -%s", name)

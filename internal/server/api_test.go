@@ -69,7 +69,7 @@ func TestSpecFields(t *testing.T) {
 		"seed", "workers", "inputs", "detectors", "detector_every_iteration",
 		"broadcast_detector", "mask_loop_detector", "whole_register_sites",
 		"mask_oblivious", "trace", "atlas", "profile", "backend",
-		"timeline", "trace_parent",
+		"timeline", "trace_parent", "shards", "shard_start", "shard_end",
 	}
 	if len(got) != len(want) {
 		t.Fatalf("SpecFields() = %v, want %v", got, want)

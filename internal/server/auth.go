@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// Multi-tenant authentication: when Options.APIKeys is non-empty every
+// /v1 request must present one of the configured keys, and the key's
+// tenant label is attached to the request context — submissions are
+// attributed to it and counted against Options.TenantQuota. Everything
+// outside /v1 (dashboard, healthz, telemetry) stays open: the
+// dashboard itself forwards its key to the /v1 calls it makes.
+
+type tenantCtxKey struct{}
+
+// Tenant returns the tenant authenticated on this request ("" when the
+// daemon runs without API keys).
+func Tenant(ctx context.Context) string {
+	t, _ := ctx.Value(tenantCtxKey{}).(string)
+	return t
+}
+
+// requestKey extracts the presented API key: "Authorization: Bearer",
+// the X-Api-Key header, or the ?key= query parameter — the last for
+// EventSource and dashboard fetches, which cannot set headers.
+func requestKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return key
+		}
+	}
+	if key := r.Header.Get("X-Api-Key"); key != "" {
+		return key
+	}
+	return r.URL.Query().Get("key")
+}
+
+// withAuth gates /v1 behind the configured API keys. A no-op when none
+// are configured.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	if len(s.opts.APIKeys) == 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := requestKey(r)
+		tenant, ok := "", false
+		if key != "" {
+			tenant, ok = s.opts.APIKeys[key]
+		}
+		if !ok {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="vulfid"`)
+			writeError(w, http.StatusUnauthorized, "missing or invalid API key")
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(
+			context.WithValue(r.Context(), tenantCtxKey{}, tenant)))
+	})
+}

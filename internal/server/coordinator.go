@@ -1,0 +1,390 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"vulfi/internal/api"
+	"vulfi/internal/campaign"
+)
+
+// Coordinator mode: a job submitted with "shards": N > 1 is not run on
+// the local campaign pool. Instead the deterministic experiment-index
+// schedule is split into contiguous range shards, each shard is
+// dispatched to a registered worker vulfid as a normal job whose spec
+// carries shard_start/shard_end, and the worker's checkpointed
+// (index, seed, result) triples are harvested over
+// GET /v1/jobs/{id}/experiments into the coordinator's own journal as
+// they appear. A shard is nothing but a range filter over the same
+// schedule every single-node run uses, and a harvested triple is
+// byte-identical to a locally executed one — so when every index has a
+// triple, one merge-only RunStudy (fully populated Completed map, zero
+// fresh executions) reproduces the single-node aggregation exactly:
+// campaign grouping, WallMin/WallMax folding, statistics, atlas site
+// tallies, history entry.
+//
+// Failure handling falls out of the same journal the drain/resume path
+// uses: a worker that dies mid-shard leaves its harvested prefix in
+// the coordinator's journal, the unharvested remainder is re-planned
+// as fresh ranges and handed to another worker (or run locally when
+// the fleet is empty), and a restarted coordinator resumes the whole
+// sharded job from its journal like any other interrupted job.
+
+const (
+	defaultWorkerTTL    = 15 * time.Second
+	defaultHarvestEvery = 2 * time.Second
+	// workerMisses is how many consecutive failed polls (status or
+	// harvest) declare a worker unreachable and trigger reassignment.
+	workerMisses = 3
+)
+
+// shardRange is a half-open range [lo, hi) of experiment indices.
+type shardRange struct{ lo, hi int }
+
+func (r shardRange) size() int { return r.hi - r.lo }
+
+// missingWithin returns the maximal contiguous runs of indices inside
+// within that have no checkpointed result yet.
+func (j *Job) missingWithin(within shardRange) []shardRange {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []shardRange
+	run := -1
+	for i := within.lo; i < within.hi; i++ {
+		if j.completed[i] != nil {
+			if run >= 0 {
+				out = append(out, shardRange{run, i})
+				run = -1
+			}
+			continue
+		}
+		if run < 0 {
+			run = i
+		}
+	}
+	if run >= 0 {
+		out = append(out, shardRange{run, within.hi})
+	}
+	return out
+}
+
+// planShards splits the missing runs into about n similarly sized
+// ranges: a fresh study yields n contiguous slices of [0, total); a
+// resumed job's scattered gaps keep their natural run boundaries, with
+// the largest runs split until at least n shards exist (or nothing is
+// left to split). Sorted by start index for deterministic dispatch.
+func planShards(runs []shardRange, n int) []shardRange {
+	out := append([]shardRange(nil), runs...)
+	for len(out) > 0 && len(out) < n {
+		li := 0
+		for i, r := range out {
+			if r.size() > out[li].size() {
+				li = i
+			}
+		}
+		if out[li].size() < 2 {
+			break
+		}
+		r := out[li]
+		mid := r.lo + r.size()/2
+		out[li] = shardRange{r.lo, mid}
+		out = append(out, shardRange{mid, r.hi})
+	}
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].lo < out[k-1].lo; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+func (s *Server) workerTTL() time.Duration {
+	if s.opts.WorkerTTL > 0 {
+		return s.opts.WorkerTTL
+	}
+	return defaultWorkerTTL
+}
+
+func (s *Server) harvestEvery() time.Duration {
+	if s.opts.HarvestEvery > 0 {
+		return s.opts.HarvestEvery
+	}
+	return defaultHarvestEvery
+}
+
+// runShardedJob is the coordinator's counterpart of runJob: it drives
+// one sharded job from planning through dispatch, harvest,
+// reassignment and the final merge.
+func (s *Server) runShardedJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !job.setRunning(cancel) {
+		return // cancelled while queued
+	}
+	s.mx.running.Add(1)
+	defer s.mx.running.Add(-1)
+	start := time.Now()
+
+	full := shardRange{0, job.Spec.ScheduleTotal()}
+	pending := planShards(job.missingWithin(full), job.Spec.Shards)
+	s.logf("coordinator: job %s planned %d shards over %d missing experiments",
+		job.ID, len(pending), job.Spec.Total()-job.Status().Done)
+
+	type shardDone struct {
+		r      shardRange
+		worker string
+		err    error
+	}
+	results := make(chan shardDone)
+	inflight := 0
+	failures := 0
+	// A sharded job that keeps failing must converge on an answer, not
+	// spin: after this many shard failures the job fails for good. The
+	// local fallback makes genuine progress in the meantime, so the cap
+	// only triggers on systematically failing specs or fleets.
+	maxFailures := 2*len(pending) + 8
+	var lastErr error
+
+	launch := func(r shardRange, w *workerEntry) {
+		inflight++
+		name := "local"
+		if w != nil {
+			name = w.URL
+		}
+		job.broadcast("shard", api.ShardEvent{
+			Lo: r.lo, Hi: r.hi, Worker: name, State: "assigned",
+			Done: job.Status().Done, Total: job.Status().Total,
+		})
+		go func() {
+			var err error
+			if w != nil {
+				err = s.runShardOnWorker(ctx, job, w, r)
+				s.fleet.release(w, err != nil && ctx.Err() == nil)
+			} else {
+				err = s.runShardLocally(ctx, job, r)
+			}
+			results <- shardDone{r: r, worker: name, err: err}
+		}()
+	}
+
+	for (len(pending) > 0 || inflight > 0) && ctx.Err() == nil && failures <= maxFailures {
+		handed := false
+		for len(pending) > 0 {
+			w := s.fleet.acquire()
+			if w == nil {
+				break
+			}
+			r := pending[0]
+			pending = pending[1:]
+			launch(r, w)
+			handed = true
+		}
+		if len(pending) > 0 && inflight == 0 {
+			// No reachable worker and nothing in flight: run the next shard
+			// on the coordinator itself, so a coordinator with no fleet
+			// degrades to a single node instead of stalling.
+			r := pending[0]
+			pending = pending[1:]
+			launch(r, nil)
+			handed = true
+		}
+		if handed {
+			continue
+		}
+		select {
+		case d := <-results:
+			inflight--
+			switch {
+			case d.err == nil:
+				job.broadcast("shard", api.ShardEvent{
+					Lo: d.r.lo, Hi: d.r.hi, Worker: d.worker, State: "done",
+					Done: job.Status().Done, Total: job.Status().Total,
+				})
+			case ctx.Err() != nil:
+				// Cancelled or draining; the terminal switch below decides.
+			default:
+				failures++
+				lastErr = d.err
+				left := job.missingWithin(d.r)
+				s.logf("coordinator: job %s shard [%d,%d) on %s failed (%v); re-planning %d ranges",
+					job.ID, d.r.lo, d.r.hi, d.worker, d.err, len(left))
+				job.broadcast("shard", api.ShardEvent{
+					Lo: d.r.lo, Hi: d.r.hi, Worker: d.worker, State: "failed",
+					Done: job.Status().Done, Total: job.Status().Total,
+				})
+				pending = append(pending, left...)
+			}
+		case <-time.After(s.harvestEvery()):
+			// Idle poll: a worker may have registered or come back alive
+			// since the last hand-out attempt.
+		case <-ctx.Done():
+		}
+	}
+	// Let in-flight shard runners unwind (they observe ctx promptly);
+	// their results still dedupe through addHarvested.
+	for inflight > 0 {
+		<-results
+		inflight--
+	}
+
+	s.mx.jobWall.Since(start)
+	missing := job.missingWithin(full)
+	switch {
+	case ctx.Err() == nil && len(missing) == 0:
+		sr, err := s.mergeShards(ctx, job)
+		if err != nil {
+			s.mx.failed.Inc()
+			job.finish(StateFailed, fmt.Sprintf("merge: %v", err), nil)
+			return
+		}
+		s.mx.completed.Inc()
+		job.finish(StateDone, "", marshalStudy(sr))
+		s.recordHistory(job, sr)
+	case job.cancelRequested():
+		s.mx.cancelled.Inc()
+		job.finish(StateCancelled, "", nil)
+	case s.baseCtx.Err() != nil:
+		// Coordinator drain: harvested triples are journaled; the next
+		// daemon resumes the job and re-plans only the missing ranges.
+		job.finish(StateInterrupted, "", nil)
+		s.logf("drain: job %s interrupted at %d/%d experiments",
+			job.ID, job.Status().Done, job.Status().Total)
+	default:
+		s.mx.failed.Inc()
+		job.finish(StateFailed, fmt.Sprintf("sharding failed after %d shard failures: %v",
+			failures, lastErr), nil)
+	}
+}
+
+// shardSpec derives the spec dispatched to a worker for one range:
+// same study knobs, the shard range set, and the coordinator-side
+// concerns stripped — the worker must not recurse into sharding, and
+// atlas attribution is a merge-time output (computing partial tallies
+// on workers would waste golden re-runs on data the merge recomputes).
+func shardSpec(spec Spec, r shardRange) Spec {
+	spec.Shards = 0
+	spec.ShardStart, spec.ShardEnd = r.lo, r.hi
+	spec.Atlas = false
+	return spec
+}
+
+// runShardOnWorker submits one shard to a worker and polls it to
+// completion, harvesting checkpointed triples into the coordinator's
+// journal every HarvestEvery. A worker that fails workerMisses
+// consecutive polls is declared unreachable (the shard's unharvested
+// remainder gets reassigned); a worker that drains mid-shard keeps the
+// job journaled, so the poll loop just keeps watching until its
+// restarted daemon resumes and finishes the shard job.
+func (s *Server) runShardOnWorker(ctx context.Context, job *Job, w *workerEntry, r shardRange) error {
+	st, err := w.cl.Submit(ctx, shardSpec(job.Spec, r))
+	if err != nil {
+		return fmt.Errorf("submit shard: %w", err)
+	}
+	shardID := st.ID
+	done := false
+	defer func() {
+		if done {
+			return
+		}
+		// Reassignment or coordinator shutdown: don't leave an orphaned
+		// shard burning the worker (background context — ctx is dead).
+		cctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_, _ = w.cl.Cancel(cctx, shardID)
+	}()
+
+	harvest := func() error {
+		recs, err := w.cl.Experiments(ctx, shardID, r.lo, r.hi)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			job.addHarvested(rec.Index, rec.Seed, rec.Result)
+		}
+		return nil
+	}
+
+	tick := time.NewTicker(s.harvestEvery())
+	defer tick.Stop()
+	misses := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+		st, err := w.cl.Status(ctx, shardID)
+		if err == nil {
+			err = harvest()
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if misses++; misses >= workerMisses {
+				return fmt.Errorf("worker %s unreachable: %w", w.URL, err)
+			}
+			continue
+		}
+		misses = 0
+		switch st.State {
+		case StateDone:
+			if left := job.missingWithin(r); len(left) > 0 {
+				return fmt.Errorf("worker %s finished shard [%d,%d) with %d ranges unharvested",
+					w.URL, r.lo, r.hi, len(left))
+			}
+			done = true
+			return nil
+		case StateFailed:
+			return fmt.Errorf("worker %s shard [%d,%d): %s", w.URL, r.lo, r.hi, st.Error)
+		case StateCancelled:
+			return fmt.Errorf("worker %s shard [%d,%d) was cancelled on the worker",
+				w.URL, r.lo, r.hi)
+		}
+		// queued, running or interrupted (worker draining — its restart
+		// resumes the shard from its own journal): keep polling.
+	}
+}
+
+// runShardLocally executes one shard on the coordinator's own campaign
+// pool — the no-fleet fallback. Results flow through addHarvested like
+// remote triples, so journal, counters and SSE progress are uniform.
+func (s *Server) runShardLocally(ctx context.Context, job *Job, r shardRange) error {
+	cfg, err := shardSpec(job.Spec, r).Config()
+	if err != nil {
+		return err
+	}
+	cfg.Metrics = job.reg
+	cfg.OnResult = func(i int, seed int64, res *campaign.ExperimentResult) {
+		job.addHarvested(i, seed, res)
+	}
+	if d := s.opts.expThrottle; d > 0 {
+		inner := cfg.OnResult
+		cfg.OnResult = func(i int, seed int64, res *campaign.ExperimentResult) {
+			inner(i, seed, res)
+			time.Sleep(d)
+		}
+	}
+	cfg.Completed = job.completedSnapshot()
+	_, err = campaign.RunStudy(ctx, cfg)
+	return err
+}
+
+// mergeShards replays every harvested triple through one merge-only
+// RunStudy: the Completed map is fully populated, so zero experiments
+// execute and the aggregation — campaign grouping, WallMin/WallMax
+// folding, statistics, atlas site tallies — is the single-node code
+// path over the single-node inputs. That is what makes the merged
+// study byte-identical to an unsharded run of the same spec: even the
+// exported wall fields derive from the per-experiment triples, not
+// from this run's clock.
+func (s *Server) mergeShards(ctx context.Context, job *Job) (*campaign.StudyResult, error) {
+	cfg, err := job.Spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Metrics = job.reg
+	cfg.Completed = job.completedSnapshot()
+	return campaign.RunStudy(ctx, cfg)
+}

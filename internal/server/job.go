@@ -4,25 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"sort"
 	"sync"
 	"time"
 
+	"vulfi/internal/api"
 	"vulfi/internal/campaign"
 	"vulfi/internal/telemetry"
-)
-
-// Job states. A job moves queued → running → {done, failed, cancelled};
-// cancellation can also hit a queued job directly. A drained daemon
-// leaves its unfinished jobs journaled as "interrupted" (non-terminal)
-// and the next daemon re-queues them with the completed experiments
-// replayed.
-const (
-	StateQueued      = "queued"
-	StateRunning     = "running"
-	StateDone        = "done"
-	StateFailed      = "failed"
-	StateCancelled   = "cancelled"
-	StateInterrupted = "interrupted"
 )
 
 // Event is one live progress notification, streamed to SSE subscribers.
@@ -38,6 +26,10 @@ type Event struct {
 type Job struct {
 	ID   string
 	Spec Spec
+
+	// tenant is the authenticated tenant that submitted the job (set
+	// once at construction/resume, before the job is published).
+	tenant string
 
 	mu        sync.Mutex
 	state     string
@@ -80,6 +72,7 @@ func newJob(id string, spec Spec, journal *Journal) *Job {
 // queries survive restarts.
 func resumedJob(rp *Replay, journal *Journal) *Job {
 	j := newJob(rp.ID, rp.Spec, journal)
+	j.tenant = rp.Tenant
 	j.completed = rp.Completed
 	for _, r := range rp.Completed {
 		j.note(r)
@@ -127,34 +120,16 @@ func (j *Job) Watchdog() *watchdog {
 	return j.wd
 }
 
-// Status is the wire form of a job's state (GET /v1/jobs/{id}).
-type Status struct {
-	ID      string `json:"id"`
-	State   string `json:"state"`
-	Resumed bool   `json:"resumed,omitempty"`
-	Spec    Spec   `json:"spec"`
+// Tenant returns the authenticated tenant that submitted the job.
+func (j *Job) Tenant() string { return j.tenant }
 
-	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
-
-	Done     int `json:"done"`
-	Total    int `json:"total"`
-	SDC      int `json:"sdc"`
-	Benign   int `json:"benign"`
-	Crash    int `json:"crash"`
-	Detected int `json:"detected"`
-
-	Error  string          `json:"error,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
-}
-
-// Status snapshots the job.
+// Status snapshots the job as its wire form (GET /v1/jobs/{id}).
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
 		ID: j.ID, State: j.state, Resumed: j.resumed, Spec: j.Spec,
+		Tenant:  j.tenant,
 		Created: j.created, Done: j.done, Total: j.total,
 		SDC: j.sdc, Benign: j.benign, Crash: j.crash, Detected: j.detected,
 		Error: j.errMsg, Result: j.result,
@@ -177,29 +152,87 @@ func (j *Job) State() string {
 	return j.state
 }
 
-// experimentEvent is the SSE payload for one completed experiment.
-type experimentEvent struct {
-	Index    int    `json:"index"`
-	Seed     int64  `json:"seed"`
-	Outcome  string `json:"outcome"`
-	Detected bool   `json:"detected"`
-	Done     int    `json:"done"`
-	Total    int    `json:"total"`
-}
-
 // onResult is the campaign checkpoint hook: journal first (crash
-// safety), then update progress and notify subscribers. Called from
+// safety), then update progress, record the triple for harvesting
+// (GET /v1/jobs/{id}/experiments) and notify subscribers. Called from
 // worker goroutines.
 func (j *Job) onResult(index int, seed int64, r *campaign.ExperimentResult) {
 	j.journal.Experiment(index, seed, r)
 	j.mu.Lock()
+	j.completed[index] = r
 	j.note(r)
-	ev := experimentEvent{
+	ev := api.ExperimentEvent{
 		Index: index, Seed: seed, Outcome: r.Outcome.String(),
 		Detected: r.Detected, Done: j.done, Total: j.total,
 	}
 	j.mu.Unlock()
 	j.broadcast("experiment", ev)
+}
+
+// addHarvested folds one shard-harvested experiment into the job:
+// journal (crash safety — a restarted coordinator replays these
+// triples instead of re-fetching them), progress counters, harvest
+// store and live broadcast. Indices already present — a reassigned
+// shard re-harvesting its overlap — are dropped without journaling
+// twice; the return value reports whether the triple was new.
+func (j *Job) addHarvested(index int, seed int64, r *campaign.ExperimentResult) bool {
+	if r == nil {
+		return false
+	}
+	j.mu.Lock()
+	if j.completed[index] != nil {
+		j.mu.Unlock()
+		return false
+	}
+	// Journal under mu so the dedupe check and the journal append are
+	// atomic (the journal's own lock is a leaf; this order is the same
+	// one onResult-then-broadcast takes).
+	j.journal.Experiment(index, seed, r)
+	j.completed[index] = r
+	j.note(r)
+	ev := api.ExperimentEvent{
+		Index: index, Seed: seed, Outcome: r.Outcome.String(),
+		Detected: r.Detected, Done: j.done, Total: j.total,
+	}
+	j.mu.Unlock()
+	j.broadcast("experiment", ev)
+	return true
+}
+
+// completedSnapshot copies the job's checkpointed triples — the merge
+// input for a sharded job, and the Completed map handed to RunStudy.
+func (j *Job) completedSnapshot() map[int]*campaign.ExperimentResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[int]*campaign.ExperimentResult, len(j.completed))
+	for i, r := range j.completed {
+		out[i] = r
+	}
+	return out
+}
+
+// experimentRecords returns the checkpointed triples with indices in
+// [from, to) (to <= 0 means no upper bound), sorted by index. Seeds
+// are recomputed from the deterministic schedule, which is what makes
+// the triples portable across daemons.
+func (j *Job) experimentRecords(from, to int) []api.ExperimentRecord {
+	j.mu.Lock()
+	idxs := make([]int, 0, len(j.completed))
+	for i := range j.completed {
+		if i < from || (to > 0 && i >= to) {
+			continue
+		}
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]api.ExperimentRecord, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, api.ExperimentRecord{
+			Index: i, Seed: experimentSeed(j.Spec.Seed, i), Result: j.completed[i],
+		})
+	}
+	j.mu.Unlock()
+	return out
 }
 
 // broadcast serializes data and fans it out to subscribers without

@@ -37,9 +37,11 @@ import (
 type journalRecord struct {
 	T string `json:"t"`
 
-	// submit fields.
-	ID   string `json:"id,omitempty"`
-	Spec *Spec  `json:"spec,omitempty"`
+	// submit fields. Tenant rides in the submit record so per-tenant
+	// quotas survive daemon restarts.
+	ID     string `json:"id,omitempty"`
+	Spec   *Spec  `json:"spec,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
 
 	// exp fields. Index uses a pointer so index 0 survives omitempty.
 	Index  *int                       `json:"i,omitempty"`
@@ -105,7 +107,13 @@ func (j *Journal) append(rec journalRecord) {
 
 // Submit records the job's identity and spec (the journal's first line).
 func (j *Journal) Submit(id string, spec Spec) {
-	j.append(journalRecord{T: "submit", ID: id, Spec: &spec})
+	j.SubmitAs(id, spec, "")
+}
+
+// SubmitAs is Submit with the authenticated tenant recorded alongside
+// the spec.
+func (j *Journal) SubmitAs(id string, spec Spec, tenant string) {
+	j.append(journalRecord{T: "submit", ID: id, Spec: &spec, Tenant: tenant})
 }
 
 // Experiment checkpoints one completed experiment.
@@ -145,6 +153,7 @@ func (j *Journal) Close() error {
 type Replay struct {
 	ID        string
 	Spec      Spec
+	Tenant    string
 	Completed map[int]*campaign.ExperimentResult
 	// State is the last recorded state ("" when only the submit record
 	// exists — the job never started).
@@ -158,10 +167,6 @@ type Replay struct {
 
 // Terminal reports whether the replayed job finished for good.
 func (r *Replay) Terminal() bool { return terminalState(r.State) }
-
-func terminalState(s string) bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
-}
 
 // ReplayJournal reads a job journal back. Unknown record kinds are
 // skipped (forward compatibility); a truncated or corrupt final line is
@@ -194,7 +199,7 @@ func ReplayJournal(path string) (*Replay, error) {
 		}
 		switch rec.T {
 		case "submit":
-			rp.ID, rp.Spec = rec.ID, *rec.Spec
+			rp.ID, rp.Spec, rp.Tenant = rec.ID, *rec.Spec, rec.Tenant
 		case "exp":
 			if rec.Index != nil && rec.Result != nil {
 				rp.Completed[*rec.Index] = rec.Result

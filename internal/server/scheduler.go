@@ -27,7 +27,11 @@ func (s *Server) runner() {
 			s.logf("drain: leaving job %s for restart", job.ID)
 			continue
 		}
-		s.runJob(job)
+		if job.Spec.Shards > 1 {
+			s.runShardedJob(job)
+		} else {
+			s.runJob(job)
+		}
 	}
 }
 
@@ -116,7 +120,7 @@ func (s *Server) runJob(job *Job) {
 			time.Sleep(d)
 		}
 	}
-	cfg.Completed = job.completed
+	cfg.Completed = job.completedSnapshot()
 
 	sr, err := campaign.RunStudy(ctx, cfg)
 	s.mx.jobWall.Since(start)
@@ -124,7 +128,11 @@ func (s *Server) runJob(job *Job) {
 	case err == nil:
 		s.mx.completed.Inc()
 		job.finish(StateDone, "", marshalStudy(sr))
-		s.recordHistory(job, sr)
+		// Shard jobs running on a worker are fragments of someone else's
+		// study; only whole studies belong in the history trend store.
+		if job.Spec.ShardEnd == 0 {
+			s.recordHistory(job, sr)
+		}
 	case errors.Is(err, context.Canceled) && job.cancelRequested():
 		s.mx.cancelled.Inc()
 		job.finish(StateCancelled, "", nil)

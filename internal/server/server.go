@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -17,9 +18,11 @@ import (
 	"sync"
 	"time"
 
+	"vulfi/internal/api"
 	"vulfi/internal/atlas"
 	"vulfi/internal/buildinfo"
 	"vulfi/internal/campaign"
+	"vulfi/internal/client"
 	"vulfi/internal/obs"
 	"vulfi/internal/telemetry"
 )
@@ -65,6 +68,31 @@ type Options struct {
 	WatchdogTick    time.Duration
 	StallMinSamples int
 
+	// Coordinator enables the shard scheduler: jobs submitted with
+	// "shards": N > 1 are split into experiment-index ranges and
+	// dispatched to the registered worker fleet (POST /v1/workers)
+	// instead of the local campaign pool. Without it such submissions
+	// are rejected with a descriptive 400.
+	Coordinator bool
+	// FleetKey is the API key the coordinator presents to its workers
+	// (set it when the workers run with -api-key themselves).
+	FleetKey string
+	// WorkerTTL is how stale a worker's last heartbeat may be before it
+	// stops being schedulable. Default 15s.
+	WorkerTTL time.Duration
+	// HarvestEvery is the coordinator's shard poll interval: how often
+	// each worker is asked for status and newly checkpointed
+	// experiments. Default 2s.
+	HarvestEvery time.Duration
+
+	// APIKeys maps accepted API keys to tenant labels. Non-empty turns
+	// authentication on: every /v1 request must present a configured key
+	// (Authorization: Bearer, X-Api-Key, or ?key=) or gets a 401.
+	APIKeys map[string]string
+	// TenantQuota bounds each tenant's queued-plus-running jobs;
+	// submissions beyond it get 429 + Retry-After. Zero means unlimited.
+	TenantQuota int
+
 	// expThrottle pauses after every checkpointed experiment. Test-only:
 	// it pins a study's minimum wall time so drain/cancel tests can
 	// interrupt mid-run deterministically on arbitrarily fast machines.
@@ -109,6 +137,9 @@ type Server struct {
 	history     *atlas.History
 	historyPath string
 
+	// fleet is the worker registry (nil unless Options.Coordinator).
+	fleet *fleet
+
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
@@ -143,6 +174,11 @@ func New(opts Options) (*Server, error) {
 		opts: opts, reg: opts.Registry, mx: newServerMetrics(opts.Registry),
 		q: newJobQueue(opts.QueueSize), baseCtx: ctx, stop: cancel,
 		jobs: map[string]*Job{},
+	}
+	if opts.Coordinator {
+		s.fleet = newFleet(opts.WorkerTTL, func(url string) *client.Client {
+			return client.New(url, client.WithAPIKey(opts.FleetKey))
+		})
 	}
 	switch opts.HistoryPath {
 	case "none":
@@ -266,9 +302,62 @@ func newJobID() (string, error) {
 	return "j" + hex.EncodeToString(b[:]), nil
 }
 
+// ErrTenantQuota rejects a submission because the authenticated tenant
+// already has Options.TenantQuota jobs queued or running (HTTP 429).
+var ErrTenantQuota = errors.New("tenant job quota exceeded")
+
+// checkShardSpec validates the coordinator-routing knobs of a spec —
+// the ones Spec.Config deliberately ignores because they never reach a
+// campaign.
+func (s *Server) checkShardSpec(spec Spec) error {
+	switch {
+	case spec.Shards < 0:
+		return fmt.Errorf("shards must be non-negative (got %d)", spec.Shards)
+	case spec.Shards <= 1:
+		return nil
+	case !s.opts.Coordinator:
+		return fmt.Errorf("shards: %d requires a coordinator; this vulfid runs jobs locally (start it with -coordinator)", spec.Shards)
+	case spec.ShardStart != 0 || spec.ShardEnd != 0:
+		return fmt.Errorf("shards cannot be combined with an explicit shard_start/shard_end range")
+	case spec.Trace || spec.Profile || spec.Timeline || spec.TraceParent != "":
+		return fmt.Errorf("sharded jobs do not support trace, profile, timeline or trace_parent (these attach to fresh local executions, not harvested ones)")
+	}
+	return nil
+}
+
+// activeJobs counts a tenant's queued-plus-running jobs.
+func (s *Server) activeJobs(tenant string) int {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.Tenant() == tenant {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		switch j.State() {
+		case StateQueued, StateRunning:
+			n++
+		}
+	}
+	return n
+}
+
 // Submit validates a spec, journals it and enqueues the job. It is the
 // programmatic form of POST /v1/jobs (ErrQueueFull → backpressure).
 func (s *Server) Submit(spec Spec) (*Job, error) {
+	return s.SubmitAs(spec, "")
+}
+
+// SubmitAs is Submit attributed to an authenticated tenant: the job
+// carries the tenant label (journaled, so quotas survive restarts) and
+// counts against Options.TenantQuota (ErrTenantQuota → 429).
+func (s *Server) SubmitAs(spec Spec, tenant string) (*Job, error) {
+	if err := s.checkShardSpec(spec); err != nil {
+		return nil, err
+	}
 	if _, err := spec.Config(); err != nil {
 		return nil, err
 	}
@@ -277,6 +366,10 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	s.mu.Unlock()
 	if draining {
 		return nil, fmt.Errorf("server is draining")
+	}
+	if q := s.opts.TenantQuota; q > 0 && s.activeJobs(tenant) >= q {
+		s.mx.rejected.Inc()
+		return nil, fmt.Errorf("tenant %q has %d active jobs: %w", tenant, q, ErrTenantQuota)
 	}
 	id, err := newJobID()
 	if err != nil {
@@ -287,7 +380,8 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		return nil, err
 	}
 	job := newJob(id, spec, journal)
-	journal.Submit(id, spec)
+	job.tenant = tenant
+	journal.SubmitAs(id, spec, tenant)
 	if err := journal.Err(); err != nil {
 		_ = journal.Close()
 		return nil, fmt.Errorf("journal: %w", err)
@@ -351,16 +445,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
 	mux.HandleFunc("GET /v1/jobs/{id}/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /v1/history", s.handleHistory)
+	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	mux.HandleFunc("GET /v1/workers", s.handleWorkers)
 	mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/", telemetry.Handler(s.reg))
+	// Auth sits inside the version stamp: a 401 still tells the client
+	// which wire schema it is talking to.
+	inner := s.withAuth(mux)
 	// Stamp every response with the wire-schema version and the binary's
 	// build revision so clients can detect drift without parsing bodies.
 	build := buildinfo.Revision()
@@ -370,7 +470,7 @@ func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Vulfid-Api-Version", APIVersion)
 		w.Header().Set("Vulfid-Build", build)
-		mux.ServeHTTP(w, r)
+		inner.ServeHTTP(w, r)
 	})
 }
 
@@ -459,17 +559,77 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if tp := r.Header.Get("traceparent"); tp != "" && spec.TraceParent == "" {
 		spec.TraceParent = tp
 	}
-	job, err := s.Submit(spec)
+	job, err := s.SubmitAs(spec, Tenant(r.Context()))
 	switch {
-	case err == ErrQueueFull:
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantQuota):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleExperiments serves a job's checkpointed (index, seed, result)
+// triples — the harvest feed a coordinator polls to pull shard results
+// off its workers, usable at any job state. ?from=&to= restrict to an
+// index range (half-open; to <= 0 means unbounded).
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	job := s.jobOr404(w, r)
+	if job == nil {
+		return
+	}
+	from, to := 0, 0
+	for name, dst := range map[string]*int{"from": &from, "to": &to} {
+		if q := r.URL.Query().Get(name); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "%s must be a non-negative integer", name)
+				return
+			}
+			*dst = n
+		}
+	}
+	writeJSON(w, http.StatusOK, api.ExperimentsResponse{
+		ID: job.ID, Experiments: job.experimentRecords(from, to),
+	})
+}
+
+// handleWorkerRegister registers a worker vulfid with the coordinator
+// (or refreshes its heartbeat — the call is idempotent and workers
+// repeat it on a timer).
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeError(w, http.StatusConflict,
+			"not a coordinator (start vulfid with -coordinator to accept workers)")
+		return
+	}
+	var reg api.WorkerRegistration
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reg); err != nil {
+		writeError(w, http.StatusBadRequest, "bad registration: %v", err)
+		return
+	}
+	if reg.URL == "" {
+		writeError(w, http.StatusBadRequest, "bad registration: url is required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.fleet.upsert(reg))
+}
+
+// handleWorkers serves the fleet view for the dashboard and `vulfi`.
+func (s *Server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	resp := api.WorkersResponse{Coordinator: s.fleet != nil}
+	if s.fleet != nil {
+		resp.Workers = s.fleet.list()
+	}
+	if resp.Workers == nil {
+		resp.Workers = []api.Worker{}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {

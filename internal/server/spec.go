@@ -3,11 +3,16 @@
 // that runs study cells on the campaign worker pool, and a crash-safe
 // JSONL journal that checkpoints every completed experiment so an
 // interrupted daemon resumes incomplete jobs on restart with identical
-// statistics (the per-index seed schedule is deterministic).
+// statistics (the per-index seed schedule is deterministic). Started as
+// a coordinator, the same daemon instead splits sharded jobs across a
+// registered worker fleet and merges the results byte-identically to a
+// single-node run (coordinator.go).
 //
-// API surface (all under /v1):
+// API surface (all under /v1; 401 when API keys are configured and the
+// request carries none of them):
 //
-//	POST   /v1/jobs          submit a study spec  (202, or 429 when full)
+//	POST   /v1/jobs          submit a study spec  (202, or 429 when the
+//	                         queue or the tenant's quota is full)
 //	GET    /v1/jobs          list jobs
 //	GET    /v1/jobs/{id}         status + result when finished
 //	GET    /v1/jobs/{id}/events  live progress as Server-Sent Events
@@ -17,271 +22,50 @@
 //	GET    /v1/jobs/{id}/profile the finished job's execution profile
 //	GET    /v1/jobs/{id}/timeline span timeline (?format=trace for Chrome
 //	                             trace events) plus live watchdog status
+//	GET    /v1/jobs/{id}/experiments checkpointed (index, seed, result)
+//	                             triples (?from=&to= bound the range)
 //	DELETE /v1/jobs/{id}         cancel (cooperative, between experiments)
+//	POST   /v1/workers       register a worker vulfid (idempotent; the
+//	                         re-post is the heartbeat)
+//	GET    /v1/workers       the coordinator's fleet view
 //
 // plus the process-wide /metrics, /debug/vars and /debug/pprof endpoints
 // from the telemetry package.
+//
+// The wire types themselves — Spec, Status, the lifecycle states, the
+// worker-fleet records — live in the versioned internal/api package,
+// shared with the typed internal/client; the aliases below keep the
+// historical server.Spec spelling working for in-process users.
 package server
 
-import (
-	"fmt"
-	"reflect"
-	"strings"
+import "vulfi/internal/api"
 
-	"vulfi/internal/benchmarks"
-	"vulfi/internal/campaign"
-	"vulfi/internal/isa"
-	"vulfi/internal/passes"
+// APIVersion identifies the wire schema of the /v1 API (see
+// api.APIVersion for the changelog).
+const APIVersion = api.APIVersion
+
+// Wire types, re-exported from the versioned schema package.
+type (
+	Spec   = api.Spec
+	Status = api.Status
 )
 
-// APIVersion identifies the wire schema of the /v1 API. Every response
-// carries it in the Vulfid-Api-Version header, so clients can detect
-// schema drift without parsing bodies. Bumped when the request or
-// response schema changes in a way a client could observe (1.1 added
-// the "inputs" pool knob and the version header itself; 1.2 added the
-// "atlas" spec knob, GET /v1/history, GET /dashboard and the
-// Vulfid-Build header; 1.3 added the "profile" spec knob and
-// GET /v1/jobs/{id}/profile; 1.4 added the "backend" spec knob; 1.5
-// added the "timeline" and "trace_parent" spec knobs — the latter also
-// accepted as a W3C traceparent request header on POST /v1/jobs —
-// GET /v1/jobs/{id}/timeline and the watchdog "stall" SSE event).
-const APIVersion = "1.5"
+// Job lifecycle states (see the api package for semantics).
+const (
+	StateQueued      = api.StateQueued
+	StateRunning     = api.StateRunning
+	StateDone        = api.StateDone
+	StateFailed      = api.StateFailed
+	StateCancelled   = api.StateCancelled
+	StateInterrupted = api.StateInterrupted
+)
 
-// Spec is the wire form of one study cell: the JSON body of POST
-// /v1/jobs. Zero-valued counts inherit the paper's defaults (100
-// experiments × 20 campaigns).
-//
-// # Request schema (POST /v1/jobs)
-//
-// Unknown fields are rejected with a descriptive 400, so typos never
-// silently run a default study. All fields below are optional except
-// benchmark, isa and category:
-//
-//	{
-//	  "benchmark": "Blackscholes",      // required; see `vulfi -list`
-//	  "isa": "AVX",                     // required; "AVX" or "SSE"
-//	  "category": "pure-data",          // required; "pure-data", "control", "address"
-//	  "scale": "default",               // "test", "default", "large"
-//	  "experiments": 100,               // per campaign; 0 = paper default 100
-//	  "campaigns": 20,                  // 0 = paper default 20
-//	  "seed": 1,                        // study seed (deterministic schedule)
-//	  "workers": 0,                     // experiment parallelism; 0 = GOMAXPROCS
-//	  "inputs": 0,                      // input-pool size K; see Spec.Inputs
-//	  "detectors": false,               // §III foreach-invariant detectors
-//	  "detector_every_iteration": false,
-//	  "broadcast_detector": false,
-//	  "mask_loop_detector": false,
-//	  "whole_register_sites": false,
-//	  "mask_oblivious": false,
-//	  "trace": false,                   // divergence tracing (disables golden cache)
-//	  "atlas": false,                   // per-static-site outcome attribution
-//	  "profile": false,                 // execution profiler (hot_profile in the result)
-//	  "backend": "tree",                // execution backend: "tree" or "vm"
-//	  "timeline": false,                // span tracing (timeline in the result)
-//	  "trace_parent": ""                // W3C traceparent to nest the study under
-//	}
-//
-// # Response schema
-//
-// Every /v1 response is JSON, stamped with the Vulfid-Api-Version
-// header. Errors are {"error": "..."} with a 4xx/5xx status. POST
-// /v1/jobs answers 202 with the job status (429 + Retry-After when the
-// queue is full):
-//
-//	{
-//	  "id": "j0123456789ab",
-//	  "state": "queued",                // queued|running|done|failed|cancelled
-//	  "spec": { ... },                  // the submitted spec, echoed
-//	  "total": 2000,                    // experiments after defaults
-//	  "completed": 0,                   // experiments finished so far
-//	  "error": "...",                   // failed jobs only
-//	  "result": { ... }                 // finished jobs: the exported study JSON
-//	}
-//
-// GET /v1/jobs lists {"jobs": [status...]} without results; GET
-// /v1/jobs/{id} returns one full status; DELETE cancels; the /events,
-// /metrics and /explain sub-resources are documented on their handlers.
-type Spec struct {
-	Benchmark string `json:"benchmark"`
-	ISA       string `json:"isa"`
-	Category  string `json:"category"`
-	// Scale is "test", "default" (empty) or "large".
-	Scale       string `json:"scale,omitempty"`
-	Experiments int    `json:"experiments,omitempty"`
-	Campaigns   int    `json:"campaigns,omitempty"`
-	Seed        int64  `json:"seed,omitempty"`
-	// Workers bounds the job's experiment parallelism (0 = GOMAXPROCS).
-	Workers int `json:"workers,omitempty"`
-	// Inputs is the input-pool size K: experiment i draws its program
-	// input from a pool of K seeds (i mod K), enabling golden-run
-	// memoization. 0 = a fresh input per experiment (no cache); 1 = the
-	// paper-faithful fixed-input mode. Rides through the journal, so
-	// resumed jobs keep their pool.
-	Inputs int `json:"inputs,omitempty"`
+// Parsers and schema introspection, re-exported for the CLIs.
+var (
+	SpecFields    = api.SpecFields
+	ParseCategory = api.ParseCategory
+	ParseScale    = api.ParseScale
+	ParseBackend  = api.ParseBackend
+)
 
-	Detectors              bool `json:"detectors,omitempty"`
-	DetectorEveryIteration bool `json:"detector_every_iteration,omitempty"`
-	BroadcastDetector      bool `json:"broadcast_detector,omitempty"`
-	MaskLoopDetector       bool `json:"mask_loop_detector,omitempty"`
-	WholeRegisterSites     bool `json:"whole_register_sites,omitempty"`
-	MaskOblivious          bool `json:"mask_oblivious,omitempty"`
-
-	// Trace enables golden-vs-faulty divergence tracing: the finished
-	// study carries a propagation profile (GET /v1/jobs/{id}/explain) and
-	// the per-job registry gains trace.* metrics. Tracing bypasses the
-	// golden-run cache (divergence analysis needs a live golden ring).
-	Trace bool `json:"trace,omitempty"`
-
-	// Atlas enables per-static-site outcome attribution: the finished
-	// study's JSON carries a "sites" tally table, and the job's history
-	// entry records it for longitudinal comparison (vulfi diff).
-	Atlas bool `json:"atlas,omitempty"`
-
-	// Profile enables the execution profiler: the finished study's JSON
-	// carries a "hot_profile" object (hot opcodes, opcode pairs, hot
-	// sites, phase breakdown, exp/s timeline), also served standalone at
-	// GET /v1/jobs/{id}/profile. Profiling timestamps every interpreted
-	// instruction, so profiled wall times are not comparable to
-	// unprofiled runs.
-	Profile bool `json:"profile,omitempty"`
-
-	// Backend selects the execution backend: "tree" (or empty) runs the
-	// reference tree-walking interpreter, "vm" the compiled bytecode
-	// backend. The backends produce byte-identical results (the
-	// differential suite pins outcomes, counts, traps and study JSON),
-	// so the knob only affects throughput. Rides through the journal,
-	// so resumed jobs keep their backend.
-	Backend string `json:"backend,omitempty"`
-
-	// Timeline enables hierarchical span tracing: the finished study's
-	// JSON carries a "timeline" object (per-worker span lanes, Chrome
-	// trace-event exportable), served at GET /v1/jobs/{id}/timeline.
-	// Rides through the journal, so resumed jobs keep tracing — and a
-	// resumed study's timeline spans only its freshly executed tail.
-	Timeline bool `json:"timeline,omitempty"`
-
-	// TraceParent, when set, is a W3C trace-context traceparent header
-	// value ("00-<32hex>-<16hex>-01"): the study adopts its trace ID and
-	// nests its root span under the given span, so a remote client's
-	// trace parents the server-side spans. POST /v1/jobs also accepts a
-	// "traceparent" request header, copied here when this field is
-	// empty. Malformed values are rejected with a descriptive 400.
-	TraceParent string `json:"trace_parent,omitempty"`
-}
-
-// SpecFields returns the spec's JSON field names in declaration order —
-// the accepted request schema, quoted back to clients that send an
-// unknown field.
-func SpecFields() []string {
-	t := reflect.TypeOf(Spec{})
-	out := make([]string, 0, t.NumField())
-	for i := 0; i < t.NumField(); i++ {
-		tag := t.Field(i).Tag.Get("json")
-		if name, _, _ := strings.Cut(tag, ","); name != "" && name != "-" {
-			out = append(out, name)
-		}
-	}
-	return out
-}
-
-// ParseCategory resolves the CLI/API spelling of a fault-site category.
-func ParseCategory(name string) (passes.Category, error) {
-	switch strings.ToLower(name) {
-	case "pure-data", "puredata", "data":
-		return passes.PureData, nil
-	case "control", "ctrl":
-		return passes.Control, nil
-	case "address", "addr":
-		return passes.Address, nil
-	}
-	return 0, fmt.Errorf("unknown category %q (pure-data, control, address)", name)
-}
-
-// ParseScale resolves the wire spelling of an input-size regime.
-func ParseScale(name string) (benchmarks.Scale, error) {
-	switch strings.ToLower(name) {
-	case "", "default":
-		return benchmarks.ScaleDefault, nil
-	case "test", "small":
-		return benchmarks.ScaleTest, nil
-	case "large":
-		return benchmarks.ScaleLarge, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q (test, default, large)", name)
-}
-
-// ParseBackend resolves the CLI/API spelling of an execution backend.
-func ParseBackend(name string) (string, error) {
-	switch strings.ToLower(name) {
-	case "", "tree", "interp", "interpreter":
-		if name == "" {
-			return "", nil
-		}
-		return "tree", nil
-	case "vm", "bytecode":
-		return "vm", nil
-	}
-	return "", fmt.Errorf("unknown backend %q (tree, vm)", name)
-}
-
-// Config resolves the spec's name fields and validates the result via
-// campaign.Config.Validate — the same gate the CLIs and the root vulfi
-// package use — returning a runnable, normalized study configuration
-// (telemetry sinks and checkpoint hooks unset).
-func (s Spec) Config() (campaign.Config, error) {
-	var cfg campaign.Config
-	b := benchmarks.ByName(s.Benchmark)
-	if b == nil {
-		return cfg, fmt.Errorf("unknown benchmark %q", s.Benchmark)
-	}
-	target := isa.ByName(strings.ToUpper(s.ISA))
-	if target == nil {
-		return cfg, fmt.Errorf("unknown ISA %q (AVX, SSE)", s.ISA)
-	}
-	cat, err := ParseCategory(s.Category)
-	if err != nil {
-		return cfg, err
-	}
-	scale, err := ParseScale(s.Scale)
-	if err != nil {
-		return cfg, err
-	}
-	backend, err := ParseBackend(s.Backend)
-	if err != nil {
-		return cfg, err
-	}
-	cfg = campaign.Config{
-		Benchmark: b, ISA: target, Category: cat, Scale: scale,
-		Experiments: s.Experiments, Campaigns: s.Campaigns,
-		Seed: s.Seed, Workers: s.Workers, Inputs: s.Inputs,
-		Detectors:              s.Detectors,
-		DetectorEveryIteration: s.DetectorEveryIteration,
-		BroadcastDetector:      s.BroadcastDetector,
-		MaskLoopDetector:       s.MaskLoopDetector,
-		WholeRegisterSites:     s.WholeRegisterSites,
-		MaskOblivious:          s.MaskOblivious,
-		Trace:                  s.Trace,
-		Atlas:                  s.Atlas,
-		Profile:                s.Profile,
-		Backend:                backend,
-		Timeline:               s.Timeline,
-		TraceParent:            s.TraceParent,
-	}
-	if err := cfg.Validate(); err != nil {
-		return campaign.Config{}, err
-	}
-	return cfg, nil
-}
-
-// Total returns the job's experiment count after applying the paper
-// defaults RunStudy would apply.
-func (s Spec) Total() int {
-	e, c := s.Experiments, s.Campaigns
-	if e <= 0 {
-		e = 100
-	}
-	if c <= 0 {
-		c = 20
-	}
-	return e * c
-}
+func terminalState(s string) bool { return api.TerminalState(s) }

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Distributed-campaign smoke test: start a coordinator and two worker
+# vulfids, run a sharded study through `vulfi -remote -shards`, SIGKILL
+# one worker mid-study, and assert the merged result is byte-identical
+# (wall clocks and build stamp aside) to the same study run single-node
+# (DESIGN.md §16). Needs curl + jq.
+#
+# Usage: shard-smoke.sh [out-dir] — when out-dir is given, the merged
+# study JSON, the fleet view, and the daemon logs are copied there for
+# CI artifacts.
+set -euo pipefail
+
+OUT=${1:-}
+
+CADDR=127.0.0.1:${VULFID_PORT:-8667}
+W1ADDR=127.0.0.1:$((${VULFID_PORT:-8667} + 1))
+W2ADDR=127.0.0.1:$((${VULFID_PORT:-8667} + 2))
+CBASE=http://$CADDR
+WORK=$(mktemp -d)
+CPID= W1PID= W2PID=
+
+cleanup() {
+  for pid in "$CPID" "$W1PID" "$W2PID"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+die() { echo "FAIL: $*" >&2; exit 1; }
+
+start_daemon() { # addr journal extra-args... -> pid on stdout
+  local addr=$1 journal=$2
+  shift 2
+  "$WORK/vulfid" -addr "$addr" -journal "$journal" "$@" \
+    >"$WORK/$(basename "$journal").log" 2>&1 &
+  local pid=$!
+  for _ in $(seq 100); do
+    curl -sf "http://$addr/healthz" >/dev/null 2>&1 && { echo "$pid"; return; }
+    sleep 0.1
+  done
+  die "daemon did not come up on $addr"
+}
+
+go build -o "$WORK/vulfid" ./cmd/vulfid
+go build -o "$WORK/vulfi" ./cmd/vulfi
+
+CPID=$(start_daemon "$CADDR" "$WORK/coord" -coordinator)
+W1PID=$(start_daemon "$W1ADDR" "$WORK/w1" -join "$CADDR" -name w1)
+W2PID=$(start_daemon "$W2ADDR" "$WORK/w2" -join "$CADDR" -name w2)
+
+# The -join heartbeat registers each worker; wait until the coordinator
+# sees both.
+for _ in $(seq 100); do
+  FLEET=$(curl -sf "$CBASE/v1/workers" | jq '.workers | length')
+  [ "$FLEET" = 2 ] && break
+  sleep 0.1
+done
+[ "$FLEET" = 2 ] || die "fleet has $FLEET workers, want 2"
+echo "coordinator sees $FLEET workers"
+
+# 1000 experiments on single-worker shards: slow enough that killing a
+# worker lands mid-study and forces a shard reassignment.
+SPEC=(-benchmark Blackscholes -category control -isa AVX
+  -experiments 50 -campaigns 20 -seed 9 -workers 1)
+"$WORK/vulfi" -remote "$CADDR" -shards 4 -json "${SPEC[@]}" \
+  >"$WORK/sharded.json" 2>"$WORK/vulfi.log" &
+VPID=$!
+
+# Wait for the sharded job to make progress, then pull the plug on w2.
+for _ in $(seq 200); do
+  DONE=$(curl -sf "$CBASE/v1/jobs" | jq -r '.jobs[0].done // 0')
+  [ "$DONE" -gt 0 ] && break
+  sleep 0.1
+done
+[ "$DONE" -gt 0 ] || die "no sharded experiments completed before timeout"
+echo "SIGKILL worker w2 at $DONE harvested experiments"
+kill -KILL "$W2PID"
+W2PID=
+
+wait "$VPID" || { cat "$WORK/vulfi.log" >&2; die "sharded study failed"; }
+
+STATE=$(curl -sf "$CBASE/v1/jobs" | jq -r '.jobs[0].state')
+[ "$STATE" = done ] || die "sharded job ended $STATE, want done"
+
+# The acceptance bar: the merged sharded study must match the same seed
+# run single-node field for field. Wall-clock fields and the build
+# stamp are the only legitimate differences (the reference arm runs via
+# `go run`, which does not stamp the binary).
+STRIP='del(.wall_total_ns, .wall_min_ns, .wall_mean_ns, .wall_max_ns, .build)'
+REF=$(go run ./cmd/vulfi -json "${SPEC[@]}" | jq -S "$STRIP")
+GOT=$(jq -S "$STRIP" "$WORK/sharded.json")
+[ "$REF" = "$GOT" ] || {
+  diff <(echo "$REF") <(echo "$GOT") >&2 || true
+  die "sharded study differs from the single-node run"
+}
+echo "sharded study matches the single-node run field-for-field"
+
+# The dead worker must still be visible in the fleet view, not
+# silently dropped.
+curl -sf "$CBASE/v1/workers" >"$WORK/fleet.json"
+W2STATE=$(jq -r '.workers[] | select(.name == "w2") | .state' "$WORK/fleet.json")
+[ -n "$W2STATE" ] || die "killed worker vanished from the fleet view"
+echo "fleet view: w2 is $W2STATE after SIGKILL"
+
+if [ -n "$OUT" ]; then
+  mkdir -p "$OUT"
+  cp "$WORK/sharded.json" "$WORK/fleet.json" "$WORK"/*.log "$OUT/"
+fi
+
+echo "PASS: sharded study survived a killed worker and merged byte-identically"

@@ -209,6 +209,46 @@ func WithBackend(name string) StudyOption {
 	return func(c *campaign.Config) error { c.Backend = name; return nil }
 }
 
+// WithProfile enables the execution profiler: the study result carries
+// a hot-path profile (hot opcodes, opcode pairs, hot sites, phase
+// breakdown, exp/s timeline). Profiling timestamps every interpreted
+// instruction, so profiled wall times are not comparable to unprofiled
+// runs.
+func WithProfile() StudyOption {
+	return func(c *campaign.Config) error { c.Profile = true; return nil }
+}
+
+// WithTimeline enables hierarchical span tracing: the study result
+// carries an obs.Timeline (study → experiment → golden/faulty/compare
+// spans, one lane per worker) exportable as Chrome trace-event JSON.
+func WithTimeline() StudyOption {
+	return func(c *campaign.Config) error { c.Timeline = true; return nil }
+}
+
+// WithTraceParent nests the study's timeline under an existing W3C
+// trace-context span: tp is a traceparent header value
+// ("00-<32hex>-<16hex>-01") whose trace ID the study adopts and whose
+// span ID parents the study's root span. Malformed values are rejected
+// by NewStudy's validation.
+func WithTraceParent(tp string) StudyOption {
+	return func(c *campaign.Config) error { c.TraceParent = tp; return nil }
+}
+
+// WithShardRange restricts execution to experiment indices in the
+// half-open range [start, end) of the deterministic schedule — one
+// shard of the study. Out-of-range indices neither execute nor
+// aggregate, so the shard's result covers only its range; a
+// coordinator merges shards by replaying their checkpointed triples
+// through the Completed map of an unsharded configuration, which
+// reproduces the single-node aggregation exactly. end must be positive
+// and within the schedule; NewStudy validates the range.
+func WithShardRange(start, end int) StudyOption {
+	return func(c *campaign.Config) error {
+		c.ShardStart, c.ShardEnd = start, end
+		return nil
+	}
+}
+
 // WithConfig applies fn to the underlying configuration — the escape
 // hatch for fields without a dedicated option (telemetry sinks,
 // checkpoint hooks, replay maps).
