@@ -31,7 +31,11 @@
 // for one lane per worker — plus the raw span list to FILE.jsonl.
 // Combined with -remote, the client generates a W3C traceparent, the
 // daemon's spans nest under the client's root span, and FILE holds the
-// single merged trace.
+// single merged trace. Both -timeline and -profile also combine with
+// -shards: the coordinator harvests each shard's span tree and profile
+// from its workers and serves the fleet-wide merge, so the written
+// trace shows one lane group per worker under the coordinator's
+// dispatch lane, and the profile's counts equal a single-node run's.
 package main
 
 import (
@@ -123,9 +127,6 @@ func main() {
 		case *atlasOut != "" || *histOut != "":
 			fail(cliutil.MutuallyExclusive("atlas/-history", "remote",
 				"these run locally; a vulfid daemon records its own history (GET /v1/history)"))
-		case *profOut != "":
-			fail(cliutil.MutuallyExclusive("profile", "remote",
-				"-profile runs locally; against a daemon use GET /v1/jobs/{id}/profile"))
 		}
 	}
 	if *shards > 0 {
@@ -136,9 +137,6 @@ func main() {
 		case *traceRuns:
 			fail(cliutil.MutuallyExclusive("shards", "trace",
 				"traces attach to fresh local executions, not harvested shard results"))
-		case *timelineOut != "":
-			fail(cliutil.MutuallyExclusive("shards", "timeline",
-				"timelines attach to fresh local executions, not harvested shard results"))
 		}
 	}
 	remoteAPIKey = *apiKey
@@ -198,7 +196,7 @@ func main() {
 	}
 
 	if *remote != "" {
-		if err := runRemote(ctx, *remote, spec, *jsonOut, *tel.Progress, *timelineOut); err != nil {
+		if err := runRemote(ctx, *remote, spec, *jsonOut, *tel.Progress, *timelineOut, *profOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

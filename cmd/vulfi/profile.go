@@ -12,10 +12,16 @@ import (
 // stacks (flamegraph.pl-compatible) to path, and the self-contained
 // HTML flame graph to path+".html".
 func writeProfileFiles(path, title string, sr *campaign.StudyResult) error {
-	p := sr.HotProfile
-	if p == nil {
+	if sr.HotProfile == nil {
 		return fmt.Errorf("study carries no execution profile")
 	}
+	return writeProfileArtifacts(path, title, sr.HotProfile)
+}
+
+// writeProfileArtifacts is the profile-value form, shared with the
+// remote path (which fetches the daemon's — possibly fleet-merged —
+// profile over the API rather than out of a local StudyResult).
+func writeProfileArtifacts(path, title string, p *profile.Profile) error {
 	folded, err := os.Create(path)
 	if err != nil {
 		return err

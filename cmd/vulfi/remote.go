@@ -10,6 +10,7 @@ import (
 
 	"vulfi/internal/client"
 	"vulfi/internal/obs"
+	"vulfi/internal/profile"
 	"vulfi/internal/server"
 )
 
@@ -29,9 +30,15 @@ var remoteAPIKey string
 // merges the daemon's timeline under that root span into one
 // Perfetto-loadable trace: the client lane shows the whole
 // submit-to-result window, the server lanes the per-worker experiment
-// spans inside it.
+// spans inside it. On a sharded job the daemon's timeline is already
+// the coordinator's fleet merge, so the same fetch yields one lane
+// group per worker.
+//
+// With profileOut set the finished job's execution profile (the fleet
+// merge, for sharded jobs) is fetched and written as folded stacks plus
+// an HTML flame graph, exactly like a local -profile run.
 func runRemote(ctx context.Context, addr string, spec server.Spec,
-	jsonOut, progress bool, timelineOut string) error {
+	jsonOut, progress bool, timelineOut, profileOut string) error {
 
 	notify := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -98,7 +105,36 @@ func runRemote(ctx context.Context, addr string, spec server.Spec,
 				timelineOut, timelineOut)
 		}
 	}
+	if profileOut != "" && final.State == server.StateDone {
+		if err := fetchProfile(ctx, cl, st.ID, spec, profileOut); err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "folded stacks written to %s, flame graph to %s.html\n",
+				profileOut, profileOut)
+		}
+	}
 	return printRemoteResult(final, jsonOut)
+}
+
+// fetchProfile pulls the finished job's execution profile from the
+// daemon and writes the same artifacts a local -profile run produces.
+func fetchProfile(ctx context.Context, cl *client.Client, id string,
+	spec server.Spec, path string) error {
+
+	raw, err := cl.Profile(ctx, id)
+	if err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("job %s has no execution profile in its result", id)
+	}
+	var p profile.Profile
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return err
+	}
+	title := fmt.Sprintf("%s/%s/%s seed=%d",
+		spec.Benchmark, spec.ISA, spec.Category, spec.Seed)
+	return writeProfileArtifacts(path, title, &p)
 }
 
 // fetchMergedTimeline pulls the finished job's timeline from the daemon

@@ -45,7 +45,7 @@ func TestRemoteMergedTimeline(t *testing.T) {
 	old := os.Stdout
 	null, _ := os.Open(os.DevNull)
 	os.Stdout = null
-	err = runRemote(context.Background(), ts.URL, spec, true, false, out)
+	err = runRemote(context.Background(), ts.URL, spec, true, false, out, "")
 	os.Stdout = old
 	null.Close()
 	if err != nil {

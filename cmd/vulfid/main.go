@@ -30,6 +30,14 @@
 // the coordinator should dial back (needed when the bind address is
 // not reachable from the coordinator's side).
 //
+// Sharded jobs submitted with "timeline" or "profile" stay observable:
+// the coordinator harvests each shard's span tree and profile snapshot
+// from its workers and serves the fleet-wide merge on the job's usual
+// /timeline and /profile sub-resources, and GET /v1/fleet (also shown
+// on /dashboard) aggregates per-worker harvest throughput, lag, and
+// reassignment/loss counters — journaled alongside the experiment
+// checkpoints, so a restarted coordinator keeps the history.
+//
 // # Multi-tenant access
 //
 // -api-key KEY[=TENANT] (repeatable as a comma list) puts every /v1

@@ -36,8 +36,13 @@ import (
 // auth with 401 and per-tenant quota 429 responses, the "tenant"
 // status field, worker-fleet registration via POST/GET /v1/workers,
 // GET /v1/jobs/{id}/experiments and the coordinator's "shard" SSE
-// event).
-const APIVersion = "1.6"
+// event; 1.7 accepted "timeline" and "profile" on sharded jobs — the
+// coordinator harvests each shard's span tree and profile snapshot and
+// serves the fleet-wide merge on the usual /timeline and /profile
+// sub-resources — and added the fleet metrics view GET /v1/fleet plus
+// the coordinator's "fleet" SSE event for worker loss and shard
+// reassignment).
+const APIVersion = "1.7"
 
 // Job lifecycle states. A job moves queued → running → {done, failed,
 // cancelled}; cancellation can also hit a queued job directly. A
@@ -160,7 +165,9 @@ type Spec struct {
 	// sites, phase breakdown, exp/s timeline), also served standalone at
 	// GET /v1/jobs/{id}/profile. Profiling timestamps every interpreted
 	// instruction, so profiled wall times are not comparable to
-	// unprofiled runs.
+	// unprofiled runs. On a sharded job the coordinator harvests each
+	// shard's profile and serves the merged fleet profile, whose counts
+	// equal the single-node run's.
 	Profile bool `json:"profile,omitempty"`
 
 	// Backend selects the execution backend: "tree" (or empty) runs the
@@ -175,7 +182,9 @@ type Spec struct {
 	// JSON carries a "timeline" object (per-worker span lanes, Chrome
 	// trace-event exportable), served at GET /v1/jobs/{id}/timeline.
 	// Rides through the journal, so resumed jobs keep tracing — and a
-	// resumed study's timeline spans only its freshly executed tail.
+	// resumed study's timeline spans only its freshly executed tail. On
+	// a sharded job the coordinator harvests each shard's span tree and
+	// serves one fleet-wide timeline with a lane group per worker.
 	Timeline bool `json:"timeline,omitempty"`
 
 	// TraceParent, when set, is a W3C trace-context traceparent header
@@ -340,6 +349,66 @@ type ShardEvent struct {
 	State string `json:"state"`
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
+}
+
+// FleetEvent is the SSE payload of the coordinator's "fleet" events:
+// fleet-level incidents on a sharded job's stream — a worker going
+// unreachable mid-shard, and the shard's unharvested remainder being
+// put back on the pending list for reassignment.
+type FleetEvent struct {
+	// Type is "worker_lost" (a dispatched worker stopped answering) or
+	// "reassigned" (a failed shard's remainder went back on the pending
+	// list).
+	Type string `json:"type"`
+	// Worker is the worker's URL ("local" for an in-process shard).
+	Worker string `json:"worker"`
+	// Lo/Hi delimit the affected experiment-index range, when one is.
+	Lo int `json:"lo,omitempty"`
+	Hi int `json:"hi,omitempty"`
+	// Error carries the failure detail, when there is one.
+	Error string `json:"error,omitempty"`
+}
+
+// FleetWorkerStats is one worker's aggregated harvest observability in
+// the coordinator's fleet metrics view (GET /v1/fleet). The counters
+// accumulate across jobs and — because every harvest is journaled with
+// the experiment checkpoints — across coordinator restarts.
+type FleetWorkerStats struct {
+	// Worker is the display identity: the registered name when one was
+	// given, the URL otherwise, "local" for in-process shards.
+	Worker string `json:"worker"`
+	URL    string `json:"url,omitempty"`
+	// State mirrors the registry view ("alive"/"lost"; empty for the
+	// coordinator's local lane, which is not a registered worker).
+	State string `json:"state,omitempty"`
+	// Harvested counts experiment triples pulled from this worker.
+	Harvested int `json:"harvested"`
+	// ExpPerSec is the observed harvest throughput: triples over the
+	// wall time the worker spent producing them — the signal adaptive
+	// shard sizing needs.
+	ExpPerSec float64 `json:"exp_per_sec"`
+	// HarvestLagNS is the time since the last successful harvest from
+	// this worker (0 when it never delivered).
+	HarvestLagNS int64 `json:"harvest_lag_ns,omitempty"`
+	// Assigned/Completed/Failures mirror the registry's shard counters.
+	Assigned  int `json:"assigned,omitempty"`
+	Completed int `json:"completed,omitempty"`
+	Failures  int `json:"failures,omitempty"`
+}
+
+// FleetResponse is the body of GET /v1/fleet: the coordinator's fleet
+// metrics — per-worker harvest throughput plus the incident counters
+// the "fleet" SSE events increment.
+type FleetResponse struct {
+	Coordinator bool `json:"coordinator"`
+	// Reassigned counts shard ranges re-planned after a failure;
+	// WorkersLost counts workers that went unreachable mid-shard.
+	Reassigned  int64 `json:"reassigned"`
+	WorkersLost int64 `json:"workers_lost"`
+	// Stalls counts experiments the per-job watchdogs have flagged as
+	// stalled, summed over every known job.
+	Stalls  int64              `json:"stalls"`
+	Workers []FleetWorkerStats `json:"workers"`
 }
 
 // ExperimentRecord is one checkpointed (index, seed, result) triple, as

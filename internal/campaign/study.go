@@ -355,7 +355,7 @@ dispatch:
 	}
 	sr.Wall = time.Since(start)
 	if p.obs != nil {
-		p.obs.Ctl("study", p.obs.Root(), p.obs.Parent(), start, sr.Wall,
+		p.obs.Ctl(studyRootName(cfg), p.obs.Root(), p.obs.Parent(), start, sr.Wall,
 			studyAttrs(cfg, total))
 		sr.Timeline = p.obs.Finish(sr.Wall)
 	}

@@ -92,8 +92,20 @@ func newTimelineCollector(cfg Config, epoch time.Time) *obs.Collector {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	tid, parent := cfg.traceIdentity()
-	root := obs.DeriveSpanID(tid, "study", cfg.Seed)
+	root := obs.DeriveSpanID(tid, studyRootName(cfg), cfg.Seed)
 	return obs.NewCollector(tid, root, parent, workers, epoch)
+}
+
+// studyRootName names the study's root span: "study" for a whole
+// study, "study[lo,hi)" for a shard. Shards of one study share the
+// coordinator's trace ID (via traceparent) and the study seed; the
+// range keeps their root span IDs distinct — and their rendered names
+// tell shards apart in a fleet-merged trace.
+func studyRootName(cfg Config) string {
+	if cfg.ShardEnd > 0 {
+		return fmt.Sprintf("study[%d,%d)", cfg.ShardStart, cfg.ShardEnd)
+	}
+	return "study"
 }
 
 // studyAttrs are the root span's attributes. Deliberately excludes the

@@ -394,6 +394,17 @@ func (c *Client) Workers(ctx context.Context) (*api.WorkersResponse, error) {
 	return &body, nil
 }
 
+// Fleet fetches the coordinator's fleet metrics view (GET /v1/fleet):
+// per-worker harvest throughput and lag, plus the reassignment,
+// worker-loss and stall counters.
+func (c *Client) Fleet(ctx context.Context) (*api.FleetResponse, error) {
+	var body api.FleetResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/fleet", nil, &body); err != nil {
+		return nil, err
+	}
+	return &body, nil
+}
+
 // errTailDone is the sentinel an Events callback returns to end the
 // stream cleanly.
 var errTailDone = errors.New("client: tail done")

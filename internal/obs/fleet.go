@@ -1,0 +1,86 @@
+package obs
+
+import "sort"
+
+// ShardTimeline is one harvested shard timeline plus its fleet identity:
+// the display name of the worker that executed the shard ("local" for a
+// shard the coordinator ran in-process).
+type ShardTimeline struct {
+	Worker   string
+	Timeline *Timeline
+}
+
+// MergeShards folds harvested shard timelines into the coordinator's own
+// timeline, producing one fleet-wide trace. The coordinator's spans
+// (dispatch, harvest, merge) keep lane 0, renamed "coordinator"; each
+// fleet worker gets one contiguous lane group, its lanes named
+// "<worker> <lane>" ("w1 control", "w1 worker 0", …). Shards that ran on
+// the same worker share that worker's lane group — shard jobs run
+// sequentially on a worker, so their same-named lanes reuse one display
+// row. Shard offsets re-anchor to the coordinator's epoch exactly as
+// MergeRemote re-anchors a server timeline, and the span tree stays
+// joinable by ID: each shard's study root is parented under the
+// coordinator's per-shard dispatch span via traceparent.
+//
+// A shard timeline whose root span ID was already merged is skipped —
+// that is a duplicate harvest (a coordinator restart replaying an
+// already-journaled shard), not new work.
+func MergeShards(coord *Timeline, shards []ShardTimeline) *Timeline {
+	t := &Timeline{
+		TraceID: coord.TraceID, Root: coord.Root, Parent: coord.Parent,
+		Start: coord.Start, WallNS: coord.WallNS,
+	}
+	t.Lanes = append(t.Lanes, "coordinator")
+	for i := 1; i < len(coord.Lanes); i++ {
+		t.Lanes = append(t.Lanes, "coordinator "+coord.Lanes[i])
+	}
+	t.Spans = append(t.Spans, coord.Spans...)
+
+	// Lane groups: first-seen worker order, one merged lane per distinct
+	// (worker, lane name) pair.
+	laneOf := map[[2]string]int{}
+	var workerOrder []string
+	seenWorker := map[string]bool{}
+	seenRoot := map[string]bool{}
+	grouped := map[string][]*Timeline{}
+	for _, sh := range shards {
+		if sh.Timeline == nil || seenRoot[sh.Timeline.Root] {
+			continue
+		}
+		seenRoot[sh.Timeline.Root] = true
+		if !seenWorker[sh.Worker] {
+			seenWorker[sh.Worker] = true
+			workerOrder = append(workerOrder, sh.Worker)
+		}
+		grouped[sh.Worker] = append(grouped[sh.Worker], sh.Timeline)
+	}
+	for _, w := range workerOrder {
+		for _, tl := range grouped[w] {
+			off := tl.Start.Sub(t.Start).Nanoseconds()
+			for _, s := range tl.Spans {
+				name := "?"
+				if s.Lane >= 0 && s.Lane < len(tl.Lanes) {
+					name = tl.Lanes[s.Lane]
+				}
+				key := [2]string{w, name}
+				lane, ok := laneOf[key]
+				if !ok {
+					lane = len(t.Lanes)
+					laneOf[key] = lane
+					t.Lanes = append(t.Lanes, w+" "+name)
+				}
+				s.Lane = lane
+				s.StartNS += off
+				t.Spans = append(t.Spans, s)
+			}
+			t.Workers += tl.Workers
+		}
+	}
+	sort.SliceStable(t.Spans, func(i, j int) bool {
+		if t.Spans[i].StartNS != t.Spans[j].StartNS {
+			return t.Spans[i].StartNS < t.Spans[j].StartNS
+		}
+		return t.Spans[i].ID < t.Spans[j].ID
+	})
+	return t
+}

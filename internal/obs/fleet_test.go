@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fleetEpoch anchors the synthetic coordinator timeline; shard
+// timelines start later and must re-anchor against it.
+var fleetEpoch = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+// coordTimeline builds a minimal coordinator-side timeline: a study
+// root on the control lane plus one dispatch span per shard range.
+func coordTimeline(shardSpans ...Span) *Timeline {
+	t := &Timeline{
+		TraceID: "c0ffee", Root: "root00", Start: fleetEpoch,
+		WallNS: 10_000, Lanes: []string{"control"},
+		Spans: []Span{{Name: "study", ID: "root00", Lane: 0, StartNS: 0, DurNS: 10_000}},
+	}
+	t.Spans = append(t.Spans, shardSpans...)
+	return t
+}
+
+// shardTimeline builds one harvested worker timeline whose study root
+// carries the coordinator's dispatch span as its traceparent parent.
+func shardTimeline(root, parent string, startOff int64, spanIDs ...string) *Timeline {
+	t := &Timeline{
+		TraceID: "c0ffee", Root: root, Parent: parent,
+		Start:  fleetEpoch.Add(time.Duration(startOff)),
+		WallNS: 2_000, Workers: 1,
+		Lanes: []string{"control", "worker 0"},
+		Spans: []Span{{Name: "study", ID: root, Parent: parent, Lane: 0, StartNS: 0, DurNS: 2_000}},
+	}
+	for i, id := range spanIDs {
+		t.Spans = append(t.Spans, Span{
+			Name: "experiment", ID: id, Parent: root, Lane: 1,
+			StartNS: int64(100 * (i + 1)), DurNS: 50,
+		})
+	}
+	return t
+}
+
+// TestMergeShardsLanesAndAnchoring: lane 0 renames to "coordinator",
+// each worker gets one lane group named "<worker> <lane>", and shard
+// span offsets re-anchor to the coordinator's epoch.
+func TestMergeShardsLanesAndAnchoring(t *testing.T) {
+	coord := coordTimeline(
+		Span{Name: "shard[0,3)", ID: "sh0", Parent: "root00", Lane: 0, StartNS: 10, DurNS: 5000},
+		Span{Name: "shard[3,5)", ID: "sh1", Parent: "root00", Lane: 0, StartNS: 10, DurNS: 4000},
+	)
+	m := MergeShards(coord, []ShardTimeline{
+		{Worker: "w1", Timeline: shardTimeline("s0root", "sh0", 500, "e0", "e1")},
+		{Worker: "w2", Timeline: shardTimeline("s1root", "sh1", 700, "e2")},
+	})
+
+	wantLanes := []string{"coordinator", "w1 control", "w1 worker 0", "w2 control", "w2 worker 0"}
+	if !reflect.DeepEqual(m.Lanes, wantLanes) {
+		t.Fatalf("merged lanes %v, want %v", m.Lanes, wantLanes)
+	}
+	if m.TraceID != coord.TraceID || m.Root != coord.Root {
+		t.Fatalf("merged identity %s/%s, want coordinator's %s/%s",
+			m.TraceID, m.Root, coord.TraceID, coord.Root)
+	}
+	if m.Workers != 2 {
+		t.Fatalf("Workers = %d, want 2 (summed over shards)", m.Workers)
+	}
+
+	byID := map[string]Span{}
+	for _, s := range m.Spans {
+		byID[s.ID] = s
+	}
+	// w1's shard started 500ns after the coordinator epoch: its study
+	// root moves from offset 0 to 500, its first experiment from 100 to
+	// 600.
+	if got := byID["s0root"].StartNS; got != 500 {
+		t.Errorf("shard 0 root re-anchored to %d, want 500", got)
+	}
+	if got := byID["e0"].StartNS; got != 600 {
+		t.Errorf("shard 0 experiment re-anchored to %d, want 600", got)
+	}
+	if got := byID["e2"].StartNS; got != 800 {
+		t.Errorf("shard 1 experiment re-anchored to %d, want 800", got)
+	}
+	// Lane remapping: w2's worker-lane experiment lives on the "w2
+	// worker 0" lane.
+	if got, want := byID["e2"].Lane, 4; got != want {
+		t.Errorf("e2 on lane %d (%q), want %d (%q)",
+			got, m.Lanes[got], want, wantLanes[want])
+	}
+}
+
+// TestMergeShardsJoinable: the merged span set forms one tree — every
+// shard study root parents under the coordinator dispatch span named in
+// its traceparent, so Perfetto's flow rendering can walk fleet-wide.
+func TestMergeShardsJoinable(t *testing.T) {
+	coord := coordTimeline(
+		Span{Name: "shard[0,3)", ID: "sh0", Parent: "root00", Lane: 0, StartNS: 10, DurNS: 5000},
+	)
+	m := MergeShards(coord, []ShardTimeline{
+		{Worker: "w1", Timeline: shardTimeline("s0root", "sh0", 500, "e0")},
+	})
+	parent := map[string]string{}
+	for _, s := range m.Spans {
+		parent[s.ID] = s.Parent
+	}
+	for id := range parent {
+		// Walk to the root; every span must reach it through IDs present
+		// in the merged set.
+		seen := 0
+		for cur := id; cur != "root00"; cur = parent[cur] {
+			p, ok := parent[cur]
+			if !ok {
+				t.Fatalf("span %s dangles at %q (parent not merged)", id, cur)
+			}
+			if _, ok := parent[p]; !ok && p != "" {
+				t.Fatalf("span %s has unmerged parent %q", cur, p)
+			}
+			if seen++; seen > len(parent) {
+				t.Fatalf("parent cycle reaching %s", id)
+			}
+		}
+	}
+	if parent["s0root"] != "sh0" {
+		t.Fatalf("shard root parents %q, want coordinator dispatch span sh0",
+			parent["s0root"])
+	}
+}
+
+// TestMergeShardsDuplicateRootDropped: a coordinator that restarts
+// mid-study replays journaled shard observability and may harvest the
+// same shard twice; the second copy (same study root ID) is a
+// duplicate, not new work.
+func TestMergeShardsDuplicateRootDropped(t *testing.T) {
+	coord := coordTimeline(
+		Span{Name: "shard[0,3)", ID: "sh0", Parent: "root00", Lane: 0, StartNS: 10, DurNS: 5000},
+	)
+	one := MergeShards(coord, []ShardTimeline{
+		{Worker: "w1", Timeline: shardTimeline("s0root", "sh0", 500, "e0", "e1")},
+	})
+	dup := MergeShards(coord, []ShardTimeline{
+		{Worker: "w1", Timeline: shardTimeline("s0root", "sh0", 500, "e0", "e1")},
+		{Worker: "w1", Timeline: shardTimeline("s0root", "sh0", 900, "e0", "e1")},
+		{Worker: "w9", Timeline: shardTimeline("s0root", "sh0", 900, "e0", "e1")},
+	})
+	if !reflect.DeepEqual(dup, one) {
+		t.Fatalf("duplicate shard harvest changed the merge:\n got %+v\nwant %+v", dup, one)
+	}
+	if len(dup.Lanes) != 3 {
+		t.Fatalf("duplicate harvest grew lanes: %v", dup.Lanes)
+	}
+}
+
+// TestMergeShardsOutOfOrderHarvest: harvest order is coordinator
+// scheduling noise. Shards arriving in any order produce the same span
+// set (the merge sorts by start offset then ID); lane *naming* tracks
+// first-seen worker order, so lane indices are remapped before
+// comparing.
+func TestMergeShardsOutOfOrderHarvest(t *testing.T) {
+	coord := coordTimeline(
+		Span{Name: "shard[0,3)", ID: "sh0", Parent: "root00", Lane: 0, StartNS: 10, DurNS: 5000},
+		Span{Name: "shard[3,5)", ID: "sh1", Parent: "root00", Lane: 0, StartNS: 10, DurNS: 4000},
+	)
+	sh := []ShardTimeline{
+		{Worker: "w1", Timeline: shardTimeline("s0root", "sh0", 500, "e0", "e1")},
+		{Worker: "w2", Timeline: shardTimeline("s1root", "sh1", 700, "e2")},
+	}
+	fwd := MergeShards(coord, sh)
+	rev := MergeShards(coord, []ShardTimeline{sh[1], sh[0]})
+
+	canon := func(m *Timeline) []Span {
+		out := make([]Span, len(m.Spans))
+		for i, s := range m.Spans {
+			if s.Lane >= 0 && s.Lane < len(m.Lanes) {
+				s.Lane = 0 // compare by lane *name*, captured below
+				s.Name = m.Lanes[m.Spans[i].Lane] + "/" + s.Name
+			}
+			out[i] = s
+		}
+		return out
+	}
+	if !reflect.DeepEqual(canon(fwd), canon(rev)) {
+		t.Fatalf("harvest order changed the merged span set:\n fwd %+v\n rev %+v",
+			canon(fwd), canon(rev))
+	}
+}
+
+// TestMergeShardsNilTimelineSkipped: a shard whose worker died before
+// observability harvest contributes no timeline; the merge tolerates
+// the hole instead of panicking.
+func TestMergeShardsNilTimelineSkipped(t *testing.T) {
+	coord := coordTimeline()
+	m := MergeShards(coord, []ShardTimeline{
+		{Worker: "w1", Timeline: nil},
+		{Worker: "w2", Timeline: shardTimeline("s0root", "", 100, "e0")},
+	})
+	if len(m.Lanes) != 3 || m.Lanes[1] != "w2 control" {
+		t.Fatalf("nil shard timeline still claimed a lane: %v", m.Lanes)
+	}
+}
+
+// TestMergeShardsSpanOrder: the merged stream is sorted by start offset
+// with ID as the tiebreak — the stable order the JSONL export and the
+// text digest rely on.
+func TestMergeShardsSpanOrder(t *testing.T) {
+	coord := coordTimeline(
+		Span{Name: "shard[0,3)", ID: "sh0", Parent: "root00", Lane: 0, StartNS: 10, DurNS: 5000},
+	)
+	m := MergeShards(coord, []ShardTimeline{
+		{Worker: "w1", Timeline: shardTimeline("s0root", "sh0", 5, "e0", "e1")},
+	})
+	for i := 1; i < len(m.Spans); i++ {
+		a, b := m.Spans[i-1], m.Spans[i]
+		if a.StartNS > b.StartNS || (a.StartNS == b.StartNS && a.ID > b.ID) {
+			t.Fatalf("span %d (%s@%d) before span %d (%s@%d): not sorted",
+				i-1, a.ID, a.StartNS, i, b.ID, b.StartNS)
+		}
+	}
+}

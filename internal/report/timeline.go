@@ -4,17 +4,44 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"vulfi/internal/obs"
 )
 
+// fleetGroups counts the worker lane groups of a fleet-merged timeline
+// (0 when tl is a plain single-node timeline): lanes after the
+// "coordinator" lane are named "<worker> control" / "<worker> worker N"
+// by obs.MergeShards, and each distinct <worker> prefix is one group.
+func fleetGroups(lanes []string) int {
+	if len(lanes) == 0 || lanes[0] != "coordinator" {
+		return 0
+	}
+	groups := map[string]bool{}
+	for _, name := range lanes[1:] {
+		base := name
+		if i := strings.LastIndex(base, " worker "); i >= 0 {
+			base = base[:i]
+		} else if s, ok := strings.CutSuffix(base, " control"); ok {
+			base = s
+		}
+		groups[base] = true
+	}
+	return len(groups)
+}
+
 // WriteTimeline renders the span timeline's text digest — trace
 // identity, per-phase wall totals, per-lane utilization and the slowest
 // experiments — the at-a-glance version of the Perfetto view the
-// trace-event export opens.
+// trace-event export opens. A fleet-merged timeline (lane 0 named
+// "coordinator", worker lanes prefixed with their worker's name) gets
+// an extra line counting its lane groups.
 func WriteTimeline(w io.Writer, tl *obs.Timeline) {
 	fmt.Fprintf(w, "timeline: trace %s  %d spans  wall %.1f ms\n",
 		tl.TraceID, len(tl.Spans), float64(tl.WallNS)/1e6)
+	if groups := fleetGroups(tl.Lanes); groups > 0 {
+		fmt.Fprintf(w, "fleet: coordinator + %d worker lane group(s)\n", groups)
+	}
 
 	type agg struct {
 		n   int
@@ -51,8 +78,12 @@ func WriteTimeline(w io.Writer, tl *obs.Timeline) {
 
 	if len(laneBusy) > 0 && tl.WallNS > 0 {
 		lanes := make([]int, 0, len(laneBusy))
+		width := 10
 		for l := range laneBusy {
 			lanes = append(lanes, l)
+			if l >= 0 && l < len(tl.Lanes) && len(tl.Lanes[l]) > width {
+				width = len(tl.Lanes[l])
+			}
 		}
 		sort.Ints(lanes)
 		fmt.Fprintf(w, "lane utilization (experiment time / study wall):\n")
@@ -61,8 +92,8 @@ func WriteTimeline(w io.Writer, tl *obs.Timeline) {
 			if l >= 0 && l < len(tl.Lanes) {
 				name = tl.Lanes[l]
 			}
-			fmt.Fprintf(w, "    %-10s %5.1f%%\n",
-				name, 100*float64(laneBusy[l])/float64(tl.WallNS))
+			fmt.Fprintf(w, "    %-*s %5.1f%%\n",
+				width, name, 100*float64(laneBusy[l])/float64(tl.WallNS))
 		}
 	}
 

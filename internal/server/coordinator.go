@@ -2,11 +2,16 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"vulfi/internal/api"
 	"vulfi/internal/campaign"
+	"vulfi/internal/obs"
+	"vulfi/internal/profile"
 )
 
 // Coordinator mode: a job submitted with "shards": N > 1 is not run on
@@ -113,6 +118,106 @@ func (s *Server) harvestEvery() time.Duration {
 	return defaultHarvestEvery
 }
 
+// coordObs records the coordinator's own side of a timeline-enabled
+// sharded job — the dispatch/harvest/merge spans that become lane 0
+// ("coordinator") of the fleet timeline. Its trace identity is exactly
+// the one a single-node run of the spec would derive (or the one the
+// submitting client sent via traceparent), and each shard's dispatched
+// spec carries a traceparent naming that shard's coordinator span, so
+// the worker's study root nests under it — MergeRemote's causality
+// seam, one level deeper. nil when the job is untraced; all methods are
+// nil-safe.
+type coordObs struct {
+	col   *obs.Collector
+	tid   string
+	seed  int64
+	epoch time.Time
+	attrs map[string]string
+}
+
+func newCoordObs(job *Job, epoch time.Time) *coordObs {
+	if !job.Spec.Timeline {
+		return nil
+	}
+	cfg, err := job.Spec.Config()
+	if err != nil {
+		return nil // Submit already validated; unreachable in practice
+	}
+	var tid, parent string
+	if job.Spec.TraceParent != "" {
+		tid, parent, _ = obs.ParseTraceparent(job.Spec.TraceParent)
+	}
+	if tid == "" {
+		tid = obs.DeriveTraceID(fmt.Sprintf("%s seed=%d", cfg.String(), cfg.Seed))
+	}
+	root := obs.DeriveSpanID(tid, "study", cfg.Seed)
+	backend := cfg.Backend
+	if backend == "" {
+		backend = "tree"
+	}
+	return &coordObs{
+		col:   obs.NewCollector(tid, root, parent, 0, epoch),
+		tid:   tid,
+		seed:  cfg.Seed,
+		epoch: epoch,
+		attrs: map[string]string{
+			"benchmark":   cfg.Benchmark.Name,
+			"isa":         cfg.ISA.Name,
+			"category":    cfg.Category.String(),
+			"backend":     backend,
+			"seed":        strconv.FormatInt(cfg.Seed, 10),
+			"experiments": strconv.Itoa(job.Spec.ScheduleTotal()),
+			"shards":      strconv.Itoa(job.Spec.Shards),
+		},
+	}
+}
+
+// shardSpanID derives the deterministic coordinator span ID for one
+// shard range; reassigned attempts of the same range share it, exactly
+// like a golden cache refill repeats its span identity.
+func (co *coordObs) shardSpanID(r shardRange) string {
+	return obs.DeriveSpanID(co.tid, fmt.Sprintf("shard[%d,%d)", r.lo, r.hi), co.seed)
+}
+
+// traceparent renders the traceparent the dispatched shard spec carries
+// ("" when the job is untraced).
+func (co *coordObs) traceparent(r shardRange) string {
+	if co == nil {
+		return ""
+	}
+	return obs.FormatTraceparent(co.tid, co.shardSpanID(r))
+}
+
+// shardSpan records one shard attempt's dispatch-to-completion window
+// on the coordinator lane.
+func (co *coordObs) shardSpan(r shardRange, worker, state string, start time.Time, dur time.Duration) {
+	if co == nil {
+		return
+	}
+	co.col.Ctl(fmt.Sprintf("shard[%d,%d)", r.lo, r.hi), co.shardSpanID(r),
+		co.col.Root(), start, dur,
+		map[string]string{
+			"lo": strconv.Itoa(r.lo), "hi": strconv.Itoa(r.hi),
+			"worker": worker, "state": state,
+		})
+}
+
+// span records a named singleton coordinator span (e.g. "merge").
+func (co *coordObs) span(name string, start time.Time, dur time.Duration) {
+	if co == nil {
+		return
+	}
+	co.col.Ctl(name, obs.DeriveSpanID(co.tid, name, co.seed), co.col.Root(),
+		start, dur, nil)
+}
+
+// finish closes the coordinator's root study span and returns its
+// timeline, ready for obs.MergeShards.
+func (co *coordObs) finish(wall time.Duration) *obs.Timeline {
+	co.col.Ctl("study", co.col.Root(), co.col.Parent(), co.epoch, wall, co.attrs)
+	return co.col.Finish(wall)
+}
+
 // runShardedJob is the coordinator's counterpart of runJob: it drives
 // one sharded job from planning through dispatch, harvest,
 // reassignment and the final merge.
@@ -130,6 +235,7 @@ func (s *Server) runShardedJob(job *Job) {
 	pending := planShards(job.missingWithin(full), job.Spec.Shards)
 	s.logf("coordinator: job %s planned %d shards over %d missing experiments",
 		job.ID, len(pending), job.Spec.Total()-job.Status().Done)
+	co := newCoordObs(job, start)
 
 	type shardDone struct {
 		r      shardRange
@@ -150,20 +256,30 @@ func (s *Server) runShardedJob(job *Job) {
 		inflight++
 		name := "local"
 		if w != nil {
-			name = w.URL
+			// Display name throughout: shard/fleet events, harvest
+			// checkpoints and the coordinator's shard spans must agree on
+			// the worker's identity or /v1/fleet double-counts it.
+			name = s.fleet.name(w)
 		}
 		job.broadcast("shard", api.ShardEvent{
 			Lo: r.lo, Hi: r.hi, Worker: name, State: "assigned",
 			Done: job.Status().Done, Total: job.Status().Total,
 		})
+		tp := co.traceparent(r)
 		go func() {
+			shStart := time.Now()
 			var err error
 			if w != nil {
-				err = s.runShardOnWorker(ctx, job, w, r)
+				err = s.runShardOnWorker(ctx, job, w, r, tp)
 				s.fleet.release(w, err != nil && ctx.Err() == nil)
 			} else {
-				err = s.runShardLocally(ctx, job, r)
+				err = s.runShardLocally(ctx, job, r, tp)
 			}
+			state := "done"
+			if err != nil {
+				state = "failed"
+			}
+			co.shardSpan(r, name, state, shStart, time.Since(shStart))
 			results <- shardDone{r: r, worker: name, err: err}
 		}()
 	}
@@ -213,6 +329,26 @@ func (s *Server) runShardedJob(job *Job) {
 					Lo: d.r.lo, Hi: d.r.hi, Worker: d.worker, State: "failed",
 					Done: job.Status().Done, Total: job.Status().Total,
 				})
+				// Fleet incidents become "fleet" SSE events, telemetry
+				// counters and journaled checkpoints — one signal, three
+				// consumers (live watchers, scrapers, /v1/fleet across
+				// restarts).
+				if d.worker != "local" {
+					s.reg.Counter("coordinator.workers_lost").Inc()
+					job.noteHarvest(HarvestCheckpoint{Worker: d.worker, Event: "worker_lost"})
+					job.broadcast("fleet", api.FleetEvent{
+						Type: "worker_lost", Worker: d.worker,
+						Lo: d.r.lo, Hi: d.r.hi, Error: d.err.Error(),
+					})
+				}
+				if len(left) > 0 {
+					s.reg.Counter("coordinator.reassigned").Inc()
+					job.noteHarvest(HarvestCheckpoint{Worker: d.worker, Event: "reassigned"})
+					job.broadcast("fleet", api.FleetEvent{
+						Type: "reassigned", Worker: d.worker,
+						Lo: left[0].lo, Hi: left[len(left)-1].hi,
+					})
+				}
 				pending = append(pending, left...)
 			}
 		case <-time.After(s.harvestEvery()):
@@ -232,7 +368,7 @@ func (s *Server) runShardedJob(job *Job) {
 	missing := job.missingWithin(full)
 	switch {
 	case ctx.Err() == nil && len(missing) == 0:
-		sr, err := s.mergeShards(ctx, job)
+		sr, err := s.mergeShards(ctx, job, co)
 		if err != nil {
 			s.mx.failed.Inc()
 			job.finish(StateFailed, fmt.Sprintf("merge: %v", err), nil)
@@ -262,10 +398,17 @@ func (s *Server) runShardedJob(job *Job) {
 // concerns stripped — the worker must not recurse into sharding, and
 // atlas attribution is a merge-time output (computing partial tallies
 // on workers would waste golden re-runs on data the merge recomputes).
-func shardSpec(spec Spec, r shardRange) Spec {
+// tp, when non-empty, is the coordinator's per-shard traceparent: the
+// shard's study root then nests under the coordinator's span for that
+// range, which is what keeps the merged fleet trace joinable by span
+// ID.
+func shardSpec(spec Spec, r shardRange, tp string) Spec {
 	spec.Shards = 0
 	spec.ShardStart, spec.ShardEnd = r.lo, r.hi
 	spec.Atlas = false
+	if tp != "" {
+		spec.TraceParent = tp
+	}
 	return spec
 }
 
@@ -276,12 +419,13 @@ func shardSpec(spec Spec, r shardRange) Spec {
 // remainder gets reassigned); a worker that drains mid-shard keeps the
 // job journaled, so the poll loop just keeps watching until its
 // restarted daemon resumes and finishes the shard job.
-func (s *Server) runShardOnWorker(ctx context.Context, job *Job, w *workerEntry, r shardRange) error {
-	st, err := w.cl.Submit(ctx, shardSpec(job.Spec, r))
+func (s *Server) runShardOnWorker(ctx context.Context, job *Job, w *workerEntry, r shardRange, tp string) error {
+	st, err := w.cl.Submit(ctx, shardSpec(job.Spec, r, tp))
 	if err != nil {
 		return fmt.Errorf("submit shard: %w", err)
 	}
 	shardID := st.ID
+	worker := s.fleet.name(w)
 	done := false
 	defer func() {
 		if done {
@@ -294,13 +438,25 @@ func (s *Server) runShardOnWorker(ctx context.Context, job *Job, w *workerEntry,
 		_, _ = w.cl.Cancel(cctx, shardID)
 	}()
 
+	lastHarvest := time.Now()
 	harvest := func() error {
 		recs, err := w.cl.Experiments(ctx, shardID, r.lo, r.hi)
 		if err != nil {
 			return err
 		}
+		fresh := 0
 		for _, rec := range recs {
-			job.addHarvested(rec.Index, rec.Seed, rec.Result)
+			if job.addHarvested(rec.Index, rec.Seed, rec.Result) {
+				fresh++
+			}
+		}
+		if fresh > 0 {
+			now := time.Now()
+			job.noteHarvest(HarvestCheckpoint{
+				Worker: worker, N: fresh,
+				NS: now.Sub(lastHarvest).Nanoseconds(), At: now,
+			})
+			lastHarvest = now
 		}
 		return nil
 	}
@@ -334,6 +490,22 @@ func (s *Server) runShardOnWorker(ctx context.Context, job *Job, w *workerEntry,
 				return fmt.Errorf("worker %s finished shard [%d,%d) with %d ranges unharvested",
 					w.URL, r.lo, r.hi, len(left))
 			}
+			// Observability harvest rides the same misses budget as the
+			// triple polls: a worker that vanishes between its last triple
+			// and this fetch is still "unreachable", and the remainder (the
+			// obs, not any triples) is simply lost — the merge tolerates
+			// missing shard obs.
+			if o, ferr := s.harvestShardObs(ctx, job, w, worker, shardID); ferr != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				if misses++; misses >= workerMisses {
+					return fmt.Errorf("worker %s unreachable harvesting observability: %w", w.URL, ferr)
+				}
+				continue
+			} else if o != nil {
+				job.addShardObs(*o)
+			}
 			done = true
 			return nil
 		case StateFailed:
@@ -347,17 +519,54 @@ func (s *Server) runShardOnWorker(ctx context.Context, job *Job, w *workerEntry,
 	}
 }
 
+// harvestShardObs pulls a finished shard's timeline and profile from
+// its worker (whichever the job asked for). Returns (nil, nil) when the
+// job wants neither.
+func (s *Server) harvestShardObs(ctx context.Context, job *Job, w *workerEntry, worker, shardID string) (*ShardObs, error) {
+	if !job.Spec.Timeline && !job.Spec.Profile {
+		return nil, nil
+	}
+	o := ShardObs{Worker: worker}
+	if job.Spec.Timeline {
+		tl, err := w.cl.Timeline(ctx, shardID)
+		if err != nil {
+			return nil, fmt.Errorf("timeline: %w", err)
+		}
+		o.Timeline = tl
+	}
+	if job.Spec.Profile {
+		raw, err := w.cl.Profile(ctx, shardID)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		if len(raw) > 0 {
+			var hp profile.Profile
+			if err := json.Unmarshal(raw, &hp); err != nil {
+				return nil, fmt.Errorf("profile: %w", err)
+			}
+			o.Profile = &hp
+		}
+	}
+	return &o, nil
+}
+
 // runShardLocally executes one shard on the coordinator's own campaign
 // pool — the no-fleet fallback. Results flow through addHarvested like
-// remote triples, so journal, counters and SSE progress are uniform.
-func (s *Server) runShardLocally(ctx context.Context, job *Job, r shardRange) error {
-	cfg, err := shardSpec(job.Spec, r).Config()
+// remote triples, so journal, counters and SSE progress are uniform,
+// and the shard's observability lands in addShardObs exactly as a
+// harvested worker's would.
+func (s *Server) runShardLocally(ctx context.Context, job *Job, r shardRange, tp string) error {
+	spec := shardSpec(job.Spec, r, tp)
+	cfg, err := spec.Config()
 	if err != nil {
 		return err
 	}
 	cfg.Metrics = job.reg
+	var fresh int64
 	cfg.OnResult = func(i int, seed int64, res *campaign.ExperimentResult) {
-		job.addHarvested(i, seed, res)
+		if job.addHarvested(i, seed, res) {
+			atomic.AddInt64(&fresh, 1)
+		}
 	}
 	if d := s.opts.expThrottle; d > 0 {
 		inner := cfg.OnResult
@@ -367,8 +576,24 @@ func (s *Server) runShardLocally(ctx context.Context, job *Job, r shardRange) er
 		}
 	}
 	cfg.Completed = job.completedSnapshot()
-	_, err = campaign.RunStudy(ctx, cfg)
-	return err
+	start := time.Now()
+	sr, err := campaign.RunStudy(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if n := atomic.LoadInt64(&fresh); n > 0 {
+		now := time.Now()
+		job.noteHarvest(HarvestCheckpoint{
+			Worker: "local", N: int(n),
+			NS: now.Sub(start).Nanoseconds(), At: now,
+		})
+	}
+	if job.Spec.Timeline || job.Spec.Profile {
+		job.addShardObs(ShardObs{
+			Worker: "local", Timeline: sr.Timeline, Profile: sr.HotProfile,
+		})
+	}
+	return nil
 }
 
 // mergeShards replays every harvested triple through one merge-only
@@ -379,12 +604,43 @@ func (s *Server) runShardLocally(ctx context.Context, job *Job, r shardRange) er
 // study byte-identical to an unsharded run of the same spec: even the
 // exported wall fields derive from the per-experiment triples, not
 // from this run's clock.
-func (s *Server) mergeShards(ctx context.Context, job *Job) (*campaign.StudyResult, error) {
+//
+// Observability merges separately from the triples: the merge-only
+// RunStudy runs with timeline and profile stripped (a merge pass
+// executes nothing, so its own profile would be empty and its timeline
+// a lie), and the harvested shard artifacts are folded in afterwards —
+// profiles summed exactly over their uncapped stack rows, timelines
+// re-anchored under the coordinator's dispatch/harvest span tree.
+func (s *Server) mergeShards(ctx context.Context, job *Job, co *coordObs) (*campaign.StudyResult, error) {
 	cfg, err := job.Spec.Config()
 	if err != nil {
 		return nil, err
 	}
+	cfg.Timeline, cfg.Profile, cfg.TraceParent = false, false, ""
 	cfg.Metrics = job.reg
 	cfg.Completed = job.completedSnapshot()
-	return campaign.RunStudy(ctx, cfg)
+	mergeStart := time.Now()
+	sr, err := campaign.RunStudy(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	parts := job.shardObsSnapshot()
+	if job.Spec.Profile {
+		var profs []*profile.Profile
+		for _, o := range parts {
+			profs = append(profs, o.Profile)
+		}
+		sr.HotProfile = profile.Merge(profs...)
+	}
+	if co != nil {
+		co.span("merge", mergeStart, time.Since(mergeStart))
+		var shards []obs.ShardTimeline
+		for _, o := range parts {
+			if o.Timeline != nil {
+				shards = append(shards, obs.ShardTimeline{Worker: o.Worker, Timeline: o.Timeline})
+			}
+		}
+		sr.Timeline = obs.MergeShards(co.finish(time.Since(co.epoch)), shards)
+	}
+	return sr, nil
 }

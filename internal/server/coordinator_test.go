@@ -264,7 +264,6 @@ func TestShardSpecRejection(t *testing.T) {
 		{"negative", coord, func(s *Spec) { s.Shards = -1 }, "non-negative"},
 		{"explicit-range", coord, func(s *Spec) { s.Shards = 2; s.ShardStart = 1; s.ShardEnd = 3 }, "shard_start"},
 		{"trace", coord, func(s *Spec) { s.Shards = 2; s.Trace = true }, "trace"},
-		{"timeline", coord, func(s *Spec) { s.Shards = 2; s.Timeline = true }, "timeline"},
 	}
 	for _, tc := range cases {
 		spec := testSpec()
@@ -277,6 +276,22 @@ func TestShardSpecRejection(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+
+	// Timeline and profile are no longer rejected on sharded jobs: the
+	// coordinator harvests and merges them (1.7).
+	for _, knob := range []func(*Spec){
+		func(s *Spec) { s.Timeline = true },
+		func(s *Spec) { s.Profile = true },
+	} {
+		spec := testSpec()
+		spec.Shards = 2
+		knob(&spec)
+		job, err := coord.Submit(spec)
+		if err != nil {
+			t.Fatalf("sharded observability submission rejected: %v", err)
+		}
+		waitState(t, coord, job.ID, StateDone)
 	}
 }
 

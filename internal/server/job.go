@@ -47,6 +47,13 @@ type Job struct {
 	result    json.RawMessage // serialized StudyResult once done
 	cancel    context.CancelFunc
 
+	// harvests/shardObs are the coordinator's journaled fleet
+	// observability: per-worker harvest throughput checkpoints and the
+	// timeline/profile snapshots harvested from finished shards. Empty
+	// for plain (unsharded) jobs.
+	harvests []HarvestCheckpoint
+	shardObs []ShardObs
+
 	journal *Journal
 	reg     *telemetry.Registry
 	subs    map[chan Event]bool
@@ -74,6 +81,8 @@ func resumedJob(rp *Replay, journal *Journal) *Job {
 	j := newJob(rp.ID, rp.Spec, journal)
 	j.tenant = rp.Tenant
 	j.completed = rp.Completed
+	j.harvests = rp.Harvests
+	j.shardObs = rp.ShardObs
 	for _, r := range rp.Completed {
 		j.note(r)
 	}
@@ -197,6 +206,52 @@ func (j *Job) addHarvested(index int, seed int64, r *campaign.ExperimentResult) 
 	j.mu.Unlock()
 	j.broadcast("experiment", ev)
 	return true
+}
+
+// noteHarvest journals and records one coordinator harvest checkpoint
+// (journal-first, like every other durable record).
+func (j *Job) noteHarvest(c HarvestCheckpoint) {
+	if c.At.IsZero() {
+		c.At = time.Now()
+	}
+	j.mu.Lock()
+	j.journal.Harvest(c)
+	j.harvests = append(j.harvests, c)
+	j.mu.Unlock()
+}
+
+// harvestSnapshot copies the job's harvest checkpoints (the /v1/fleet
+// aggregation input).
+func (j *Job) harvestSnapshot() []HarvestCheckpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]HarvestCheckpoint(nil), j.harvests...)
+}
+
+// addShardObs journals and records one finished shard's harvested
+// observability. A duplicate (same timeline root, from a coordinator
+// restart replaying an already-journaled shard) is dropped without
+// journaling twice.
+func (j *Job) addShardObs(o ShardObs) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if o.Timeline != nil {
+		for _, have := range j.shardObs {
+			if have.Timeline != nil && have.Timeline.Root == o.Timeline.Root {
+				return
+			}
+		}
+	}
+	j.journal.Obs(o.Worker, o.Timeline, o.Profile)
+	j.shardObs = append(j.shardObs, o)
+}
+
+// shardObsSnapshot copies the harvested shard observability — the merge
+// input for the fleet timeline and profile.
+func (j *Job) shardObsSnapshot() []ShardObs {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]ShardObs(nil), j.shardObs...)
 }
 
 // completedSnapshot copies the job's checkpointed triples — the merge

@@ -9,16 +9,27 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"vulfi/internal/campaign"
+	"vulfi/internal/obs"
+	"vulfi/internal/profile"
 )
 
 // The journal is the daemon's crash-safety mechanism: one append-only
 // JSONL file per job under the journal directory, named <id>.jsonl.
-// Three record kinds appear in order:
+// Five record kinds appear in order:
 //
 //	{"t":"submit","id":...,"spec":{...}}        exactly once, first line
 //	{"t":"exp","i":N,"seed":S,"r":{...}}        one per completed experiment
+//	{"t":"harvest","worker":...,"n":N,"ns":E}   coordinator only: one per
+//	                                            harvest poll that pulled
+//	                                            new triples (and per fleet
+//	                                            incident, with an "event")
+//	{"t":"obs","worker":...,"tl":...,"hp":...}  coordinator only: one per
+//	                                            finished shard whose
+//	                                            timeline/profile was
+//	                                            harvested
 //	{"t":"state","state":...}                   state transitions; a
 //	                                            terminal one ends the job
 //
@@ -47,6 +58,21 @@ type journalRecord struct {
 	Index  *int                       `json:"i,omitempty"`
 	Seed   int64                      `json:"seed,omitempty"`
 	Result *campaign.ExperimentResult `json:"r,omitempty"`
+
+	// harvest fields (Worker is shared with "obs" records): one
+	// coordinator harvest checkpoint — N new triples pulled from Worker
+	// over NS nanoseconds of worker wall time, stamped At. Event marks
+	// fleet incidents ("reassigned", "worker_lost") journaled through
+	// the same channel so the fleet metrics view survives restarts.
+	Worker string     `json:"worker,omitempty"`
+	N      int        `json:"n,omitempty"`
+	NS     int64      `json:"ns,omitempty"`
+	At     *time.Time `json:"at,omitempty"`
+	Event  string     `json:"event,omitempty"`
+
+	// obs fields: a finished shard's harvested observability.
+	Timeline *obs.Timeline    `json:"tl,omitempty"`
+	Profile  *profile.Profile `json:"hp,omitempty"`
 
 	// state fields.
 	State string          `json:"state,omitempty"`
@@ -121,6 +147,26 @@ func (j *Journal) Experiment(index int, seed int64, r *campaign.ExperimentResult
 	j.append(journalRecord{T: "exp", Index: &index, Seed: seed, Result: r})
 }
 
+// Harvest checkpoints one coordinator harvest observation: n new triples
+// pulled from worker over ns nanoseconds (or, with n == 0, a fleet
+// incident tagged by event). The per-worker throughput history this
+// accumulates is what GET /v1/fleet aggregates — and journaling it next
+// to the experiment checkpoints is what lets a restarted coordinator
+// keep that history.
+func (j *Journal) Harvest(c HarvestCheckpoint) {
+	at := c.At
+	j.append(journalRecord{
+		T: "harvest", Worker: c.Worker, N: c.N, NS: c.NS, At: &at,
+		Event: c.Event,
+	})
+}
+
+// Obs records a finished shard's harvested observability (either part
+// may be nil when the job only asked for the other).
+func (j *Journal) Obs(worker string, tl *obs.Timeline, hp *profile.Profile) {
+	j.append(journalRecord{T: "obs", Worker: worker, Timeline: tl, Profile: hp})
+}
+
 // State records a state transition. study (may be nil) is the serialized
 // final result for the "done" state; errMsg annotates "failed".
 func (j *Journal) State(state, errMsg string, study json.RawMessage) {
@@ -149,12 +195,35 @@ func (j *Journal) Close() error {
 	return err
 }
 
+// HarvestCheckpoint is one replayed (or live) coordinator harvest
+// observation: N new triples from Worker over NS nanoseconds, stamped
+// At. N == 0 records carry a fleet incident in Event instead.
+type HarvestCheckpoint struct {
+	Worker string
+	N      int
+	NS     int64
+	At     time.Time
+	Event  string
+}
+
+// ShardObs is one shard's harvested observability: the worker that ran
+// it plus whichever of timeline and profile the job asked for.
+type ShardObs struct {
+	Worker   string
+	Timeline *obs.Timeline
+	Profile  *profile.Profile
+}
+
 // Replay is the reconstructed state of one journaled job.
 type Replay struct {
 	ID        string
 	Spec      Spec
 	Tenant    string
 	Completed map[int]*campaign.ExperimentResult
+	// Harvests/ShardObs replay the coordinator's harvest checkpoints and
+	// harvested shard observability (empty for plain jobs).
+	Harvests []HarvestCheckpoint
+	ShardObs []ShardObs
 	// State is the last recorded state ("" when only the submit record
 	// exists — the job never started).
 	State string
@@ -204,6 +273,18 @@ func ReplayJournal(path string) (*Replay, error) {
 			if rec.Index != nil && rec.Result != nil {
 				rp.Completed[*rec.Index] = rec.Result
 			}
+		case "harvest":
+			c := HarvestCheckpoint{
+				Worker: rec.Worker, N: rec.N, NS: rec.NS, Event: rec.Event,
+			}
+			if rec.At != nil {
+				c.At = *rec.At
+			}
+			rp.Harvests = append(rp.Harvests, c)
+		case "obs":
+			rp.ShardObs = append(rp.ShardObs, ShardObs{
+				Worker: rec.Worker, Timeline: rec.Timeline, Profile: rec.Profile,
+			})
 		case "state":
 			rp.State, rp.Error = rec.State, rec.Error
 			if len(rec.Study) > 0 {

@@ -100,6 +100,20 @@ func (f *fleet) view(w *workerEntry) api.Worker {
 	return v
 }
 
+// name returns a worker's display name — the registered name when it
+// has one, the URL otherwise. This is the key harvest checkpoints,
+// fleet events and the /v1/fleet aggregation all share, so a worker's
+// throughput history stays attached to it across re-registrations.
+// Locked because upsert rewrites Name on every heartbeat.
+func (f *fleet) name(w *workerEntry) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w.Name != "" {
+		return w.Name
+	}
+	return w.URL
+}
+
 // list returns the fleet view, sorted by URL for stable output.
 func (f *fleet) list() []api.Worker {
 	f.mu.Lock()

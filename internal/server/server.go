@@ -319,8 +319,12 @@ func (s *Server) checkShardSpec(spec Spec) error {
 		return fmt.Errorf("shards: %d requires a coordinator; this vulfid runs jobs locally (start it with -coordinator)", spec.Shards)
 	case spec.ShardStart != 0 || spec.ShardEnd != 0:
 		return fmt.Errorf("shards cannot be combined with an explicit shard_start/shard_end range")
-	case spec.Trace || spec.Profile || spec.Timeline || spec.TraceParent != "":
-		return fmt.Errorf("sharded jobs do not support trace, profile, timeline or trace_parent (these attach to fresh local executions, not harvested ones)")
+	case spec.Trace:
+		// Timeline and profile are fleet-mergeable (the coordinator
+		// harvests each shard's artifacts and serves the merge); the
+		// divergence trace is not — its rings attach to fresh local
+		// executions, and a half-trace would be a lie.
+		return fmt.Errorf("sharded jobs do not support trace (divergence rings attach to fresh local executions; timeline and profile are supported)")
 	}
 	return nil
 }
@@ -453,6 +457,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/history", s.handleHistory)
 	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
 	mux.HandleFunc("GET /v1/workers", s.handleWorkers)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -630,6 +635,90 @@ func (s *Server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
 		resp.Workers = []api.Worker{}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFleet serves the fleet metrics view: per-worker throughput and
+// harvest lag aggregated over every job's harvest checkpoints (which
+// are journaled, so the history survives coordinator restarts), joined
+// with the live worker registry, plus the coordinator's incident and
+// stall tallies.
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleetStats(time.Now()))
+}
+
+func (s *Server) fleetStats(now time.Time) api.FleetResponse {
+	resp := api.FleetResponse{
+		Coordinator: s.fleet != nil, Workers: []api.FleetWorkerStats{},
+	}
+	type acc struct {
+		n    int
+		ns   int64
+		last time.Time
+	}
+	byWorker := map[string]*acc{}
+	var extra []string // checkpoint-only workers, first-seen order
+	for _, job := range s.Jobs() {
+		for _, c := range job.harvestSnapshot() {
+			switch c.Event {
+			case "reassigned":
+				resp.Reassigned++
+				continue
+			case "worker_lost":
+				resp.WorkersLost++
+				continue
+			}
+			a := byWorker[c.Worker]
+			if a == nil {
+				a = &acc{}
+				byWorker[c.Worker] = a
+				extra = append(extra, c.Worker)
+			}
+			a.n += c.N
+			a.ns += c.NS
+			if c.At.After(a.last) {
+				a.last = c.At
+			}
+		}
+		if wd := job.Watchdog(); wd != nil {
+			stalls, _ := wd.snapshot()
+			resp.Stalls += int64(len(stalls))
+		}
+	}
+	stats := func(name string) api.FleetWorkerStats {
+		st := api.FleetWorkerStats{Worker: name}
+		if a := byWorker[name]; a != nil {
+			st.Harvested = a.n
+			if a.ns > 0 {
+				st.ExpPerSec = float64(a.n) / (float64(a.ns) / float64(time.Second))
+			}
+			if !a.last.IsZero() {
+				st.HarvestLagNS = now.Sub(a.last).Nanoseconds()
+			}
+			delete(byWorker, name)
+		}
+		return st
+	}
+	if s.fleet != nil {
+		for _, v := range s.fleet.list() {
+			name := v.Name
+			if name == "" {
+				name = v.URL
+			}
+			st := stats(name)
+			st.URL, st.State = v.URL, v.State
+			st.Assigned, st.Completed, st.Failures = v.Assigned, v.Completed, v.Failures
+			resp.Workers = append(resp.Workers, st)
+		}
+	}
+	// Workers that only exist in checkpoint history: departed fleet
+	// members whose registration aged out, and the coordinator's own
+	// "local" fallback lane.
+	for _, name := range extra {
+		if _, ok := byWorker[name]; ok {
+			resp.Workers = append(resp.Workers, stats(name))
+		}
+	}
+	return resp
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {

@@ -28,6 +28,8 @@
 //	POST   /v1/workers       register a worker vulfid (idempotent; the
 //	                         re-post is the heartbeat)
 //	GET    /v1/workers       the coordinator's fleet view
+//	GET    /v1/fleet         fleet metrics: per-worker harvest rates,
+//	                         lag, reassignment/loss/stall counters
 //
 // plus the process-wide /metrics, /debug/vars and /debug/pprof endpoints
 // from the telemetry package.

@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Fleet observatory smoke test: start a coordinator and two worker
+# vulfids, run a sharded study with -timeline and -profile through
+# `vulfi -remote`, and assert (DESIGN.md §17):
+#
+#   1. the merged Perfetto trace has a coordinator lane plus one lane
+#      group per worker, and its shard study roots parent under the
+#      coordinator's shard dispatch spans (joinable by span ID);
+#   2. the merged hot profile's per-opcode counts and grand totals are
+#      byte-identical to the same study run single-node;
+#   3. GET /v1/fleet credits both workers with harvested experiments;
+#   4. the triple statistics still match single-node field for field.
+#
+# Needs curl + jq.
+#
+# Usage: fleet-smoke.sh [out-dir] — when out-dir is given, the merged
+# trace, profile artifacts, fleet view, and daemon logs are copied
+# there for CI artifacts.
+set -euo pipefail
+
+OUT=${1:-}
+
+CADDR=127.0.0.1:${VULFID_PORT:-8677}
+W1ADDR=127.0.0.1:$((${VULFID_PORT:-8677} + 1))
+W2ADDR=127.0.0.1:$((${VULFID_PORT:-8677} + 2))
+CBASE=http://$CADDR
+WORK=$(mktemp -d)
+CPID= W1PID= W2PID=
+
+cleanup() {
+  for pid in "$CPID" "$W1PID" "$W2PID"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
+  if [ -n "$OUT" ]; then # keep artifacts around even when an assertion fails
+    mkdir -p "$OUT"
+    cp "$WORK"/fleet-trace.json "$WORK"/fleet-trace.json.jsonl \
+      "$WORK"/fleet-profile.folded "$WORK"/fleet-profile.folded.html \
+      "$WORK"/sharded.json "$WORK"/fleet.json "$WORK"/*.log "$OUT/" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+die() { echo "FAIL: $*" >&2; exit 1; }
+
+start_daemon() { # addr journal extra-args... -> pid on stdout
+  local addr=$1 journal=$2
+  shift 2
+  "$WORK/vulfid" -addr "$addr" -journal "$journal" "$@" \
+    >"$WORK/$(basename "$journal").log" 2>&1 &
+  local pid=$!
+  for _ in $(seq 100); do
+    curl -sf "http://$addr/healthz" >/dev/null 2>&1 && { echo "$pid"; return; }
+    sleep 0.1
+  done
+  die "daemon did not come up on $addr"
+}
+
+go build -o "$WORK/vulfid" ./cmd/vulfid
+go build -o "$WORK/vulfi" ./cmd/vulfi
+
+CPID=$(start_daemon "$CADDR" "$WORK/coord" -coordinator)
+W1PID=$(start_daemon "$W1ADDR" "$WORK/w1" -join "$CADDR" -name w1)
+W2PID=$(start_daemon "$W2ADDR" "$WORK/w2" -join "$CADDR" -name w2)
+
+for _ in $(seq 100); do
+  FLEET=$(curl -sf "$CBASE/v1/workers" | jq '.workers | length')
+  [ "$FLEET" = 2 ] && break
+  sleep 0.1
+done
+[ "$FLEET" = 2 ] || die "fleet has $FLEET workers, want 2"
+echo "coordinator sees $FLEET workers"
+
+# -inputs stays at its default (0): with a shared input pool each shard
+# would fill its own golden cache and the merged profile counts would
+# legitimately exceed single-node (DESIGN.md §17).
+SPEC=(-benchmark Blackscholes -category control -isa AVX
+  -experiments 30 -campaigns 10 -seed 11 -workers 1)
+
+"$WORK/vulfi" -remote "$CADDR" -shards 2 -json "${SPEC[@]}" \
+  -timeline "$WORK/fleet-trace.json" -profile "$WORK/fleet-profile.folded" \
+  >"$WORK/sharded.json" 2>"$WORK/vulfi.log" \
+  || { cat "$WORK/vulfi.log" >&2; die "sharded observability study failed"; }
+
+for f in fleet-trace.json fleet-trace.json.jsonl fleet-profile.folded fleet-profile.folded.html; do
+  [ -s "$WORK/$f" ] || die "client artifact $f missing or empty"
+done
+
+# --- 1. Fleet trace shape -------------------------------------------------
+# Thread-name metadata events carry the merged lane names: the client's
+# own lane (vulfi -remote merges via traceparent), "coordinator", and
+# one "<worker> <lane>" group per fleet worker.
+LANES=$(jq -r '[.traceEvents[] | select(.ph == "M" and .name == "thread_name")
+  | .args.name] | join("\n")' "$WORK/fleet-trace.json")
+echo "$LANES" | grep -qx 'coordinator' || die "merged trace lacks the coordinator lane"
+for w in w1 w2; do
+  echo "$LANES" | grep -q "^$w " || die "merged trace has no lane group for $w"
+done
+LANEGROUPS=$(echo "$LANES" | grep -v '^coordinator' | grep -vx 'client' \
+  | awk '{print $1}' | sort -u | wc -l)
+[ "$LANEGROUPS" = 2 ] || die "merged trace has $LANEGROUPS worker lane groups, want 2"
+echo "fleet trace: coordinator lane + $LANEGROUPS worker lane groups"
+
+# Joinability: every shard study root's parent is a coordinator
+# shard[...) span present in the same trace.
+BADROOTS=$(jq '[.traceEvents[] | select(.ph == "X")] as $spans
+  | [$spans[] | select(.name | startswith("shard[")) | .args.id] as $shards
+  | [$spans[] | select(.name | startswith("study[")) | .args.parent]
+  | map(select(. as $p | ($shards | index($p)) == null)) | length' \
+  "$WORK/fleet-trace.json")
+[ "$BADROOTS" = 0 ] || die "$BADROOTS shard study roots not parented under a shard span"
+echo "fleet trace: all shard study roots join the coordinator's dispatch spans"
+
+# --- 2. Profile equality --------------------------------------------------
+STRIP='del(.wall_total_ns, .wall_min_ns, .wall_mean_ns, .wall_max_ns, .build)'
+go run ./cmd/vulfi -json "${SPEC[@]}" -profile "$WORK/single-profile.folded" \
+  >"$WORK/single.json" 2>/dev/null
+
+PROFCOUNTS='.hot_profile | {runs, experiments, total_dyn, total_vector,
+  ops: [.ops[] | {op, count, vector}], sites: [.sites[] | {site, count}]}'
+REFPROF=$(jq -S "$PROFCOUNTS" "$WORK/single.json")
+GOTPROF=$(jq -S "$PROFCOUNTS" "$WORK/sharded.json")
+[ "$REFPROF" = "$GOTPROF" ] || {
+  diff <(echo "$REFPROF") <(echo "$GOTPROF") >&2 || true
+  die "merged fleet profile counts differ from the single-node run"
+}
+echo "fleet profile: per-opcode counts and totals equal single-node"
+
+# The folded-stacks artifact agrees with the profile total.
+FOLDSUM=$(awk '{s += $NF} END {print s}' "$WORK/fleet-profile.folded")
+TOTALDYN=$(jq -r '.hot_profile.total_dyn' "$WORK/sharded.json")
+[ "$FOLDSUM" = "$TOTALDYN" ] || die "folded stacks sum to $FOLDSUM, profile says $TOTALDYN"
+
+# --- 3. Fleet metrics -----------------------------------------------------
+curl -sf "$CBASE/v1/fleet" >"$WORK/fleet.json"
+for w in w1 w2; do
+  HARVESTED=$(jq -r --arg w "$w" \
+    '.workers[] | select(.worker == $w) | .harvested' "$WORK/fleet.json")
+  [ -n "$HARVESTED" ] && [ "$HARVESTED" -gt 0 ] \
+    || die "/v1/fleet credits $w with ${HARVESTED:-no} harvested experiments"
+done
+echo "fleet metrics: both workers credited with harvested experiments"
+
+# --- 4. Triple statistics -------------------------------------------------
+# Observability artifacts aside (their wall-clock content legitimately
+# differs), the merged study matches single-node field for field.
+OBSSTRIP="$STRIP | del(.timeline, .hot_profile)"
+REF=$(jq -S "$OBSSTRIP" "$WORK/single.json")
+GOT=$(jq -S "$OBSSTRIP" "$WORK/sharded.json")
+[ "$REF" = "$GOT" ] || {
+  diff <(echo "$REF") <(echo "$GOT") >&2 || true
+  die "sharded study statistics differ from the single-node run"
+}
+echo "triple statistics match the single-node run field-for-field"
+
+echo "PASS: fleet observatory merged timeline, profile, and metrics check out"
